@@ -1,0 +1,60 @@
+// Ablation: flash crowd at a live-event start (§I).
+//
+// "Live events' having well-defined start and end times leads to highly
+// correlated service request arrivals ... Instead of limiting scalability,
+// highly correlated viewing behavior gives P2P systems their competitive
+// advantage." A crowd of extra viewers slams the system at the event start
+// (on top of the normal diurnal evening); the managers' stateless ticket
+// work and the self-scaling overlay absorb it without visible latency
+// movement. Compare each hour's medians with and without the crowd.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace p2pdrm;
+
+int main() {
+  bench::print_header("Ablation — flash crowd at event start (day 1, 20:00)");
+
+  sim::MacroSimConfig base = bench::paper_config();
+  base.days = 2;
+
+  sim::MacroSimConfig crowded = base;
+  workload::FlashCrowd crowd;
+  crowd.start = util::kDay + 20 * util::kHour;  // day 1, 20:00 — on-peak
+  crowd.extra_sessions =
+      static_cast<std::size_t>(0.6 * base.peak_concurrent);  // +60% instantly
+  crowd.ramp = 2 * util::kMinute;
+  crowded.flash_crowds.push_back(crowd);
+
+  const sim::MacroSimResult without = sim::run_macro_sim(base);
+  const sim::MacroSimResult with = sim::run_macro_sim(crowded);
+  std::printf("baseline: ");
+  bench::print_run_summary(without);
+  std::printf("crowded:  ");
+  bench::print_run_summary(with);
+
+  std::printf("\n%-6s %12s %12s | %12s %12s | %12s %12s\n", "hour", "users(base)",
+              "users(crowd)", "LOGIN2 base", "LOGIN2 crowd", "JOIN base",
+              "JOIN crowd");
+  const auto login2_base = without.round(sim::ProtocolRound::kLogin2).hourly_median();
+  const auto login2_crowd = with.round(sim::ProtocolRound::kLogin2).hourly_median();
+  const auto join_base = without.round(sim::ProtocolRound::kJoin).hourly_median();
+  const auto join_crowd = with.round(sim::ProtocolRound::kJoin).hourly_median();
+  for (std::size_t h = 40; h < 48; ++h) {  // day 1, 16:00-24:00
+    std::printf("d1/%-4zu %12.0f %12.0f | %11.3fs %11.3fs | %11.3fs %11.3fs\n",
+                h % 24, without.hourly_concurrency[h], with.hourly_concurrency[h],
+                login2_base[h], login2_crowd[h], join_base[h], join_crowd[h]);
+  }
+
+  const double extra_at_peak =
+      with.hourly_concurrency[44] - without.hourly_concurrency[44];
+  const double login2_shift = login2_crowd[44] - login2_base[44];
+  std::printf("\nat the event hour: +%.0f concurrent users, LOGIN2 median moved "
+              "%+.0f ms\n", extra_at_peak, login2_shift * 1000);
+  std::printf("expected shape: the crowd lifts concurrency by tens of percent "
+              "within minutes while\nthe manager medians stay within noise — "
+              "ticket issuance is cheap and stateless, and\nthe join load lands "
+              "on the (self-scaling) peers.\n");
+  return 0;
+}

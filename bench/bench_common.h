@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches: the paper-scale macro-sim
+// configuration, environment-variable scaling, and table printers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/macro_sim.h"
+
+namespace p2pdrm::bench {
+
+/// Scale factor for the week-long simulations. 1.0 reproduces the paper's
+/// scale (7 days, ~25k peak concurrent users, 2 UMs + 4 CMs); smaller values
+/// shrink the population for quick runs. Override with P2PDRM_SCALE.
+inline double scale_factor() {
+  if (const char* env = std::getenv("P2PDRM_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+/// The paper's measurement setting (§VI): one week, diurnal swing peaking
+/// around 25k concurrent users, 2 User Managers, 4 Channel Managers over 2
+/// partitions, 200 channels.
+inline sim::MacroSimConfig paper_config() {
+  sim::MacroSimConfig cfg;
+  const double scale = scale_factor();
+  cfg.days = 7;
+  cfg.peak_concurrent = 25000 * scale;
+  cfg.num_channels = 200;
+  cfg.user_manager_servers = 2;
+  cfg.channel_manager_servers = 4;
+  cfg.seed = 20080623;  // the paper's trace week started June 23rd, 2008
+  return cfg;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_run_summary(const sim::MacroSimResult& r) {
+  std::printf(
+      "# sessions=%llu switches=%llu ct-renewals=%llu ut-renewals=%llu "
+      "join-retries=%llu peak-concurrent=%.0f um-util=%.4f cm-util=%.4f\n",
+      static_cast<unsigned long long>(r.sessions),
+      static_cast<unsigned long long>(r.channel_switches),
+      static_cast<unsigned long long>(r.ct_renewals),
+      static_cast<unsigned long long>(r.ut_renewals),
+      static_cast<unsigned long long>(r.join_retries), r.peak_observed_concurrency,
+      r.um_utilization, r.cm_utilization);
+}
+
+}  // namespace p2pdrm::bench

@@ -1,0 +1,84 @@
+// Reproduces Fig. 5(a,b,c): median latency of the LOGIN1/LOGIN2,
+// SWITCH1/SWITCH2, and JOIN protocol rounds across a simulated week,
+// plotted against the total number of concurrent users — plus the in-text
+// Pearson correlation coefficients (paper: -0.03..0.08 for login/switch,
+// 0.13 for join).
+//
+// Expected shape: the concurrency curve swings by an order of magnitude
+// between pre-dawn trough and evening peak while every median latency stays
+// flat — the paper's stateless-manager scalability claim.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace p2pdrm;
+
+namespace {
+
+void print_series(const sim::MacroSimResult& result, sim::ProtocolRound a,
+                  sim::ProtocolRound b, bool has_b, const char* fig) {
+  std::printf("\n--- Fig. 5%s: hour-of-week series ---\n", fig);
+  std::printf("%-6s %-5s %12s %14s", "day", "hour", "concurrent",
+              to_string(a).data());
+  if (has_b) std::printf(" %14s", to_string(b).data());
+  std::printf("\n");
+  const auto ma = result.round(a).hourly_median();
+  const auto mb = result.round(b).hourly_median();
+  for (std::size_t h = 0; h < result.hourly_concurrency.size(); ++h) {
+    std::printf("d%-5zu %-5zu %12.0f %12.3fs", h / 24, h % 24,
+                result.hourly_concurrency[h], ma[h]);
+    if (has_b) std::printf(" %12.3fs", mb[h]);
+    std::printf("\n");
+  }
+}
+
+void print_correlation(const sim::MacroSimResult& result, sim::ProtocolRound r,
+                       double paper_lo, double paper_hi) {
+  const auto corr =
+      analysis::pearson(result.round(r).hourly_median(), result.hourly_concurrency);
+  std::printf("%-8s  r = %+.3f   (paper: %+0.2f .. %+0.2f)  %s\n",
+              to_string(r).data(), corr.value_or(0.0), paper_lo, paper_hi,
+              (corr && *corr >= paper_lo - 0.15 && *corr <= paper_hi + 0.15)
+                  ? "within band"
+                  : "OUT OF BAND");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 5 — median protocol latency vs. concurrent users (1 week)");
+  const sim::MacroSimConfig cfg = bench::paper_config();
+  std::printf("# days=%d peak_concurrent=%.0f UMs=%zu CMs=%zu seed=%llu\n", cfg.days,
+              cfg.peak_concurrent, cfg.user_manager_servers,
+              cfg.channel_manager_servers,
+              static_cast<unsigned long long>(cfg.seed));
+
+  const sim::MacroSimResult result = sim::run_macro_sim(cfg);
+  bench::print_run_summary(result);
+
+  print_series(result, sim::ProtocolRound::kLogin1, sim::ProtocolRound::kLogin2, true,
+               "(a) login");
+  print_series(result, sim::ProtocolRound::kSwitch1, sim::ProtocolRound::kSwitch2, true,
+               "(b) channel switching");
+  print_series(result, sim::ProtocolRound::kJoin, sim::ProtocolRound::kJoin, false,
+               "(c) join");
+
+  std::printf("\n--- In-text: Pearson correlation, median latency vs #users ---\n");
+  print_correlation(result, sim::ProtocolRound::kLogin1, -0.03, 0.08);
+  print_correlation(result, sim::ProtocolRound::kLogin2, -0.03, 0.08);
+  print_correlation(result, sim::ProtocolRound::kSwitch1, -0.03, 0.08);
+  print_correlation(result, sim::ProtocolRound::kSwitch2, -0.03, 0.08);
+  print_correlation(result, sim::ProtocolRound::kJoin, 0.13, 0.13);
+
+  // Headline check: latency flat while concurrency swings.
+  const double max_c = *std::max_element(result.hourly_concurrency.begin(),
+                                         result.hourly_concurrency.end());
+  const double min_c = *std::min_element(result.hourly_concurrency.begin(),
+                                         result.hourly_concurrency.end());
+  std::printf("\nconcurrency swing: %.0fx (%.0f .. %.0f)\n",
+              min_c > 0 ? max_c / min_c : 0.0, min_c, max_c);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pdrm::analysis {
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::optional<double> pearson(const std::vector<double>& x,
+                              const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return std::nullopt;
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) return std::nullopt;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  samples_.reserve(capacity);
+}
+
+void Reservoir::add(double value) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    return;
+  }
+  const std::uint64_t slot = rng_.uniform(seen_);
+  if (slot < capacity_) samples_[static_cast<std::size_t>(slot)] = value;
+}
+
+double Reservoir::quantile(double q) const {
+  return analysis::quantile(samples_, q);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (values.empty() || max_points == 0) return out;
+  std::sort(values.begin(), values.end());
+  const std::size_t steps = std::min(max_points, values.size());
+  out.reserve(steps);
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(steps);
+    // Smallest index whose empirical probability reaches p.
+    const std::size_t idx = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(
+            std::ceil(p * static_cast<double>(values.size()))) -
+            1);
+    out.push_back({values[idx], p});
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::analysis

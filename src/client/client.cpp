@@ -1,0 +1,257 @@
+#include "client/client.h"
+
+#include "core/client_flows.h"
+
+namespace p2pdrm::client {
+
+using core::DrmError;
+
+std::string_view to_string(Round r) {
+  switch (r) {
+    case Round::kLogin1: return "LOGIN1";
+    case Round::kLogin2: return "LOGIN2";
+    case Round::kSwitch1: return "SWITCH1";
+    case Round::kSwitch2: return "SWITCH2";
+    case Round::kJoin: return "JOIN";
+  }
+  return "?";
+}
+
+Client::Client(ClientConfig config, ServiceEndpoints& endpoints,
+               const util::Clock& clock, crypto::SecureRandom rng)
+    : config_(std::move(config)), endpoints_(endpoints), clock_(clock),
+      rng_(std::move(rng)), keys_(crypto::generate_rsa_keypair(rng_, config_.key_bits)) {}
+
+void Client::record(Round round, util::SimTime started, bool success) {
+  feedback_.push_back({round, started, clock_.now() - started, success});
+}
+
+core::DrmError Client::login() {
+  if (!redirect_) {
+    services::RedirectRequest rreq{config_.email};
+    services::RedirectResponse rresp = endpoints_.redirect(rreq);
+    if (!rresp.found) return DrmError::kUnknownUser;
+    redirect_ = std::move(rresp);
+  }
+
+  // --- LOGIN1 ---
+  core::Login1Request req1;
+  req1.email = config_.email;
+  req1.client_public_key = keys_.pub;
+  req1.client_version = config_.client_version;
+
+  util::SimTime started = clock_.now();
+  core::Login1Response resp1 = endpoints_.login1(req1, config_.addr);
+  record(Round::kLogin1, started, resp1.error == DrmError::kOk);
+  if (resp1.error != DrmError::kOk) return resp1.error;
+
+  // Decrypt nonce/params with the password hash; failure here means the
+  // password is wrong (or the response was tampered with).
+  const auto opened = core::open_login1_response(resp1, config_.password);
+  if (!opened) return DrmError::kBadCredentials;
+
+  // --- LOGIN2 ---
+  const core::Login2Request req2 = core::build_login2_request(
+      *opened, config_.email, keys_, config_.client_version, config_.client_binary);
+
+  started = clock_.now();
+  core::Login2Response resp2 = endpoints_.login2(req2, config_.addr);
+  record(Round::kLogin2, started, resp2.error == DrmError::kOk && resp2.ticket.has_value());
+  if (resp2.error != DrmError::kOk) return resp2.error;
+  if (!resp2.ticket) return DrmError::kBadCredentials;
+
+  previous_user_ticket_ = std::move(user_ticket_);
+  user_ticket_ = std::move(resp2.ticket);
+
+  // utime comparison (§IV-B): if any attribute in the new ticket is newer
+  // than its counterpart in the previous one, refetch the Channel List for
+  // those attribute names.
+  std::vector<std::string> stale;
+  if (previous_user_ticket_) {
+    for (const core::Attribute& a : user_ticket_->ticket.attributes.items()) {
+      if (a.utime == util::kNullTime) continue;
+      const core::Attribute* old = previous_user_ticket_->ticket.attributes.find(a.name);
+      if (old == nullptr || old->utime == util::kNullTime || a.utime > old->utime) {
+        stale.push_back(a.name);
+      }
+    }
+  }
+  if (channels_.empty() || !stale.empty()) {
+    return refresh_channel_list(channels_.empty() ? std::vector<std::string>{} : stale);
+  }
+  return DrmError::kOk;
+}
+
+core::DrmError Client::ensure_user_ticket() {
+  if (user_ticket_ &&
+      user_ticket_->ticket.expiry_time - clock_.now() > config_.user_ticket_slack) {
+    return DrmError::kOk;
+  }
+  return login();
+}
+
+core::DrmError Client::refresh_channel_list(const std::vector<std::string>& stale) {
+  if (!user_ticket_) return DrmError::kBadTicket;
+  core::ChannelListRequest req;
+  req.user_ticket = user_ticket_->encode();
+  req.stale_attributes = stale;
+  core::ChannelListResponse resp = endpoints_.channel_list(req);
+  if (resp.error != DrmError::kOk) return resp.error;
+
+  if (stale.empty()) {
+    channels_ = std::move(resp.channels);
+  } else {
+    // Merge: replace channels present in the partial response.
+    for (core::ChannelRecord& fresh : resp.channels) {
+      bool replaced = false;
+      for (core::ChannelRecord& cached : channels_) {
+        if (cached.id == fresh.id) {
+          cached = std::move(fresh);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) channels_.push_back(std::move(fresh));
+    }
+  }
+  if (!resp.partitions.empty()) partitions_ = std::move(resp.partitions);
+  return DrmError::kOk;
+}
+
+std::uint32_t Client::partition_of(util::ChannelId channel) const {
+  for (const core::ChannelRecord& c : channels_) {
+    if (c.id == channel) return c.partition;
+  }
+  return 0;
+}
+
+const core::PartitionInfo* Client::partition_info(std::uint32_t partition) const {
+  for (const core::PartitionInfo& p : partitions_) {
+    if (p.partition == partition) return &p;
+  }
+  return nullptr;
+}
+
+std::optional<util::ChannelId> Client::current_channel() const {
+  if (!channel_ticket_) return std::nullopt;
+  return channel_ticket_->ticket.channel_id;
+}
+
+std::vector<util::ChannelId> Client::viewable_channels() const {
+  std::vector<util::ChannelId> out;
+  if (!user_ticket_) return out;
+  const util::SimTime now = clock_.now();
+  for (const core::ChannelRecord& c : channels_) {
+    if (core::channel_accessible(c, user_ticket_->ticket.attributes, now)) {
+      out.push_back(c.id);
+    }
+  }
+  return out;
+}
+
+core::DrmError Client::switch_channel(util::ChannelId channel) {
+  if (const DrmError err = ensure_user_ticket(); err != DrmError::kOk) return err;
+  const std::uint32_t partition = partition_of(channel);
+
+  // --- SWITCH1 ---
+  core::Switch1Request req1;
+  req1.user_ticket = user_ticket_->encode();
+  req1.channel_id = channel;
+
+  util::SimTime started = clock_.now();
+  core::Switch1Response resp1 = endpoints_.switch1(partition, req1, config_.addr);
+  record(Round::kSwitch1, started, resp1.error == DrmError::kOk);
+  if (resp1.error != DrmError::kOk) return resp1.error;
+
+  // --- SWITCH2 ---
+  const core::Switch2Request req2 =
+      core::build_switch2_request(resp1, req1.user_ticket, channel, {}, keys_.priv);
+
+  started = clock_.now();
+  core::Switch2Response resp2 = endpoints_.switch2(partition, req2, config_.addr);
+  record(Round::kSwitch2, started,
+         resp2.error == DrmError::kOk && resp2.ticket.has_value());
+  if (resp2.error != DrmError::kOk) return resp2.error;
+  if (!resp2.ticket) return DrmError::kAccessDenied;
+
+  // Leaving the old channel: drop overlay state; the new ticket replaces
+  // the old one (a client is a member of one P2P network at a time, §III).
+  channel_ticket_ = std::move(resp2.ticket);
+  parent_.reset();
+
+  // (Re)create the overlay half for the new channel.
+  const core::PartitionInfo* pinfo = partition_info(partition);
+  crypto::RsaPublicKey cm_key;
+  if (pinfo != nullptr) {
+    cm_key = crypto::RsaPublicKey::decode(pinfo->manager_public_key);
+  }
+  p2p::PeerConfig pc;
+  pc.node = config_.node;
+  pc.addr = config_.addr;
+  pc.channel = channel;
+  pc.capacity = config_.peer_capacity;
+  peer_ = std::make_unique<p2p::Peer>(pc, keys_, cm_key, rng_.fork());
+
+  return join_overlay(resp2.peers);
+}
+
+core::DrmError Client::join_overlay(const std::vector<core::PeerInfo>& peers) {
+  if (!channel_ticket_ || !peer_) return DrmError::kBadTicket;
+  const core::JoinRequest req = peer_->make_join_request(*channel_ticket_);
+
+  const util::SimTime started = clock_.now();
+  // Paper: the client contacts "a number of peers listed in the peer list";
+  // we walk the list until one accepts.
+  for (const core::PeerInfo& candidate : peers) {
+    const core::JoinResponse resp =
+        endpoints_.join(candidate.node, req, config_.addr, config_.node);
+    if (resp.error != DrmError::kOk) continue;
+    if (peer_->complete_join(candidate.node, resp)) {
+      parent_ = candidate.node;
+      record(Round::kJoin, started, true);
+      return DrmError::kOk;
+    }
+  }
+  record(Round::kJoin, started, false);
+  return DrmError::kNoCapacity;
+}
+
+core::DrmError Client::renew_channel_ticket() {
+  if (!channel_ticket_) return DrmError::kBadTicket;
+  if (const DrmError err = ensure_user_ticket(); err != DrmError::kOk) return err;
+  const std::uint32_t partition = partition_of(channel_ticket_->ticket.channel_id);
+
+  core::Switch1Request req1;
+  req1.user_ticket = user_ticket_->encode();
+  req1.expiring_ticket = channel_ticket_->encode();
+
+  util::SimTime started = clock_.now();
+  core::Switch1Response resp1 = endpoints_.switch1(partition, req1, config_.addr);
+  record(Round::kSwitch1, started, resp1.error == DrmError::kOk);
+  if (resp1.error != DrmError::kOk) return resp1.error;
+
+  const core::Switch2Request req2 = core::build_switch2_request(
+      resp1, req1.user_ticket, 0, req1.expiring_ticket, keys_.priv);
+
+  started = clock_.now();
+  core::Switch2Response resp2 = endpoints_.switch2(partition, req2, config_.addr);
+  record(Round::kSwitch2, started,
+         resp2.error == DrmError::kOk && resp2.ticket.has_value());
+  if (resp2.error != DrmError::kOk) return resp2.error;
+  if (!resp2.ticket || !resp2.ticket->ticket.renewal) return DrmError::kRenewalRefused;
+
+  channel_ticket_ = std::move(resp2.ticket);
+
+  // Present the renewal to the parent so it does not sever us at expiry.
+  if (parent_) {
+    endpoints_.present_renewal(*parent_, config_.node, channel_ticket_->encode());
+  }
+  return DrmError::kOk;
+}
+
+std::optional<util::Bytes> Client::receive(const core::ContentPacket& packet) {
+  if (!peer_) return std::nullopt;
+  return peer_->decrypt(packet);
+}
+
+}  // namespace p2pdrm::client

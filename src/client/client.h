@@ -1,0 +1,154 @@
+// Client (§III, §IV-F, Fig. 1).
+//
+// Drives the full user-side protocol sequence:
+//   redirect lookup -> LOGIN1/LOGIN2 -> (Channel List refresh on stale
+//   utimes) -> SWITCH1/SWITCH2 -> JOIN -> periodic User/Channel Ticket
+//   renewal -> watch (decrypt packets).
+//
+// The client reaches the backend through the ServiceEndpoints interface so
+// the same state machine runs against in-process services (tests,
+// examples) or a simulated network. Every protocol round is timed through
+// the injected Clock and recorded in the feedback log — the measurement
+// instrument behind the paper's Figs. 5 and 6.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/ticket.h"
+#include "p2p/peer.h"
+#include "services/redirection_manager.h"
+#include "util/time.h"
+
+namespace p2pdrm::client {
+
+/// Protocol rounds, named as in the paper's evaluation.
+enum class Round : std::uint8_t { kLogin1, kLogin2, kSwitch1, kSwitch2, kJoin };
+std::string_view to_string(Round r);
+
+/// One timed protocol round in the client's feedback log.
+struct LatencySample {
+  Round round;
+  util::SimTime started = 0;
+  util::SimTime latency = 0;
+  bool success = false;
+};
+
+/// Transport abstraction: how requests reach the managers and peers.
+/// `from` is the client's connection address (managers bind tickets to it).
+class ServiceEndpoints {
+ public:
+  virtual ~ServiceEndpoints() = default;
+
+  virtual services::RedirectResponse redirect(const services::RedirectRequest& req) = 0;
+  virtual core::Login1Response login1(const core::Login1Request& req,
+                                      util::NetAddr from) = 0;
+  virtual core::Login2Response login2(const core::Login2Request& req,
+                                      util::NetAddr from) = 0;
+  virtual core::ChannelListResponse channel_list(const core::ChannelListRequest& req) = 0;
+  /// `partition` selects the Channel Manager (§V); 0 when unpartitioned.
+  virtual core::Switch1Response switch1(std::uint32_t partition,
+                                        const core::Switch1Request& req,
+                                        util::NetAddr from) = 0;
+  virtual core::Switch2Response switch2(std::uint32_t partition,
+                                        const core::Switch2Request& req,
+                                        util::NetAddr from) = 0;
+  virtual core::JoinResponse join(util::NodeId target, const core::JoinRequest& req,
+                                  util::NetAddr from, util::NodeId self) = 0;
+  /// Present a renewal Channel Ticket to a peer we are a child of.
+  virtual bool present_renewal(util::NodeId target, util::NodeId self,
+                               const util::Bytes& renewed_ticket) = 0;
+};
+
+struct ClientConfig {
+  std::string email;
+  std::string password;
+  std::uint32_t client_version = 1;
+  /// This client's binary image (hashed for attestation). Must equal the
+  /// User Manager's reference binary for this version to pass login.
+  util::Bytes client_binary;
+  util::NetAddr addr;
+  util::NodeId node = util::kInvalidNode;
+  /// Child capacity the client contributes to the overlay.
+  std::size_t peer_capacity = 4;
+  /// RSA modulus bits for the client key pair.
+  std::size_t key_bits = 512;
+  /// Renew the User Ticket when less than this remains.
+  util::SimTime user_ticket_slack = 2 * util::kMinute;
+};
+
+class Client {
+ public:
+  Client(ClientConfig config, ServiceEndpoints& endpoints, const util::Clock& clock,
+         crypto::SecureRandom rng);
+
+  // --- protocol drivers (return kOk on success) ---
+
+  /// Redirect lookup + LOGIN1/LOGIN2. On success holds a fresh User Ticket;
+  /// refreshes the cached Channel List if any utime advanced (§IV-B).
+  core::DrmError login();
+
+  /// Re-login if the User Ticket is missing or expires within the slack.
+  core::DrmError ensure_user_ticket();
+
+  /// SWITCH1/SWITCH2 for `channel`, then JOIN against the returned peer
+  /// list (tried in order). Leaves any previous channel first.
+  core::DrmError switch_channel(util::ChannelId channel);
+
+  /// Renew the current Channel Ticket (§IV-D) and present the renewal to
+  /// the parent peer(s).
+  core::DrmError renew_channel_ticket();
+
+  /// Decrypt a received content packet (also forwards nothing — transport
+  /// of packets between peers is the harness's job via peer()).
+  std::optional<util::Bytes> receive(const core::ContentPacket& packet);
+
+  // --- state inspection ---
+
+  bool logged_in() const { return user_ticket_.has_value(); }
+  const std::optional<core::SignedUserTicket>& user_ticket() const { return user_ticket_; }
+  const std::optional<core::SignedChannelTicket>& channel_ticket() const {
+    return channel_ticket_;
+  }
+  std::optional<util::ChannelId> current_channel() const;
+  /// Channels the user could watch right now, per cached list + own attrs.
+  std::vector<util::ChannelId> viewable_channels() const;
+  const std::vector<core::ChannelRecord>& cached_channels() const { return channels_; }
+
+  /// The client's overlay half (valid after the first successful join).
+  p2p::Peer* peer() { return peer_.get(); }
+  const p2p::Peer* peer() const { return peer_.get(); }
+  std::optional<util::NodeId> parent() const { return parent_; }
+
+  const std::vector<LatencySample>& feedback_log() const { return feedback_; }
+  const crypto::RsaPublicKey& public_key() const { return keys_.pub; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  core::DrmError refresh_channel_list(const std::vector<std::string>& stale);
+  std::uint32_t partition_of(util::ChannelId channel) const;
+  const core::PartitionInfo* partition_info(std::uint32_t partition) const;
+  core::DrmError join_overlay(const std::vector<core::PeerInfo>& peers);
+  void record(Round round, util::SimTime started, bool success);
+
+  ClientConfig config_;
+  ServiceEndpoints& endpoints_;
+  const util::Clock& clock_;
+  crypto::SecureRandom rng_;
+  crypto::RsaKeyPair keys_;
+
+  std::optional<services::RedirectResponse> redirect_;
+  std::optional<core::SignedUserTicket> user_ticket_;
+  std::optional<core::SignedUserTicket> previous_user_ticket_;
+  std::optional<core::SignedChannelTicket> channel_ticket_;
+  std::vector<core::ChannelRecord> channels_;
+  std::vector<core::PartitionInfo> partitions_;
+  std::unique_ptr<p2p::Peer> peer_;
+  std::optional<util::NodeId> parent_;
+  std::vector<LatencySample> feedback_;
+};
+
+}  // namespace p2pdrm::client

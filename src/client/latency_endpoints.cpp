@@ -1,0 +1,55 @@
+#include "client/latency_endpoints.h"
+
+namespace p2pdrm::client {
+
+LatencyEndpoints::LatencyEndpoints(ServiceEndpoints& inner, util::ManualClock& clock,
+                                   sim::LatencyModel net, sim::ServiceCosts costs,
+                                   crypto::SecureRandom rng)
+    : inner_(inner), clock_(clock), net_(net), costs_(costs), rng_(std::move(rng)) {}
+
+services::RedirectResponse LatencyEndpoints::redirect(
+    const services::RedirectRequest& req) {
+  // A single hash lookup (§V): charge the same as LOGIN1's light handling.
+  return timed(costs_.login1, [&] { return inner_.redirect(req); });
+}
+
+core::Login1Response LatencyEndpoints::login1(const core::Login1Request& req,
+                                              util::NetAddr from) {
+  return timed(costs_.login1, [&] { return inner_.login1(req, from); });
+}
+
+core::Login2Response LatencyEndpoints::login2(const core::Login2Request& req,
+                                              util::NetAddr from) {
+  return timed(costs_.login2, [&] { return inner_.login2(req, from); });
+}
+
+core::ChannelListResponse LatencyEndpoints::channel_list(
+    const core::ChannelListRequest& req) {
+  return timed(costs_.switch1, [&] { return inner_.channel_list(req); });
+}
+
+core::Switch1Response LatencyEndpoints::switch1(std::uint32_t partition,
+                                                const core::Switch1Request& req,
+                                                util::NetAddr from) {
+  return timed(costs_.switch1, [&] { return inner_.switch1(partition, req, from); });
+}
+
+core::Switch2Response LatencyEndpoints::switch2(std::uint32_t partition,
+                                                const core::Switch2Request& req,
+                                                util::NetAddr from) {
+  return timed(costs_.switch2, [&] { return inner_.switch2(partition, req, from); });
+}
+
+core::JoinResponse LatencyEndpoints::join(util::NodeId target,
+                                          const core::JoinRequest& req,
+                                          util::NetAddr from, util::NodeId self) {
+  return timed(costs_.join, [&] { return inner_.join(target, req, from, self); });
+}
+
+bool LatencyEndpoints::present_renewal(util::NodeId target, util::NodeId self,
+                                       const util::Bytes& renewed_ticket) {
+  return timed(costs_.join,
+               [&] { return inner_.present_renewal(target, self, renewed_ticket); });
+}
+
+}  // namespace p2pdrm::client

@@ -1,0 +1,60 @@
+// ServiceEndpoints decorator that injects network + processing delay.
+//
+// Wraps any ServiceEndpoints (normally the Testbed) and advances the shared
+// ManualClock around each call: half an RTT out, the per-request service
+// time at the target, half an RTT back. The client's feedback log then
+// records realistic latencies for every protocol round — the in-process
+// analogue of the paper's production "user feedback" measurements, useful
+// for protocol-level latency tests and demos where the full macro
+// simulation would be overkill.
+#pragma once
+
+#include "client/client.h"
+#include "sim/latency.h"
+#include "sim/macro_sim.h"
+#include "util/time.h"
+
+namespace p2pdrm::client {
+
+class LatencyEndpoints final : public ServiceEndpoints {
+ public:
+  /// `clock` must be the same clock the wrapped endpoints' services and the
+  /// client observe.
+  LatencyEndpoints(ServiceEndpoints& inner, util::ManualClock& clock,
+                   sim::LatencyModel net, sim::ServiceCosts costs,
+                   crypto::SecureRandom rng);
+
+  services::RedirectResponse redirect(const services::RedirectRequest& req) override;
+  core::Login1Response login1(const core::Login1Request& req,
+                              util::NetAddr from) override;
+  core::Login2Response login2(const core::Login2Request& req,
+                              util::NetAddr from) override;
+  core::ChannelListResponse channel_list(const core::ChannelListRequest& req) override;
+  core::Switch1Response switch1(std::uint32_t partition, const core::Switch1Request& req,
+                                util::NetAddr from) override;
+  core::Switch2Response switch2(std::uint32_t partition, const core::Switch2Request& req,
+                                util::NetAddr from) override;
+  core::JoinResponse join(util::NodeId target, const core::JoinRequest& req,
+                          util::NetAddr from, util::NodeId self) override;
+  bool present_renewal(util::NodeId target, util::NodeId self,
+                       const util::Bytes& renewed_ticket) override;
+
+ private:
+  /// Advance by out-trip + service, run `action`, advance by return trip.
+  template <typename F>
+  auto timed(util::SimTime service, F&& action) {
+    const util::SimTime rtt = net_.sample_rtt(rng_);
+    clock_.advance(rtt / 2 + service);
+    auto result = action();
+    clock_.advance(rtt - rtt / 2);
+    return result;
+  }
+
+  ServiceEndpoints& inner_;
+  util::ManualClock& clock_;
+  sim::LatencyModel net_;
+  sim::ServiceCosts costs_;
+  crypto::SecureRandom rng_;
+};
+
+}  // namespace p2pdrm::client

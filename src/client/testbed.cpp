@@ -1,0 +1,271 @@
+#include "client/testbed.h"
+
+#include <stdexcept>
+
+#include "services/catalog.h"
+
+namespace p2pdrm::client {
+
+namespace {
+constexpr util::NodeId kRootNodeBase = 1;  // root peers use channel id + base
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config), rng_(config.seed) {
+  geo_ = std::make_unique<geo::SyntheticGeo>(rng_, config_.geo_plan);
+
+  // User Manager domain + farm instance.
+  um_domain_ = std::make_shared<services::UserManagerDomain>(
+      config_.um, crypto::generate_rsa_keypair(rng_, config_.key_bits),
+      rng_.bytes(32));
+  reference_binary_ = rng_.bytes(config_.client_binary_size);
+  um_domain_->reference_binaries[config_.um.minimum_client_version] = reference_binary_;
+  um_ = std::make_unique<services::UserManager>(um_domain_, &geo_->db(), rng_.fork());
+
+  // Account Manager provisions straight into the User Manager.
+  accounts_ = std::make_unique<services::AccountManager>(
+      [this](const services::UserProvisioning& p) { um_->provision(p); });
+
+  // Channel Policy Manager feeding the UM (attribute list) and CMs
+  // (channel lists).
+  cpm_ = std::make_unique<services::ChannelPolicyManager>(um_domain_->keys.pub);
+  cpm_->add_attribute_list_sink(
+      [this](const core::AttributeSet& list) { um_->update_channel_attributes(list); });
+
+  tracker_ = std::make_unique<p2p::Tracker>(rng_.fork());
+
+  // One Channel Manager farm per partition, all fed by the CPM.
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    services::ChannelManagerConfig cm_cfg = config_.cm;
+    cm_cfg.partition = static_cast<std::uint32_t>(p);
+    auto partition = std::make_shared<services::ChannelManagerPartition>(
+        cm_cfg, crypto::generate_rsa_keypair(rng_, config_.key_bits),
+        um_domain_->keys.pub, rng_.bytes(32));
+    cm_partitions_.push_back(partition);
+    cms_.push_back(std::make_unique<services::ChannelManager>(partition, tracker_.get(),
+                                                              rng_.fork()));
+    services::ChannelManager* cm = cms_.back().get();
+    cpm_->add_channel_list_sink(
+        [cm](const std::vector<core::ChannelRecord>& list) {
+          cm->update_channel_list(list);
+        });
+
+    core::PartitionInfo info;
+    info.partition = cm_cfg.partition;
+    info.manager_addr = util::NetAddr{0x0a000000u + cm_cfg.partition};
+    info.manager_public_key = partition->keys.pub.encode();
+    cpm_->set_partition_info(info);
+  }
+
+  redirection_.register_domain(
+      config_.um.domain,
+      services::ManagerCoordinates{util::NetAddr{0x0afe0001},
+                                   um_domain_->keys.pub.encode()});
+  redirection_.set_channel_policy_manager(
+      services::ManagerCoordinates{util::NetAddr{0x0afe0002}, {}});
+}
+
+services::ChannelManager& Testbed::channel_manager(std::uint32_t partition) {
+  if (partition >= cms_.size()) throw std::out_of_range("Testbed: partition");
+  return *cms_[partition];
+}
+
+bool Testbed::add_user(const std::string& email, const std::string& password) {
+  if (!accounts_->create_account(email, password, clock_.now())) return false;
+  redirection_.assign_user(email, config_.um.domain);
+  return true;
+}
+
+void Testbed::add_channel(core::ChannelRecord record) {
+  cpm_->add_channel(std::move(record), clock_.now());
+}
+
+void Testbed::add_regional_channel(util::ChannelId id, const std::string& name,
+                                   geo::RegionId region, std::uint32_t partition) {
+  add_channel(services::make_regional_channel(id, name, region, partition));
+}
+
+void Testbed::add_subscription_channel(util::ChannelId id, const std::string& name,
+                                       geo::RegionId region, const std::string& package,
+                                       std::uint32_t partition) {
+  add_channel(services::make_subscription_channel(id, name, region, package, partition));
+}
+
+std::string Testbed::load_catalog(std::string_view text) {
+  services::CatalogParseResult parsed = services::parse_catalog(text);
+  if (!parsed.ok()) return parsed.error;
+  for (core::ChannelRecord& channel : parsed.channels) {
+    add_channel(std::move(channel));
+  }
+  return {};
+}
+
+services::ChannelServer& Testbed::start_channel_server(
+    util::ChannelId id, services::ChannelServerConfig cfg) {
+  cfg.channel = id;
+  const core::ChannelRecord* record = cpm_->find_channel(id);
+  if (record == nullptr) throw std::invalid_argument("Testbed: unknown channel");
+
+  ChannelSource source;
+  source.server =
+      std::make_unique<services::ChannelServer>(cfg, rng_.fork(), clock_.now());
+
+  p2p::PeerConfig pc;
+  pc.node = kRootNodeBase + id;
+  pc.addr = util::NetAddr{0x0ac00000u + id};
+  pc.channel = id;
+  pc.capacity = 64;  // the server's ingest box has real upload budget
+  source.root = std::make_unique<p2p::Peer>(
+      pc, crypto::generate_rsa_keypair(rng_, config_.key_bits),
+      cm_partitions_[record->partition]->keys.pub, rng_.fork());
+  source.root->install_key(source.server->latest_key());
+
+  tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity);
+  auto [it, inserted] = sources_.insert_or_assign(id, std::move(source));
+  return *it->second.server;
+}
+
+Client& Testbed::add_client(const std::string& email, const std::string& password,
+                            geo::RegionId region) {
+  ClientConfig cc;
+  cc.email = email;
+  cc.password = password;
+  cc.client_version = config_.um.minimum_client_version;
+  cc.client_binary = reference_binary_;
+  cc.addr = geo_->sample_address(rng_, region);
+  cc.node = next_node_++;
+  cc.key_bits = config_.key_bits;
+  clients_.push_back(std::make_unique<Client>(cc, *this, clock_, rng_.fork()));
+  client_by_node_[cc.node] = clients_.back().get();
+  return *clients_.back();
+}
+
+void Testbed::announce(Client& c) {
+  if (c.peer() == nullptr || !c.current_channel()) return;
+  tracker_->register_peer(*c.current_channel(),
+                          core::PeerInfo{c.config().node, c.config().addr},
+                          c.config().peer_capacity);
+}
+
+p2p::Peer* Testbed::peer_of(util::NodeId node) {
+  const auto client_it = client_by_node_.find(node);
+  if (client_it != client_by_node_.end()) return client_it->second->peer();
+  for (auto& [id, source] : sources_) {
+    if (source.root->config().node == node) return source.root.get();
+  }
+  return nullptr;
+}
+
+void Testbed::deliver_key_blobs(util::NodeId from, std::vector<p2p::Outgoing> blobs) {
+  // Breadth-first relay down the tree: each hop decrypts with its parent
+  // link's session key and re-encrypts per child.
+  std::vector<std::pair<util::NodeId, p2p::Outgoing>> frontier;
+  frontier.reserve(blobs.size());
+  for (p2p::Outgoing& o : blobs) frontier.push_back({from, std::move(o)});
+  while (!frontier.empty()) {
+    std::vector<std::pair<util::NodeId, p2p::Outgoing>> next;
+    for (auto& [sender, out] : frontier) {
+      p2p::Peer* target = peer_of(out.to);
+      if (target == nullptr) continue;
+      std::vector<p2p::Outgoing> forwarded = target->handle_key_blob(sender, out.payload);
+      for (p2p::Outgoing& f : forwarded) next.push_back({out.to, std::move(f)});
+    }
+    frontier = std::move(next);
+  }
+}
+
+void Testbed::advance(util::SimTime dt) {
+  clock_.advance(dt);
+  for (auto& [id, source] : sources_) {
+    for (const core::ContentKey& key : source.server->advance(clock_.now())) {
+      deliver_key_blobs(source.root->config().node, source.root->announce_key(key));
+    }
+  }
+}
+
+std::map<util::NodeId, util::Bytes> Testbed::broadcast(util::ChannelId channel,
+                                                       util::BytesView payload) {
+  const auto it = sources_.find(channel);
+  if (it == sources_.end()) throw std::invalid_argument("Testbed: no channel server");
+  const core::ContentPacket packet =
+      it->second.server->produce(payload, clock_.now());
+
+  std::map<util::NodeId, util::Bytes> received;
+  std::vector<util::NodeId> frontier = it->second.root->forward_targets();
+  while (!frontier.empty()) {
+    std::vector<util::NodeId> next;
+    for (util::NodeId node : frontier) {
+      p2p::Peer* peer = peer_of(node);
+      if (peer == nullptr) continue;
+      if (auto plain = peer->decrypt(packet)) received[node] = std::move(*plain);
+      for (util::NodeId child : peer->forward_targets()) next.push_back(child);
+    }
+    frontier = std::move(next);
+  }
+  return received;
+}
+
+std::size_t Testbed::evict_expired() {
+  std::size_t total = 0;
+  for (auto& [id, source] : sources_) {
+    total += source.root->evict_expired(clock_.now()).size();
+  }
+  for (auto& c : clients_) {
+    if (c->peer() != nullptr) total += c->peer()->evict_expired(clock_.now()).size();
+  }
+  return total;
+}
+
+services::RedirectResponse Testbed::redirect(const services::RedirectRequest& req) {
+  return redirection_.handle_lookup(req);
+}
+
+core::Login1Response Testbed::login1(const core::Login1Request& req,
+                                     util::NetAddr from) {
+  return um_->handle_login1(req, from, clock_.now());
+}
+
+core::Login2Response Testbed::login2(const core::Login2Request& req,
+                                     util::NetAddr from) {
+  return um_->handle_login2(req, from, clock_.now());
+}
+
+core::ChannelListResponse Testbed::channel_list(const core::ChannelListRequest& req) {
+  return cpm_->handle_channel_list(req, clock_.now());
+}
+
+core::Switch1Response Testbed::switch1(std::uint32_t partition,
+                                       const core::Switch1Request& req,
+                                       util::NetAddr from) {
+  return channel_manager(partition).handle_switch1(req, from, clock_.now());
+}
+
+core::Switch2Response Testbed::switch2(std::uint32_t partition,
+                                       const core::Switch2Request& req,
+                                       util::NetAddr from) {
+  return channel_manager(partition).handle_switch2(req, from, clock_.now());
+}
+
+core::JoinResponse Testbed::join(util::NodeId target, const core::JoinRequest& req,
+                                 util::NetAddr from, util::NodeId self) {
+  p2p::Peer* peer = peer_of(target);
+  if (peer == nullptr) {
+    core::JoinResponse resp;
+    resp.error = core::DrmError::kNoCapacity;
+    return resp;
+  }
+  core::JoinResponse resp = peer->handle_join(req, from, self, clock_.now());
+  if (resp.error == core::DrmError::kOk) {
+    tracker_->update_load(peer->config().channel, target, peer->child_count());
+  }
+  return resp;
+}
+
+bool Testbed::present_renewal(util::NodeId target, util::NodeId self,
+                              const util::Bytes& renewed_ticket) {
+  p2p::Peer* peer = peer_of(target);
+  if (peer == nullptr) return false;
+  return peer->present_renewal(self, renewed_ticket, clock_.now());
+}
+
+}  // namespace p2pdrm::client

@@ -1,0 +1,151 @@
+// In-process deployment of the full system: Account Manager, Redirection
+// Manager, a User Manager farm, a Channel Policy Manager, Channel Manager
+// farms (one per partition), tracker, Channel Servers, and any number of
+// clients — all wired through direct calls with a shared ManualClock.
+//
+// This is the integration harness used by the test suite and the examples:
+// every protocol byte that would cross the network in production crosses
+// these method calls instead, through the exact same encode/verify paths.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "geo/geodb.h"
+#include "p2p/tracker.h"
+#include "services/account_manager.h"
+#include "services/channel_manager.h"
+#include "services/channel_policy_manager.h"
+#include "services/channel_server.h"
+#include "services/redirection_manager.h"
+#include "services/user_manager.h"
+
+namespace p2pdrm::client {
+
+struct TestbedConfig {
+  std::uint64_t seed = 1;
+  /// RSA key size for managers and clients (512 keeps tests fast).
+  std::size_t key_bits = 512;
+  std::size_t partitions = 1;
+  geo::SyntheticGeoPlan geo_plan;
+  services::UserManagerConfig um;
+  services::ChannelManagerConfig cm;
+  /// Reference client binary registered for version `um.minimum_client_version`.
+  std::size_t client_binary_size = 16 * 1024;
+};
+
+class Testbed : public ServiceEndpoints {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  // --- provisioning ---
+
+  /// Create an account + redirection entry. Returns false on duplicates.
+  bool add_user(const std::string& email, const std::string& password);
+
+  /// Create a free-to-view channel restricted to `region` (ACCEPT policy on
+  /// Region=<region>), assigned to `partition`.
+  void add_regional_channel(util::ChannelId id, const std::string& name,
+                            geo::RegionId region, std::uint32_t partition = 0);
+
+  /// Create a subscription channel: Region=<region> & Subscription=<package>.
+  void add_subscription_channel(util::ChannelId id, const std::string& name,
+                                geo::RegionId region, const std::string& package,
+                                std::uint32_t partition = 0);
+
+  /// Deploy a whole lineup from catalog-config text (services::parse_catalog
+  /// format). Returns the parse error, empty on success.
+  std::string load_catalog(std::string_view text);
+
+  /// Start a Channel Server (root of the distribution tree) for a channel.
+  services::ChannelServer& start_channel_server(util::ChannelId id,
+                                                services::ChannelServerConfig cfg = {});
+
+  /// Create a client for `email` located in `region` (address sampled from
+  /// that region's prefixes). The client binary matches the reference.
+  Client& add_client(const std::string& email, const std::string& password,
+                     geo::RegionId region);
+
+  /// Make a client's overlay peer discoverable as a parent candidate.
+  void announce(Client& c);
+
+  // --- content flow ---
+
+  /// Advance clock & channel servers; rotated keys are pushed down every
+  /// distribution tree (pair-wise re-encryption at each hop).
+  void advance(util::SimTime dt);
+
+  /// Produce one content packet at the channel's server and flood it down
+  /// the tree. Returns the decrypted payload per reached node (kInvalidNode
+  /// entries never appear; nodes lacking the key yield no entry).
+  std::map<util::NodeId, util::Bytes> broadcast(util::ChannelId channel,
+                                                util::BytesView payload);
+
+  /// Evict expired children at every peer (returns total evictions).
+  std::size_t evict_expired();
+
+  // --- ServiceEndpoints (what clients call) ---
+
+  services::RedirectResponse redirect(const services::RedirectRequest& req) override;
+  core::Login1Response login1(const core::Login1Request& req,
+                              util::NetAddr from) override;
+  core::Login2Response login2(const core::Login2Request& req,
+                              util::NetAddr from) override;
+  core::ChannelListResponse channel_list(const core::ChannelListRequest& req) override;
+  core::Switch1Response switch1(std::uint32_t partition, const core::Switch1Request& req,
+                                util::NetAddr from) override;
+  core::Switch2Response switch2(std::uint32_t partition, const core::Switch2Request& req,
+                                util::NetAddr from) override;
+  core::JoinResponse join(util::NodeId target, const core::JoinRequest& req,
+                          util::NetAddr from, util::NodeId self) override;
+  bool present_renewal(util::NodeId target, util::NodeId self,
+                       const util::Bytes& renewed_ticket) override;
+
+  // --- component access ---
+
+  util::ManualClock& clock() { return clock_; }
+  services::AccountManager& accounts() { return *accounts_; }
+  services::UserManager& user_manager() { return *um_; }
+  services::ChannelPolicyManager& policy_manager() { return *cpm_; }
+  services::ChannelManager& channel_manager(std::uint32_t partition = 0);
+  services::RedirectionManager& redirection() { return redirection_; }
+  p2p::Tracker& tracker() { return *tracker_; }
+  const geo::SyntheticGeo& geo() const { return *geo_; }
+  const TestbedConfig& config() const { return config_; }
+
+ private:
+  p2p::Peer* peer_of(util::NodeId node);
+  void deliver_key_blobs(util::NodeId from, std::vector<p2p::Outgoing> blobs);
+  void add_channel(core::ChannelRecord record);
+
+  TestbedConfig config_;
+  crypto::SecureRandom rng_;
+  util::ManualClock clock_;
+
+  std::unique_ptr<geo::SyntheticGeo> geo_;
+  std::unique_ptr<services::AccountManager> accounts_;
+  std::shared_ptr<services::UserManagerDomain> um_domain_;
+  std::unique_ptr<services::UserManager> um_;
+  std::unique_ptr<services::ChannelPolicyManager> cpm_;
+  std::vector<std::shared_ptr<services::ChannelManagerPartition>> cm_partitions_;
+  std::vector<std::unique_ptr<services::ChannelManager>> cms_;
+  std::unique_ptr<p2p::Tracker> tracker_;
+  services::RedirectionManager redirection_;
+
+  util::Bytes reference_binary_;
+
+  struct ChannelSource {
+    std::unique_ptr<services::ChannelServer> server;
+    std::unique_ptr<p2p::Peer> root;
+  };
+  std::map<util::ChannelId, ChannelSource> sources_;
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::map<util::NodeId, Client*> client_by_node_;
+  util::NodeId next_node_ = 1000;
+};
+
+}  // namespace p2pdrm::client

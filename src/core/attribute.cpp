@@ -1,0 +1,155 @@
+#include "core/attribute.h"
+
+#include <stdexcept>
+
+namespace p2pdrm::core {
+
+AttrValue AttrValue::of(std::string value) {
+  AttrValue v(Kind::kValue);
+  v.value_ = std::move(value);
+  return v;
+}
+
+AttrValue AttrValue::of_number(std::uint64_t value) {
+  return of(std::to_string(value));
+}
+
+const std::string& AttrValue::value() const {
+  if (kind_ != Kind::kValue) {
+    throw std::logic_error("AttrValue: value() on special value " + to_string());
+  }
+  return value_;
+}
+
+std::string AttrValue::to_string() const {
+  switch (kind_) {
+    case Kind::kValue: return value_;
+    case Kind::kAny: return "ANY";
+    case Kind::kAll: return "ALL";
+    case Kind::kNone: return "NONE";
+    case Kind::kNull: return "NULL";
+  }
+  return "?";
+}
+
+void AttrValue::encode(util::WireWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind_));
+  if (kind_ == Kind::kValue) w.str(value_);
+}
+
+AttrValue AttrValue::decode(util::WireReader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(Kind::kNull)) {
+    throw util::WireError("AttrValue: bad kind " + std::to_string(raw));
+  }
+  const Kind kind = static_cast<Kind>(raw);
+  if (kind == Kind::kValue) return of(r.str());
+  return AttrValue(kind);
+}
+
+bool values_match(const AttrValue& rule, const AttrValue& presented) {
+  using Kind = AttrValue::Kind;
+  // NONE/NULL on either side never match.
+  if (rule.kind() == Kind::kNone || rule.kind() == Kind::kNull) return false;
+  if (presented.kind() == Kind::kNone || presented.kind() == Kind::kNull) return false;
+  // ANY/ALL on either side match every present value.
+  if (rule.kind() == Kind::kAny || rule.kind() == Kind::kAll) return true;
+  if (presented.kind() == Kind::kAny || presented.kind() == Kind::kAll) return true;
+  return rule.value() == presented.value();
+}
+
+bool Attribute::active_at(util::SimTime now) const {
+  if (stime != util::kNullTime && now < stime) return false;
+  if (etime != util::kNullTime && now > etime) return false;
+  return true;
+}
+
+std::string Attribute::to_string() const {
+  return "<" + name + "=" + value.to_string() + ", stime=" + util::format_time(stime) +
+         ", etime=" + util::format_time(etime) + ", utime=" + util::format_time(utime) +
+         ">";
+}
+
+void Attribute::encode(util::WireWriter& w) const {
+  w.str(name);
+  value.encode(w);
+  w.i64(stime);
+  w.i64(etime);
+  w.i64(utime);
+}
+
+Attribute Attribute::decode(util::WireReader& r) {
+  Attribute a;
+  a.name = r.str();
+  a.value = AttrValue::decode(r);
+  a.stime = r.i64();
+  a.etime = r.i64();
+  a.utime = r.i64();
+  return a;
+}
+
+std::size_t AttributeSet::remove_all(const std::string& name) {
+  const std::size_t before = attrs_.size();
+  std::erase_if(attrs_, [&](const Attribute& a) { return a.name == name; });
+  return before - attrs_.size();
+}
+
+const Attribute* AttributeSet::find(const std::string& name) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const Attribute*> AttributeSet::find_active(const std::string& name,
+                                                        util::SimTime now) const {
+  std::vector<const Attribute*> out;
+  for (const Attribute& a : attrs_) {
+    if (a.name == name && a.active_at(now)) out.push_back(&a);
+  }
+  return out;
+}
+
+bool AttributeSet::matches(const std::string& name, const AttrValue& rule,
+                           util::SimTime now) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name && a.active_at(now) && values_match(rule, a.value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<util::SimTime> AttributeSet::earliest_expiry() const {
+  std::optional<util::SimTime> earliest;
+  for (const Attribute& a : attrs_) {
+    if (a.etime == util::kNullTime) continue;
+    if (!earliest || a.etime < *earliest) earliest = a.etime;
+  }
+  return earliest;
+}
+
+std::optional<util::SimTime> AttributeSet::latest_update() const {
+  std::optional<util::SimTime> latest;
+  for (const Attribute& a : attrs_) {
+    if (a.utime == util::kNullTime) continue;
+    if (!latest || a.utime > *latest) latest = a.utime;
+  }
+  return latest;
+}
+
+void AttributeSet::encode(util::WireWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(attrs_.size()));
+  for (const Attribute& a : attrs_) a.encode(w);
+}
+
+AttributeSet AttributeSet::decode(util::WireReader& r) {
+  const std::uint32_t count = r.u32();
+  // Sanity bound: a ticket with millions of attributes is malformed.
+  if (count > 10000) throw util::WireError("AttributeSet: implausible count");
+  AttributeSet out;
+  for (std::uint32_t i = 0; i < count; ++i) out.add(Attribute::decode(r));
+  return out;
+}
+
+}  // namespace p2pdrm::core

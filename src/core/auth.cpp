@@ -1,0 +1,87 @@
+#include "core/auth.h"
+
+#include "core/messages.h"
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+#include "util/wire.h"
+
+namespace p2pdrm::core {
+
+crypto::Sha256Digest password_hash(std::string_view password) {
+  crypto::Sha256 h;
+  h.update(util::bytes_of("p2pdrm-shp-v1:"));
+  h.update(util::bytes_of(password));
+  return h.finish();
+}
+
+namespace {
+
+struct ShpKeys {
+  crypto::AesKey cipher_key;
+  util::Bytes mac_key;
+};
+
+ShpKeys derive_shp_keys(const crypto::Sha256Digest& shp) {
+  const util::Bytes material = crypto::derive_key(
+      util::BytesView(shp.data(), shp.size()), util::bytes_of("shp-split"), 48);
+  ShpKeys keys;
+  std::copy(material.begin(), material.begin() + crypto::kAesKeySize,
+            keys.cipher_key.begin());
+  keys.mac_key.assign(material.begin() + crypto::kAesKeySize, material.end());
+  return keys;
+}
+
+}  // namespace
+
+util::Bytes encrypt_with_shp(const crypto::Sha256Digest& shp, util::BytesView payload,
+                             crypto::SecureRandom& rng) {
+  const ShpKeys keys = derive_shp_keys(shp);
+  const std::uint64_t nonce = rng.next_u64();
+  const util::Bytes ciphertext =
+      crypto::AesCtr(keys.cipher_key, nonce).crypt_copy(payload);
+
+  util::WireWriter w;
+  w.u64(nonce);
+  w.bytes(ciphertext);
+  const crypto::Sha256Digest mac = crypto::hmac_sha256(keys.mac_key, w.data());
+  w.raw(util::BytesView(mac.data(), mac.size()));
+  return w.take();
+}
+
+std::optional<util::Bytes> decrypt_with_shp(const crypto::Sha256Digest& shp,
+                                            util::BytesView blob) {
+  try {
+    const ShpKeys keys = derive_shp_keys(shp);
+    util::WireReader r(blob);
+    const std::uint64_t nonce = r.u64();
+    const util::Bytes ciphertext = r.bytes();
+    const util::BytesView authed = r.consumed();
+    const util::Bytes mac = r.raw(crypto::kSha256DigestSize);
+    if (!r.at_end()) return std::nullopt;
+
+    const crypto::Sha256Digest expected = crypto::hmac_sha256(keys.mac_key, authed);
+    if (!util::constant_time_equal(
+            util::BytesView(expected.data(), expected.size()), mac)) {
+      return std::nullopt;
+    }
+    return crypto::AesCtr(keys.cipher_key, nonce).crypt_copy(ciphertext);
+  } catch (const util::WireError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes compute_attestation_checksum(util::BytesView client_binary,
+                                         const ChecksumParams& params) {
+  const std::size_t offset = std::min<std::size_t>(params.offset, client_binary.size());
+  const std::size_t length =
+      std::min<std::size_t>(params.length, client_binary.size() - offset);
+
+  std::uint8_t salt_be[8];
+  util::store_be64(salt_be, params.salt);
+  crypto::HmacSha256 h(util::BytesView(salt_be, 8));
+  h.update(client_binary.subspan(offset, length));
+  const crypto::Sha256Digest digest = h.finish();
+  return util::Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace p2pdrm::core

@@ -1,0 +1,40 @@
+// Password-derived encryption and client attestation helpers (§IV-F1).
+//
+// During LOGIN1 the User Manager sends the nonce and checksum parameters
+// encrypted "using the secure hash of the user's password (shp) as the
+// encryption key". The attestation checksum is a keyed digest over a
+// server-chosen window of the client binary — the server picks fresh
+// parameters per login so a modified client cannot replay a precomputed
+// answer (the paper acknowledges this is illustrative, not bulletproof).
+#pragma once
+
+#include <optional>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace p2pdrm::core {
+
+struct ChecksumParams;
+
+/// Secure hash of the user's password ("shp"). Domain-separated so the same
+/// string used elsewhere hashes differently.
+crypto::Sha256Digest password_hash(std::string_view password);
+
+/// Encrypt-then-MAC a small payload under an shp. Output layout:
+/// nonce(8) || len-prefixed ciphertext || hmac(32).
+util::Bytes encrypt_with_shp(const crypto::Sha256Digest& shp, util::BytesView payload,
+                             crypto::SecureRandom& rng);
+
+/// Returns nullopt on MAC failure (wrong password or tampering).
+std::optional<util::Bytes> decrypt_with_shp(const crypto::Sha256Digest& shp,
+                                            util::BytesView blob);
+
+/// The attestation checksum: HMAC(salt, binary[offset, offset+length)).
+/// Window bounds are clamped to the binary size, so both sides compute over
+/// the same bytes as long as they hold the same image.
+util::Bytes compute_attestation_checksum(util::BytesView client_binary,
+                                         const ChecksumParams& params);
+
+}  // namespace p2pdrm::core

@@ -1,0 +1,56 @@
+#include "core/client_flows.h"
+
+#include "core/auth.h"
+
+namespace p2pdrm::core {
+
+std::optional<OpenedLogin1> open_login1_response(const Login1Response& resp,
+                                                 const std::string& password) {
+  const auto payload = decrypt_with_shp(password_hash(password), resp.encrypted_params);
+  if (!payload) return std::nullopt;
+  try {
+    util::WireReader r(*payload);
+    OpenedLogin1 out;
+    out.nonce = r.raw(kNonceSize);
+    out.params = ChecksumParams::decode(r);
+    out.server_time = r.i64();
+    out.challenge = resp.challenge;
+    out.challenge.nonce = out.nonce;
+    return out;
+  } catch (const util::WireError&) {
+    return std::nullopt;
+  }
+}
+
+Login2Request build_login2_request(const OpenedLogin1& opened, const std::string& email,
+                                   const crypto::RsaKeyPair& client_keys,
+                                   std::uint32_t client_version,
+                                   util::BytesView client_binary) {
+  Login2Request req;
+  req.email = email;
+  req.client_public_key = client_keys.pub;
+  req.client_version = client_version;
+  req.params = opened.params;
+  req.checksum = compute_attestation_checksum(client_binary, opened.params);
+  req.challenge = opened.challenge;
+  util::Bytes signed_payload = opened.nonce;
+  signed_payload.insert(signed_payload.end(), req.checksum.begin(), req.checksum.end());
+  req.proof = crypto::rsa_sign(client_keys.priv, signed_payload);
+  return req;
+}
+
+Switch2Request build_switch2_request(const Switch1Response& resp,
+                                     const util::Bytes& user_ticket,
+                                     util::ChannelId channel_id,
+                                     const util::Bytes& expiring_ticket,
+                                     const crypto::RsaPrivateKey& client_key) {
+  Switch2Request req;
+  req.user_ticket = user_ticket;
+  req.channel_id = channel_id;
+  req.expiring_ticket = expiring_ticket;
+  req.challenge = resp.challenge;
+  req.proof = crypto::rsa_sign(client_key, resp.challenge.nonce);
+  return req;
+}
+
+}  // namespace p2pdrm::core

@@ -1,0 +1,102 @@
+#include "core/secure_channel.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "util/wire.h"
+
+namespace p2pdrm::core {
+
+namespace {
+constexpr std::size_t kMasterSecretSize = 32;
+}
+
+util::Bytes SecureHello::encode() const {
+  util::WireWriter w;
+  w.bytes(encrypted_master);
+  return w.take();
+}
+
+SecureHello SecureHello::decode(util::BytesView data) {
+  util::WireReader r(data);
+  SecureHello h;
+  h.encrypted_master = r.bytes();
+  return h;
+}
+
+SecureSession::DirectionKeys SecureSession::derive_direction(util::BytesView master,
+                                                             std::string_view label) {
+  const util::Bytes material = crypto::derive_key(master, util::bytes_of(label), 48);
+  DirectionKeys keys;
+  std::copy(material.begin(), material.begin() + crypto::kAesKeySize,
+            keys.cipher_key.begin());
+  keys.mac_key.assign(material.begin() + crypto::kAesKeySize, material.end());
+  return keys;
+}
+
+SecureSession::SecureSession(Role role, util::BytesView master_secret) {
+  const DirectionKeys c2s = derive_direction(master_secret, "c2s");
+  const DirectionKeys s2c = derive_direction(master_secret, "s2c");
+  if (role == Role::kClient) {
+    send_ = c2s;
+    recv_ = s2c;
+  } else {
+    send_ = s2c;
+    recv_ = c2s;
+  }
+}
+
+util::Bytes SecureSession::seal(util::BytesView plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  util::Bytes ciphertext =
+      crypto::AesCtr(send_.cipher_key, seq).crypt_copy(plaintext);
+
+  util::WireWriter w;
+  w.u64(seq);
+  w.bytes(ciphertext);
+  const crypto::Sha256Digest mac = crypto::hmac_sha256(send_.mac_key, w.data());
+  w.raw(util::BytesView(mac.data(), mac.size()));
+  return w.take();
+}
+
+std::optional<util::Bytes> SecureSession::open(util::BytesView record) {
+  try {
+    util::WireReader r(record);
+    const std::uint64_t seq = r.u64();
+    const util::Bytes ciphertext = r.bytes();
+    const util::BytesView authed = r.consumed();
+    const util::Bytes mac = r.raw(crypto::kSha256DigestSize);
+    if (!r.at_end()) return std::nullopt;
+
+    // Strict in-order delivery: replay or reordering shows as a sequence
+    // mismatch before any crypto runs.
+    if (seq != recv_seq_) return std::nullopt;
+
+    const crypto::Sha256Digest expected = crypto::hmac_sha256(recv_.mac_key, authed);
+    if (!util::constant_time_equal(
+            util::BytesView(expected.data(), expected.size()), mac)) {
+      return std::nullopt;
+    }
+    ++recv_seq_;
+    return crypto::AesCtr(recv_.cipher_key, seq).crypt_copy(ciphertext);
+  } catch (const util::WireError&) {
+    return std::nullopt;
+  }
+}
+
+ClientHandshake secure_channel_initiate(const crypto::RsaPublicKey& server_key,
+                                        crypto::SecureRandom& rng) {
+  const util::Bytes master = rng.bytes(kMasterSecretSize);
+  SecureHello hello;
+  hello.encrypted_master = crypto::rsa_encrypt(server_key, master, rng);
+  return ClientHandshake{std::move(hello),
+                         SecureSession(SecureSession::Role::kClient, master)};
+}
+
+std::optional<SecureSession> secure_channel_accept(
+    const SecureHello& hello, const crypto::RsaPrivateKey& server_key) {
+  const auto master = crypto::rsa_decrypt(server_key, hello.encrypted_master);
+  if (!master || master->size() != kMasterSecretSize) return std::nullopt;
+  return SecureSession(SecureSession::Role::kServer, *master);
+}
+
+}  // namespace p2pdrm::core

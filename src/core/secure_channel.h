@@ -1,0 +1,79 @@
+// SSL-like secure channel for client <-> infrastructure traffic (§IV-G1).
+//
+// The paper notes that if ticket contents or other exchanges with the
+// infrastructure servers must be hidden from eavesdroppers, "we can easily
+// enforce an SSL-like protocol for all communications with infrastructure
+// servers, as the client already must obtain the public keys of all our
+// infrastructure servers in the current design."
+//
+// This is that protocol: a one-round-trip handshake (client generates the
+// master secret, sends it under the server's RSA key) establishing a
+// SecureSession with independent per-direction cipher/MAC keys and strictly
+// increasing record sequence numbers. Records are encrypt-then-MAC; the MAC
+// covers direction, sequence number, and ciphertext, so tampering,
+// replay, reordering, and reflection are all rejected.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes128.h"
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+
+namespace p2pdrm::core {
+
+/// Client -> server handshake message.
+struct SecureHello {
+  util::Bytes encrypted_master;  // RSA(server_pub, 32-byte master secret)
+
+  util::Bytes encode() const;
+  static SecureHello decode(util::BytesView data);
+};
+
+/// One endpoint of an established channel. Each side sends with its own
+/// direction keys and receives with the peer's; sequence numbers advance
+/// independently per direction.
+class SecureSession {
+ public:
+  enum class Role : std::uint8_t { kClient = 0, kServer = 1 };
+
+  SecureSession(Role role, util::BytesView master_secret);
+
+  /// Encrypt + authenticate one record.
+  util::Bytes seal(util::BytesView plaintext);
+
+  /// Verify + decrypt the next record from the peer. Returns nullopt on
+  /// tampering, replay, reordering, truncation, or reflection.
+  std::optional<util::Bytes> open(util::BytesView record);
+
+  std::uint64_t records_sent() const { return send_seq_; }
+  std::uint64_t records_received() const { return recv_seq_; }
+
+ private:
+  struct DirectionKeys {
+    crypto::AesKey cipher_key{};
+    util::Bytes mac_key;
+  };
+  static DirectionKeys derive_direction(util::BytesView master, std::string_view label);
+
+  DirectionKeys send_;
+  DirectionKeys recv_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+/// Client side: mint a master secret, wrap it for the server, and return
+/// the ready session plus the hello to transmit.
+struct ClientHandshake {
+  SecureHello hello;
+  SecureSession session;
+};
+ClientHandshake secure_channel_initiate(const crypto::RsaPublicKey& server_key,
+                                        crypto::SecureRandom& rng);
+
+/// Server side: unwrap the hello. Returns nullopt if the blob does not
+/// decrypt to a well-formed master secret.
+std::optional<SecureSession> secure_channel_accept(const SecureHello& hello,
+                                                   const crypto::RsaPrivateKey& server_key);
+
+}  // namespace p2pdrm::core

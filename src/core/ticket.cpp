@@ -1,0 +1,59 @@
+#include "core/ticket.h"
+
+namespace p2pdrm::core {
+
+util::Bytes UserTicket::encode() const {
+  util::WireWriter w;
+  w.u16(version);
+  w.u64(user_in);
+  w.bytes(client_public_key.encode());
+  w.i64(start_time);
+  w.i64(expiry_time);
+  attributes.encode(w);
+  return w.take();
+}
+
+UserTicket UserTicket::decode(util::BytesView data) {
+  util::WireReader r(data);
+  UserTicket t;
+  t.version = r.u16();
+  t.user_in = r.u64();
+  t.client_public_key = crypto::RsaPublicKey::decode(r.bytes());
+  t.start_time = r.i64();
+  t.expiry_time = r.i64();
+  t.attributes = AttributeSet::decode(r);
+  if (!r.at_end()) throw util::WireError("UserTicket: trailing bytes");
+  return t;
+}
+
+util::Bytes ChannelTicket::encode() const {
+  util::WireWriter w;
+  w.u16(version);
+  w.u64(user_in);
+  w.u32(channel_id);
+  w.bytes(client_public_key.encode());
+  w.u32(net_addr.ip);
+  w.u8(renewal ? 1 : 0);
+  w.i64(start_time);
+  w.i64(expiry_time);
+  return w.take();
+}
+
+ChannelTicket ChannelTicket::decode(util::BytesView data) {
+  util::WireReader r(data);
+  ChannelTicket t;
+  t.version = r.u16();
+  t.user_in = r.u64();
+  t.channel_id = r.u32();
+  t.client_public_key = crypto::RsaPublicKey::decode(r.bytes());
+  t.net_addr.ip = r.u32();
+  const std::uint8_t renewal = r.u8();
+  if (renewal > 1) throw util::WireError("ChannelTicket: bad renewal bit");
+  t.renewal = renewal == 1;
+  t.start_time = r.i64();
+  t.expiry_time = r.i64();
+  if (!r.at_end()) throw util::WireError("ChannelTicket: trailing bytes");
+  return t;
+}
+
+}  // namespace p2pdrm::core

@@ -1,0 +1,107 @@
+// User Tickets and Channel Tickets (§IV-B, §IV-C, Fig. 3).
+//
+// A User Ticket is issued by the User Manager after login. It carries the
+// user's identity, the client's (now certified) public key, a validity
+// window, and the user's attributes. A Channel Ticket is issued by the
+// Channel Manager after policy evaluation; it carries only the client's
+// network address out of all user attributes — this is the privacy
+// intermediation: peers never see the user's region, subscriptions, etc.
+//
+// Tickets are signed over their exact wire encoding. The Signed* wrappers
+// keep the raw body bytes around so verification is performed on what was
+// actually transmitted, and tampering with any field breaks the signature.
+#pragma once
+
+#include <cstdint>
+
+#include "core/attribute.h"
+#include "crypto/rsa.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace p2pdrm::core {
+
+/// Version stamp carried by every ticket and protocol message; bumped when
+/// the wire format changes incompatibly. History: v4 added the sub-stream
+/// mask to JOIN requests (peer-division multiplexing).
+inline constexpr std::uint16_t kProtocolVersion = 4;
+
+struct UserTicket {
+  std::uint16_t version = kProtocolVersion;
+  util::UserIN user_in = 0;
+  crypto::RsaPublicKey client_public_key;
+  util::SimTime start_time = 0;
+  util::SimTime expiry_time = 0;
+  AttributeSet attributes;
+
+  util::Bytes encode() const;
+  static UserTicket decode(util::BytesView data);
+
+  bool expired_at(util::SimTime now) const { return now > expiry_time; }
+
+  friend bool operator==(const UserTicket&, const UserTicket&) = default;
+};
+
+struct ChannelTicket {
+  std::uint16_t version = kProtocolVersion;
+  util::UserIN user_in = 0;
+  util::ChannelId channel_id = 0;
+  crypto::RsaPublicKey client_public_key;
+  util::NetAddr net_addr;
+  bool renewal = false;  // the "ticket renewal bit" (§IV-D)
+  util::SimTime start_time = 0;
+  util::SimTime expiry_time = 0;
+
+  util::Bytes encode() const;
+  static ChannelTicket decode(util::BytesView data);
+
+  bool expired_at(util::SimTime now) const { return now > expiry_time; }
+
+  friend bool operator==(const ChannelTicket&, const ChannelTicket&) = default;
+};
+
+/// A ticket plus the issuer's signature over its encoded body. The body is
+/// retained verbatim: `verify` checks the signature against `body`, and
+/// `decode` re-parses the ticket from `body`, so any bit flip is caught
+/// either by the signature or by the parser.
+template <typename TicketT>
+struct Signed {
+  TicketT ticket;
+  util::Bytes body;       // exact bytes the signature covers
+  util::Bytes signature;  // issuer's RSA signature over body
+
+  static Signed sign(const TicketT& t, const crypto::RsaPrivateKey& issuer_key) {
+    Signed out;
+    out.ticket = t;
+    out.body = t.encode();
+    out.signature = crypto::rsa_sign(issuer_key, out.body);
+    return out;
+  }
+
+  bool verify(const crypto::RsaPublicKey& issuer_key) const {
+    return crypto::rsa_verify(issuer_key, body, signature);
+  }
+
+  util::Bytes encode() const {
+    util::WireWriter w;
+    w.bytes(body);
+    w.bytes(signature);
+    return w.take();
+  }
+
+  static Signed decode(util::BytesView data) {
+    util::WireReader r(data);
+    Signed out;
+    out.body = r.bytes();
+    out.signature = r.bytes();
+    out.ticket = TicketT::decode(out.body);
+    return out;
+  }
+
+  friend bool operator==(const Signed&, const Signed&) = default;
+};
+
+using SignedUserTicket = Signed<UserTicket>;
+using SignedChannelTicket = Signed<ChannelTicket>;
+
+}  // namespace p2pdrm::core

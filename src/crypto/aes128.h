@@ -1,0 +1,56 @@
+// AES-128 (FIPS 197) block cipher plus CTR mode, implemented from scratch.
+// This is the paper's "light-weight rotating symmetric key encryption": the
+// Channel Server encrypts the live stream with an AES-128 content key that
+// rotates every minute, and per-link session keys wrap the content keys in
+// transit. Table-based implementation; not hardened against cache-timing —
+// fine for a reproduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+
+constexpr std::size_t kAesBlockSize = 16;
+constexpr std::size_t kAesKeySize = 16;
+
+using AesKey = std::array<std::uint8_t, kAesKeySize>;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// AES-128 with a precomputed key schedule.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypt/decrypt one 16-byte block (out may alias in).
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+ private:
+  std::array<std::uint32_t, 44> round_keys_;      // encryption schedule
+  std::array<std::uint32_t, 44> dec_round_keys_;  // decryption schedule
+};
+
+/// AES-128-CTR keystream cipher. Encryption and decryption are the same
+/// operation. The counter block is nonce(8 bytes) || big-endian block index,
+/// so a (key, nonce) pair must not be reused for different plaintexts —
+/// content keys rotate and each carries a fresh nonce.
+class AesCtr {
+ public:
+  AesCtr(const AesKey& key, std::uint64_t nonce);
+
+  /// XOR the keystream starting at byte `offset` into data (in place).
+  /// Random access: any offset may be processed in any order.
+  void crypt(std::span<std::uint8_t> data, std::uint64_t offset = 0) const;
+
+  /// Convenience: returns the transformed copy.
+  util::Bytes crypt_copy(util::BytesView data, std::uint64_t offset = 0) const;
+
+ private:
+  Aes128 cipher_;
+  std::uint64_t nonce_;
+};
+
+}  // namespace p2pdrm::crypto

@@ -1,0 +1,574 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+
+namespace p2pdrm::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_bytes_be(util::BytesView bytes) {
+  BigUInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // bytes[size-1-i] is the i-th least significant byte.
+    const std::uint8_t b = bytes[bytes.size() - 1 - i];
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(b) << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(util::from_hex(padded));
+}
+
+util::Bytes BigUInt::to_bytes_be(std::size_t min_len) const {
+  util::Bytes out;
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t total = std::max(nbytes, min_len);
+  out.assign(total, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out[total - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = util::to_hex(to_bytes_be());
+  const std::size_t nz = s.find_first_not_of('0');
+  return s.substr(nz);
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigUInt::low_u64() const {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::strong_ordering operator<=>(const BigUInt& a, const BigUInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() <=> b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUInt BigUInt::add_impl(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUInt BigUInt::sub_impl(const BigUInt& a, const BigUInt& b) {
+  if (a < b) throw std::underflow_error("BigUInt: negative subtraction result");
+  BigUInt out;
+  out.limbs_.resize(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& rhs) const { return add_impl(*this, rhs); }
+BigUInt BigUInt::operator-(const BigUInt& rhs) const { return sub_impl(*this, rhs); }
+
+BigUInt BigUInt::operator*(const BigUInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigUInt{};
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[i + j]) +
+                                ai * rhs.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + rhs.limbs_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator<<(std::size_t n) const {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limb_shift = n / 32;
+  const std::size_t bit_shift = n % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |=
+          static_cast<std::uint32_t>(limbs_[i] >> (32 - bit_shift));
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(std::size_t n) const {
+  const std::size_t limb_shift = n / 32;
+  if (limb_shift >= limbs_.size()) return BigUInt{};
+  const std::size_t bit_shift = n % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (32 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+DivModResult BigUInt::divmod(const BigUInt& u, const BigUInt& v) {
+  if (v.is_zero()) throw std::domain_error("BigUInt: division by zero");
+  if (u < v) return {BigUInt{}, u};
+
+  // Single-limb divisor fast path.
+  if (v.limbs_.size() == 1) {
+    const std::uint64_t d = v.limbs_[0];
+    BigUInt q;
+    q.limbs_.assign(u.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | u.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigUInt(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, algorithm D (adapted from Hacker's Delight divmnu).
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size();
+  const int s = std::countl_zero(v.limbs_[n - 1]);
+
+  std::vector<std::uint32_t> vn(n);
+  for (std::size_t i = n; i-- > 1;) {
+    vn[i] = (v.limbs_[i] << s) |
+            (s ? static_cast<std::uint32_t>(
+                     static_cast<std::uint64_t>(v.limbs_[i - 1]) >> (32 - s))
+               : 0);
+  }
+  vn[0] = v.limbs_[0] << s;
+
+  std::vector<std::uint32_t> un(m + 1);
+  un[m] = s ? static_cast<std::uint32_t>(
+                  static_cast<std::uint64_t>(u.limbs_[m - 1]) >> (32 - s))
+            : 0;
+  for (std::size_t i = m; i-- > 1;) {
+    un[i] = (u.limbs_[i] << s) |
+            (s ? static_cast<std::uint32_t>(
+                     static_cast<std::uint64_t>(u.limbs_[i - 1]) >> (32 - s))
+               : 0);
+  }
+  un[0] = u.limbs_[0] << s;
+
+  BigUInt q;
+  q.limbs_.assign(m - n + 1, 0);
+
+  for (std::size_t j = m - n + 1; j-- > 0;) {
+    std::uint64_t qhat =
+        ((static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1]) /
+        vn[n - 1];
+    std::uint64_t rhat =
+        ((static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1]) %
+        vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply and subtract.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             borrow -
+                             static_cast<std::int64_t>(p & 0xffffffffull);
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) - borrow -
+                           static_cast<std::int64_t>(carry);
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        c = sum >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  BigUInt r;
+  r.limbs_.assign(n, 0);
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    r.limbs_[i] = (un[i] >> s) |
+                  (s ? static_cast<std::uint32_t>(
+                           static_cast<std::uint64_t>(un[i + 1]) << (32 - s))
+                     : 0);
+  }
+  r.limbs_[n - 1] = un[n - 1] >> s;
+
+  q.trim();
+  r.trim();
+  return {q, r};
+}
+
+BigUInt BigUInt::operator/(const BigUInt& rhs) const {
+  return divmod(*this, rhs).quotient;
+}
+
+BigUInt BigUInt::operator%(const BigUInt& rhs) const {
+  return divmod(*this, rhs).remainder;
+}
+
+std::uint32_t BigUInt::mod_u32(std::uint32_t m) const {
+  if (m == 0) throw std::domain_error("BigUInt: mod by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % m;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+BigUInt BigUInt::mod_pow(const BigUInt& base, const BigUInt& exp, const BigUInt& m) {
+  if (m < BigUInt(2)) throw std::domain_error("BigUInt: modulus must be >= 2");
+  if (m.is_odd()) return Montgomery(m).pow(base, exp);
+
+  // Rare even-modulus fallback: plain square-and-multiply.
+  BigUInt result(1);
+  BigUInt b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUInt BigUInt::mod_inverse(const BigUInt& a, const BigUInt& m) {
+  // Extended Euclid on (m, a mod m), tracking only the coefficient of a.
+  // Signs are tracked separately since BigUInt is unsigned.
+  BigUInt r0 = m, r1 = a % m;
+  BigUInt t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.is_zero()) {
+    const DivModResult dm = divmod(r0, r1);
+    // (t0, t1) <- (t1, t0 - q*t1)
+    BigUInt qt = dm.quotient * t1;
+    const bool qt_neg = t1_neg;
+    BigUInt next_t;
+    bool next_neg;
+    if (t0_neg == qt_neg) {
+      if (t0 >= qt) {
+        next_t = t0 - qt;
+        next_neg = t0_neg;
+      } else {
+        next_t = qt - t0;
+        next_neg = !t0_neg;
+      }
+    } else {
+      next_t = t0 + qt;
+      next_neg = t0_neg;
+    }
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(next_t);
+    t1_neg = next_neg;
+    r0 = std::move(r1);
+    r1 = dm.remainder;
+  }
+
+  if (r0 != BigUInt(1)) {
+    throw std::domain_error("BigUInt: mod_inverse of non-coprime value");
+  }
+  if (t0.is_zero()) return t0;
+  return t0_neg ? (m - (t0 % m)) : (t0 % m);
+}
+
+BigUInt BigUInt::random_with_bits(SecureRandom& rng, std::size_t bits) {
+  if (bits == 0) return BigUInt{};
+  const std::size_t nbytes = (bits + 7) / 8;
+  util::Bytes b = rng.bytes(nbytes);
+  // Clear excess top bits, then set the top bit so the width is exact.
+  const std::size_t top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  b[0] &= static_cast<std::uint8_t>(0xff >> (8 - top_bits));
+  b[0] |= static_cast<std::uint8_t>(1 << (top_bits - 1));
+  return from_bytes_be(b);
+}
+
+BigUInt BigUInt::random_below(SecureRandom& rng, const BigUInt& bound) {
+  if (bound.is_zero()) throw std::domain_error("BigUInt: random_below(0)");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  for (;;) {
+    util::Bytes b = rng.bytes(nbytes);
+    b[0] &= static_cast<std::uint8_t>(0xff >> (8 - top_bits));
+    BigUInt candidate = from_bytes_be(b);
+    if (candidate < bound) return candidate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery
+
+Montgomery::Montgomery(const BigUInt& mod) : n_(mod), k_(mod.limbs_.size()) {
+  if (mod.is_even() || mod < BigUInt(3)) {
+    throw std::domain_error("Montgomery: modulus must be odd and >= 3");
+  }
+  // n' = -n^{-1} mod 2^32 by Newton iteration (converges in 5 steps).
+  const std::uint32_t n0 = mod.limbs_[0];
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;
+  n_prime_ = ~inv + 1;  // == -inv mod 2^32
+
+  // R^2 mod n with R = 2^(32k).
+  r2_ = (BigUInt(1) << (64 * k_)) % n_;
+}
+
+std::vector<std::uint32_t> Montgomery::mul(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) const {
+  // CIOS Montgomery multiplication: result = a*b*R^{-1} mod n.
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(t[j]) + ai * b[j] + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = static_cast<std::uint64_t>(t[k_]) + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(t[k_ + 1] + (cur >> 32));
+
+    // m = t[0] * n' mod 2^32; t += m * n; t >>= 32
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(t[0] * static_cast<std::uint64_t>(n_prime_));
+    carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t cur2 = static_cast<std::uint64_t>(t[j]) +
+                                 static_cast<std::uint64_t>(m) * n_.limbs_[j] +
+                                 carry;
+      t[j] = static_cast<std::uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    cur = static_cast<std::uint64_t>(t[k_]) + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(t[k_ + 1] + (cur >> 32));
+
+    for (std::size_t j = 0; j <= k_; ++j) t[j] = t[j + 1];
+    t[k_ + 1] = 0;
+  }
+
+  std::vector<std::uint32_t> result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  // Conditional subtraction if result >= n (t[k_] holds a possible carry).
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (result[i] != n_.limbs_[i]) {
+        ge = result[i] > n_.limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(result[i]) -
+                          static_cast<std::int64_t>(n_.limbs_[i]) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      result[i] = static_cast<std::uint32_t>(diff);
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> Montgomery::to_mont(const BigUInt& x) const {
+  BigUInt reduced = x % n_;
+  std::vector<std::uint32_t> xl = reduced.limbs_;
+  xl.resize(k_, 0);
+  std::vector<std::uint32_t> r2l = r2_.limbs_;
+  r2l.resize(k_, 0);
+  return mul(xl, r2l);
+}
+
+BigUInt Montgomery::from_mont(std::vector<std::uint32_t> x) const {
+  std::vector<std::uint32_t> one(k_, 0);
+  one[0] = 1;
+  BigUInt out;
+  out.limbs_ = mul(x, one);
+  out.trim();
+  return out;
+}
+
+BigUInt Montgomery::pow(const BigUInt& base, const BigUInt& exp) const {
+  if (exp.is_zero()) return BigUInt(1) % n_;
+  const std::vector<std::uint32_t> base_m = to_mont(base);
+  std::vector<std::uint32_t> result = to_mont(BigUInt(1));
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = mul(result, result);
+    if (exp.bit(i)) result = mul(result, base_m);
+  }
+  return from_mont(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Primality
+
+namespace {
+
+/// Primes below 2000, for trial division before Miller–Rabin.
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    std::vector<std::uint32_t> out;
+    std::vector<bool> sieve(2000, true);
+    for (std::uint32_t p = 2; p < 2000; ++p) {
+      if (!sieve[p]) continue;
+      out.push_back(p);
+      for (std::uint32_t q = p * p; q < 2000; q += p) sieve[q] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUInt& n, SecureRandom& rng, int rounds) {
+  if (n < BigUInt(2)) return false;
+  for (std::uint32_t p : small_primes()) {
+    if (n == BigUInt(p)) return true;
+    if (n.mod_u32(p) == 0) return false;
+  }
+
+  // Write n-1 = d * 2^r.
+  const BigUInt n_minus_1 = n - BigUInt(1);
+  BigUInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const Montgomery mont(n);
+  const BigUInt n_minus_3 = n - BigUInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    const BigUInt a = BigUInt::random_below(rng, n_minus_3) + BigUInt(2);
+    BigUInt x = mont.pow(a, d);
+    if (x == BigUInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUInt generate_prime(SecureRandom& rng, std::size_t bits) {
+  if (bits < 8) throw std::domain_error("generate_prime: need >= 8 bits");
+  for (;;) {
+    BigUInt candidate = BigUInt::random_with_bits(rng, bits);
+    if (candidate.is_even()) candidate += BigUInt(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace p2pdrm::crypto

@@ -1,0 +1,126 @@
+// Arbitrary-precision unsigned integers, from scratch, sized for RSA:
+// schoolbook multiply, Knuth algorithm-D division, Montgomery modular
+// exponentiation, extended-Euclid inverse. Limbs are 32-bit with 64-bit
+// intermediates so the code is portable and easy to audit.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+
+class SecureRandom;
+struct DivModResult;
+
+class BigUInt {
+ public:
+  /// Zero.
+  BigUInt() = default;
+  BigUInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Big-endian byte-string decode (leading zeros allowed).
+  static BigUInt from_bytes_be(util::BytesView bytes);
+  /// Hex decode (no 0x prefix, case-insensitive). Throws on bad input.
+  static BigUInt from_hex(std::string_view hex);
+  /// Uniform random integer with exactly `bits` bits (top bit set).
+  static BigUInt random_with_bits(SecureRandom& rng, std::size_t bits);
+  /// Uniform random integer in [0, bound).
+  static BigUInt random_below(SecureRandom& rng, const BigUInt& bound);
+
+  /// Big-endian encoding, left-padded with zeros to at least min_len bytes.
+  util::Bytes to_bytes_be(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  /// Value of bit i (LSB = bit 0).
+  bool bit(std::size_t i) const;
+  /// Low 64 bits.
+  std::uint64_t low_u64() const;
+
+  friend bool operator==(const BigUInt& a, const BigUInt& b) = default;
+  friend std::strong_ordering operator<=>(const BigUInt& a, const BigUInt& b);
+
+  BigUInt operator+(const BigUInt& rhs) const;
+  /// Subtraction; throws std::underflow_error if rhs > *this.
+  BigUInt operator-(const BigUInt& rhs) const;
+  BigUInt operator*(const BigUInt& rhs) const;
+  BigUInt operator/(const BigUInt& rhs) const;
+  BigUInt operator%(const BigUInt& rhs) const;
+  BigUInt operator<<(std::size_t n) const;
+  BigUInt operator>>(std::size_t n) const;
+
+  BigUInt& operator+=(const BigUInt& rhs) { return *this = *this + rhs; }
+  BigUInt& operator-=(const BigUInt& rhs) { return *this = *this - rhs; }
+
+  /// Quotient and remainder in one pass. Throws std::domain_error on /0.
+  static DivModResult divmod(const BigUInt& u, const BigUInt& v);
+
+  /// Remainder modulo a 32-bit value (fast path for trial division).
+  std::uint32_t mod_u32(std::uint32_t m) const;
+
+  /// (base ^ exp) mod m. Uses Montgomery multiplication when m is odd,
+  /// plain square-and-multiply with division otherwise. m must be >= 2.
+  static BigUInt mod_pow(const BigUInt& base, const BigUInt& exp, const BigUInt& m);
+
+  /// Greatest common divisor.
+  static BigUInt gcd(BigUInt a, BigUInt b);
+
+  /// Modular inverse of a mod m; throws std::domain_error if gcd(a,m) != 1.
+  static BigUInt mod_inverse(const BigUInt& a, const BigUInt& m);
+
+ private:
+  void trim();
+  static BigUInt add_impl(const BigUInt& a, const BigUInt& b);
+  static BigUInt sub_impl(const BigUInt& a, const BigUInt& b);
+
+  // Little-endian limbs, most significant limb last, no trailing zeros.
+  std::vector<std::uint32_t> limbs_;
+
+  friend class Montgomery;
+};
+
+struct DivModResult {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+/// Montgomery reduction context for a fixed odd modulus. Exposed so RSA can
+/// reuse one context across many exponentiations with the same modulus.
+class Montgomery {
+ public:
+  /// mod must be odd and >= 3.
+  explicit Montgomery(const BigUInt& mod);
+
+  /// (base ^ exp) mod n.
+  BigUInt pow(const BigUInt& base, const BigUInt& exp) const;
+
+  const BigUInt& modulus() const { return n_; }
+
+ private:
+  std::vector<std::uint32_t> mul(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b) const;
+  std::vector<std::uint32_t> to_mont(const BigUInt& x) const;
+  BigUInt from_mont(std::vector<std::uint32_t> x) const;
+
+  BigUInt n_;
+  std::size_t k_;           // limb count of n
+  std::uint32_t n_prime_;   // -n^{-1} mod 2^32
+  BigUInt r2_;              // R^2 mod n, R = 2^(32k)
+};
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+bool is_probable_prime(const BigUInt& n, SecureRandom& rng, int rounds = 24);
+
+/// Generate a random prime with exactly `bits` bits.
+BigUInt generate_prime(SecureRandom& rng, std::size_t bits);
+
+}  // namespace p2pdrm::crypto

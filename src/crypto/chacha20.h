@@ -1,0 +1,76 @@
+// ChaCha20 (RFC 8439 block function) and a DRBG built on it. The DRBG is the
+// single source of randomness for the whole system — nonces, keys, RSA prime
+// candidates, simulator randomness — so a run seeded with a fixed value is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+constexpr std::size_t kChaChaBlockSize = 64;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// Compute one 64-byte ChaCha20 keystream block.
+void chacha20_block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                    std::uint32_t counter, std::uint8_t out[kChaChaBlockSize]);
+
+/// XOR the ChaCha20 keystream into data (encrypt == decrypt).
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, std::span<std::uint8_t> data);
+
+/// Deterministic random bit generator running ChaCha20 in counter mode.
+/// Also exposes the convenience integer/real draws the simulator and
+/// workload generator need.
+class SecureRandom {
+ public:
+  /// Seed from a 64-bit value (expanded through SHA-256).
+  explicit SecureRandom(std::uint64_t seed);
+  /// Seed from arbitrary bytes.
+  explicit SecureRandom(util::BytesView seed);
+
+  void fill(std::span<std::uint8_t> out);
+  util::Bytes bytes(std::size_t n);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) with rejection sampling (bound must be > 0).
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [0, 1).
+  double uniform_real();
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Standard normal via Box-Muller.
+  double normal();
+  double normal(double mean, double stddev);
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Split off an independent child generator (for per-node streams).
+  SecureRandom fork();
+
+ private:
+  void refill();
+
+  ChaChaKey key_{};
+  ChaChaNonce nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, kChaChaBlockSize> buffer_{};
+  std::size_t buffer_pos_ = kChaChaBlockSize;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace p2pdrm::crypto

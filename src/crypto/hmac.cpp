@@ -1,0 +1,59 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace p2pdrm::crypto {
+
+HmacSha256::HmacSha256(util::BytesView key) {
+  std::array<std::uint8_t, kSha256BlockSize> k{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest d = sha256(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kSha256BlockSize> ipad_key;
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha256::update(util::BytesView data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(util::BytesView key, util::BytesView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+util::Bytes derive_key(util::BytesView key, util::BytesView label, std::size_t out_len) {
+  util::Bytes out;
+  out.reserve(out_len);
+  util::Bytes prev;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    HmacSha256 h(key);
+    h.update(prev);
+    h.update(label);
+    h.update(util::BytesView(&counter, 1));
+    const Sha256Digest block = h.finish();
+    prev.assign(block.begin(), block.end());
+    const std::size_t take = std::min(prev.size(), out_len - out.size());
+    out.insert(out.end(), prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::crypto

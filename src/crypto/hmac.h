@@ -1,0 +1,30 @@
+// HMAC-SHA-256 (RFC 2104). Used for the attestation checksum and for
+// key-derivation in the session-key handshake.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+
+/// Incremental HMAC-SHA-256.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(util::BytesView key);
+
+  void update(util::BytesView data);
+  Sha256Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, kSha256BlockSize> opad_key_;
+};
+
+/// One-shot convenience.
+Sha256Digest hmac_sha256(util::BytesView key, util::BytesView data);
+
+/// Simple HKDF-like expansion: derive `out_len` bytes from (key, label).
+/// out = HMAC(key, label || 0x01) || HMAC(key, prev || label || 0x02) || ...
+util::Bytes derive_key(util::BytesView key, util::BytesView label, std::size_t out_len);
+
+}  // namespace p2pdrm::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for ticket digests,
+// RSA signature padding, password hashing (the paper's "secure hash of the
+// user's password"), and the attestation checksum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+constexpr std::size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); auto d = h.finish();
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(util::BytesView data);
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// being reused.
+  Sha256Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kSha256BlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(util::BytesView data);
+
+/// Digest as a Bytes buffer (for wire structures that carry digests).
+util::Bytes sha256_bytes(util::BytesView data);
+
+}  // namespace p2pdrm::crypto

@@ -1,0 +1,105 @@
+#include "geo/geodb.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+
+namespace p2pdrm::geo {
+
+namespace {
+
+std::uint32_t mask_of(int length) {
+  if (length == 0) return 0;
+  return ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+bool Prefix::contains(util::NetAddr addr) const {
+  return (addr.ip & mask_of(length)) == network;
+}
+
+std::string Prefix::to_string() const {
+  return util::to_string(util::NetAddr{network}) + "/" + std::to_string(length);
+}
+
+void GeoDatabase::add_prefix(Prefix prefix, GeoInfo info) {
+  if (prefix.length < 0 || prefix.length > 32) {
+    throw std::invalid_argument("GeoDatabase: prefix length out of range");
+  }
+  if ((prefix.network & ~mask_of(prefix.length)) != 0) {
+    throw std::invalid_argument("GeoDatabase: host bits set in " + prefix.to_string());
+  }
+  by_length_[static_cast<std::size_t>(prefix.length)][prefix.network] = info;
+}
+
+GeoInfo GeoDatabase::lookup(util::NetAddr addr) const {
+  return lookup_exactly(addr).value_or(GeoInfo{});
+}
+
+std::optional<GeoInfo> GeoDatabase::lookup_exactly(util::NetAddr addr) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& table = by_length_[static_cast<std::size_t>(len)];
+    if (table.empty()) continue;
+    const auto it = table.find(addr.ip & mask_of(len));
+    if (it != table.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t GeoDatabase::prefix_count() const {
+  std::size_t total = 0;
+  for (const auto& table : by_length_) total += table.size();
+  return total;
+}
+
+SyntheticGeo::SyntheticGeo(crypto::SecureRandom& rng, const SyntheticGeoPlan& plan)
+    : plan_(plan) {
+  if (plan.num_regions < 1 || plan.prefixes_per_region < 1 ||
+      plan.prefix_length < 1 || plan.prefix_length > 30) {
+    throw std::invalid_argument("SyntheticGeo: bad plan");
+  }
+  std::set<std::uint32_t> used;
+  for (int r = 0; r < plan.num_regions; ++r) {
+    const RegionId region = region_at(r);
+    for (int p = 0; p < plan.prefixes_per_region; ++p) {
+      // Draw distinct networks; avoid 0.0.0.0/len so addresses look real.
+      std::uint32_t network;
+      do {
+        network = static_cast<std::uint32_t>(rng.next_u32()) & mask_of(plan.prefix_length);
+      } while (network == 0 || !used.insert(network).second);
+      const AsNumber as =
+          1000 + static_cast<AsNumber>(r) * 100 +
+          static_cast<AsNumber>(rng.uniform(static_cast<std::uint64_t>(plan.as_per_region)));
+      const Prefix prefix{network, plan.prefix_length};
+      db_.add_prefix(prefix, GeoInfo{region, as});
+      region_prefixes_[region].push_back(prefix);
+    }
+  }
+}
+
+RegionId SyntheticGeo::region_at(int index) const {
+  if (index < 0 || index >= plan_.num_regions) {
+    throw std::out_of_range("SyntheticGeo: region index");
+  }
+  return 100 + static_cast<RegionId>(index);
+}
+
+util::NetAddr SyntheticGeo::sample_address(crypto::SecureRandom& rng,
+                                           RegionId region) const {
+  const auto it = region_prefixes_.find(region);
+  if (it == region_prefixes_.end()) {
+    throw std::invalid_argument("SyntheticGeo: unknown region " + std::to_string(region));
+  }
+  const auto& prefixes = it->second;
+  const Prefix& prefix = prefixes[rng.uniform(prefixes.size())];
+  const std::uint32_t host_bits = 32 - static_cast<std::uint32_t>(prefix.length);
+  std::uint32_t host;
+  do {
+    host = static_cast<std::uint32_t>(rng.uniform(std::uint64_t{1} << host_bits));
+  } while (host == 0);  // avoid the network address itself
+  return util::NetAddr{prefix.network | host};
+}
+
+}  // namespace p2pdrm::geo

@@ -1,0 +1,104 @@
+// Synthetic GeoIP / AS-number database.
+//
+// The paper's User Manager infers the client's geographic region (MaxMind
+// GeoIP) and autonomous system from its connection address and bakes both
+// into the User Ticket as attributes. We reproduce the *inference call* with
+// a longest-prefix-match database over synthetic address space: each region
+// owns a set of IPv4 prefixes, each prefix maps to (region, AS).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace p2pdrm::crypto {
+class SecureRandom;
+}
+
+namespace p2pdrm::geo {
+
+/// Geographic region (the paper's DMA-style "Region" attribute). Plain
+/// integer ids; 0 is reserved as "unknown".
+using RegionId = std::uint32_t;
+constexpr RegionId kUnknownRegion = 0;
+
+/// Autonomous system number.
+using AsNumber = std::uint32_t;
+constexpr AsNumber kUnknownAs = 0;
+
+struct GeoInfo {
+  RegionId region = kUnknownRegion;
+  AsNumber as_number = kUnknownAs;
+
+  friend bool operator==(const GeoInfo&, const GeoInfo&) = default;
+};
+
+/// IPv4 prefix (network address + length).
+struct Prefix {
+  std::uint32_t network = 0;  // host-order, low bits zero
+  int length = 0;             // 0..32
+
+  bool contains(util::NetAddr addr) const;
+  std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// Longest-prefix-match lookup table from IPv4 address to GeoInfo.
+class GeoDatabase {
+ public:
+  /// Register a prefix. Later insertions of the same prefix overwrite.
+  /// Throws std::invalid_argument if the prefix is malformed (host bits set
+  /// or length out of range).
+  void add_prefix(Prefix prefix, GeoInfo info);
+
+  /// Longest-prefix match; GeoInfo{kUnknownRegion, kUnknownAs} if nothing
+  /// matches.
+  GeoInfo lookup(util::NetAddr addr) const;
+
+  /// As lookup(), nullopt if nothing matches.
+  std::optional<GeoInfo> lookup_exactly(util::NetAddr addr) const;
+
+  std::size_t prefix_count() const;
+
+ private:
+  // One map per prefix length, keyed by the masked network address.
+  std::array<std::map<std::uint32_t, GeoInfo>, 33> by_length_;
+};
+
+/// Configuration for the synthetic address plan.
+struct SyntheticGeoPlan {
+  int num_regions = 4;
+  int prefixes_per_region = 8;
+  int as_per_region = 3;
+  int prefix_length = 16;
+};
+
+/// A GeoDatabase plus the generator-side knowledge needed to sample client
+/// addresses that will resolve to a chosen region (the workload generator
+/// places simulated users this way).
+class SyntheticGeo {
+ public:
+  SyntheticGeo(crypto::SecureRandom& rng, const SyntheticGeoPlan& plan);
+
+  const GeoDatabase& db() const { return db_; }
+  int num_regions() const { return plan_.num_regions; }
+
+  /// Regions are numbered 100, 101, ... (matching the paper's examples).
+  RegionId region_at(int index) const;
+
+  /// Sample an address that the database resolves to the given region.
+  util::NetAddr sample_address(crypto::SecureRandom& rng, RegionId region) const;
+
+ private:
+  SyntheticGeoPlan plan_;
+  GeoDatabase db_;
+  std::map<RegionId, std::vector<Prefix>> region_prefixes_;
+};
+
+}  // namespace p2pdrm::geo

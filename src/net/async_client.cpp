@@ -1,0 +1,645 @@
+#include "net/async_client.h"
+
+#include "core/client_flows.h"
+
+namespace p2pdrm::net {
+
+using client::Round;
+using core::DrmError;
+
+AsyncClient::AsyncClient(Config config, Network& network, crypto::SecureRandom rng)
+    : config_(std::move(config)), network_(network), rng_(std::move(rng)),
+      keys_(crypto::generate_rsa_keypair(rng_, config_.key_bits)) {
+  network_.attach(config_.node, config_.addr, this);
+}
+
+AsyncClient::~AsyncClient() { leave(); }
+
+void AsyncClient::leave() {
+  if (departed_) return;
+  departed_ = true;
+  ++renew_epoch_;  // cancel outstanding renewal timers
+  if (network_.attached(config_.node)) network_.detach(config_.node);
+}
+
+void AsyncClient::enable_starvation_recovery(util::SimTime gap) {
+  starvation_recovery_ = true;
+  starvation_gap_ = gap;
+  last_content_ = network_.sim().now();
+  if (channel_ticket_) arm_starvation_watchdog();
+}
+
+void AsyncClient::arm_starvation_watchdog() {
+  if (!starvation_recovery_ || departed_ || watchdog_armed_) return;
+  watchdog_armed_ = true;
+  network_.sim().schedule(starvation_gap_, [this] {
+    watchdog_armed_ = false;
+    if (departed_ || !starvation_recovery_) return;
+    if (!channel_ticket_ || recovering_) {
+      arm_starvation_watchdog();
+      return;
+    }
+    if (network_.sim().now() - last_content_ >= starvation_gap_) {
+      // Starved: the parent is gone or the subtree died. Re-switch for a
+      // fresh ticket and peer list (the paper's client does exactly this on
+      // a dead parent; the Channel Manager logs it as a fresh view).
+      recovering_ = true;
+      ++starvation_recoveries_;
+      const util::ChannelId channel = channel_ticket_->ticket.channel_id;
+      switch_channel(channel, [this](DrmError) {
+        recovering_ = false;
+        last_content_ = network_.sim().now();
+      });
+    }
+    arm_starvation_watchdog();
+  });
+}
+
+void AsyncClient::enable_auto_renewal(util::SimTime margin) {
+  auto_renew_ = true;
+  renew_margin_ = margin;
+  if (channel_ticket_) schedule_auto_renewal();
+}
+
+void AsyncClient::schedule_auto_renewal() {
+  if (!auto_renew_ || !channel_ticket_ || departed_) return;
+  const std::uint64_t epoch = ++renew_epoch_;
+  const util::SimTime due = std::max(
+      channel_ticket_->ticket.expiry_time - renew_margin_, network_.sim().now() + 1);
+  network_.sim().schedule(due - network_.sim().now(), [this, epoch] {
+    if (departed_ || epoch != renew_epoch_ || !channel_ticket_) return;
+    // Keep the User Ticket ahead of the Channel Ticket: re-login first when
+    // it would expire before the renewed Channel Ticket needs it.
+    const auto renew = [this](DrmError) {
+      renew_channel_ticket([this](DrmError err) {
+        if (err == DrmError::kOk) schedule_auto_renewal();
+      });
+    };
+    if (user_ticket_ &&
+        user_ticket_->ticket.expiry_time - network_.sim().now() < 2 * renew_margin_) {
+      login(renew);
+    } else {
+      renew(DrmError::kOk);
+    }
+  });
+}
+
+void AsyncClient::record(Round round, util::SimTime started, bool success) {
+  feedback_.push_back({round, started, network_.sim().now() - started, success});
+}
+
+void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payload,
+                               MsgKind expect, Round round,
+                               std::function<void(const Envelope&)> on_response,
+                               Callback on_fail) {
+  const std::uint64_t request_id = next_request_id_++;
+  Envelope env;
+  env.kind = kind;
+  env.request_id = request_id;
+  env.payload = std::move(payload);
+
+  Pending pending;
+  pending.expect = expect;
+  pending.to = to;
+  pending.wire = env.encode();
+  pending.retries_left = config_.max_retries;
+  pending.round = round;
+  pending.started = network_.sim().now();
+  pending.on_response = std::move(on_response);
+  pending.on_fail = std::move(on_fail);
+  const util::Bytes wire = pending.wire;
+  pending_.emplace(request_id, std::move(pending));
+
+  network_.send(config_.node, to, wire);
+  arm_timeout(request_id);
+}
+
+void AsyncClient::arm_timeout(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  const std::uint64_t attempt = it->second.attempt;
+  network_.sim().schedule(config_.request_timeout, [this, request_id, attempt] {
+    const auto p = pending_.find(request_id);
+    if (p == pending_.end() || p->second.attempt != attempt) return;  // resolved
+    if (p->second.retries_left > 0) {
+      --p->second.retries_left;
+      ++p->second.attempt;
+      network_.send(config_.node, p->second.to, p->second.wire);
+      arm_timeout(request_id);
+      return;
+    }
+    // Give up: record the failed round and fail the operation.
+    Pending failed = std::move(p->second);
+    pending_.erase(p);
+    record(failed.round, failed.started, false);
+    if (failed.on_fail) failed.on_fail(DrmError::kNoCapacity);
+  });
+}
+
+void AsyncClient::on_packet(const Packet& packet) {
+  const auto env = Envelope::decode(packet.data);
+  if (!env) return;
+
+  // Peer-plane messages are served by the embedded overlay half.
+  switch (env->kind) {
+    case MsgKind::kJoinRequest:
+    case MsgKind::kRenewalPresent:
+    case MsgKind::kKeyBlob:
+    case MsgKind::kContent:
+      if (peer_node_) peer_node_->on_packet(packet);
+      return;
+    default:
+      break;
+  }
+
+  const auto it = pending_.find(env->request_id);
+  if (it == pending_.end()) return;           // stale duplicate
+  if (it->second.expect != env->kind) return; // mismatched response kind
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  record(pending.round, pending.started, true);
+  pending.on_response(*env);
+}
+
+// ---------------------------------------------------------------------------
+// Login
+
+void AsyncClient::login(Callback done) {
+  if (!redirect_) {
+    services::RedirectRequest req{config_.email};
+    send_request(
+        config_.redirection_node, MsgKind::kRedirectRequest, req.encode(),
+        MsgKind::kRedirectResponse, Round::kLogin1,
+        [this, done](const Envelope& env) {
+          try {
+            services::RedirectResponse resp =
+                services::RedirectResponse::decode(env.payload);
+            if (!resp.found) {
+              done(DrmError::kUnknownUser);
+              return;
+            }
+            redirect_ = std::move(resp);
+          } catch (const util::WireError&) {
+            done(DrmError::kBadTicket);
+            return;
+          }
+          start_login1(done);
+        },
+        done);
+    return;
+  }
+  start_login1(done);
+}
+
+void AsyncClient::start_login1(Callback done) {
+  const auto um_node = network_.node_at(redirect_->user_manager.addr);
+  if (!um_node) {
+    done(DrmError::kWrongDomain);
+    return;
+  }
+  core::Login1Request req;
+  req.email = config_.email;
+  req.client_public_key = keys_.pub;
+  req.client_version = config_.client_version;
+
+  send_request(
+      *um_node, MsgKind::kLogin1Request, req.encode(), MsgKind::kLogin1Response,
+      Round::kLogin1,
+      [this, done, um_node](const Envelope& env) {
+        core::Login1Response resp1;
+        try {
+          resp1 = core::Login1Response::decode(env.payload);
+        } catch (const util::WireError&) {
+          done(DrmError::kBadTicket);
+          return;
+        }
+        if (resp1.error != DrmError::kOk) {
+          done(resp1.error);
+          return;
+        }
+        const auto opened = core::open_login1_response(resp1, config_.password);
+        if (!opened) {
+          done(DrmError::kBadCredentials);
+          return;
+        }
+        const core::Login2Request req2 =
+            core::build_login2_request(*opened, config_.email, keys_,
+                                       config_.client_version, config_.client_binary);
+        const util::SimTime started = network_.sim().now();
+        send_request(
+            *um_node, MsgKind::kLogin2Request, req2.encode(),
+            MsgKind::kLogin2Response, Round::kLogin2,
+            [this, done, started](const Envelope& env2) {
+              core::Login2Response resp2;
+              try {
+                resp2 = core::Login2Response::decode(env2.payload);
+              } catch (const util::WireError&) {
+                done(DrmError::kBadTicket);
+                return;
+              }
+              after_login2(resp2, started, done);
+            },
+            done);
+      },
+      done);
+}
+
+void AsyncClient::after_login2(const core::Login2Response& resp,
+                               util::SimTime /*started*/, Callback done) {
+  if (resp.error != DrmError::kOk) {
+    done(resp.error);
+    return;
+  }
+  if (!resp.ticket) {
+    done(DrmError::kBadCredentials);
+    return;
+  }
+  previous_user_ticket_ = std::move(user_ticket_);
+  user_ticket_ = resp.ticket;
+
+  // utime comparison against the previous ticket (§IV-B).
+  std::vector<std::string> stale;
+  if (previous_user_ticket_) {
+    for (const core::Attribute& a : user_ticket_->ticket.attributes.items()) {
+      if (a.utime == util::kNullTime) continue;
+      const core::Attribute* old = previous_user_ticket_->ticket.attributes.find(a.name);
+      if (old == nullptr || old->utime == util::kNullTime || a.utime > old->utime) {
+        stale.push_back(a.name);
+      }
+    }
+  }
+  if (channels_.empty()) {
+    maybe_fetch_channel_list({}, std::move(done));
+  } else if (!stale.empty()) {
+    maybe_fetch_channel_list(std::move(stale), std::move(done));
+  } else {
+    done(DrmError::kOk);
+  }
+}
+
+void AsyncClient::maybe_fetch_channel_list(std::vector<std::string> stale,
+                                           Callback done) {
+  const auto cpm_node = network_.node_at(redirect_->channel_policy_manager.addr);
+  if (!cpm_node) {
+    done(DrmError::kOk);  // no CPM deployed: proceed without a list
+    return;
+  }
+  core::ChannelListRequest req;
+  req.user_ticket = user_ticket_->encode();
+  req.stale_attributes = std::move(stale);
+  const bool full = req.stale_attributes.empty();
+
+  send_request(
+      *cpm_node, MsgKind::kChannelListRequest, req.encode(),
+      MsgKind::kChannelListResponse, Round::kLogin2,
+      [this, done, full](const Envelope& env) {
+        try {
+          core::ChannelListResponse resp =
+              core::ChannelListResponse::decode(env.payload);
+          if (resp.error != DrmError::kOk) {
+            done(resp.error);
+            return;
+          }
+          if (full) {
+            channels_ = std::move(resp.channels);
+          } else {
+            for (core::ChannelRecord& fresh : resp.channels) {
+              bool replaced = false;
+              for (core::ChannelRecord& cached : channels_) {
+                if (cached.id == fresh.id) {
+                  cached = std::move(fresh);
+                  replaced = true;
+                  break;
+                }
+              }
+              if (!replaced) channels_.push_back(std::move(fresh));
+            }
+          }
+          if (!resp.partitions.empty()) partitions_ = std::move(resp.partitions);
+          done(DrmError::kOk);
+        } catch (const util::WireError&) {
+          done(DrmError::kBadTicket);
+        }
+      },
+      done);
+}
+
+// ---------------------------------------------------------------------------
+// Channel switching + join
+
+std::uint32_t AsyncClient::partition_of(util::ChannelId channel) const {
+  for (const core::ChannelRecord& c : channels_) {
+    if (c.id == channel) return c.partition;
+  }
+  return 0;
+}
+
+std::optional<util::NodeId> AsyncClient::manager_node(std::uint32_t partition) const {
+  for (const core::PartitionInfo& p : partitions_) {
+    if (p.partition == partition) return network_.node_at(p.manager_addr);
+  }
+  return std::nullopt;
+}
+
+void AsyncClient::switch_channel(util::ChannelId channel, Callback done) {
+  if (!user_ticket_) {
+    done(DrmError::kBadTicket);
+    return;
+  }
+  const auto cm_node = manager_node(partition_of(channel));
+  if (!cm_node) {
+    done(DrmError::kWrongPartition);
+    return;
+  }
+  core::Switch1Request req1;
+  req1.user_ticket = user_ticket_->encode();
+  req1.channel_id = channel;
+
+  send_request(
+      *cm_node, MsgKind::kSwitch1Request, req1.encode(), MsgKind::kSwitch1Response,
+      Round::kSwitch1,
+      [this, done, cm_node, channel,
+       user_ticket = req1.user_ticket](const Envelope& env) {
+        core::Switch1Response resp1;
+        try {
+          resp1 = core::Switch1Response::decode(env.payload);
+        } catch (const util::WireError&) {
+          done(DrmError::kBadTicket);
+          return;
+        }
+        if (resp1.error != DrmError::kOk) {
+          done(resp1.error);
+          return;
+        }
+        const core::Switch2Request req2 = core::build_switch2_request(
+            resp1, user_ticket, channel, {}, keys_.priv);
+        send_request(
+            *cm_node, MsgKind::kSwitch2Request, req2.encode(),
+            MsgKind::kSwitch2Response, Round::kSwitch2,
+            [this, done, channel](const Envelope& env2) {
+              core::Switch2Response resp2;
+              try {
+                resp2 = core::Switch2Response::decode(env2.payload);
+              } catch (const util::WireError&) {
+                done(DrmError::kBadTicket);
+                return;
+              }
+              if (resp2.error != DrmError::kOk) {
+                done(resp2.error);
+                return;
+              }
+              if (!resp2.ticket) {
+                done(DrmError::kAccessDenied);
+                return;
+              }
+              channel_ticket_ = std::move(resp2.ticket);
+              parent_.reset();
+
+              // Fresh overlay half for the new channel; the network keeps
+              // routing our node id to this AsyncClient, which delegates.
+              crypto::RsaPublicKey cm_key;
+              for (const core::PartitionInfo& p : partitions_) {
+                if (p.partition == partition_of(channel)) {
+                  cm_key = crypto::RsaPublicKey::decode(p.manager_public_key);
+                }
+              }
+              p2p::PeerConfig pc;
+              pc.node = config_.node;
+              pc.addr = config_.addr;
+              pc.channel = channel;
+              pc.capacity = config_.peer_capacity;
+              pc.substreams = config_.substreams;
+              peer_node_ = std::make_unique<PeerNode>(
+                  std::make_unique<p2p::Peer>(pc, keys_, cm_key, rng_.fork()),
+                  network_);
+              reassembly_ = std::make_unique<p2p::SubstreamBuffer>(1024);
+              router_.reset();
+              peer_node_->set_content_sink(
+                  [this](const core::ContentPacket& packet,
+                         const std::optional<util::Bytes>& plain) {
+                    last_content_ = network_.sim().now();
+                    if (plain) {
+                      ++content_decrypted_;
+                      content_in_order_ +=
+                          reassembly_->insert(packet.seq, *plain).size();
+                    } else {
+                      ++content_undecryptable_;
+                    }
+                  });
+              if (config_.substreams > 1) {
+                auto state = std::make_shared<StripedJoin>();
+                state->peers = std::move(resp2.peers);
+                state->started = network_.sim().now();
+                // One join group per parent slot: group g carries the mask
+                // of sub-streams g, g+k, g+2k, ... for k parent slots.
+                const std::size_t slots =
+                    std::min(config_.substreams,
+                             std::max<std::size_t>(1, state->peers.size()));
+                state->group_masks.assign(slots, 0);
+                for (std::size_t s = 0; s < config_.substreams && s < 32; ++s) {
+                  state->group_masks[s % slots] |= 1u << s;
+                }
+                join_striped(std::move(state), done);
+              } else {
+                try_join(std::move(resp2.peers), 0, network_.sim().now(), done);
+              }
+            },
+            done);
+      },
+      done);
+}
+
+void AsyncClient::try_join(std::vector<core::PeerInfo> peers, std::size_t index,
+                           util::SimTime started, Callback done) {
+  if (index >= peers.size()) {
+    record(Round::kJoin, started, false);
+    done(DrmError::kNoCapacity);
+    return;
+  }
+  const core::PeerInfo target = peers[index];
+  const core::JoinRequest req = peer_node_->peer().make_join_request(*channel_ticket_);
+  send_request(
+      target.node, MsgKind::kJoinRequest, req.encode(), MsgKind::kJoinResponse,
+      Round::kJoin,
+      [this, peers = std::move(peers), index, started, target,
+       done](const Envelope& env) mutable {
+        core::JoinResponse resp;
+        try {
+          resp = core::JoinResponse::decode(env.payload);
+        } catch (const util::WireError&) {
+          try_join(std::move(peers), index + 1, started, done);
+          return;
+        }
+        if (resp.error != DrmError::kOk ||
+            !peer_node_->peer().complete_join(target.node, resp)) {
+          try_join(std::move(peers), index + 1, started, done);
+          return;
+        }
+        parent_ = target.node;
+        if (auto_renew_) schedule_auto_renewal();
+        if (starvation_recovery_) {
+          last_content_ = network_.sim().now();
+          arm_starvation_watchdog();
+        }
+        done(DrmError::kOk);
+      },
+      [this, done, started](DrmError) {
+        // Timeout on one candidate: give up on the whole join (the caller
+        // can re-run switch_channel for a fresh peer list).
+        record(Round::kJoin, started, false);
+        done(DrmError::kNoCapacity);
+      });
+}
+
+void AsyncClient::finish_join(util::SimTime /*started*/, Callback done) {
+  // Per-attempt JOIN rounds were already recorded by send_request.
+  if (auto_renew_) schedule_auto_renewal();
+  if (starvation_recovery_) {
+    last_content_ = network_.sim().now();
+    arm_starvation_watchdog();
+  }
+  done(DrmError::kOk);
+}
+
+void AsyncClient::join_striped(std::shared_ptr<StripedJoin> state, Callback done) {
+  if (state->group >= state->group_masks.size()) {
+    // All groups placed: install the router from the final assignment.
+    router_ = std::make_unique<p2p::SubstreamRouter>(config_.substreams);
+    for (const auto& [parent, mask] : state->assigned) {
+      for (std::size_t s = 0; s < config_.substreams && s < 32; ++s) {
+        if (mask & (1u << s)) router_->assign(s, parent);
+      }
+    }
+    parent_ = state->assigned.begin()->first;
+    finish_join(state->started, done);
+    return;
+  }
+  if (state->candidate >= state->peers.size()) {
+    record(client::Round::kJoin, state->started, false);
+    done(DrmError::kNoCapacity);
+    return;
+  }
+
+  // Spread groups over distinct candidates by starting each group's scan at
+  // a different offset.
+  const std::size_t index =
+      (state->group + state->candidate) % state->peers.size();
+  const core::PeerInfo target = state->peers[index];
+
+  // If this parent already serves another group, request the union of masks
+  // (a re-join replaces the link, so the request must carry everything).
+  std::uint32_t mask = state->group_masks[state->group];
+  const auto prev = state->assigned.find(target.node);
+  if (prev != state->assigned.end()) mask |= prev->second;
+
+  const core::JoinRequest req =
+      peer_node_->peer().make_join_request(*channel_ticket_, mask);
+  send_request(
+      target.node, MsgKind::kJoinRequest, req.encode(), MsgKind::kJoinResponse,
+      client::Round::kJoin,
+      [this, state, target, mask, done](const Envelope& env) mutable {
+        core::JoinResponse resp;
+        bool accepted = false;
+        try {
+          resp = core::JoinResponse::decode(env.payload);
+          accepted = resp.error == DrmError::kOk &&
+                     peer_node_->peer().complete_join(target.node, resp);
+        } catch (const util::WireError&) {
+        }
+        if (accepted) {
+          state->assigned[target.node] = mask;
+          ++state->group;
+          state->candidate = 0;
+        } else {
+          ++state->candidate;
+        }
+        join_striped(state, done);
+      },
+      [this, state, done](DrmError) {
+        ++state->candidate;
+        join_striped(state, done);
+      });
+}
+
+void AsyncClient::renew_channel_ticket(Callback done) {
+  if (!user_ticket_ || !channel_ticket_) {
+    done(DrmError::kBadTicket);
+    return;
+  }
+  const util::ChannelId channel = channel_ticket_->ticket.channel_id;
+  const auto cm_node = manager_node(partition_of(channel));
+  if (!cm_node) {
+    done(DrmError::kWrongPartition);
+    return;
+  }
+  core::Switch1Request req1;
+  req1.user_ticket = user_ticket_->encode();
+  req1.expiring_ticket = channel_ticket_->encode();
+
+  send_request(
+      *cm_node, MsgKind::kSwitch1Request, req1.encode(), MsgKind::kSwitch1Response,
+      Round::kSwitch1,
+      [this, done, cm_node, user_ticket = req1.user_ticket,
+       expiring = req1.expiring_ticket](const Envelope& env) {
+        core::Switch1Response resp1;
+        try {
+          resp1 = core::Switch1Response::decode(env.payload);
+        } catch (const util::WireError&) {
+          done(DrmError::kBadTicket);
+          return;
+        }
+        if (resp1.error != DrmError::kOk) {
+          done(resp1.error);
+          return;
+        }
+        const core::Switch2Request req2 =
+            core::build_switch2_request(resp1, user_ticket, 0, expiring, keys_.priv);
+        send_request(
+            *cm_node, MsgKind::kSwitch2Request, req2.encode(),
+            MsgKind::kSwitch2Response, Round::kSwitch2,
+            [this, done](const Envelope& env2) {
+              core::Switch2Response resp2;
+              try {
+                resp2 = core::Switch2Response::decode(env2.payload);
+              } catch (const util::WireError&) {
+                done(DrmError::kBadTicket);
+                return;
+              }
+              if (resp2.error != DrmError::kOk) {
+                done(resp2.error);
+                return;
+              }
+              if (!resp2.ticket || !resp2.ticket->ticket.renewal) {
+                done(DrmError::kRenewalRefused);
+                return;
+              }
+              channel_ticket_ = std::move(resp2.ticket);
+              // Present the renewal to every parent — with multi-parent
+              // delivery each of them tracks our ticket expiry. The first
+              // parent's ack completes the operation; the rest are
+              // best-effort.
+              const std::vector<util::NodeId> parents =
+                  peer_node_ ? peer_node_->peer().parents()
+                             : std::vector<util::NodeId>{};
+              if (parents.empty()) {
+                done(DrmError::kOk);
+                return;
+              }
+              for (std::size_t i = 1; i < parents.size(); ++i) {
+                send_request(parents[i], MsgKind::kRenewalPresent,
+                             channel_ticket_->encode(), MsgKind::kRenewalAck,
+                             Round::kSwitch2, [](const Envelope&) {},
+                             [](DrmError) {});
+              }
+              send_request(
+                  parents[0], MsgKind::kRenewalPresent, channel_ticket_->encode(),
+                  MsgKind::kRenewalAck, Round::kSwitch2,
+                  [done](const Envelope&) { done(DrmError::kOk); },
+                  [done](DrmError) { done(DrmError::kOk); });  // best effort
+            },
+            done);
+      },
+      done);
+}
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,186 @@
+// Event-driven client for the simulated network deployment.
+//
+// Runs the same protocol sequence as client::Client (redirect → LOGIN1/2 →
+// channel list → SWITCH1/2 → JOIN → renewals) but asynchronously over the
+// lossy datagram network: every request carries a request id, is timed out
+// and retransmitted up to a retry budget, and completions are delivered via
+// callbacks inside the discrete-event simulation. Peer-side duties (serving
+// joins, relaying keys, forwarding content) are delegated to an embedded
+// PeerNode, so a fleet of AsyncClients forms a real working overlay.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "client/client.h"  // Round / LatencySample vocabulary
+#include "net/service_nodes.h"
+#include "p2p/substream.h"
+
+namespace p2pdrm::net {
+
+class AsyncClient final : public Node {
+ public:
+  struct Config {
+    std::string email;
+    std::string password;
+    std::uint32_t client_version = 1;
+    util::Bytes client_binary;
+    util::NetAddr addr;
+    util::NodeId node = util::kInvalidNode;
+    std::size_t peer_capacity = 4;
+    std::size_t key_bits = 512;
+    /// Peer-division multiplexing: how many sub-streams the channel is
+    /// delivered as (1..32; the JOIN mask is 32 bits wide). With k > 1 the
+    /// client stripes its subscription across up to k distinct parents
+    /// (redundancy against churn and loss, §III).
+    std::size_t substreams = 1;
+    /// Retransmission policy.
+    util::SimTime request_timeout = 3 * util::kSecond;
+    int max_retries = 4;
+    /// Well-known bootstrap (baked into the client binary, §V).
+    util::NodeId redirection_node = util::kInvalidNode;
+  };
+
+  using Callback = std::function<void(core::DrmError)>;
+
+  /// Attaches itself to the network at (config.node, config.addr).
+  AsyncClient(Config config, Network& network, crypto::SecureRandom rng);
+  ~AsyncClient() override;
+
+  AsyncClient(const AsyncClient&) = delete;
+  AsyncClient& operator=(const AsyncClient&) = delete;
+
+  // --- protocol drivers (complete via callback inside the simulation) ---
+
+  void login(Callback done);
+  void switch_channel(util::ChannelId channel, Callback done);
+  void renew_channel_ticket(Callback done);
+
+  /// Self-driving ticket maintenance: after every successful switch or
+  /// renewal, schedule the next Channel Ticket renewal `margin` before its
+  /// expiry (re-logging in first when the User Ticket is about to lapse).
+  /// This is the client behavior that keeps a long viewing session alive
+  /// without user interaction (§II).
+  void enable_auto_renewal(util::SimTime margin = 2 * util::kMinute);
+
+  /// Player-style churn recovery: if no content arrives for `gap` while
+  /// tuned to a channel (the parent died or the subtree starved), re-run
+  /// the channel switch to get a fresh ticket and a fresh peer list.
+  /// Detects total starvation only: with multi-parent sub-streams, losing
+  /// one parent halves the feed without tripping this watchdog (a
+  /// production player would track per-sub-stream liveness).
+  void enable_starvation_recovery(util::SimTime gap = 10 * util::kSecond);
+
+  /// Session over: detach from the network (peers sever us at ticket
+  /// expiry, §IV-D). The object stays inspectable.
+  void leave();
+  bool departed() const { return departed_; }
+  std::uint64_t starvation_recoveries() const { return starvation_recoveries_; }
+
+  // --- state ---
+
+  bool logged_in() const { return user_ticket_.has_value(); }
+  const std::optional<core::SignedUserTicket>& user_ticket() const {
+    return user_ticket_;
+  }
+  const std::optional<core::SignedChannelTicket>& channel_ticket() const {
+    return channel_ticket_;
+  }
+  const std::vector<client::LatencySample>& feedback_log() const { return feedback_; }
+  const Config& config() const { return config_; }
+  std::optional<util::NodeId> parent() const { return parent_; }
+
+  /// The overlay half (null until the first successful switch).
+  PeerNode* peer_node() { return peer_node_.get(); }
+  std::uint64_t content_decrypted() const { return content_decrypted_; }
+  std::uint64_t content_undecryptable() const { return content_undecryptable_; }
+  /// Packets handed to the player in order after sub-stream reassembly.
+  std::uint64_t content_in_order() const { return content_in_order_; }
+  /// Sub-stream -> parent assignment (null until a striped join succeeds).
+  const p2p::SubstreamRouter* router() const { return router_.get(); }
+
+  void on_packet(const Packet& packet) override;
+
+ private:
+  struct Pending {
+    MsgKind expect;
+    util::NodeId to = util::kInvalidNode;
+    util::Bytes wire;  // full envelope for retransmission
+    int retries_left = 0;
+    std::uint64_t attempt = 0;  // invalidates stale timeout events
+    client::Round round;
+    util::SimTime started = 0;
+    std::function<void(const Envelope&)> on_response;
+    Callback on_fail;
+  };
+
+  void send_request(util::NodeId to, MsgKind kind, util::Bytes payload,
+                    MsgKind expect, client::Round round,
+                    std::function<void(const Envelope&)> on_response,
+                    Callback on_fail);
+  void arm_timeout(std::uint64_t request_id);
+  void record(client::Round round, util::SimTime started, bool success);
+
+  // login continuation chain
+  void start_login1(Callback done);
+  void after_login2(const core::Login2Response& resp, util::SimTime started,
+                    Callback done);
+  void maybe_fetch_channel_list(std::vector<std::string> stale, Callback done);
+  void try_join(std::vector<core::PeerInfo> peers, std::size_t index,
+                util::SimTime started, Callback done);
+
+  /// Striped (multi-parent) join bookkeeping for substreams > 1.
+  struct StripedJoin {
+    std::vector<core::PeerInfo> peers;
+    std::vector<std::uint32_t> group_masks;  // one join group per parent slot
+    std::size_t group = 0;
+    std::size_t candidate = 0;
+    util::SimTime started = 0;
+    std::map<util::NodeId, std::uint32_t> assigned;  // parent -> mask so far
+  };
+  void join_striped(std::shared_ptr<StripedJoin> state, Callback done);
+  void finish_join(util::SimTime started, Callback done);
+
+  std::uint32_t partition_of(util::ChannelId channel) const;
+  std::optional<util::NodeId> manager_node(std::uint32_t partition) const;
+  void schedule_auto_renewal();
+  void arm_starvation_watchdog();
+
+  Config config_;
+  Network& network_;
+  crypto::SecureRandom rng_;
+  crypto::RsaKeyPair keys_;
+
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_request_id_ = 1;
+
+  std::optional<services::RedirectResponse> redirect_;
+  std::optional<core::SignedUserTicket> user_ticket_;
+  std::optional<core::SignedUserTicket> previous_user_ticket_;
+  std::optional<core::SignedChannelTicket> channel_ticket_;
+  std::vector<core::ChannelRecord> channels_;
+  std::vector<core::PartitionInfo> partitions_;
+  std::unique_ptr<PeerNode> peer_node_;
+  std::optional<util::NodeId> parent_;
+  std::unique_ptr<p2p::SubstreamRouter> router_;
+  std::unique_ptr<p2p::SubstreamBuffer> reassembly_;
+  std::uint64_t content_in_order_ = 0;
+  std::vector<client::LatencySample> feedback_;
+  std::uint64_t content_decrypted_ = 0;
+  std::uint64_t content_undecryptable_ = 0;
+
+  bool auto_renew_ = false;
+  util::SimTime renew_margin_ = 2 * util::kMinute;
+  std::uint64_t renew_epoch_ = 0;  // invalidates stale renewal timers
+  bool departed_ = false;
+
+  bool starvation_recovery_ = false;
+  bool watchdog_armed_ = false;
+  util::SimTime starvation_gap_ = 10 * util::kSecond;
+  util::SimTime last_content_ = 0;
+  bool recovering_ = false;
+  std::uint64_t starvation_recoveries_ = 0;
+};
+
+}  // namespace p2pdrm::net

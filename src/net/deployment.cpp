@@ -1,0 +1,227 @@
+#include "net/deployment.h"
+
+#include <stdexcept>
+
+namespace p2pdrm::net {
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(config), rng_(config.seed) {
+  network_ = std::make_unique<Network>(sim_, config_.default_link, rng_.fork());
+  geo_ = std::make_unique<geo::SyntheticGeo>(rng_, config_.geo_plan);
+
+  um_domain_ = std::make_shared<services::UserManagerDomain>(
+      config_.um, crypto::generate_rsa_keypair(rng_, config_.key_bits),
+      rng_.bytes(32));
+  reference_binary_ = rng_.bytes(config_.client_binary_size);
+  um_domain_->reference_binaries[config_.um.minimum_client_version] = reference_binary_;
+  um_ = std::make_unique<services::UserManager>(um_domain_, &geo_->db(), rng_.fork());
+
+  accounts_ = std::make_unique<services::AccountManager>(
+      [this](const services::UserProvisioning& p) { um_->provision(p); });
+
+  cpm_ = std::make_unique<services::ChannelPolicyManager>(um_domain_->keys.pub);
+  cpm_->add_attribute_list_sink(
+      [this](const core::AttributeSet& list) { um_->update_channel_attributes(list); });
+
+  tracker_ = std::make_unique<p2p::Tracker>(rng_.fork());
+
+  // Attach the backend to well-known addresses on the network.
+  const util::NetAddr redirection_addr = util::parse_netaddr("10.254.0.1");
+  const util::NetAddr um_addr = util::parse_netaddr("10.254.0.2");
+  const util::NetAddr cpm_addr = util::parse_netaddr("10.254.0.3");
+
+  redirection_node_ = std::make_unique<RedirectionNode>(
+      redirection_, *network_, kRedirectionNode, config_.processing);
+  network_->attach(kRedirectionNode, redirection_addr, redirection_node_.get());
+
+  um_node_ = std::make_unique<UserManagerNode>(*um_, *network_, kUserManagerNode,
+                                               config_.processing);
+  network_->attach(kUserManagerNode, um_addr, um_node_.get());
+
+  cpm_node_ = std::make_unique<ChannelPolicyNode>(*cpm_, *network_, kChannelPolicyNode,
+                                                  config_.processing);
+  network_->attach(kChannelPolicyNode, cpm_addr, cpm_node_.get());
+
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    services::ChannelManagerConfig cm_cfg = config_.cm;
+    cm_cfg.partition = static_cast<std::uint32_t>(p);
+    auto partition = std::make_shared<services::ChannelManagerPartition>(
+        cm_cfg, crypto::generate_rsa_keypair(rng_, config_.key_bits),
+        um_domain_->keys.pub, rng_.bytes(32));
+    cm_partitions_.push_back(partition);
+    cms_.push_back(std::make_unique<services::ChannelManager>(partition, tracker_.get(),
+                                                              rng_.fork()));
+    services::ChannelManager* cm = cms_.back().get();
+    cpm_->add_channel_list_sink(
+        [cm](const std::vector<core::ChannelRecord>& list) {
+          cm->update_channel_list(list);
+        });
+
+    const util::NodeId node = kChannelManagerBase + static_cast<util::NodeId>(p);
+    const util::NetAddr addr{0x0afe0100u + static_cast<std::uint32_t>(p)};
+    cm_nodes_.push_back(std::make_unique<ChannelManagerNode>(*cm, *network_, node,
+                                                             config_.processing));
+    network_->attach(node, addr, cm_nodes_.back().get());
+
+    core::PartitionInfo info;
+    info.partition = cm_cfg.partition;
+    info.manager_addr = addr;
+    info.manager_public_key = partition->keys.pub.encode();
+    cpm_->set_partition_info(info);
+  }
+
+  redirection_.register_domain(
+      config_.um.domain,
+      services::ManagerCoordinates{um_addr, um_domain_->keys.pub.encode()});
+  redirection_.set_channel_policy_manager(services::ManagerCoordinates{cpm_addr, {}});
+}
+
+services::ChannelManager& Deployment::channel_manager(std::uint32_t partition) {
+  if (partition >= cms_.size()) throw std::out_of_range("Deployment: partition");
+  return *cms_[partition];
+}
+
+bool Deployment::add_user(const std::string& email, const std::string& password) {
+  if (!accounts_->create_account(email, password, sim_.now())) return false;
+  redirection_.assign_user(email, config_.um.domain);
+  return true;
+}
+
+void Deployment::add_regional_channel(util::ChannelId id, const std::string& name,
+                                      geo::RegionId region, std::uint32_t partition) {
+  cpm_->add_channel(services::make_regional_channel(id, name, region, partition),
+                    sim_.now());
+}
+
+void Deployment::add_subscription_channel(util::ChannelId id, const std::string& name,
+                                          geo::RegionId region,
+                                          const std::string& package,
+                                          std::uint32_t partition) {
+  cpm_->add_channel(
+      services::make_subscription_channel(id, name, region, package, partition),
+      sim_.now());
+}
+
+void Deployment::start_channel_server(util::ChannelId id,
+                                      services::ChannelServerConfig cfg) {
+  cfg.channel = id;
+  const core::ChannelRecord* record = cpm_->find_channel(id);
+  if (record == nullptr) throw std::invalid_argument("Deployment: unknown channel");
+
+  ChannelSource source;
+  source.server = std::make_unique<services::ChannelServer>(cfg, rng_.fork(), sim_.now());
+
+  p2p::PeerConfig pc;
+  pc.node = kChannelRootBase + id;
+  pc.addr = util::NetAddr{0x0ac00000u + id};
+  pc.channel = id;
+  pc.capacity = 64;
+  pc.substreams = config_.substreams;
+  source.root = std::make_unique<PeerNode>(
+      std::make_unique<p2p::Peer>(
+          pc, crypto::generate_rsa_keypair(rng_, config_.key_bits),
+          cm_partitions_[record->partition]->keys.pub, rng_.fork()),
+      *network_, config_.processing);
+  source.root->peer().install_key(source.server->latest_key());
+  source.root->set_join_observer(
+      [this, id, node = pc.node](util::NodeId, std::size_t children) {
+        tracker_->update_load(id, node, children);
+      });
+  network_->attach(pc.node, pc.addr, source.root.get());
+  tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity);
+
+  sources_.insert_or_assign(id, std::move(source));
+  schedule_rotation(id);
+  schedule_eviction(id);
+}
+
+void Deployment::schedule_eviction(util::ChannelId id) {
+  // Peers sever children whose Channel Tickets lapsed unrenewed (§IV-D);
+  // the root sweeps once a minute.
+  sim_.schedule(util::kMinute, [this, id] {
+    const auto source = sources_.find(id);
+    if (source == sources_.end()) return;
+    if (!source->second.root->peer().evict_expired(sim_.now()).empty()) {
+      tracker_->update_load(id, source->second.root->id(),
+                            source->second.root->peer().child_count());
+    }
+    schedule_eviction(id);
+  });
+}
+
+void Deployment::schedule_rotation(util::ChannelId id) {
+  const auto it = sources_.find(id);
+  if (it == sources_.end()) return;
+  const util::SimTime interval = it->second.server->config().rekey_interval;
+  sim_.schedule(interval, [this, id] {
+    const auto source = sources_.find(id);
+    if (source == sources_.end()) return;
+    for (const core::ContentKey& key : source->second.server->advance(sim_.now())) {
+      source->second.root->announce_key(key);
+    }
+    schedule_rotation(id);
+  });
+}
+
+AsyncClient::Config Deployment::make_client_config(const std::string& email,
+                                                   const std::string& password,
+                                                   geo::RegionId region) {
+  AsyncClient::Config cc;
+  cc.email = email;
+  cc.password = password;
+  cc.client_version = config_.um.minimum_client_version;
+  cc.client_binary = reference_binary_;
+  cc.addr = geo_->sample_address(rng_, region);
+  cc.node = next_client_node_++;
+  cc.key_bits = config_.key_bits;
+  cc.substreams = config_.substreams;
+  cc.request_timeout = config_.request_timeout;
+  cc.max_retries = config_.max_retries;
+  cc.redirection_node = kRedirectionNode;
+  return cc;
+}
+
+AsyncClient& Deployment::add_client(const std::string& email,
+                                    const std::string& password,
+                                    geo::RegionId region) {
+  clients_.push_back(std::make_unique<AsyncClient>(
+      make_client_config(email, password, region), *network_, rng_.fork()));
+  return *clients_.back();
+}
+
+void Deployment::announce(AsyncClient& client) {
+  if (client.peer_node() == nullptr || !client.channel_ticket()) return;
+  const util::ChannelId channel = client.channel_ticket()->ticket.channel_id;
+  const util::NodeId node = client.config().node;
+  tracker_->register_peer(channel, core::PeerInfo{node, client.config().addr},
+                          client.config().peer_capacity);
+  client.peer_node()->set_join_observer(
+      [this, channel, node](util::NodeId, std::size_t children) {
+        tracker_->update_load(channel, node, children);
+      });
+}
+
+void Deployment::remove_client(AsyncClient& client) {
+  if (client.channel_ticket()) {
+    tracker_->unregister_peer(client.channel_ticket()->ticket.channel_id,
+                              client.config().node);
+  }
+  client.leave();
+  std::erase_if(clients_, [&](const std::unique_ptr<AsyncClient>& c) {
+    return c.get() == &client;
+  });
+}
+
+void Deployment::broadcast(util::ChannelId channel, util::BytesView payload) {
+  const auto it = sources_.find(channel);
+  if (it == sources_.end()) throw std::invalid_argument("Deployment: no channel server");
+  const core::ContentPacket packet = it->second.server->produce(payload, sim_.now());
+  it->second.root->forward_content(packet);
+}
+
+PeerNode* Deployment::root_node(util::ChannelId channel) {
+  const auto it = sources_.find(channel);
+  return it == sources_.end() ? nullptr : it->second.root.get();
+}
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,138 @@
+// Full networked deployment over the discrete-event simulator: every
+// manager is a network node, every client is an AsyncClient, all protocol
+// bytes cross the lossy simulated wire with latency. The message-passing
+// sibling of client::Testbed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/async_client.h"
+#include "net/service_nodes.h"
+#include "p2p/tracker.h"
+#include "services/account_manager.h"
+#include "services/catalog.h"
+#include "services/redirection_manager.h"
+
+namespace p2pdrm::net {
+
+struct DeploymentConfig {
+  std::uint64_t seed = 1;
+  std::size_t key_bits = 512;
+  std::size_t partitions = 1;
+  geo::SyntheticGeoPlan geo_plan;
+  services::UserManagerConfig um;
+  services::ChannelManagerConfig cm;
+  std::size_t client_binary_size = 16 * 1024;
+  /// Sub-streams per channel (peer-division multiplexing). Clients with
+  /// substreams > 1 stripe their subscription across multiple parents.
+  std::size_t substreams = 1;
+  LinkConfig default_link;      // applied to every node unless overridden
+  ProcessingModel processing;   // server-side handling delay
+  /// Client retransmission policy.
+  util::SimTime request_timeout = 3 * util::kSecond;
+  int max_retries = 4;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config = {});
+
+  // --- provisioning (instant; control plane is out of band) ---
+
+  bool add_user(const std::string& email, const std::string& password);
+  void add_regional_channel(util::ChannelId id, const std::string& name,
+                            geo::RegionId region, std::uint32_t partition = 0);
+  void add_subscription_channel(util::ChannelId id, const std::string& name,
+                                geo::RegionId region, const std::string& package,
+                                std::uint32_t partition = 0);
+
+  /// Start the channel's ingest: a ChannelServer plus a root PeerNode on
+  /// the network. Key rotations self-schedule in the simulation and push
+  /// wrapped keys down the (networked) tree.
+  void start_channel_server(util::ChannelId id, services::ChannelServerConfig cfg = {});
+
+  /// Create a client located in `region`; it attaches itself to the network.
+  AsyncClient& add_client(const std::string& email, const std::string& password,
+                          geo::RegionId region);
+
+  /// Client configuration for callers that manage AsyncClient lifetimes
+  /// themselves (churn experiments create and destroy clients constantly).
+  AsyncClient::Config make_client_config(const std::string& email,
+                                         const std::string& password,
+                                         geo::RegionId region);
+
+  /// Make a client's overlay peer discoverable as a parent candidate (and
+  /// keep its load fresh in the tracker as children join it).
+  void announce(AsyncClient& client);
+
+  /// Session over: detach the client and retire it from the tracker.
+  void remove_client(AsyncClient& client);
+
+  /// Produce one content packet at the channel server and push it into the
+  /// tree (delivery happens as simulation events).
+  void broadcast(util::ChannelId channel, util::BytesView payload);
+
+  // --- simulation control ---
+
+  sim::Simulation& sim() { return sim_; }
+  Network& network() { return *network_; }
+  void run_until(util::SimTime t) { sim_.run_until(t); }
+  /// Drain all scheduled events (careful with self-rescheduling servers:
+  /// prefer run_until).
+  void run_for(util::SimTime dt) { sim_.run_until(sim_.now() + dt); }
+
+  // --- component access ---
+
+  services::AccountManager& accounts() { return *accounts_; }
+  services::ChannelPolicyManager& policy_manager() { return *cpm_; }
+  services::ChannelManager& channel_manager(std::uint32_t partition = 0);
+  p2p::Tracker& tracker() { return *tracker_; }
+  const geo::SyntheticGeo& geo() const { return *geo_; }
+  PeerNode* root_node(util::ChannelId channel);
+
+  /// Well-known node ids.
+  static constexpr util::NodeId kRedirectionNode = 1;
+  static constexpr util::NodeId kUserManagerNode = 2;
+  static constexpr util::NodeId kChannelPolicyNode = 3;
+  static constexpr util::NodeId kChannelManagerBase = 10;   // + partition
+  static constexpr util::NodeId kChannelRootBase = 100;     // + channel id
+  static constexpr util::NodeId kClientBase = 1000;
+
+ private:
+  struct ChannelSource {
+    std::unique_ptr<services::ChannelServer> server;
+    std::unique_ptr<PeerNode> root;
+  };
+
+  void schedule_rotation(util::ChannelId id);
+  void schedule_eviction(util::ChannelId id);
+
+  DeploymentConfig config_;
+  crypto::SecureRandom rng_;
+  sim::Simulation sim_;
+  std::unique_ptr<Network> network_;
+
+  std::unique_ptr<geo::SyntheticGeo> geo_;
+  std::unique_ptr<services::AccountManager> accounts_;
+  std::shared_ptr<services::UserManagerDomain> um_domain_;
+  std::unique_ptr<services::UserManager> um_;
+  std::unique_ptr<services::ChannelPolicyManager> cpm_;
+  std::vector<std::shared_ptr<services::ChannelManagerPartition>> cm_partitions_;
+  std::vector<std::unique_ptr<services::ChannelManager>> cms_;
+  std::unique_ptr<p2p::Tracker> tracker_;
+  services::RedirectionManager redirection_;
+  util::Bytes reference_binary_;
+
+  std::unique_ptr<RedirectionNode> redirection_node_;
+  std::unique_ptr<UserManagerNode> um_node_;
+  std::unique_ptr<ChannelPolicyNode> cpm_node_;
+  std::vector<std::unique_ptr<ChannelManagerNode>> cm_nodes_;
+  std::map<util::ChannelId, ChannelSource> sources_;
+  std::vector<std::unique_ptr<AsyncClient>> clients_;
+  util::NodeId next_client_node_ = kClientBase;
+};
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,55 @@
+#include "net/envelope.h"
+
+namespace p2pdrm::net {
+
+std::string_view to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kRedirectRequest: return "redirect-req";
+    case MsgKind::kRedirectResponse: return "redirect-resp";
+    case MsgKind::kLogin1Request: return "login1-req";
+    case MsgKind::kLogin1Response: return "login1-resp";
+    case MsgKind::kLogin2Request: return "login2-req";
+    case MsgKind::kLogin2Response: return "login2-resp";
+    case MsgKind::kChannelListRequest: return "channel-list-req";
+    case MsgKind::kChannelListResponse: return "channel-list-resp";
+    case MsgKind::kSwitch1Request: return "switch1-req";
+    case MsgKind::kSwitch1Response: return "switch1-resp";
+    case MsgKind::kSwitch2Request: return "switch2-req";
+    case MsgKind::kSwitch2Response: return "switch2-resp";
+    case MsgKind::kJoinRequest: return "join-req";
+    case MsgKind::kJoinResponse: return "join-resp";
+    case MsgKind::kRenewalPresent: return "renewal-present";
+    case MsgKind::kRenewalAck: return "renewal-ack";
+    case MsgKind::kKeyBlob: return "key-blob";
+    case MsgKind::kContent: return "content";
+  }
+  return "?";
+}
+
+util::Bytes Envelope::encode() const {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<Envelope> Envelope::decode(util::BytesView data) {
+  try {
+    util::WireReader r(data);
+    Envelope e;
+    const std::uint8_t raw = r.u8();
+    if (raw < 1 || raw > static_cast<std::uint8_t>(MsgKind::kContent)) {
+      return std::nullopt;
+    }
+    e.kind = static_cast<MsgKind>(raw);
+    e.request_id = r.u64();
+    e.payload = r.bytes();
+    if (!r.at_end()) return std::nullopt;
+    return e;
+  } catch (const util::WireError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,51 @@
+// Message envelope for the simulated network deployment.
+//
+// Every datagram on the simulated wire is an Envelope: a kind tag, a
+// request id for matching responses to outstanding requests (and discarding
+// stale retransmissions), and the protocol message bytes. Service frontends
+// parse the payload with the core codecs; anything malformed is dropped,
+// exactly as a UDP service would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/wire.h"
+
+namespace p2pdrm::net {
+
+enum class MsgKind : std::uint8_t {
+  kRedirectRequest = 1,
+  kRedirectResponse = 2,
+  kLogin1Request = 3,
+  kLogin1Response = 4,
+  kLogin2Request = 5,
+  kLogin2Response = 6,
+  kChannelListRequest = 7,
+  kChannelListResponse = 8,
+  kSwitch1Request = 9,
+  kSwitch1Response = 10,
+  kSwitch2Request = 11,
+  kSwitch2Response = 12,
+  kJoinRequest = 13,
+  kJoinResponse = 14,
+  kRenewalPresent = 15,
+  kRenewalAck = 16,
+  kKeyBlob = 17,       // content key, wrapped for one link (one-way)
+  kContent = 18,       // content packet (one-way)
+};
+
+std::string_view to_string(MsgKind kind);
+
+struct Envelope {
+  MsgKind kind = MsgKind::kRedirectRequest;
+  std::uint64_t request_id = 0;
+  util::Bytes payload;
+
+  util::Bytes encode() const;
+  /// nullopt on malformed input (dropped at the receiver).
+  static std::optional<Envelope> decode(util::BytesView data);
+};
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,75 @@
+#include "net/network.h"
+
+namespace p2pdrm::net {
+
+Network::Network(sim::Simulation& sim, LinkConfig default_link,
+                 crypto::SecureRandom rng)
+    : sim_(sim), default_link_(default_link), rng_(std::move(rng)) {}
+
+void Network::attach(util::NodeId id, util::NetAddr addr, Node* node) {
+  const auto old = nodes_.find(id);
+  if (old != nodes_.end()) by_addr_.erase(old->second.addr.ip);
+  nodes_[id] = Binding{addr, node, std::nullopt};
+  by_addr_[addr.ip] = id;
+}
+
+void Network::detach(util::NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  by_addr_.erase(it->second.addr.ip);
+  nodes_.erase(it);
+}
+
+void Network::set_link(util::NodeId id, LinkConfig link) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.link = link;
+}
+
+const LinkConfig& Network::link_of(util::NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end() && it->second.link) return *it->second.link;
+  return default_link_;
+}
+
+void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
+  ++sent_;
+  const auto sender = nodes_.find(from);
+  const util::NetAddr from_addr =
+      sender != nodes_.end() ? sender->second.addr : util::NetAddr{};
+
+  // Path properties combine both endpoints' access links.
+  const LinkConfig& out_link = link_of(from);
+  const LinkConfig& in_link = link_of(to);
+  const double loss = 1.0 - (1.0 - out_link.loss) * (1.0 - in_link.loss);
+  if (loss > 0 && rng_.chance(loss)) {
+    ++dropped_;
+    return;
+  }
+  const util::SimTime delay =
+      out_link.latency.sample_rtt(rng_) / 2 + in_link.latency.sample_rtt(rng_) / 2;
+
+  Packet packet{from, from_addr, to, std::move(data)};
+  sim_.schedule(delay, [this, packet = std::move(packet)]() mutable {
+    const auto it = nodes_.find(packet.to);
+    if (it == nodes_.end() || it->second.node == nullptr) {
+      ++dropped_;  // destination gone by arrival time
+      return;
+    }
+    ++delivered_;
+    it->second.node->on_packet(packet);
+  });
+}
+
+std::optional<util::NetAddr> Network::addr_of(util::NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.addr;
+}
+
+std::optional<util::NodeId> Network::node_at(util::NetAddr addr) const {
+  const auto it = by_addr_.find(addr.ip);
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,87 @@
+// Simulated datagram network: unreliable, latency-injected, deterministic.
+//
+// Nodes attach with an id and an address; send() schedules delivery through
+// the discrete-event simulation with a sampled one-way delay, or drops the
+// packet with the configured loss probability (independently per packet —
+// the client's retry logic is what makes the protocols robust, exactly as
+// over UDP). Per-node access links can override the default latency/loss.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "crypto/chacha20.h"
+#include "sim/latency.h"
+#include "sim/simulation.h"
+#include "util/ids.h"
+
+namespace p2pdrm::net {
+
+struct Packet {
+  util::NodeId from = util::kInvalidNode;
+  util::NetAddr from_addr;
+  util::NodeId to = util::kInvalidNode;
+  util::Bytes data;
+};
+
+/// Something attached to the network.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_packet(const Packet& packet) = 0;
+};
+
+struct LinkConfig {
+  sim::LatencyModel latency;  // RTT model; one-way = sample/2
+  double loss = 0.0;          // per-packet drop probability
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, LinkConfig default_link, crypto::SecureRandom rng);
+
+  /// Attach a node (replaces any previous binding of the id).
+  void attach(util::NodeId id, util::NetAddr addr, Node* node);
+  /// Detach: in-flight packets to this node are dropped on arrival.
+  void detach(util::NodeId id);
+  bool attached(util::NodeId id) const { return nodes_.contains(id); }
+
+  /// Override the access link of one node (both directions use the worse
+  /// half of each endpoint's link: delay adds, loss combines).
+  void set_link(util::NodeId id, LinkConfig link);
+
+  /// Fire-and-forget datagram. Packets to unknown destinations vanish
+  /// (like the real Internet).
+  void send(util::NodeId from, util::NodeId to, util::Bytes data);
+
+  std::optional<util::NetAddr> addr_of(util::NodeId id) const;
+  /// Reverse lookup (exact address match).
+  std::optional<util::NodeId> node_at(util::NetAddr addr) const;
+
+  sim::Simulation& sim() { return sim_; }
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  struct Binding {
+    util::NetAddr addr;
+    Node* node = nullptr;
+    std::optional<LinkConfig> link;
+  };
+
+  const LinkConfig& link_of(util::NodeId id) const;
+
+  sim::Simulation& sim_;
+  LinkConfig default_link_;
+  crypto::SecureRandom rng_;
+  std::map<util::NodeId, Binding> nodes_;
+  std::map<std::uint32_t, util::NodeId> by_addr_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,206 @@
+#include "net/service_nodes.h"
+
+namespace p2pdrm::net {
+
+namespace {
+
+/// Send `payload` as a response envelope after the node's processing delay.
+void respond_after(Network& network, util::NodeId self, util::NodeId to,
+                   MsgKind kind, std::uint64_t request_id, util::Bytes payload,
+                   util::SimTime processing) {
+  Envelope reply;
+  reply.kind = kind;
+  reply.request_id = request_id;
+  reply.payload = std::move(payload);
+  util::Bytes wire = reply.encode();
+  if (processing <= 0) {
+    network.send(self, to, std::move(wire));
+    return;
+  }
+  network.sim().schedule(processing, [&network, self, to, wire = std::move(wire)]() mutable {
+    network.send(self, to, std::move(wire));
+  });
+}
+
+}  // namespace
+
+RedirectionNode::RedirectionNode(services::RedirectionManager& rm, Network& network,
+                                 util::NodeId self, ProcessingModel processing)
+    : rm_(rm), network_(network), self_(self), processing_(processing) {}
+
+void RedirectionNode::on_packet(const Packet& packet) {
+  const auto env = Envelope::decode(packet.data);
+  if (!env || env->kind != MsgKind::kRedirectRequest) return;
+  try {
+    const auto req = services::RedirectRequest::decode(env->payload);
+    respond_after(network_, self_, packet.from, MsgKind::kRedirectResponse,
+                  env->request_id, rm_.handle_lookup(req).encode(), processing_.light);
+  } catch (const util::WireError&) {
+  }
+}
+
+UserManagerNode::UserManagerNode(services::UserManager& um, Network& network,
+                                 util::NodeId self, ProcessingModel processing)
+    : um_(um), network_(network), self_(self), processing_(processing) {}
+
+void UserManagerNode::on_packet(const Packet& packet) {
+  const auto env = Envelope::decode(packet.data);
+  if (!env) return;
+  const util::SimTime now = network_.sim().now();
+  try {
+    switch (env->kind) {
+      case MsgKind::kLogin1Request: {
+        const auto req = core::Login1Request::decode(env->payload);
+        respond_after(network_, self_, packet.from, MsgKind::kLogin1Response,
+                      env->request_id,
+                      um_.handle_login1(req, packet.from_addr, now).encode(),
+                      processing_.light);
+        return;
+      }
+      case MsgKind::kLogin2Request: {
+        const auto req = core::Login2Request::decode(env->payload);
+        respond_after(network_, self_, packet.from, MsgKind::kLogin2Response,
+                      env->request_id,
+                      um_.handle_login2(req, packet.from_addr, now).encode(),
+                      processing_.heavy);
+        return;
+      }
+      default:
+        return;  // not for this node
+    }
+  } catch (const util::WireError&) {
+  }
+}
+
+ChannelPolicyNode::ChannelPolicyNode(services::ChannelPolicyManager& cpm,
+                                     Network& network, util::NodeId self,
+                                     ProcessingModel processing)
+    : cpm_(cpm), network_(network), self_(self), processing_(processing) {}
+
+void ChannelPolicyNode::on_packet(const Packet& packet) {
+  const auto env = Envelope::decode(packet.data);
+  if (!env || env->kind != MsgKind::kChannelListRequest) return;
+  try {
+    const auto req = core::ChannelListRequest::decode(env->payload);
+    respond_after(network_, self_, packet.from, MsgKind::kChannelListResponse,
+                  env->request_id,
+                  cpm_.handle_channel_list(req, network_.sim().now()).encode(),
+                  processing_.light);
+  } catch (const util::WireError&) {
+  }
+}
+
+ChannelManagerNode::ChannelManagerNode(services::ChannelManager& cm, Network& network,
+                                       util::NodeId self, ProcessingModel processing)
+    : cm_(cm), network_(network), self_(self), processing_(processing) {}
+
+void ChannelManagerNode::on_packet(const Packet& packet) {
+  const auto env = Envelope::decode(packet.data);
+  if (!env) return;
+  const util::SimTime now = network_.sim().now();
+  try {
+    switch (env->kind) {
+      case MsgKind::kSwitch1Request: {
+        const auto req = core::Switch1Request::decode(env->payload);
+        respond_after(network_, self_, packet.from, MsgKind::kSwitch1Response,
+                      env->request_id,
+                      cm_.handle_switch1(req, packet.from_addr, now).encode(),
+                      processing_.light);
+        return;
+      }
+      case MsgKind::kSwitch2Request: {
+        const auto req = core::Switch2Request::decode(env->payload);
+        respond_after(network_, self_, packet.from, MsgKind::kSwitch2Response,
+                      env->request_id,
+                      cm_.handle_switch2(req, packet.from_addr, now).encode(),
+                      processing_.heavy);
+        return;
+      }
+      default:
+        return;
+    }
+  } catch (const util::WireError&) {
+  }
+}
+
+PeerNode::PeerNode(std::unique_ptr<p2p::Peer> peer, Network& network,
+                   ProcessingModel processing)
+    : peer_(std::move(peer)), network_(network), processing_(processing) {}
+
+void PeerNode::on_packet(const Packet& packet) {
+  const auto env = Envelope::decode(packet.data);
+  if (!env) return;
+  const util::SimTime now = network_.sim().now();
+  switch (env->kind) {
+    case MsgKind::kJoinRequest: {
+      try {
+        const auto req = core::JoinRequest::decode(env->payload);
+        const core::JoinResponse resp =
+            peer_->handle_join(req, packet.from_addr, packet.from, now);
+        respond_after(network_, id(), packet.from, MsgKind::kJoinResponse,
+                      env->request_id, resp.encode(), processing_.heavy);
+        if (resp.error == core::DrmError::kOk && join_observer_) {
+          join_observer_(packet.from, peer_->child_count());
+        }
+      } catch (const util::WireError&) {
+      }
+      return;
+    }
+    case MsgKind::kRenewalPresent: {
+      const bool ok = peer_->present_renewal(packet.from, env->payload, now);
+      util::WireWriter w;
+      w.u8(ok ? 1 : 0);
+      respond_after(network_, id(), packet.from, MsgKind::kRenewalAck,
+                    env->request_id, w.take(), processing_.light);
+      return;
+    }
+    case MsgKind::kKeyBlob: {
+      for (p2p::Outgoing& out : peer_->handle_key_blob(packet.from, env->payload)) {
+        Envelope fwd;
+        fwd.kind = MsgKind::kKeyBlob;
+        fwd.payload = std::move(out.payload);
+        network_.send(id(), out.to, fwd.encode());
+        ++keys_relayed_;
+      }
+      return;
+    }
+    case MsgKind::kContent: {
+      core::ContentPacket content;
+      try {
+        content = core::ContentPacket::decode(env->payload);
+      } catch (const util::WireError&) {
+        return;
+      }
+      ++content_received_;
+      if (content_sink_) content_sink_(content, peer_->decrypt(content));
+      forward_content(content);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void PeerNode::announce_key(const core::ContentKey& key) {
+  for (p2p::Outgoing& out : peer_->announce_key(key)) {
+    Envelope env;
+    env.kind = MsgKind::kKeyBlob;
+    env.payload = std::move(out.payload);
+    network_.send(id(), out.to, env.encode());
+    ++keys_relayed_;
+  }
+}
+
+void PeerNode::forward_content(const core::ContentPacket& packet) {
+  Envelope env;
+  env.kind = MsgKind::kContent;
+  env.payload = packet.encode();
+  const util::Bytes wire = env.encode();
+  // Sub-stream aware: each child only receives the sub-streams it asked
+  // this parent for (peer-division multiplexing).
+  for (util::NodeId child : peer_->forward_targets_for(packet.seq)) {
+    network_.send(id(), child, wire);
+  }
+}
+
+}  // namespace p2pdrm::net

@@ -1,0 +1,95 @@
+#include "p2p/substream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pdrm::p2p {
+
+SubstreamRouter::SubstreamRouter(std::size_t substreams) : parents_(substreams) {
+  if (substreams == 0) {
+    throw std::invalid_argument("SubstreamRouter: need at least one sub-stream");
+  }
+}
+
+void SubstreamRouter::assign(std::size_t substream, util::NodeId parent) {
+  parents_.at(substream) = parent;
+}
+
+std::optional<util::NodeId> SubstreamRouter::parent_of(std::size_t substream) const {
+  return parents_.at(substream);
+}
+
+std::vector<std::size_t> SubstreamRouter::unassigned() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < parents_.size(); ++i) {
+    if (!parents_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SubstreamRouter::drop_parent(util::NodeId parent) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < parents_.size(); ++i) {
+    if (parents_[i] == parent) {
+      parents_[i].reset();
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<util::NodeId> SubstreamRouter::parents() const {
+  std::vector<util::NodeId> out;
+  for (const auto& p : parents_) {
+    if (p && std::find(out.begin(), out.end(), *p) == out.end()) out.push_back(*p);
+  }
+  return out;
+}
+
+SubstreamBuffer::SubstreamBuffer(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("SubstreamBuffer: zero window");
+}
+
+std::vector<SubstreamBuffer::Delivered> SubstreamBuffer::insert(std::uint64_t seq,
+                                                                util::Bytes payload) {
+  if (seq < next_) {
+    ++dropped_;  // stale duplicate
+    return {};
+  }
+  if (seq >= next_ + window_) {
+    ++dropped_;  // beyond the reordering window
+    return {};
+  }
+  if (!pending_.emplace(seq, std::move(payload)).second) {
+    ++dropped_;  // duplicate of a buffered packet
+    return {};
+  }
+  return drain();
+}
+
+std::vector<SubstreamBuffer::Delivered> SubstreamBuffer::skip_to(std::uint64_t seq) {
+  if (seq <= next_) return {};
+  // Everything below the new cursor is abandoned.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first < seq) {
+    ++dropped_;
+    it = pending_.erase(it);
+  }
+  next_ = seq;
+  return drain();
+}
+
+std::vector<SubstreamBuffer::Delivered> SubstreamBuffer::drain() {
+  std::vector<Delivered> out;
+  auto it = pending_.find(next_);
+  while (it != pending_.end()) {
+    out.push_back({it->first, std::move(it->second)});
+    pending_.erase(it);
+    ++delivered_;
+    ++next_;
+    it = pending_.find(next_);
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::p2p

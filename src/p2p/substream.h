@@ -1,0 +1,94 @@
+// Receiver-based peer-division multiplexing substrate (§III, §IV-E).
+//
+// The underlying P2P network the paper deployed on delivers a channel as k
+// sub-streams, each potentially via a different parent ("when the stream is
+// sent as sub-streams through multiple parents, a peer may receive multiple
+// copies of the same content key" — which is why key serials dedup). This
+// module provides the two receiver-side pieces:
+//   - SubstreamRouter: which parent serves which sub-stream, with failover
+//     when a parent disappears,
+//   - SubstreamBuffer: in-order reassembly of packets arriving out of order
+//     across sub-streams, with a bounded window and explicit gap skipping
+//     (live video never stalls forever on a lost packet).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace p2pdrm::p2p {
+
+/// Sub-stream index of a packet: round-robin over sequence numbers.
+constexpr std::size_t substream_of(std::uint64_t seq, std::size_t substreams) {
+  return static_cast<std::size_t>(seq % substreams);
+}
+
+/// Maps sub-streams to parent peers.
+class SubstreamRouter {
+ public:
+  explicit SubstreamRouter(std::size_t substreams);
+
+  std::size_t substream_count() const { return parents_.size(); }
+
+  /// Assign a parent to one sub-stream (replacing any previous one).
+  void assign(std::size_t substream, util::NodeId parent);
+  /// Parent currently serving a sub-stream (nullopt if unassigned).
+  std::optional<util::NodeId> parent_of(std::size_t substream) const;
+
+  /// Sub-streams with no live parent (what the client must re-join for).
+  std::vector<std::size_t> unassigned() const;
+
+  /// A parent died / was dropped: unassigns every sub-stream it served and
+  /// returns those sub-stream indices.
+  std::vector<std::size_t> drop_parent(util::NodeId parent);
+
+  /// Distinct parents currently in use.
+  std::vector<util::NodeId> parents() const;
+
+ private:
+  std::vector<std::optional<util::NodeId>> parents_;
+};
+
+/// In-order reassembly buffer with a bounded reordering window.
+class SubstreamBuffer {
+ public:
+  /// `window`: maximum number of out-of-order packets buffered ahead of the
+  /// next expected sequence number; packets beyond it are rejected (the
+  /// receiver should skip forward instead).
+  explicit SubstreamBuffer(std::size_t window = 256);
+
+  struct Delivered {
+    std::uint64_t seq;
+    util::Bytes payload;
+  };
+
+  /// Insert a decrypted packet payload. Returns every packet that became
+  /// deliverable in order (possibly empty; possibly several when a gap
+  /// fills). Duplicates and packets older than the cursor are dropped.
+  std::vector<Delivered> insert(std::uint64_t seq, util::Bytes payload);
+
+  /// Abandon everything before `seq` (playback skipped over a loss).
+  /// Buffered packets at or after `seq` survive and may deliver immediately
+  /// on the next insert... or now; the return works like insert's.
+  std::vector<Delivered> skip_to(std::uint64_t seq);
+
+  std::uint64_t next_expected() const { return next_; }
+  std::size_t buffered() const { return pending_.size(); }
+  std::uint64_t delivered_count() const { return delivered_; }
+  std::uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  std::vector<Delivered> drain();
+
+  std::size_t window_;
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, util::Bytes> pending_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace p2pdrm::p2p

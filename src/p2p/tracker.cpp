@@ -1,0 +1,71 @@
+#include "p2p/tracker.h"
+
+#include <algorithm>
+
+namespace p2pdrm::p2p {
+
+Tracker::Tracker(crypto::SecureRandom rng) : rng_(std::move(rng)) {}
+
+void Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
+                            std::size_t capacity) {
+  channels_[channel][info.node] = PeerState{info, capacity, 0};
+}
+
+void Tracker::update_load(util::ChannelId channel, util::NodeId node,
+                          std::size_t children) {
+  const auto ch_it = channels_.find(channel);
+  if (ch_it == channels_.end()) return;
+  const auto it = ch_it->second.find(node);
+  if (it != ch_it->second.end()) it->second.children = children;
+}
+
+void Tracker::unregister_peer(util::ChannelId channel, util::NodeId node) {
+  const auto ch_it = channels_.find(channel);
+  if (ch_it == channels_.end()) return;
+  ch_it->second.erase(node);
+  if (ch_it->second.empty()) channels_.erase(ch_it);
+}
+
+std::vector<core::PeerInfo> Tracker::sample_peers(util::ChannelId channel,
+                                                  std::size_t max_peers,
+                                                  util::NetAddr requester) {
+  std::vector<core::PeerInfo> out;
+  const auto ch_it = channels_.find(channel);
+  if (ch_it == channels_.end()) return out;
+
+  std::vector<const PeerState*> spare, loaded;
+  for (const auto& [node, state] : ch_it->second) {
+    if (state.info.addr == requester) continue;
+    (state.children < state.capacity ? spare : loaded).push_back(&state);
+  }
+
+  const auto take_random = [&](std::vector<const PeerState*>& pool) {
+    while (!pool.empty() && out.size() < max_peers) {
+      const std::size_t i = rng_.uniform(pool.size());
+      out.push_back(pool[i]->info);
+      pool[i] = pool.back();
+      pool.pop_back();
+    }
+  };
+  take_random(spare);
+  take_random(loaded);
+  return out;
+}
+
+std::size_t Tracker::peer_count(util::ChannelId channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+double Tracker::utilization(util::ChannelId channel) const {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) return 0.0;
+  std::size_t used = 0, total = 0;
+  for (const auto& [node, state] : it->second) {
+    used += std::min(state.children, state.capacity);
+    total += state.capacity;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(total);
+}
+
+}  // namespace p2pdrm::p2p

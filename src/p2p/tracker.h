@@ -1,0 +1,53 @@
+// Per-channel peer directory backing the Channel Manager's peer lists.
+//
+// The Channel Manager returns, with each Channel Ticket, "a list of peers
+// from whom the client can obtain a channel signal". The tracker keeps the
+// membership of every channel overlay with a coarse load signal (current
+// child count vs capacity) and samples candidate parents, preferring peers
+// with spare capacity. Sampling is randomized so the tree keeps spreading.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/messages.h"
+#include "crypto/chacha20.h"
+#include "services/channel_manager.h"
+#include "util/ids.h"
+
+namespace p2pdrm::p2p {
+
+class Tracker : public services::PeerDirectory {
+ public:
+  explicit Tracker(crypto::SecureRandom rng);
+
+  /// Announce a peer carrying `channel` with the given child capacity.
+  void register_peer(util::ChannelId channel, core::PeerInfo info, std::size_t capacity);
+  /// Update a peer's current load (child count).
+  void update_load(util::ChannelId channel, util::NodeId node, std::size_t children);
+  void unregister_peer(util::ChannelId channel, util::NodeId node);
+
+  /// PeerDirectory: random sample preferring peers with spare capacity;
+  /// falls back to loaded peers only if there are not enough spare ones
+  /// (joiners will then see kNoCapacity and retry — this is what couples
+  /// JOIN latency weakly to system load).
+  std::vector<core::PeerInfo> sample_peers(util::ChannelId channel,
+                                           std::size_t max_peers,
+                                           util::NetAddr requester) override;
+
+  std::size_t peer_count(util::ChannelId channel) const;
+  /// Fraction of total capacity currently used on a channel (0 if empty).
+  double utilization(util::ChannelId channel) const;
+
+ private:
+  struct PeerState {
+    core::PeerInfo info;
+    std::size_t capacity = 0;
+    std::size_t children = 0;
+  };
+
+  std::map<util::ChannelId, std::map<util::NodeId, PeerState>> channels_;
+  crypto::SecureRandom rng_;
+};
+
+}  // namespace p2pdrm::p2p

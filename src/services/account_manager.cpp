@@ -1,0 +1,67 @@
+#include "services/account_manager.h"
+
+namespace p2pdrm::services {
+
+AccountManager::AccountManager(ProvisioningSink sink) : sink_(std::move(sink)) {}
+
+void AccountManager::set_sink(ProvisioningSink sink) {
+  sink_ = std::move(sink);
+  if (!sink_) return;
+  for (const auto& [email, account] : accounts_) push(account);
+}
+
+bool AccountManager::create_account(const std::string& email,
+                                    const std::string& password, util::SimTime now) {
+  if (accounts_.contains(email)) return false;
+  AccountRecord record;
+  record.email = email;
+  record.shp = core::password_hash(password);
+  record.created_at = now;
+  push(accounts_.emplace(email, std::move(record)).first->second);
+  return true;
+}
+
+bool AccountManager::subscribe(const std::string& email, const SubscriptionGrant& grant) {
+  const auto it = accounts_.find(email);
+  if (it == accounts_.end()) return false;
+  it->second.subscriptions.push_back(grant);
+  push(it->second);
+  return true;
+}
+
+bool AccountManager::unsubscribe(const std::string& email, const std::string& package) {
+  const auto it = accounts_.find(email);
+  if (it == accounts_.end()) return false;
+  std::erase_if(it->second.subscriptions,
+                [&](const SubscriptionGrant& g) { return g.package == package; });
+  push(it->second);
+  return true;
+}
+
+bool AccountManager::set_suspended(const std::string& email, bool suspended) {
+  const auto it = accounts_.find(email);
+  if (it == accounts_.end()) return false;
+  it->second.suspended = suspended;
+  push(it->second);
+  return true;
+}
+
+bool AccountManager::check_password(const std::string& email,
+                                    const std::string& password) const {
+  const AccountRecord* record = find(email);
+  if (record == nullptr) return false;
+  const crypto::Sha256Digest attempt = core::password_hash(password);
+  return util::constant_time_equal(util::BytesView(attempt.data(), attempt.size()),
+                                   util::BytesView(record->shp.data(), record->shp.size()));
+}
+
+const AccountRecord* AccountManager::find(const std::string& email) const {
+  const auto it = accounts_.find(email);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+void AccountManager::push(const AccountRecord& account) {
+  if (sink_) sink_(UserProvisioning{account});
+}
+
+}  // namespace p2pdrm::services

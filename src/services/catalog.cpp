@@ -1,0 +1,175 @@
+#include "services/catalog.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace p2pdrm::services {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Pop the next space-delimited token.
+std::string_view next_token(std::string_view& rest) {
+  rest = trim(rest);
+  const std::size_t space = rest.find(' ');
+  std::string_view token = rest.substr(0, space);
+  rest = space == std::string_view::npos ? std::string_view{} : rest.substr(space + 1);
+  return token;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+std::optional<core::AttrValue> parse_catalog_value(std::string_view s) {
+  if (s == "ANY") return core::AttrValue::any();
+  if (s == "ALL") return core::AttrValue::all();
+  if (s == "NONE") return core::AttrValue::none();
+  if (s == "NULL") return core::AttrValue::null();
+  if (s.empty()) return std::nullopt;
+  return core::AttrValue::of(std::string(s));
+}
+
+}  // namespace
+
+core::ChannelRecord make_regional_channel(util::ChannelId id, const std::string& name,
+                                          geo::RegionId region,
+                                          std::uint32_t partition) {
+  core::ChannelRecord c;
+  c.id = id;
+  c.name = name;
+  c.partition = partition;
+  core::Attribute region_attr;
+  region_attr.name = core::kAttrRegion;
+  region_attr.value = core::AttrValue::of_number(region);
+  c.attributes.add(std::move(region_attr));
+  core::Policy accept;
+  accept.priority = 50;
+  accept.terms.push_back({core::kAttrRegion, core::AttrValue::of_number(region)});
+  accept.action = core::PolicyAction::kAccept;
+  c.policies.push_back(std::move(accept));
+  return c;
+}
+
+core::ChannelRecord make_subscription_channel(util::ChannelId id,
+                                              const std::string& name,
+                                              geo::RegionId region,
+                                              const std::string& package,
+                                              std::uint32_t partition) {
+  core::ChannelRecord c = make_regional_channel(id, name, region, partition);
+  c.policies.clear();
+  core::Attribute sub_attr;
+  sub_attr.name = core::kAttrSubscription;
+  sub_attr.value = core::AttrValue::of(package);
+  c.attributes.add(std::move(sub_attr));
+  core::Policy accept;
+  accept.priority = 50;
+  accept.terms.push_back({core::kAttrRegion, core::AttrValue::of_number(region)});
+  accept.terms.push_back({core::kAttrSubscription, core::AttrValue::of(package)});
+  accept.action = core::PolicyAction::kAccept;
+  c.policies.push_back(std::move(accept));
+  return c;
+}
+
+CatalogParseResult parse_catalog(std::string_view text) {
+  CatalogParseResult result;
+  core::ChannelRecord* current = nullptr;
+  int line_no = 0;
+
+  std::istringstream lines{std::string(text)};
+  std::string raw_line;
+  const auto fail = [&](const std::string& what) {
+    result.error = "line " + std::to_string(line_no) + ": " + what;
+    result.channels.clear();
+    return result;
+  };
+
+  while (std::getline(lines, raw_line)) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::string_view rest = line;
+    const std::string_view keyword = next_token(rest);
+
+    if (keyword == "channel") {
+      // channel <id> "<name>" [partition <p>]
+      std::uint64_t id = 0;
+      if (!parse_u64(next_token(rest), id)) return fail("bad channel id");
+      rest = trim(rest);
+      if (rest.empty() || rest.front() != '"') return fail("expected quoted name");
+      rest.remove_prefix(1);
+      const std::size_t close = rest.find('"');
+      if (close == std::string_view::npos) return fail("unterminated name");
+      core::ChannelRecord channel;
+      channel.id = static_cast<util::ChannelId>(id);
+      channel.name = std::string(rest.substr(0, close));
+      rest = trim(rest.substr(close + 1));
+      if (!rest.empty()) {
+        if (next_token(rest) != "partition") return fail("expected 'partition'");
+        std::uint64_t partition = 0;
+        if (!parse_u64(next_token(rest), partition)) return fail("bad partition");
+        channel.partition = static_cast<std::uint32_t>(partition);
+      }
+      for (const core::ChannelRecord& existing : result.channels) {
+        if (existing.id == channel.id) return fail("duplicate channel id");
+      }
+      result.channels.push_back(std::move(channel));
+      current = &result.channels.back();
+      continue;
+    }
+
+    if (keyword == "attribute") {
+      // attribute <Name>=<Value> [stime=<us>] [etime=<us>]
+      if (current == nullptr) return fail("attribute before any channel");
+      const std::string_view spec = next_token(rest);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string_view::npos || eq == 0) return fail("expected Name=Value");
+      core::Attribute attr;
+      attr.name = std::string(spec.substr(0, eq));
+      const auto value = parse_catalog_value(spec.substr(eq + 1));
+      if (!value) return fail("bad attribute value");
+      attr.value = *value;
+      while (!trim(rest).empty()) {
+        const std::string_view bound = next_token(rest);
+        std::int64_t when = 0;
+        if (bound.starts_with("stime=") && parse_i64(bound.substr(6), when)) {
+          attr.stime = when;
+        } else if (bound.starts_with("etime=") && parse_i64(bound.substr(6), when)) {
+          attr.etime = when;
+        } else {
+          return fail("bad attribute bound '" + std::string(bound) + "'");
+        }
+      }
+      current->attributes.add(std::move(attr));
+      continue;
+    }
+
+    if (keyword == "policy") {
+      if (current == nullptr) return fail("policy before any channel");
+      const auto policy = core::parse_policy(rest);
+      if (!policy) return fail("unparseable policy '" + std::string(rest) + "'");
+      current->policies.push_back(*policy);
+      continue;
+    }
+
+    return fail("unknown keyword '" + std::string(keyword) + "'");
+  }
+  return result;
+}
+
+}  // namespace p2pdrm::services

@@ -1,0 +1,155 @@
+// Channel Manager (§IV-C, §IV-D).
+//
+// Verifies User Tickets, evaluates channel policies, issues and renews
+// Channel Tickets, enforces the one-account-one-session rule through the
+// viewing-activity log, and hands out (unsigned) peer lists. Stateless per
+// client like the User Manager; a farm serving one Channel Listing
+// Partition shares the signing keys, farm secret, and the viewing log.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/policy.h"
+#include "core/ticket.h"
+#include "crypto/chacha20.h"
+#include "services/metrics.h"
+#include "crypto/rsa.h"
+#include "util/ids.h"
+
+namespace p2pdrm::services {
+
+/// Viewing-activity log (§IV-C purpose 3, §IV-D). Shared by every Channel
+/// Manager instance in a partition's farm. Keeps both the latest entry per
+/// (user, channel) — what renewal checks consult — and a full audit trail
+/// for license payment, royalty payment, and billing.
+class ViewingLog {
+ public:
+  struct Entry {
+    util::UserIN user_in = 0;
+    util::ChannelId channel = 0;
+    util::NetAddr addr;
+    util::SimTime time = 0;
+    bool renewal = false;
+  };
+
+  void record(const Entry& entry);
+
+  /// Latest *fresh-issue* entry for (user, channel); renewals do not move
+  /// it (§IV-D: renewal matches against the latest new-ticket entry).
+  const Entry* latest(util::UserIN user, util::ChannelId channel) const;
+
+  std::size_t size() const { return audit_.size(); }
+  const std::vector<Entry>& audit_trail() const { return audit_; }
+
+  /// Fresh-issue view counts per channel (royalty/advertising reporting).
+  std::map<util::ChannelId, std::size_t> views_per_channel() const;
+
+  /// Durable form: billing and royalty data must survive manager restarts
+  /// (the farm shares one log, so this is also the hand-off format when a
+  /// partition's store moves).
+  util::Bytes encode() const;
+  /// Rebuild from encode()'s output (the latest-entry index is rederived).
+  /// Throws util::WireError on corrupted input.
+  static ViewingLog decode(util::BytesView data);
+
+ private:
+  std::vector<Entry> audit_;
+  std::map<std::pair<util::UserIN, util::ChannelId>, Entry> latest_;
+};
+
+/// Where the Channel Manager gets candidate peers for a channel. The P2P
+/// tracker implements this; tests use stubs.
+class PeerDirectory {
+ public:
+  virtual ~PeerDirectory() = default;
+  /// Up to `max_peers` peers carrying `channel`, excluding `requester`.
+  virtual std::vector<core::PeerInfo> sample_peers(util::ChannelId channel,
+                                                   std::size_t max_peers,
+                                                   util::NetAddr requester) = 0;
+};
+
+struct ChannelManagerConfig {
+  /// Channel Listing Partition this manager serves (§V).
+  std::uint32_t partition = 0;
+  /// Channel Ticket lifetime (further capped by the User Ticket's remaining
+  /// lifetime, §IV-C).
+  util::SimTime ticket_lifetime = 10 * util::kMinute;
+  util::SimTime challenge_lifetime = 2 * util::kMinute;
+  /// Renewal must be requested within this window before the old ticket's
+  /// expiry ("within a small window of the ticket expiration time", §IV-D).
+  util::SimTime renewal_window = 3 * util::kMinute;
+  /// How many peers to return with a Channel Ticket.
+  std::size_t peer_list_size = 8;
+};
+
+/// State shared by every instance of a partition's Channel Manager farm.
+struct ChannelManagerPartition {
+  ChannelManagerPartition(ChannelManagerConfig config, crypto::RsaKeyPair keys,
+                          crypto::RsaPublicKey um_public_key, util::Bytes farm_secret)
+      : config(config), keys(std::move(keys)),
+        um_public_key(std::move(um_public_key)), farm_secret(std::move(farm_secret)) {}
+
+  ChannelManagerConfig config;
+  crypto::RsaKeyPair keys;
+  crypto::RsaPublicKey um_public_key;
+  util::Bytes farm_secret;
+  std::map<util::ChannelId, core::ChannelRecord> channels;
+  ViewingLog log;
+
+  /// Farm-wide operational counters per protocol round.
+  OpsCounters switch1_stats;
+  OpsCounters switch2_stats;
+};
+
+class ChannelManager {
+ public:
+  ChannelManager(std::shared_ptr<ChannelManagerPartition> partition,
+                 PeerDirectory* peers, crypto::SecureRandom rng);
+
+  /// Ingest hook for Channel Policy Manager channel-list pushes; keeps only
+  /// channels assigned to this partition.
+  void update_channel_list(const std::vector<core::ChannelRecord>& list);
+
+  core::Switch1Response handle_switch1(const core::Switch1Request& req,
+                                       util::NetAddr conn_addr, util::SimTime now);
+  core::Switch2Response handle_switch2(const core::Switch2Request& req,
+                                       util::NetAddr conn_addr, util::SimTime now);
+
+  const crypto::RsaPublicKey& public_key() const { return partition_->keys.pub; }
+  const ViewingLog& log() const { return partition_->log; }
+  const ChannelManagerPartition& partition() const { return *partition_; }
+
+ private:
+  core::Switch1Response do_switch1(const core::Switch1Request& req,
+                                   util::NetAddr conn_addr, util::SimTime now);
+  core::Switch2Response do_switch2(const core::Switch2Request& req,
+                                   util::NetAddr conn_addr, util::SimTime now);
+
+  struct ValidatedRequest {
+    core::SignedUserTicket user_ticket;
+    util::ChannelId channel_id = 0;
+    std::optional<core::SignedChannelTicket> expiring;
+    const core::ChannelRecord* channel = nullptr;
+  };
+
+  /// Shared validation for both rounds; returns error or the parsed pieces.
+  std::optional<core::DrmError> validate(const util::Bytes& user_ticket_bytes,
+                                         util::ChannelId channel_id,
+                                         const util::Bytes& expiring_bytes,
+                                         util::NetAddr conn_addr, util::SimTime now,
+                                         ValidatedRequest& out) const;
+
+  util::Bytes switch_binding(const util::Bytes& user_ticket_bytes,
+                             util::ChannelId channel_id,
+                             const util::Bytes& expiring_bytes) const;
+
+  std::shared_ptr<ChannelManagerPartition> partition_;
+  PeerDirectory* peers_;
+  mutable crypto::SecureRandom rng_;
+};
+
+}  // namespace p2pdrm::services

@@ -1,0 +1,65 @@
+#include "services/channel_server.h"
+
+#include <stdexcept>
+
+namespace p2pdrm::services {
+
+ChannelServer::ChannelServer(ChannelServerConfig config, crypto::SecureRandom rng,
+                             util::SimTime start)
+    : config_(config), rng_(std::move(rng)) {
+  if (config_.rekey_interval <= 0) {
+    throw std::invalid_argument("ChannelServer: rekey_interval must be positive");
+  }
+  if (config_.key_history < 1) {
+    throw std::invalid_argument("ChannelServer: key_history must be >= 1");
+  }
+  mint_key(start);  // key active immediately at startup
+}
+
+void ChannelServer::mint_key(util::SimTime activation) {
+  keys_.push_back(core::generate_content_key(rng_, next_serial_, activation));
+  next_serial_ = static_cast<std::uint8_t>(next_serial_ + 1);  // wraps mod 256
+  ++keys_minted_;
+  while (keys_.size() > config_.key_history) keys_.pop_front();
+}
+
+std::vector<core::ContentKey> ChannelServer::advance(util::SimTime now) {
+  std::vector<core::ContentKey> minted;
+  // Mint the next key once we are within announce_lead of its activation.
+  while (keys_.back().activation + config_.rekey_interval - config_.announce_lead <=
+         now) {
+    mint_key(keys_.back().activation + config_.rekey_interval);
+    minted.push_back(keys_.back());
+  }
+  return minted;
+}
+
+const core::ContentKey& ChannelServer::active_key(util::SimTime now) const {
+  // Newest key whose activation is <= now (there is always one: the key
+  // minted at construction activates at start).
+  for (auto it = keys_.rbegin(); it != keys_.rend(); ++it) {
+    if (it->activation <= now) return *it;
+  }
+  return keys_.front();
+}
+
+core::ContentPacket ChannelServer::produce(util::BytesView payload, util::SimTime now) {
+  if (!config_.encrypt) {
+    core::ContentPacket p;
+    p.channel = config_.channel;
+    p.key_serial = 0;
+    p.seq = next_seq_++;
+    p.payload.assign(payload.begin(), payload.end());
+    return p;
+  }
+  return core::encrypt_packet(active_key(now), config_.channel, next_seq_++, payload);
+}
+
+std::optional<core::ContentKey> ChannelServer::key_by_serial(std::uint8_t serial) const {
+  for (const core::ContentKey& k : keys_) {
+    if (k.serial == serial) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace p2pdrm::services

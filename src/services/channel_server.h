@@ -1,0 +1,72 @@
+// Channel Server (§IV-E, Fig. 1).
+//
+// Ingests and "encodes" the live signal, encrypts it under the rotating
+// content key, and acts as the root of the channel's distribution tree.
+// Keys rotate on a fixed interval (default one minute per the paper); each
+// iteration carries an 8-bit serial. New keys are minted one lead interval
+// before their activation so the P2P network can distribute them ahead of
+// use. A short ring of recent keys is kept so packets in flight across a
+// rotation still decrypt.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/content.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace p2pdrm::services {
+
+struct ChannelServerConfig {
+  util::ChannelId channel = 0;
+  /// Rotation interval ("e.g., at one-minute interval").
+  util::SimTime rekey_interval = 1 * util::kMinute;
+  /// How far before activation a key is announced to the tree.
+  util::SimTime announce_lead = 10 * util::kSecond;
+  /// How many past keys stay decryptable (forward secrecy bound).
+  std::size_t key_history = 4;
+  /// Whether the provider encrypts at all (some public-mandate providers
+  /// distribute in the clear but still control access; §IV-E footnote).
+  bool encrypt = true;
+};
+
+class ChannelServer {
+ public:
+  ChannelServer(ChannelServerConfig config, crypto::SecureRandom rng,
+                util::SimTime start);
+
+  /// Advance to `now`, rotating keys as needed. Returns any newly minted
+  /// keys (to be pushed down the distribution tree).
+  std::vector<core::ContentKey> advance(util::SimTime now);
+
+  /// The key that encrypts content produced at `now`.
+  const core::ContentKey& active_key(util::SimTime now) const;
+
+  /// Most recently minted key (what a joining peer receives first).
+  const core::ContentKey& latest_key() const { return keys_.back(); }
+
+  /// Encrypt one media payload produced at `now` into a content packet
+  /// (plaintext passthrough with serial 0 when encryption is disabled).
+  core::ContentPacket produce(util::BytesView payload, util::SimTime now);
+
+  /// Key ring lookup by serial (nullopt once a key has aged out).
+  std::optional<core::ContentKey> key_by_serial(std::uint8_t serial) const;
+
+  const ChannelServerConfig& config() const { return config_; }
+  std::uint64_t packets_produced() const { return next_seq_; }
+  std::uint64_t keys_minted() const { return keys_minted_; }
+
+ private:
+  void mint_key(util::SimTime activation);
+
+  ChannelServerConfig config_;
+  crypto::SecureRandom rng_;
+  std::deque<core::ContentKey> keys_;  // ascending activation time
+  std::uint8_t next_serial_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t keys_minted_ = 0;
+};
+
+}  // namespace p2pdrm::services

@@ -1,0 +1,14 @@
+#include "services/metrics.h"
+
+namespace p2pdrm::services {
+
+std::string OpsCounters::to_string() const {
+  std::string out;
+  for (const auto& [outcome, count] : by_outcome_) {
+    if (!out.empty()) out += " ";
+    out += std::string(core::to_string(outcome)) + "=" + std::to_string(count);
+  }
+  return out.empty() ? "(no requests)" : out;
+}
+
+}  // namespace p2pdrm::services

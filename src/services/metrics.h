@@ -1,0 +1,40 @@
+// Operational counters for the manager farms. Aggregated in the shared
+// domain/partition state, so a farm of instances reports as one logical
+// manager (§V) — what an operator's dashboard would scrape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/messages.h"
+
+namespace p2pdrm::services {
+
+class OpsCounters {
+ public:
+  void record(core::DrmError outcome) {
+    ++total_;
+    ++by_outcome_[outcome];
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(core::DrmError outcome) const {
+    const auto it = by_outcome_.find(outcome);
+    return it == by_outcome_.end() ? 0 : it->second;
+  }
+  std::uint64_t successes() const { return count(core::DrmError::kOk); }
+  double success_rate() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(successes()) / static_cast<double>(total_);
+  }
+
+  /// "ok=120 access-denied=3 ticket-expired=1" style rendering.
+  std::string to_string() const;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::map<core::DrmError, std::uint64_t> by_outcome_;
+};
+
+}  // namespace p2pdrm::services

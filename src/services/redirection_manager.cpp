@@ -1,0 +1,72 @@
+#include "services/redirection_manager.h"
+
+namespace p2pdrm::services {
+
+void ManagerCoordinates::encode(util::WireWriter& w) const {
+  w.u32(addr.ip);
+  w.bytes(public_key);
+}
+
+ManagerCoordinates ManagerCoordinates::decode(util::WireReader& r) {
+  ManagerCoordinates m;
+  m.addr.ip = r.u32();
+  m.public_key = r.bytes();
+  return m;
+}
+
+util::Bytes RedirectRequest::encode() const {
+  util::WireWriter w;
+  w.str(email);
+  return w.take();
+}
+
+RedirectRequest RedirectRequest::decode(util::BytesView data) {
+  util::WireReader r(data);
+  return RedirectRequest{r.str()};
+}
+
+util::Bytes RedirectResponse::encode() const {
+  util::WireWriter w;
+  w.u8(found ? 1 : 0);
+  w.u32(domain);
+  user_manager.encode(w);
+  channel_policy_manager.encode(w);
+  return w.take();
+}
+
+RedirectResponse RedirectResponse::decode(util::BytesView data) {
+  util::WireReader r(data);
+  RedirectResponse m;
+  m.found = r.u8() == 1;
+  m.domain = r.u32();
+  m.user_manager = ManagerCoordinates::decode(r);
+  m.channel_policy_manager = ManagerCoordinates::decode(r);
+  return m;
+}
+
+void RedirectionManager::register_domain(std::uint32_t domain, ManagerCoordinates um) {
+  domains_[domain] = std::move(um);
+}
+
+void RedirectionManager::assign_user(const std::string& email, std::uint32_t domain) {
+  user_domain_[email] = domain;
+}
+
+void RedirectionManager::set_channel_policy_manager(ManagerCoordinates cpm) {
+  cpm_ = std::move(cpm);
+}
+
+RedirectResponse RedirectionManager::handle_lookup(const RedirectRequest& req) const {
+  RedirectResponse resp;
+  const auto user_it = user_domain_.find(req.email);
+  if (user_it == user_domain_.end()) return resp;
+  const auto dom_it = domains_.find(user_it->second);
+  if (dom_it == domains_.end()) return resp;
+  resp.found = true;
+  resp.domain = user_it->second;
+  resp.user_manager = dom_it->second;
+  resp.channel_policy_manager = cpm_;
+  return resp;
+}
+
+}  // namespace p2pdrm::services

@@ -1,0 +1,67 @@
+// Redirection Manager (§V).
+//
+// Bootstraps clients into the right Authentication Domain: one hash-table
+// lookup from the user's email to the User Manager the user is assigned to,
+// plus the coordinates (address + public key) of the Channel Policy
+// Manager. Its own address and public key are baked into the client binary;
+// it is the only well-known entry point of the whole service.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/rsa.h"
+#include "util/ids.h"
+#include "util/wire.h"
+
+namespace p2pdrm::services {
+
+/// Coordinates of a logical manager: one shared name/address and public key
+/// per domain or partition, regardless of farm size (§V).
+struct ManagerCoordinates {
+  util::NetAddr addr;
+  util::Bytes public_key;  // encoded RsaPublicKey
+
+  void encode(util::WireWriter& w) const;
+  static ManagerCoordinates decode(util::WireReader& r);
+  friend bool operator==(const ManagerCoordinates&, const ManagerCoordinates&) = default;
+};
+
+struct RedirectRequest {
+  std::string email;
+
+  util::Bytes encode() const;
+  static RedirectRequest decode(util::BytesView data);
+};
+
+struct RedirectResponse {
+  bool found = false;
+  std::uint32_t domain = 0;
+  ManagerCoordinates user_manager;
+  ManagerCoordinates channel_policy_manager;
+
+  util::Bytes encode() const;
+  static RedirectResponse decode(util::BytesView data);
+};
+
+class RedirectionManager {
+ public:
+  /// Register a domain's User Manager coordinates.
+  void register_domain(std::uint32_t domain, ManagerCoordinates um);
+  /// Assign a user to a domain (the Account Manager does this at signup).
+  void assign_user(const std::string& email, std::uint32_t domain);
+  void set_channel_policy_manager(ManagerCoordinates cpm);
+
+  RedirectResponse handle_lookup(const RedirectRequest& req) const;
+
+  std::size_t user_count() const { return user_domain_.size(); }
+
+ private:
+  std::map<std::string, std::uint32_t> user_domain_;
+  std::map<std::uint32_t, ManagerCoordinates> domains_;
+  ManagerCoordinates cpm_;
+};
+
+}  // namespace p2pdrm::services

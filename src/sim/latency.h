@@ -1,0 +1,53 @@
+// Network latency and server queueing models for the macro simulations.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "util/time.h"
+
+namespace p2pdrm::sim {
+
+/// Heavy-tailed round-trip-time model: RTT = floor + lognormal(mu, sigma).
+/// Residential last miles gave the production system medians of a few
+/// hundred milliseconds with multi-second tails; sigma controls the tail.
+struct LatencyModel {
+  util::SimTime floor = 20 * util::kMillisecond;
+  /// Median of the lognormal component.
+  util::SimTime median = 150 * util::kMillisecond;
+  double sigma = 0.8;
+  /// Hard cap (protocol timeouts truncate the tail).
+  util::SimTime cap = 30 * util::kSecond;
+
+  util::SimTime sample_rtt(crypto::SecureRandom& rng) const;
+};
+
+/// A farm of `servers` identical FIFO servers sharing one queue (one
+/// logical manager, §V). submit() returns the departure time of a request
+/// arriving at `arrival` needing `service` processing time. Arrivals must
+/// be submitted in nondecreasing time order (the event loop guarantees it).
+class QueueStation {
+ public:
+  explicit QueueStation(std::size_t servers);
+
+  util::SimTime submit(util::SimTime arrival, util::SimTime service);
+
+  std::uint64_t processed() const { return processed_; }
+  /// Total busy time accumulated across all servers.
+  util::SimTime busy_time() const { return busy_; }
+  /// Mean utilization over [0, horizon].
+  double utilization(util::SimTime horizon) const;
+
+ private:
+  // Min-heap of per-server next-free times.
+  std::priority_queue<util::SimTime, std::vector<util::SimTime>,
+                      std::greater<util::SimTime>>
+      free_at_;
+  std::size_t servers_;
+  std::uint64_t processed_ = 0;
+  util::SimTime busy_ = 0;
+};
+
+}  // namespace p2pdrm::sim

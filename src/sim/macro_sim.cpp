@@ -1,0 +1,411 @@
+#include "sim/macro_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace p2pdrm::sim {
+
+std::string_view to_string(ProtocolRound r) {
+  switch (r) {
+    case ProtocolRound::kLogin1: return "LOGIN1";
+    case ProtocolRound::kLogin2: return "LOGIN2";
+    case ProtocolRound::kSwitch1: return "SWITCH1";
+    case ProtocolRound::kSwitch2: return "SWITCH2";
+    case ProtocolRound::kJoin: return "JOIN";
+  }
+  return "?";
+}
+
+std::vector<double> RoundTrace::hourly_median() const {
+  std::vector<double> out;
+  out.reserve(hourly.size());
+  for (const analysis::Reservoir& r : hourly) {
+    out.push_back(r.empty() ? 0.0 : r.median());
+  }
+  return out;
+}
+
+namespace {
+
+enum class Phase : std::uint8_t {
+  kArrival,       // create a session, begin login
+  kLogin1Arrive, kLogin1Resp,
+  kLogin2Arrive, kLogin2Resp,
+  kSwitch1Arrive, kSwitch1Resp,
+  kSwitch2Arrive, kSwitch2Resp,
+  kJoinArrive, kJoinResp,
+  kAction,        // watching; decide what happens next
+};
+
+struct Session {
+  util::SimTime end_time = 0;
+  util::SimTime round_start = 0;
+  util::SimTime rtt_half = 0;
+  util::SimTime ut_expiry = 0;
+  util::SimTime ct_expiry = 0;
+  util::SimTime next_switch = 0;
+  std::uint8_t join_attempts = 0;
+  bool renewing_ct = false;
+  bool relogging_in = false;
+  bool joined_once = false;
+  bool active = false;
+};
+
+struct Event {
+  util::SimTime when;
+  std::uint64_t seq;
+  std::uint32_t session;  // index into pool; unused for kArrival
+  Phase phase;
+};
+struct LaterEvent {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(const MacroSimConfig& config)
+      : cfg_(config), rng_(config.seed),
+        arrivals_(config.profile, peak_rate()),
+        um_(config.user_manager_servers), cm_(config.channel_manager_servers),
+        horizon_(static_cast<util::SimTime>(config.days) * util::kDay) {
+    const std::size_t hours = static_cast<std::size_t>(cfg_.days) * 24;
+    for (std::size_t r = 0; r < kNumRounds; ++r) {
+      RoundTrace& trace = result_.rounds[r];
+      trace.hourly.reserve(hours);
+      for (std::size_t h = 0; h < hours; ++h) {
+        trace.hourly.emplace_back(cfg_.reservoir_per_hour, cfg_.seed + 1000 * r + h);
+      }
+      trace.peak = analysis::Reservoir(cfg_.reservoir_cdf, cfg_.seed + 77 + r);
+      trace.offpeak = analysis::Reservoir(cfg_.reservoir_cdf, cfg_.seed + 177 + r);
+    }
+    concurrency_integral_.assign(hours, 0.0);
+  }
+
+  MacroSimResult run() {
+    // Background arrivals chain themselves (session field 1); flash-crowd
+    // arrivals are pre-scheduled one-shots (session field 0).
+    schedule(arrivals_.next(0, rng_), 1, Phase::kArrival);
+    for (const workload::FlashCrowd& crowd : cfg_.flash_crowds) {
+      for (util::SimTime t : crowd.arrivals(rng_)) {
+        if (t < horizon_) schedule(t, 0, Phase::kArrival);
+      }
+    }
+
+    while (!queue_.empty() && queue_.top().when < horizon_) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      dispatch(ev);
+    }
+    flush_concurrency(horizon_);
+
+    const std::size_t hours = concurrency_integral_.size();
+    result_.hourly_concurrency.resize(hours);
+    for (std::size_t h = 0; h < hours; ++h) {
+      result_.hourly_concurrency[h] =
+          concurrency_integral_[h] / static_cast<double>(util::kHour);
+    }
+    result_.um_utilization = um_.utilization(horizon_);
+    result_.cm_utilization = cm_.utilization(horizon_);
+    return std::move(result_);
+  }
+
+ private:
+  double peak_rate() const {
+    // Little's law: peak concurrency = peak arrival rate * mean duration.
+    const double mean_duration_s =
+        util::to_seconds(cfg_.session.median_duration) *
+        std::exp(cfg_.session.duration_sigma * cfg_.session.duration_sigma / 2.0);
+    return cfg_.peak_concurrent / mean_duration_s;
+  }
+
+  void schedule(util::SimTime when, std::uint32_t session, Phase phase) {
+    queue_.push(Event{when, next_seq_++, session, phase});
+  }
+
+  // --- concurrency accounting (time-weighted per-hour integral) ---
+
+  void flush_concurrency(util::SimTime upto) {
+    util::SimTime t = last_change_;
+    while (t < upto) {
+      const std::size_t hour = static_cast<std::size_t>(t / util::kHour);
+      const util::SimTime hour_end = static_cast<util::SimTime>(hour + 1) * util::kHour;
+      const util::SimTime span = std::min(upto, hour_end) - t;
+      if (hour < concurrency_integral_.size()) {
+        concurrency_integral_[hour] +=
+            static_cast<double>(concurrency_) * static_cast<double>(span);
+      }
+      t += span;
+    }
+    last_change_ = upto;
+  }
+
+  void change_concurrency(int delta) {
+    flush_concurrency(now_);
+    concurrency_ += delta;
+    result_.peak_observed_concurrency =
+        std::max(result_.peak_observed_concurrency, static_cast<double>(concurrency_));
+  }
+
+  // --- sampling helpers ---
+
+  util::SimTime lognormal_around(util::SimTime median, double sigma) {
+    const double draw = rng_.lognormal(std::log(static_cast<double>(median)), sigma);
+    return std::max<util::SimTime>(1, static_cast<util::SimTime>(draw));
+  }
+
+  util::SimTime service_time(ProtocolRound r) {
+    const ServiceCosts& c = cfg_.costs;
+    util::SimTime base = 0;
+    switch (r) {
+      case ProtocolRound::kLogin1: base = c.login1; break;
+      case ProtocolRound::kLogin2: base = c.login2; break;
+      case ProtocolRound::kSwitch1: base = c.switch1; break;
+      case ProtocolRound::kSwitch2: base = c.switch2; break;
+      case ProtocolRound::kJoin: base = c.join; break;
+    }
+    return lognormal_around(base, c.dispersion);
+  }
+
+  util::SimTime client_time(ProtocolRound r) {
+    const ClientCosts& c = cfg_.client_costs;
+    util::SimTime base = 0;
+    switch (r) {
+      case ProtocolRound::kLogin1: base = c.login1; break;
+      case ProtocolRound::kLogin2: base = c.login2; break;
+      case ProtocolRound::kSwitch1: base = c.switch1; break;
+      case ProtocolRound::kSwitch2: base = c.switch2; break;
+      case ProtocolRound::kJoin: base = c.join; break;
+    }
+    return lognormal_around(base, c.dispersion);
+  }
+
+  void record(ProtocolRound r, util::SimTime latency) {
+    RoundTrace& trace = result_.rounds[static_cast<std::size_t>(r)];
+    const double seconds = util::to_seconds(latency);
+    const std::size_t hour = static_cast<std::size_t>(now_ / util::kHour);
+    if (hour < trace.hourly.size()) trace.hourly[hour].add(seconds);
+    (util::hour_of_day(now_) >= 18 ? trace.peak : trace.offpeak).add(seconds);
+    ++trace.count;
+  }
+
+  // --- round plumbing ---
+
+  void start_round(std::uint32_t s, ProtocolRound r, Phase arrive_phase,
+                   const LatencyModel& net) {
+    Session& session = pool_[s];
+    session.round_start = now_;
+    const util::SimTime rtt = net.sample_rtt(rng_);
+    session.rtt_half = rtt / 2;
+    schedule(now_ + client_time(r) + session.rtt_half, s, arrive_phase);
+  }
+
+  void serve_and_respond(std::uint32_t s, ProtocolRound r, QueueStation& station,
+                         Phase resp_phase) {
+    Session& session = pool_[s];
+    const util::SimTime depart = station.submit(now_, service_time(r));
+    schedule(depart + session.rtt_half, s, resp_phase);
+  }
+
+  // --- the session state machine ---
+
+  void dispatch(const Event& ev) {
+    switch (ev.phase) {
+      case Phase::kArrival: on_arrival(ev); return;
+      case Phase::kLogin1Arrive:
+        serve_and_respond(ev.session, ProtocolRound::kLogin1, um_, Phase::kLogin1Resp);
+        return;
+      case Phase::kLogin1Resp: {
+        record(ProtocolRound::kLogin1, now_ - pool_[ev.session].round_start);
+        start_round(ev.session, ProtocolRound::kLogin2, Phase::kLogin2Arrive,
+                    cfg_.manager_net);
+        return;
+      }
+      case Phase::kLogin2Arrive:
+        serve_and_respond(ev.session, ProtocolRound::kLogin2, um_, Phase::kLogin2Resp);
+        return;
+      case Phase::kLogin2Resp: on_login_complete(ev.session); return;
+      case Phase::kSwitch1Arrive:
+        serve_and_respond(ev.session, ProtocolRound::kSwitch1, cm_, Phase::kSwitch1Resp);
+        return;
+      case Phase::kSwitch1Resp: {
+        record(ProtocolRound::kSwitch1, now_ - pool_[ev.session].round_start);
+        start_round(ev.session, ProtocolRound::kSwitch2, Phase::kSwitch2Arrive,
+                    cfg_.manager_net);
+        return;
+      }
+      case Phase::kSwitch2Arrive:
+        serve_and_respond(ev.session, ProtocolRound::kSwitch2, cm_, Phase::kSwitch2Resp);
+        return;
+      case Phase::kSwitch2Resp: on_switch_complete(ev.session); return;
+      case Phase::kJoinArrive: on_join_arrive(ev.session); return;
+      case Phase::kJoinResp: on_join_complete(ev.session); return;
+      case Phase::kAction: on_action(ev.session); return;
+    }
+  }
+
+  void on_arrival(const Event& ev) {
+    // Chain the next background arrival (flash-crowd arrivals are
+    // pre-scheduled one-shots and do not chain).
+    if (ev.session == 1) {
+      const util::SimTime next = arrivals_.next(now_, rng_);
+      if (next < horizon_) schedule(next, 1, Phase::kArrival);
+    }
+
+    std::uint32_t s;
+    if (!free_list_.empty()) {
+      s = free_list_.back();
+      free_list_.pop_back();
+      pool_[s] = Session{};
+    } else {
+      s = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    Session& session = pool_[s];
+    session.active = true;
+    session.end_time = now_ + cfg_.session.sample_duration(rng_);
+    ++result_.sessions;
+    change_concurrency(+1);
+    start_round(s, ProtocolRound::kLogin1, Phase::kLogin1Arrive, cfg_.manager_net);
+  }
+
+  void on_login_complete(std::uint32_t s) {
+    Session& session = pool_[s];
+    record(ProtocolRound::kLogin2, now_ - session.round_start);
+    session.ut_expiry = now_ + cfg_.user_ticket_lifetime;
+    if (session.relogging_in) {
+      session.relogging_in = false;
+      ++result_.ut_renewals;
+      go_watch(s);
+      return;
+    }
+    // Fresh login: tune to the first channel.
+    session.renewing_ct = false;
+    start_round(s, ProtocolRound::kSwitch1, Phase::kSwitch1Arrive, cfg_.manager_net);
+  }
+
+  void on_switch_complete(std::uint32_t s) {
+    Session& session = pool_[s];
+    record(ProtocolRound::kSwitch2, now_ - session.round_start);
+    session.ct_expiry = std::min(now_ + cfg_.channel_ticket_lifetime, session.ut_expiry);
+    if (session.renewing_ct) {
+      session.renewing_ct = false;
+      ++result_.ct_renewals;
+      go_watch(s);
+      return;
+    }
+    session.join_attempts = 0;
+    start_round(s, ProtocolRound::kJoin, Phase::kJoinArrive, cfg_.peer_net);
+  }
+
+  void on_join_arrive(std::uint32_t s) {
+    Session& session = pool_[s];
+    // The sampled peer refuses with probability coupled (weakly) to load —
+    // the busier the system, the more saturated parents appear in peer
+    // lists. A refusal costs one more peer round trip.
+    const double load = static_cast<double>(concurrency_) / cfg_.peak_concurrent;
+    const double p_reject =
+        std::min(0.9, cfg_.join_base_reject + cfg_.join_load_sensitivity * load);
+    if (rng_.chance(p_reject) &&
+        static_cast<std::size_t>(session.join_attempts) + 1 < cfg_.max_join_attempts) {
+      ++session.join_attempts;
+      ++result_.join_retries;
+      schedule(now_ + cfg_.peer_net.sample_rtt(rng_), s, Phase::kJoinArrive);
+      return;
+    }
+    // Accepted: peer-side processing (ticket verify + RSA-encrypt session
+    // key), then the response travels back.
+    schedule(now_ + service_time(ProtocolRound::kJoin) + session.rtt_half, s,
+             Phase::kJoinResp);
+  }
+
+  void on_join_complete(std::uint32_t s) {
+    Session& session = pool_[s];
+    record(ProtocolRound::kJoin, now_ - session.round_start);
+    if (!session.joined_once) {
+      session.joined_once = true;
+    } else {
+      ++result_.channel_switches;
+    }
+    session.next_switch = now_ + cfg_.session.sample_switch_gap(rng_);
+    go_watch(s);
+  }
+
+  /// Schedule the next thing that happens to a watching session.
+  void go_watch(std::uint32_t s) {
+    Session& session = pool_[s];
+    const util::SimTime due = next_due(session);
+    schedule(std::max(due, now_ + 1), s, Phase::kAction);
+  }
+
+  util::SimTime next_due(const Session& session) const {
+    const util::SimTime ct_renew = session.ct_expiry - util::kMinute;
+    const util::SimTime ut_renew = session.ut_expiry - 2 * util::kMinute;
+    return std::min({session.end_time, session.next_switch, ct_renew, ut_renew});
+  }
+
+  void on_action(std::uint32_t s) {
+    Session& session = pool_[s];
+    if (!session.active) return;
+
+    if (now_ >= session.end_time) {
+      session.active = false;
+      change_concurrency(-1);
+      free_list_.push_back(s);
+      return;
+    }
+    const util::SimTime ct_renew = session.ct_expiry - util::kMinute;
+    const util::SimTime ut_renew = session.ut_expiry - 2 * util::kMinute;
+
+    if (now_ >= ut_renew) {
+      session.relogging_in = true;
+      start_round(s, ProtocolRound::kLogin1, Phase::kLogin1Arrive, cfg_.manager_net);
+      return;
+    }
+    if (now_ >= session.next_switch) {
+      // Voluntary channel switch: fresh SWITCH + JOIN.
+      session.renewing_ct = false;
+      start_round(s, ProtocolRound::kSwitch1, Phase::kSwitch1Arrive, cfg_.manager_net);
+      return;
+    }
+    if (now_ >= ct_renew) {
+      session.renewing_ct = true;
+      start_round(s, ProtocolRound::kSwitch1, Phase::kSwitch1Arrive, cfg_.manager_net);
+      return;
+    }
+    // Spurious wakeup (state advanced since scheduling): re-arm.
+    go_watch(s);
+  }
+
+  const MacroSimConfig& cfg_;
+  crypto::SecureRandom rng_;
+  workload::ArrivalProcess arrivals_;
+  QueueStation um_;
+  QueueStation cm_;
+  util::SimTime horizon_;
+  util::SimTime now_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, LaterEvent> queue_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t arrival_seq_ = 0;
+  std::vector<Session> pool_;
+  std::vector<std::uint32_t> free_list_;
+
+  std::int64_t concurrency_ = 0;
+  util::SimTime last_change_ = 0;
+  std::vector<double> concurrency_integral_;
+
+  MacroSimResult result_;
+};
+
+}  // namespace
+
+MacroSimResult run_macro_sim(const MacroSimConfig& config) {
+  return Engine(config).run();
+}
+
+}  // namespace p2pdrm::sim

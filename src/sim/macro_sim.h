@@ -1,0 +1,136 @@
+// Week-scale simulation of the production deployment (§VI).
+//
+// Reproduces the measurement setting of the paper's evaluation: a diurnal
+// population of viewers (evening peak, pre-dawn trough, ~tens of thousands
+// concurrent) logging in, switching channels, joining overlays, and
+// renewing tickets against a small farm of User Managers and Channel
+// Managers. The protocol *logic* is exact (which rounds happen when, what
+// gets renewed, what a renewal costs); the *costs* are a calibrated model:
+// per-request service times measured from this repo's own crypto/protocol
+// microbenchmarks, heavy-tailed residential RTTs, and c-server FIFO queues
+// for the manager farms. Running real RSA for ~80 million simulated rounds
+// would measure our CPU, not the architecture.
+//
+// Output: per-hour latency reservoirs for the five protocol rounds
+// (LOGIN1, LOGIN2, SWITCH1, SWITCH2, JOIN), the concurrency curve, and
+// peak/off-peak splits — everything Figs. 5 and 6 plot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "sim/latency.h"
+#include "util/time.h"
+#include "workload/workload.h"
+
+namespace p2pdrm::sim {
+
+enum class ProtocolRound : std::uint8_t {
+  kLogin1 = 0,
+  kLogin2 = 1,
+  kSwitch1 = 2,
+  kSwitch2 = 3,
+  kJoin = 4,
+};
+constexpr std::size_t kNumRounds = 5;
+std::string_view to_string(ProtocolRound r);
+
+/// Mean server-side service time per request type. Defaults were calibrated
+/// with bench/microbench_crypto and bench/microbench_protocol (1024-bit
+/// RSA): LOGIN2/SWITCH2 are dominated by an RSA sign + verify, LOGIN1 by
+/// symmetric crypto and the DB lookup, JOIN by the peer's RSA encrypt.
+struct ServiceCosts {
+  util::SimTime login1 = 300 * util::kMicrosecond;
+  util::SimTime login2 = 8 * util::kMillisecond;
+  util::SimTime switch1 = 700 * util::kMicrosecond;
+  util::SimTime switch2 = 7 * util::kMillisecond;
+  util::SimTime join = 4 * util::kMillisecond;
+  /// Lognormal sigma applied to every service draw.
+  double dispersion = 0.35;
+};
+
+/// Client-side processing charged to each round (key generation, checksum
+/// over the binary, RSA sign of the challenge, RSA decrypt of the session
+/// key). These are what make LOGIN2/JOIN medians sit above LOGIN1's.
+struct ClientCosts {
+  util::SimTime login1 = 25 * util::kMillisecond;
+  util::SimTime login2 = 180 * util::kMillisecond;
+  util::SimTime switch1 = 15 * util::kMillisecond;
+  util::SimTime switch2 = 60 * util::kMillisecond;
+  util::SimTime join = 120 * util::kMillisecond;
+  double dispersion = 0.6;
+};
+
+struct MacroSimConfig {
+  int days = 7;
+  /// Target concurrent viewers at the diurnal peak (the paper observed
+  /// ~25-27k on the plotted week, 60k+ historic peak).
+  double peak_concurrent = 25000;
+  workload::DiurnalProfile profile = workload::tv_profile();
+  workload::SessionModel session;
+  std::size_t num_channels = 200;
+  double zipf_exponent = 0.9;
+
+  /// Manager farm sizes (the deployment used 2 UMs and 4 CMs, §VI).
+  std::size_t user_manager_servers = 2;
+  std::size_t channel_manager_servers = 4;
+
+  util::SimTime user_ticket_lifetime = 30 * util::kMinute;
+  util::SimTime channel_ticket_lifetime = 10 * util::kMinute;
+
+  LatencyModel manager_net;  // client <-> manager RTT
+  LatencyModel peer_net{20 * util::kMillisecond, 180 * util::kMillisecond, 0.9,
+                        30 * util::kSecond};  // client <-> peer RTT
+
+  ServiceCosts costs;
+  ClientCosts client_costs;
+
+  /// JOIN behaviour: probability a sampled peer refuses (no capacity) is
+  /// base + sensitivity * (concurrency / peak_concurrent); every refusal
+  /// costs one extra peer RTT. This is the weak load coupling behind the
+  /// paper's JOIN correlation of 0.13.
+  double join_base_reject = 0.05;
+  double join_load_sensitivity = 0.02;
+  std::size_t max_join_attempts = 6;
+
+  std::vector<workload::FlashCrowd> flash_crowds;
+
+  std::uint64_t seed = 42;
+  std::size_t reservoir_per_hour = 3000;
+  std::size_t reservoir_cdf = 200000;
+};
+
+struct RoundTrace {
+  std::vector<analysis::Reservoir> hourly;  // one reservoir per sim hour
+  analysis::Reservoir peak{1, 1};           // 18:00-24:00 (paper's split)
+  analysis::Reservoir offpeak{1, 1};        // 00:00-18:00
+  std::uint64_t count = 0;
+
+  /// Median latency (seconds) per hour; NaN-free: hours with no samples
+  /// report 0.
+  std::vector<double> hourly_median() const;
+};
+
+struct MacroSimResult {
+  std::array<RoundTrace, kNumRounds> rounds;
+  /// Time-weighted mean concurrency per sim hour.
+  std::vector<double> hourly_concurrency;
+  std::uint64_t sessions = 0;
+  std::uint64_t channel_switches = 0;
+  std::uint64_t ct_renewals = 0;
+  std::uint64_t ut_renewals = 0;
+  std::uint64_t join_retries = 0;
+  double peak_observed_concurrency = 0;
+  double um_utilization = 0;
+  double cm_utilization = 0;
+
+  const RoundTrace& round(ProtocolRound r) const {
+    return rounds[static_cast<std::size_t>(r)];
+  }
+};
+
+MacroSimResult run_macro_sim(const MacroSimConfig& config);
+
+}  // namespace p2pdrm::sim

@@ -1,0 +1,39 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace p2pdrm::sim {
+
+void Simulation::schedule(util::SimTime delay, Action action) {
+  if (delay < 0) throw std::invalid_argument("Simulation: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulation::schedule_at(util::SimTime when, Action action) {
+  if (when < now_) throw std::invalid_argument("Simulation: scheduling in the past");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // Moving out of the priority queue requires a const_cast because top()
+  // returns const&; the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulation::run_until(util::SimTime limit) {
+  while (!queue_.empty() && queue_.top().when <= limit) step();
+  if (now_ < limit) now_ = limit;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace p2pdrm::sim

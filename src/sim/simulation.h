@@ -1,0 +1,72 @@
+// Deterministic discrete-event simulation core.
+//
+// The paper's evaluation comes from a production network; our substitute is
+// a simulator that drives the real protocol state machines (integration
+// tests, examples) and a calibrated cost model of them (the week-long
+// macro simulations behind the Fig. 5/6 reproductions). Determinism:
+// identical seeds → identical event interleaving → identical results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace p2pdrm::sim {
+
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  util::SimTime now() const { return now_; }
+
+  /// Schedule `action` to run `delay` from now (delay >= 0).
+  void schedule(util::SimTime delay, Action action);
+  /// Schedule at an absolute time (>= now).
+  void schedule_at(util::SimTime when, Action action);
+
+  /// Run one event; returns false if the queue is empty.
+  bool step();
+  /// Run events until the queue is empty or the time limit is passed.
+  void run_until(util::SimTime limit);
+  /// Drain the queue completely.
+  void run();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  /// A util::Clock view of the simulation time (injectable into clients).
+  const util::Clock& clock() const { return clock_; }
+
+ private:
+  struct Event {
+    util::SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  class SimClock final : public util::Clock {
+   public:
+    explicit SimClock(const Simulation& sim) : sim_(sim) {}
+    util::SimTime now() const override { return sim_.now_; }
+
+   private:
+    const Simulation& sim_;
+  };
+
+  util::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimClock clock_{*this};
+};
+
+}  // namespace p2pdrm::sim

@@ -1,0 +1,48 @@
+// Byte-buffer helpers shared by every module: hex codecs, constant-time
+// comparison, and small conversions between integers and byte strings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pdrm::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode a byte span as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (upper or lower case). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes from_hex(std::string_view hex);
+
+/// Byte-wise equality that does not short-circuit on the first mismatch.
+/// Used for comparing MACs, checksums, and nonces so that the comparison time
+/// does not leak the position of the first differing byte.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Copy a std::string's bytes into a Bytes buffer.
+Bytes bytes_of(std::string_view s);
+
+/// Interpret a Bytes buffer as a std::string (no validation).
+std::string string_of(BytesView b);
+
+/// Concatenate buffers.
+Bytes concat(BytesView a, BytesView b);
+
+/// XOR b into a (in place); the spans must be the same length.
+void xor_into(std::span<std::uint8_t> a, BytesView b);
+
+/// Big-endian store/load of fixed-width integers, used by the crypto cores.
+void store_be32(std::uint8_t* p, std::uint32_t v);
+void store_be64(std::uint8_t* p, std::uint64_t v);
+std::uint32_t load_be32(const std::uint8_t* p);
+std::uint64_t load_be64(const std::uint8_t* p);
+void store_le32(std::uint8_t* p, std::uint32_t v);
+std::uint32_t load_le32(const std::uint8_t* p);
+
+}  // namespace p2pdrm::util

@@ -1,0 +1,25 @@
+#include "util/ids.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace p2pdrm::util {
+
+std::string to_string(NetAddr addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr.ip >> 24) & 0xff,
+                (addr.ip >> 16) & 0xff, (addr.ip >> 8) & 0xff, addr.ip & 0xff);
+  return buf;
+}
+
+NetAddr parse_netaddr(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("parse_netaddr: malformed address: " + s);
+  }
+  return NetAddr{(a << 24) | (b << 16) | (c << 8) | d};
+}
+
+}  // namespace p2pdrm::util

@@ -1,0 +1,37 @@
+// Strongly-typed identifiers and network addresses shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2pdrm::util {
+
+/// Unique user identification number assigned by the User Manager (the
+/// paper's "UserIN").
+using UserIN = std::uint64_t;
+
+/// Channel identifier assigned by the Channel Policy Manager.
+using ChannelId = std::uint32_t;
+
+/// Peer/node identifier inside the simulator and overlay.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// IPv4 address as a host-order integer. The DRM protocol binds tickets to
+/// the client's network address (the "NetAddr" attribute), so addresses show
+/// up in tickets, logs, and the geo database.
+struct NetAddr {
+  std::uint32_t ip = 0;
+
+  friend bool operator==(const NetAddr&, const NetAddr&) = default;
+  friend auto operator<=>(const NetAddr&, const NetAddr&) = default;
+};
+
+/// Dotted-quad rendering, e.g. "10.1.2.3".
+std::string to_string(NetAddr addr);
+
+/// Parse dotted-quad; throws std::invalid_argument on malformed input.
+NetAddr parse_netaddr(const std::string& s);
+
+}  // namespace p2pdrm::util

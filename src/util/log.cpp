@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace p2pdrm::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& component, const std::string& msg) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), msg.c_str());
+}
+
+LogStream::~LogStream() {
+  if (level_ >= log_level()) log_line(level_, component_, stream_.str());
+}
+
+}  // namespace p2pdrm::util

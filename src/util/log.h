@@ -1,0 +1,40 @@
+// Minimal leveled logger. Off by default so benches and simulations stay
+// quiet; examples turn it up to narrate the protocol flows.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p2pdrm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& component, const std::string& msg);
+
+/// Stream-style helper:  LOG_AT(kInfo, "client") << "joined " << peer;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace p2pdrm::util
+
+#define P2PDRM_LOG(level, component) ::p2pdrm::util::LogStream(level, component)

@@ -1,0 +1,20 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace p2pdrm::util {
+
+std::string format_time(SimTime t) {
+  if (t == kNullTime) return "null";
+  const int day = day_of(t);
+  const SimTime in_day = t % kDay;
+  const int h = static_cast<int>(in_day / kHour);
+  const int m = static_cast<int>((in_day % kHour) / kMinute);
+  const int s = static_cast<int>((in_day % kMinute) / kSecond);
+  const int ms = static_cast<int>((in_day % kSecond) / kMillisecond);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%d %02d:%02d:%02d.%03d", day, h, m, s, ms);
+  return buf;
+}
+
+}  // namespace p2pdrm::util

@@ -1,0 +1,80 @@
+// Bounds-checked binary (de)serialization used for every on-the-wire
+// structure in the system: tickets, protocol messages, channel lists.
+//
+// The format is deliberately simple and deterministic — fixed-width
+// little-endian integers and length-prefixed byte strings — so that a
+// structure's signature can be computed over its exact encoding and verified
+// after re-parsing (tickets are signed bytes, not signed objects).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace p2pdrm::util {
+
+/// Thrown by WireReader on truncated or malformed input. Protocol handlers
+/// catch this and turn it into a protocol-level rejection.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width integers and length-prefixed strings to a buffer.
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView v);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view v);
+  /// Raw bytes with no length prefix (caller knows the width).
+  void raw(BytesView v);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads the same encoding back, throwing WireError on any overrun.
+class WireReader {
+ public:
+  explicit WireReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  Bytes bytes();
+  std::string str();
+  /// Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+  /// The prefix of the input consumed so far (used to compute the byte range
+  /// a signature covers).
+  BytesView consumed() const { return data_.subspan(0, pos_); }
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace p2pdrm::util

@@ -1,0 +1,110 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2pdrm::workload {
+
+double DiurnalProfile::intensity(util::SimTime t) const {
+  if (t < 0) t = 0;
+  const double hour_f =
+      static_cast<double>(t % util::kDay) / static_cast<double>(util::kHour);
+  const int h0 = static_cast<int>(hour_f) % 24;
+  const int h1 = (h0 + 1) % 24;
+  const double frac = hour_f - std::floor(hour_f);
+  const double base = hourly[static_cast<std::size_t>(h0)] * (1.0 - frac) +
+                      hourly[static_cast<std::size_t>(h1)] * frac;
+  const int day = util::day_of(t) % 7;
+  return base * daily[static_cast<std::size_t>(day)];
+}
+
+double DiurnalProfile::max_intensity() const {
+  const double max_hourly = *std::max_element(hourly.begin(), hourly.end());
+  const double max_daily = *std::max_element(daily.begin(), daily.end());
+  return max_hourly * max_daily;
+}
+
+DiurnalProfile tv_profile() {
+  DiurnalProfile p;
+  //                 0h    1h    2h    3h    4h    5h    6h    7h
+  p.hourly = {0.30, 0.20, 0.14, 0.10, 0.08, 0.08, 0.10, 0.14,
+              //  8h    9h   10h   11h   12h   13h   14h   15h
+              0.18, 0.22, 0.26, 0.30, 0.38, 0.40, 0.38, 0.36,
+              // 16h   17h   18h   19h   20h   21h   22h   23h
+              0.42, 0.52, 0.68, 0.88, 1.00, 0.98, 0.80, 0.52};
+  // Day 0 = Monday by convention; weekend evenings run a bit hotter.
+  p.daily = {1.0, 1.0, 1.0, 1.0, 1.05, 1.15, 1.1};
+  return p;
+}
+
+ArrivalProcess::ArrivalProcess(const DiurnalProfile& profile, double peak_rate)
+    : profile_(profile), peak_rate_(peak_rate),
+      max_intensity_(profile.max_intensity()) {
+  if (peak_rate <= 0 || max_intensity_ <= 0) {
+    throw std::invalid_argument("ArrivalProcess: nonpositive rate");
+  }
+}
+
+double ArrivalProcess::rate_at(util::SimTime t) const {
+  return peak_rate_ * profile_.intensity(t) / max_intensity_;
+}
+
+util::SimTime ArrivalProcess::next(util::SimTime after,
+                                   crypto::SecureRandom& rng) const {
+  // Thinning (Lewis & Shedler): candidate gaps from the peak rate, accepted
+  // with probability rate(t)/peak_rate.
+  util::SimTime t = after;
+  for (;;) {
+    const double gap_s = rng.exponential(peak_rate_);
+    t += std::max<util::SimTime>(1, util::seconds(gap_s));
+    if (rng.uniform_real() * peak_rate_ <= rate_at(t)) return t;
+  }
+}
+
+util::SimTime SessionModel::sample_duration(crypto::SecureRandom& rng) const {
+  const double mu = std::log(static_cast<double>(median_duration));
+  const double draw = rng.lognormal(mu, duration_sigma);
+  return std::max(min_duration, static_cast<util::SimTime>(draw));
+}
+
+util::SimTime SessionModel::sample_switch_gap(crypto::SecureRandom& rng) const {
+  const double gap =
+      rng.exponential(1.0 / static_cast<double>(mean_switch_interval));
+  return std::max<util::SimTime>(util::kSecond, static_cast<util::SimTime>(gap));
+}
+
+ZipfChannels::ZipfChannels(std::size_t num_channels, double exponent) {
+  if (num_channels == 0) throw std::invalid_argument("ZipfChannels: empty");
+  cdf_.resize(num_channels);
+  double total = 0;
+  for (std::size_t i = 0; i < num_channels; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+std::size_t ZipfChannels::sample(crypto::SecureRandom& rng) const {
+  const double u = rng.uniform_real();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfChannels::probability(std::size_t index) const {
+  if (index >= cdf_.size()) throw std::out_of_range("ZipfChannels: index");
+  return index == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
+}
+
+std::vector<util::SimTime> FlashCrowd::arrivals(crypto::SecureRandom& rng) const {
+  std::vector<util::SimTime> out;
+  out.reserve(extra_sessions);
+  for (std::size_t i = 0; i < extra_sessions; ++i) {
+    out.push_back(start + static_cast<util::SimTime>(
+                              rng.uniform_real() * static_cast<double>(ramp)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace p2pdrm::workload

@@ -1,0 +1,93 @@
+// Workload models for the macro simulations: diurnal viewer arrivals,
+// session lengths, channel popularity, channel-switching behaviour, and
+// flash crowds at live-event start times.
+//
+// The production system the paper measured peaked in the evening (its
+// Fig. 5 concurrency curve swings between a pre-dawn trough and an evening
+// peak each day); session arrivals here follow a non-homogeneous Poisson
+// process shaped by a 24-hour intensity profile with per-day weights.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "util/time.h"
+
+namespace p2pdrm::workload {
+
+/// Relative arrival intensity over the day/week. intensity() linearly
+/// interpolates between hourly control points, so the curve is smooth-ish.
+struct DiurnalProfile {
+  /// Relative intensity per hour of day; scaled so max = 1 is conventional.
+  std::array<double, 24> hourly{};
+  /// Per-weekday multiplier (day 0 = first simulated day).
+  std::array<double, 7> daily{1, 1, 1, 1, 1, 1, 1};
+
+  double intensity(util::SimTime t) const;
+  /// Largest value intensity() can take (for Poisson thinning).
+  double max_intensity() const;
+};
+
+/// Television-like profile: trough around 04-06h, ramp through the day,
+/// prime-time peak 19-22h, slightly stronger weekend days.
+DiurnalProfile tv_profile();
+
+/// Non-homogeneous Poisson arrivals via thinning against the profile.
+class ArrivalProcess {
+ public:
+  /// `peak_rate` is the arrival rate (per second) when intensity == max.
+  ArrivalProcess(const DiurnalProfile& profile, double peak_rate);
+
+  /// First arrival strictly after `after`.
+  util::SimTime next(util::SimTime after, crypto::SecureRandom& rng) const;
+
+  double rate_at(util::SimTime t) const;
+
+ private:
+  DiurnalProfile profile_;
+  double peak_rate_;
+  double max_intensity_;
+};
+
+/// Viewing-session model: lognormal duration, Poisson channel switching.
+struct SessionModel {
+  /// Median session length.
+  util::SimTime median_duration = 25 * util::kMinute;
+  double duration_sigma = 1.0;
+  /// Mean time between channel switches within a session.
+  util::SimTime mean_switch_interval = 12 * util::kMinute;
+  util::SimTime min_duration = 30 * util::kSecond;
+
+  util::SimTime sample_duration(crypto::SecureRandom& rng) const;
+  util::SimTime sample_switch_gap(crypto::SecureRandom& rng) const;
+};
+
+/// Zipf-distributed channel popularity (rank 1 most popular).
+class ZipfChannels {
+ public:
+  ZipfChannels(std::size_t num_channels, double exponent);
+
+  /// Sample a channel index in [0, n).
+  std::size_t sample(crypto::SecureRandom& rng) const;
+  double probability(std::size_t index) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// A flash crowd: `extra_sessions` arrivals injected over `ramp` starting
+/// at `start` (live-event start times produce exactly this shape, §I).
+struct FlashCrowd {
+  util::SimTime start = 0;
+  std::size_t extra_sessions = 0;
+  util::SimTime ramp = 1 * util::kMinute;
+  /// Channel the crowd tunes to (the event's channel).
+  std::size_t channel = 0;
+
+  /// Arrival times for the crowd (sorted, uniform over the ramp).
+  std::vector<util::SimTime> arrivals(crypto::SecureRandom& rng) const;
+};
+
+}  // namespace p2pdrm::workload

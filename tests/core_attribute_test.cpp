@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/attribute.h"
+
+namespace p2pdrm::core {
+namespace {
+
+using util::kHour;
+using util::kNullTime;
+
+TEST(AttrValueTest, Basics) {
+  const AttrValue v = AttrValue::of("100");
+  EXPECT_EQ(v.kind(), AttrValue::Kind::kValue);
+  EXPECT_FALSE(v.is_special());
+  EXPECT_EQ(v.value(), "100");
+  EXPECT_EQ(v.to_string(), "100");
+}
+
+TEST(AttrValueTest, OfNumber) {
+  EXPECT_EQ(AttrValue::of_number(101).value(), "101");
+}
+
+TEST(AttrValueTest, Specials) {
+  EXPECT_EQ(AttrValue::any().to_string(), "ANY");
+  EXPECT_EQ(AttrValue::all().to_string(), "ALL");
+  EXPECT_EQ(AttrValue::none().to_string(), "NONE");
+  EXPECT_EQ(AttrValue::null().to_string(), "NULL");
+  EXPECT_TRUE(AttrValue::any().is_special());
+  EXPECT_THROW(AttrValue::any().value(), std::logic_error);
+}
+
+TEST(AttrValueTest, DefaultIsNull) {
+  EXPECT_EQ(AttrValue().kind(), AttrValue::Kind::kNull);
+}
+
+TEST(AttrValueTest, WireRoundTrip) {
+  for (const AttrValue& v : {AttrValue::of("abc"), AttrValue::any(), AttrValue::all(),
+                             AttrValue::none(), AttrValue::null(), AttrValue::of("")}) {
+    util::WireWriter w;
+    v.encode(w);
+    util::WireReader r(w.data());
+    EXPECT_EQ(AttrValue::decode(r), v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(AttrValueTest, DecodeRejectsBadKind) {
+  util::WireWriter w;
+  w.u8(99);
+  util::WireReader r(w.data());
+  EXPECT_THROW(AttrValue::decode(r), util::WireError);
+}
+
+// values_match truth table.
+TEST(ValuesMatchTest, ConcreteEquality) {
+  EXPECT_TRUE(values_match(AttrValue::of("100"), AttrValue::of("100")));
+  EXPECT_FALSE(values_match(AttrValue::of("100"), AttrValue::of("101")));
+}
+
+TEST(ValuesMatchTest, AnyMatchesAnyPresent) {
+  EXPECT_TRUE(values_match(AttrValue::any(), AttrValue::of("whatever")));
+  EXPECT_TRUE(values_match(AttrValue::of("x"), AttrValue::any()));
+  EXPECT_TRUE(values_match(AttrValue::any(), AttrValue::any()));
+  EXPECT_TRUE(values_match(AttrValue::all(), AttrValue::of("x")));
+}
+
+TEST(ValuesMatchTest, NoneAndNullNeverMatch) {
+  EXPECT_FALSE(values_match(AttrValue::none(), AttrValue::of("x")));
+  EXPECT_FALSE(values_match(AttrValue::of("x"), AttrValue::none()));
+  EXPECT_FALSE(values_match(AttrValue::null(), AttrValue::of("x")));
+  EXPECT_FALSE(values_match(AttrValue::of("x"), AttrValue::null()));
+  EXPECT_FALSE(values_match(AttrValue::none(), AttrValue::any()));
+  EXPECT_FALSE(values_match(AttrValue::any(), AttrValue::null()));
+}
+
+Attribute make_attr(const std::string& name, const std::string& value,
+                    util::SimTime stime = kNullTime, util::SimTime etime = kNullTime) {
+  Attribute a;
+  a.name = name;
+  a.value = AttrValue::of(value);
+  a.stime = stime;
+  a.etime = etime;
+  return a;
+}
+
+TEST(AttributeTest, ActiveWindow) {
+  const Attribute open = make_attr("Region", "100");
+  EXPECT_TRUE(open.active_at(0));
+  EXPECT_TRUE(open.active_at(1000 * kHour));
+
+  const Attribute windowed = make_attr("Region", "100", 2 * kHour, 4 * kHour);
+  EXPECT_FALSE(windowed.active_at(kHour));
+  EXPECT_TRUE(windowed.active_at(2 * kHour));
+  EXPECT_TRUE(windowed.active_at(3 * kHour));
+  EXPECT_TRUE(windowed.active_at(4 * kHour));
+  EXPECT_FALSE(windowed.active_at(4 * kHour + 1));
+}
+
+TEST(AttributeTest, HalfOpenWindows) {
+  const Attribute starts = make_attr("A", "v", 2 * kHour, kNullTime);
+  EXPECT_FALSE(starts.active_at(kHour));
+  EXPECT_TRUE(starts.active_at(100 * kHour));
+
+  const Attribute ends = make_attr("A", "v", kNullTime, 2 * kHour);
+  EXPECT_TRUE(ends.active_at(0));
+  EXPECT_FALSE(ends.active_at(3 * kHour));
+}
+
+TEST(AttributeTest, WireRoundTrip) {
+  Attribute a = make_attr("Subscription", "101", 10, 20);
+  a.utime = 15;
+  util::WireWriter w;
+  a.encode(w);
+  util::WireReader r(w.data());
+  EXPECT_EQ(Attribute::decode(r), a);
+}
+
+TEST(AttributeTest, ToStringMentionsFields) {
+  const Attribute a = make_attr("Region", "100");
+  const std::string s = a.to_string();
+  EXPECT_NE(s.find("Region"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+TEST(AttributeSetTest, FindAndMatches) {
+  AttributeSet set;
+  set.add(make_attr("Region", "100"));
+  set.add(make_attr("Subscription", "101"));
+  set.add(make_attr("Subscription", "202"));
+
+  ASSERT_NE(set.find("Region"), nullptr);
+  EXPECT_EQ(set.find("Region")->value.value(), "100");
+  EXPECT_EQ(set.find("Nope"), nullptr);
+
+  EXPECT_TRUE(set.matches("Subscription", AttrValue::of("202"), 0));
+  EXPECT_FALSE(set.matches("Subscription", AttrValue::of("999"), 0));
+  EXPECT_TRUE(set.matches("Region", AttrValue::any(), 0));
+  EXPECT_FALSE(set.matches("Missing", AttrValue::any(), 0));
+}
+
+TEST(AttributeSetTest, MatchesHonoursValidityWindow) {
+  AttributeSet set;
+  set.add(make_attr("Region", "100", 2 * kHour, 4 * kHour));
+  EXPECT_FALSE(set.matches("Region", AttrValue::of("100"), kHour));
+  EXPECT_TRUE(set.matches("Region", AttrValue::of("100"), 3 * kHour));
+  EXPECT_FALSE(set.matches("Region", AttrValue::of("100"), 5 * kHour));
+}
+
+TEST(AttributeSetTest, FindActive) {
+  AttributeSet set;
+  set.add(make_attr("Region", "100", kNullTime, 2 * kHour));
+  set.add(make_attr("Region", "101", 3 * kHour, kNullTime));
+  EXPECT_EQ(set.find_active("Region", kHour).size(), 1u);
+  EXPECT_EQ(set.find_active("Region", kHour)[0]->value.value(), "100");
+  EXPECT_EQ(set.find_active("Region", 10 * kHour)[0]->value.value(), "101");
+  EXPECT_TRUE(set.find_active("Region", 2 * kHour + 1).empty() ||
+              set.find_active("Region", 2 * kHour + 1).size() == 1);
+}
+
+TEST(AttributeSetTest, RemoveAll) {
+  AttributeSet set;
+  set.add(make_attr("Subscription", "101"));
+  set.add(make_attr("Subscription", "202"));
+  set.add(make_attr("Region", "100"));
+  EXPECT_EQ(set.remove_all("Subscription"), 2u);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.remove_all("Subscription"), 0u);
+}
+
+TEST(AttributeSetTest, EarliestExpiry) {
+  AttributeSet set;
+  EXPECT_FALSE(set.earliest_expiry().has_value());
+  set.add(make_attr("A", "1"));  // null etime
+  EXPECT_FALSE(set.earliest_expiry().has_value());
+  set.add(make_attr("B", "2", kNullTime, 5 * kHour));
+  set.add(make_attr("C", "3", kNullTime, 3 * kHour));
+  ASSERT_TRUE(set.earliest_expiry().has_value());
+  EXPECT_EQ(*set.earliest_expiry(), 3 * kHour);
+}
+
+TEST(AttributeSetTest, LatestUpdate) {
+  AttributeSet set;
+  EXPECT_FALSE(set.latest_update().has_value());
+  Attribute a = make_attr("A", "1");
+  a.utime = 10;
+  Attribute b = make_attr("B", "2");
+  b.utime = 30;
+  set.add(a);
+  set.add(b);
+  EXPECT_EQ(*set.latest_update(), 30);
+}
+
+TEST(AttributeSetTest, WireRoundTrip) {
+  AttributeSet set;
+  set.add(make_attr("Region", "100", 1, 2));
+  set.add(make_attr("Subscription", "101"));
+  util::WireWriter w;
+  set.encode(w);
+  util::WireReader r(w.data());
+  EXPECT_EQ(AttributeSet::decode(r), set);
+}
+
+TEST(AttributeSetTest, DecodeRejectsImplausibleCount) {
+  util::WireWriter w;
+  w.u32(1000000);
+  util::WireReader r(w.data());
+  EXPECT_THROW(AttributeSet::decode(r), util::WireError);
+}
+
+}  // namespace
+}  // namespace p2pdrm::core

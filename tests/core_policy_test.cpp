@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace p2pdrm::core {
+namespace {
+
+using util::kHour;
+using util::kNullTime;
+
+Attribute attr(const std::string& name, AttrValue value,
+               util::SimTime stime = kNullTime, util::SimTime etime = kNullTime) {
+  Attribute a;
+  a.name = name;
+  a.value = std::move(value);
+  a.stime = stime;
+  a.etime = etime;
+  return a;
+}
+
+Policy policy(std::uint32_t priority, std::vector<PolicyTerm> terms, PolicyAction action) {
+  Policy p;
+  p.priority = priority;
+  p.terms = std::move(terms);
+  p.action = action;
+  return p;
+}
+
+/// The paper's Fig. 2 channel A: Region=100 & Subscription=101 -> ACCEPT,
+/// Region=101 -> ACCEPT.
+ChannelRecord channel_a() {
+  ChannelRecord c;
+  c.id = 1;
+  c.name = "Channel A";
+  c.attributes.add(attr(kAttrRegion, AttrValue::of("100")));
+  c.attributes.add(attr(kAttrRegion, AttrValue::of("101")));
+  c.attributes.add(attr(kAttrSubscription, AttrValue::of("101")));
+  c.policies.push_back(policy(50,
+                              {{kAttrRegion, AttrValue::of("100")},
+                               {kAttrSubscription, AttrValue::of("101")}},
+                              PolicyAction::kAccept));
+  c.policies.push_back(
+      policy(50, {{kAttrRegion, AttrValue::of("101")}}, PolicyAction::kAccept));
+  return c;
+}
+
+AttributeSet user_in_region_100_with_sub() {
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("100")));
+  u.add(attr(kAttrSubscription, AttrValue::of("101")));
+  return u;
+}
+
+TEST(PolicyEvalTest, Fig2SubscriberInRegion100Accepted) {
+  const EvalResult r = evaluate_policies(channel_a(), user_in_region_100_with_sub(), 0);
+  EXPECT_EQ(r.decision, AccessDecision::kAccept);
+  EXPECT_EQ(r.decided_by_priority, 50u);
+}
+
+TEST(PolicyEvalTest, Fig2Region101FreeToView) {
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("101")));
+  EXPECT_EQ(evaluate_policies(channel_a(), u, 0).decision, AccessDecision::kAccept);
+}
+
+TEST(PolicyEvalTest, Region100WithoutSubscriptionRejected) {
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("100")));
+  EXPECT_EQ(evaluate_policies(channel_a(), u, 0).decision, AccessDecision::kReject);
+}
+
+TEST(PolicyEvalTest, ForeignRegionRejected) {
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("999")));
+  u.add(attr(kAttrSubscription, AttrValue::of("101")));
+  EXPECT_EQ(evaluate_policies(channel_a(), u, 0).decision, AccessDecision::kReject);
+}
+
+TEST(PolicyEvalTest, EmptyUserAttributesRejected) {
+  EXPECT_EQ(evaluate_policies(channel_a(), AttributeSet{}, 0).decision,
+            AccessDecision::kReject);
+}
+
+TEST(PolicyEvalTest, NoPoliciesDefaultReject) {
+  ChannelRecord c;
+  c.id = 9;
+  c.attributes.add(attr(kAttrRegion, AttrValue::of("100")));
+  const EvalResult r = evaluate_policies(c, user_in_region_100_with_sub(), 0);
+  EXPECT_EQ(r.decision, AccessDecision::kReject);
+  EXPECT_EQ(r.decided_by_priority, 0u);
+}
+
+// The paper's blackout construction (Fig. 2 channel B): during the window a
+// Region=ANY attribute is active and grounds a priority-100 REJECT.
+TEST(PolicyEvalTest, BlackoutWindow) {
+  ChannelRecord c = channel_a();
+  c.attributes.add(attr(kAttrRegion, AttrValue::any(), 20 * kHour, 21 * kHour));
+  c.policies.push_back(
+      policy(100, {{kAttrRegion, AttrValue::any()}}, PolicyAction::kReject));
+
+  const AttributeSet u = user_in_region_100_with_sub();
+  // Before the window: REJECT policy is not grounded, ACCEPT fires.
+  EXPECT_EQ(evaluate_policies(c, u, 19 * kHour).decision, AccessDecision::kAccept);
+  // Inside the window: priority 100 REJECT overrides priority 50 ACCEPTs.
+  EXPECT_EQ(evaluate_policies(c, u, 20 * kHour + 30 * util::kMinute).decision,
+            AccessDecision::kReject);
+  EXPECT_EQ(evaluate_policies(c, u, 21 * kHour).decision, AccessDecision::kReject);
+  // After the window: access restored.
+  EXPECT_EQ(evaluate_policies(c, u, 21 * kHour + 1).decision, AccessDecision::kAccept);
+}
+
+TEST(PolicyEvalTest, HigherPriorityWinsRegardlessOfOrder) {
+  ChannelRecord c;
+  c.id = 2;
+  c.attributes.add(attr(kAttrRegion, AttrValue::of("100")));
+  // Listed low-priority first; the high-priority REJECT must still win.
+  c.policies.push_back(
+      policy(10, {{kAttrRegion, AttrValue::of("100")}}, PolicyAction::kAccept));
+  c.policies.push_back(
+      policy(90, {{kAttrRegion, AttrValue::of("100")}}, PolicyAction::kReject));
+
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("100")));
+  const EvalResult r = evaluate_policies(c, u, 0);
+  EXPECT_EQ(r.decision, AccessDecision::kReject);
+  EXPECT_EQ(r.decided_by_priority, 90u);
+}
+
+TEST(PolicyEvalTest, EqualPriorityResolvesInListingOrder) {
+  ChannelRecord c;
+  c.id = 3;
+  c.attributes.add(attr(kAttrRegion, AttrValue::of("100")));
+  c.policies.push_back(
+      policy(50, {{kAttrRegion, AttrValue::of("100")}}, PolicyAction::kAccept));
+  c.policies.push_back(
+      policy(50, {{kAttrRegion, AttrValue::of("100")}}, PolicyAction::kReject));
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("100")));
+  EXPECT_EQ(evaluate_policies(c, u, 0).decision, AccessDecision::kAccept);
+}
+
+TEST(PolicyEvalTest, ExpiredUserAttributeDoesNotSatisfy) {
+  ChannelRecord c;
+  c.id = 4;
+  c.attributes.add(attr(kAttrSubscription, AttrValue::of("101")));
+  c.policies.push_back(
+      policy(50, {{kAttrSubscription, AttrValue::of("101")}}, PolicyAction::kAccept));
+
+  AttributeSet u;
+  u.add(attr(kAttrSubscription, AttrValue::of("101"), kNullTime, 5 * kHour));
+  EXPECT_EQ(evaluate_policies(c, u, 4 * kHour).decision, AccessDecision::kAccept);
+  EXPECT_EQ(evaluate_policies(c, u, 6 * kHour).decision, AccessDecision::kReject);
+}
+
+TEST(PolicyEvalTest, FutureUserAttributeNotYetValid) {
+  ChannelRecord c;
+  c.id = 5;
+  c.attributes.add(attr(kAttrSubscription, AttrValue::of("101")));
+  c.policies.push_back(
+      policy(50, {{kAttrSubscription, AttrValue::of("101")}}, PolicyAction::kAccept));
+  AttributeSet u;
+  u.add(attr(kAttrSubscription, AttrValue::of("101"), 10 * kHour, kNullTime));
+  EXPECT_EQ(evaluate_policies(c, u, 5 * kHour).decision, AccessDecision::kReject);
+  EXPECT_EQ(evaluate_policies(c, u, 11 * kHour).decision, AccessDecision::kAccept);
+}
+
+TEST(PolicyEvalTest, MultiTermConjunction) {
+  ChannelRecord c;
+  c.id = 6;
+  c.attributes.add(attr(kAttrRegion, AttrValue::of("100")));
+  c.attributes.add(attr(kAttrSubscription, AttrValue::of("HD")));
+  c.attributes.add(attr(kAttrVersion, AttrValue::of("2")));
+  c.policies.push_back(policy(50,
+                              {{kAttrRegion, AttrValue::of("100")},
+                               {kAttrSubscription, AttrValue::of("HD")},
+                               {kAttrVersion, AttrValue::of("2")}},
+                              PolicyAction::kAccept));
+
+  AttributeSet u;
+  u.add(attr(kAttrRegion, AttrValue::of("100")));
+  u.add(attr(kAttrSubscription, AttrValue::of("HD")));
+  EXPECT_EQ(evaluate_policies(c, u, 0).decision, AccessDecision::kReject);
+  u.add(attr(kAttrVersion, AttrValue::of("2")));
+  EXPECT_EQ(evaluate_policies(c, u, 0).decision, AccessDecision::kAccept);
+}
+
+TEST(PolicyEvalTest, ChannelAccessibleHelper) {
+  EXPECT_TRUE(channel_accessible(channel_a(), user_in_region_100_with_sub(), 0));
+  EXPECT_FALSE(channel_accessible(channel_a(), AttributeSet{}, 0));
+}
+
+TEST(PolicyWireTest, TermRoundTrip) {
+  PolicyTerm t{"Region", AttrValue::any()};
+  util::WireWriter w;
+  t.encode(w);
+  util::WireReader r(w.data());
+  EXPECT_EQ(PolicyTerm::decode(r), t);
+}
+
+TEST(PolicyWireTest, PolicyRoundTrip) {
+  const Policy p = policy(77, {{kAttrRegion, AttrValue::of("100")},
+                               {kAttrSubscription, AttrValue::of("101")}},
+                          PolicyAction::kReject);
+  util::WireWriter w;
+  p.encode(w);
+  util::WireReader r(w.data());
+  EXPECT_EQ(Policy::decode(r), p);
+}
+
+TEST(PolicyWireTest, ChannelRecordRoundTrip) {
+  const ChannelRecord c = channel_a();
+  util::WireWriter w;
+  c.encode(w);
+  util::WireReader r(w.data());
+  EXPECT_EQ(ChannelRecord::decode(r), c);
+}
+
+TEST(PolicyWireTest, PolicyRejectsBadAction) {
+  Policy p = policy(1, {}, PolicyAction::kAccept);
+  util::WireWriter w;
+  p.encode(w);
+  util::Bytes bytes = w.take();
+  bytes.back() = 7;  // action byte out of range
+  util::WireReader r(bytes);
+  EXPECT_THROW(Policy::decode(r), util::WireError);
+}
+
+TEST(PolicyToStringTest, RendersLikeThePaper) {
+  const Policy p = policy(50,
+                          {{kAttrRegion, AttrValue::of("100")},
+                           {kAttrSubscription, AttrValue::of("101")}},
+                          PolicyAction::kAccept);
+  EXPECT_EQ(p.to_string(),
+            "Priority 50: Region=100 & Subscription=101, Return ACCEPT");
+}
+
+TEST(PolicyParseTest, PaperExamples) {
+  const auto p1 = parse_policy("Priority 50: Region=100 & Subscription=101, Return ACCEPT");
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->priority, 50u);
+  ASSERT_EQ(p1->terms.size(), 2u);
+  EXPECT_EQ(p1->terms[0].attr_name, "Region");
+  EXPECT_EQ(p1->terms[0].rule.value(), "100");
+  EXPECT_EQ(p1->terms[1].attr_name, "Subscription");
+  EXPECT_EQ(p1->action, PolicyAction::kAccept);
+
+  const auto p2 = parse_policy("Priority 100: Region=ANY, Return REJECT");
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->terms[0].rule, AttrValue::any());
+  EXPECT_EQ(p2->action, PolicyAction::kReject);
+}
+
+TEST(PolicyParseTest, RoundTripsWithToString) {
+  for (const char* text :
+       {"Priority 50: Region=100 & Subscription=101, Return ACCEPT",
+        "Priority 100: Region=ANY, Return REJECT",
+        "Priority 1: Version=2, Return ACCEPT",
+        "Priority 0: A=NONE & B=NULL & C=ALL, Return REJECT"}) {
+    const auto parsed = parse_policy(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+    // And the rendering re-parses to an equal policy.
+    const auto reparsed = parse_policy(parsed->to_string());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(*reparsed, *parsed);
+  }
+}
+
+TEST(PolicyParseTest, WhitespaceTolerance) {
+  const auto p = parse_policy("  Priority 7:  Region = 100  &  AS = 1002 , Return ACCEPT  ");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->priority, 7u);
+  EXPECT_EQ(p->terms[1].attr_name, "AS");
+  EXPECT_EQ(p->terms[1].rule.value(), "1002");
+}
+
+TEST(PolicyParseTest, MalformedRejected) {
+  for (const char* bad :
+       {"", "Region=100, Return ACCEPT", "Priority : Region=100, Return ACCEPT",
+        "Priority 50 Region=100, Return ACCEPT",
+        "Priority 50: Region=100 Return ACCEPT",
+        "Priority 50: Region=100, Return MAYBE",
+        "Priority 50: Region, Return ACCEPT",
+        "Priority 50: =100, Return ACCEPT",
+        "Priority 9999999999999: Region=100, Return ACCEPT",
+        "Priority 5a: Region=100, Return ACCEPT",
+        "Priority 50: Region=100 & , Return ACCEPT"}) {
+    EXPECT_FALSE(parse_policy(bad).has_value()) << bad;
+  }
+}
+
+TEST(PolicyParseTest, EmptyTermListParses) {
+  // A policy with no terms fires unconditionally; its rendering round-trips.
+  const Policy unconditional = policy(5, {}, PolicyAction::kReject);
+  const auto parsed = parse_policy(unconditional.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, unconditional);
+}
+
+}  // namespace
+}  // namespace p2pdrm::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/secure_channel.h"
+#include "crypto/chacha20.h"
+
+namespace p2pdrm::core {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+
+const crypto::RsaKeyPair& server_keys() {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::SecureRandom rng(321);
+    return crypto::generate_rsa_keypair(rng, 512);
+  }();
+  return kp;
+}
+
+struct Pair {
+  SecureSession client;
+  SecureSession server;
+};
+
+Pair handshake() {
+  crypto::SecureRandom rng(5);
+  ClientHandshake ch = secure_channel_initiate(server_keys().pub, rng);
+  // Round-trip the hello through its wire encoding like a deployment would.
+  const SecureHello decoded = SecureHello::decode(ch.hello.encode());
+  auto server = secure_channel_accept(decoded, server_keys().priv);
+  EXPECT_TRUE(server.has_value());
+  return Pair{std::move(ch.session), std::move(*server)};
+}
+
+TEST(SecureChannelTest, ClientToServerRoundTrip) {
+  Pair p = handshake();
+  const Bytes record = p.client.seal(bytes_of("LOGIN1 request bytes"));
+  const auto opened = p.server.open(record);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, bytes_of("LOGIN1 request bytes"));
+}
+
+TEST(SecureChannelTest, ServerToClientRoundTrip) {
+  Pair p = handshake();
+  const Bytes record = p.server.seal(bytes_of("ticket inside"));
+  const auto opened = p.client.open(record);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, bytes_of("ticket inside"));
+}
+
+TEST(SecureChannelTest, ManyRecordsInOrder) {
+  Pair p = handshake();
+  for (int i = 0; i < 50; ++i) {
+    const Bytes msg = bytes_of("msg " + std::to_string(i));
+    const auto opened = p.server.open(p.client.seal(msg));
+    ASSERT_TRUE(opened.has_value()) << i;
+    EXPECT_EQ(*opened, msg);
+  }
+  EXPECT_EQ(p.client.records_sent(), 50u);
+  EXPECT_EQ(p.server.records_received(), 50u);
+}
+
+TEST(SecureChannelTest, CiphertextHidesPlaintext) {
+  Pair p = handshake();
+  const Bytes secret = bytes_of("user ticket with subscriptions");
+  const Bytes record = p.client.seal(secret);
+  const std::string wire(record.begin(), record.end());
+  EXPECT_EQ(wire.find("subscriptions"), std::string::npos);
+}
+
+TEST(SecureChannelTest, SamePlaintextDifferentRecords) {
+  Pair p = handshake();
+  const Bytes a = p.client.seal(bytes_of("same"));
+  const Bytes b = p.client.seal(bytes_of("same"));
+  EXPECT_NE(a, b);  // sequence number keys the stream
+}
+
+TEST(SecureChannelTest, TamperingRejected) {
+  const Bytes reference = handshake().client.seal(bytes_of("payload"));
+  for (std::size_t pos = 0; pos < reference.size(); pos += 7) {
+    // Fresh sessions each round so sequence state is identical.
+    Pair p = handshake();
+    Bytes record = p.client.seal(bytes_of("payload"));
+    record[pos] ^= 0x01;
+    EXPECT_FALSE(p.server.open(record).has_value()) << "pos " << pos;
+  }
+}
+
+TEST(SecureChannelTest, ReplayRejected) {
+  Pair p = handshake();
+  const Bytes record = p.client.seal(bytes_of("one-shot"));
+  ASSERT_TRUE(p.server.open(record).has_value());
+  EXPECT_FALSE(p.server.open(record).has_value());  // replay
+}
+
+TEST(SecureChannelTest, ReorderRejected) {
+  Pair p = handshake();
+  const Bytes first = p.client.seal(bytes_of("first"));
+  const Bytes second = p.client.seal(bytes_of("second"));
+  EXPECT_FALSE(p.server.open(second).has_value());  // out of order
+  EXPECT_TRUE(p.server.open(first).has_value());
+}
+
+TEST(SecureChannelTest, ReflectionRejected) {
+  // A client record bounced back at the client must not open (directions
+  // use distinct keys).
+  Pair p = handshake();
+  const Bytes record = p.client.seal(bytes_of("to server"));
+  EXPECT_FALSE(p.client.open(record).has_value());
+}
+
+TEST(SecureChannelTest, WrongServerKeyFailsAccept) {
+  crypto::SecureRandom rng(6);
+  const crypto::RsaKeyPair other = crypto::generate_rsa_keypair(rng, 512);
+  ClientHandshake ch = secure_channel_initiate(server_keys().pub, rng);
+  EXPECT_FALSE(secure_channel_accept(ch.hello, other.priv).has_value());
+}
+
+TEST(SecureChannelTest, GarbageHelloFailsAccept) {
+  SecureHello hello;
+  hello.encrypted_master = bytes_of("not rsa at all");
+  EXPECT_FALSE(secure_channel_accept(hello, server_keys().priv).has_value());
+}
+
+TEST(SecureChannelTest, TruncatedRecordRejected) {
+  Pair p = handshake();
+  Bytes record = p.client.seal(bytes_of("payload"));
+  record.resize(record.size() / 2);
+  EXPECT_FALSE(p.server.open(record).has_value());
+}
+
+TEST(SecureChannelTest, EmptyPlaintextWorks) {
+  Pair p = handshake();
+  const auto opened = p.server.open(p.client.seal({}));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+}  // namespace
+}  // namespace p2pdrm::core

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "core/challenge.h"
+#include "core/messages.h"
+#include "core/ticket.h"
+#include "crypto/chacha20.h"
+
+namespace p2pdrm::core {
+namespace {
+
+using util::kMinute;
+
+const crypto::RsaKeyPair& issuer_keys() {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::SecureRandom rng(101);
+    return crypto::generate_rsa_keypair(rng, 512);
+  }();
+  return kp;
+}
+
+const crypto::RsaKeyPair& client_keys() {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::SecureRandom rng(102);
+    return crypto::generate_rsa_keypair(rng, 512);
+  }();
+  return kp;
+}
+
+UserTicket sample_user_ticket() {
+  UserTicket t;
+  t.user_in = 42;
+  t.client_public_key = client_keys().pub;
+  t.start_time = 100 * kMinute;
+  t.expiry_time = 130 * kMinute;
+  Attribute region;
+  region.name = kAttrRegion;
+  region.value = AttrValue::of("100");
+  region.utime = 7;
+  t.attributes.add(region);
+  Attribute netaddr;
+  netaddr.name = kAttrNetAddr;
+  netaddr.value = AttrValue::of("10.0.0.1");
+  t.attributes.add(netaddr);
+  return t;
+}
+
+ChannelTicket sample_channel_ticket() {
+  ChannelTicket t;
+  t.user_in = 42;
+  t.channel_id = 7;
+  t.client_public_key = client_keys().pub;
+  t.net_addr = util::parse_netaddr("10.0.0.1");
+  t.renewal = false;
+  t.start_time = 100 * kMinute;
+  t.expiry_time = 110 * kMinute;
+  return t;
+}
+
+TEST(UserTicketTest, EncodeDecodeRoundTrip) {
+  const UserTicket t = sample_user_ticket();
+  EXPECT_EQ(UserTicket::decode(t.encode()), t);
+}
+
+TEST(UserTicketTest, Expiry) {
+  const UserTicket t = sample_user_ticket();
+  EXPECT_FALSE(t.expired_at(130 * kMinute));
+  EXPECT_TRUE(t.expired_at(130 * kMinute + 1));
+}
+
+TEST(UserTicketTest, TrailingBytesRejected) {
+  util::Bytes bytes = sample_user_ticket().encode();
+  bytes.push_back(0);
+  EXPECT_THROW(UserTicket::decode(bytes), util::WireError);
+}
+
+TEST(ChannelTicketTest, EncodeDecodeRoundTrip) {
+  ChannelTicket t = sample_channel_ticket();
+  EXPECT_EQ(ChannelTicket::decode(t.encode()), t);
+  t.renewal = true;
+  EXPECT_EQ(ChannelTicket::decode(t.encode()), t);
+}
+
+TEST(ChannelTicketTest, BadRenewalBitRejected) {
+  util::Bytes bytes = sample_channel_ticket().encode();
+  // renewal bit sits right after the 4-byte NetAddr which follows the
+  // length-prefixed public key; find it by decoding offsets is brittle, so
+  // instead flip it through the struct and corrupt the byte directly.
+  ChannelTicket t = sample_channel_ticket();
+  t.renewal = true;
+  util::Bytes enc = t.encode();
+  // Find the single 0x01 that differs from the renewal=false encoding.
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    if (enc[i] != bytes[i]) {
+      pos = i;
+      break;
+    }
+  }
+  enc[pos] = 2;
+  EXPECT_THROW(ChannelTicket::decode(enc), util::WireError);
+}
+
+TEST(SignedTicketTest, SignAndVerify) {
+  const SignedUserTicket signed_ticket =
+      SignedUserTicket::sign(sample_user_ticket(), issuer_keys().priv);
+  EXPECT_TRUE(signed_ticket.verify(issuer_keys().pub));
+  EXPECT_FALSE(signed_ticket.verify(client_keys().pub));
+}
+
+TEST(SignedTicketTest, EncodeDecodePreservesSignature) {
+  const SignedUserTicket original =
+      SignedUserTicket::sign(sample_user_ticket(), issuer_keys().priv);
+  const SignedUserTicket decoded = SignedUserTicket::decode(original.encode());
+  EXPECT_EQ(decoded, original);
+  EXPECT_TRUE(decoded.verify(issuer_keys().pub));
+}
+
+TEST(SignedTicketTest, TamperedBodyFailsVerification) {
+  SignedUserTicket t = SignedUserTicket::sign(sample_user_ticket(), issuer_keys().priv);
+  t.body[10] ^= 0x01;
+  EXPECT_FALSE(t.verify(issuer_keys().pub));
+}
+
+TEST(SignedTicketTest, TamperedWireBytesDetected) {
+  const SignedUserTicket t =
+      SignedUserTicket::sign(sample_user_ticket(), issuer_keys().priv);
+  util::Bytes wire = t.encode();
+  // Flip every byte position one at a time in a sample of positions: the
+  // result must either fail to parse or fail signature verification.
+  for (std::size_t pos = 4; pos < wire.size(); pos += 37) {
+    util::Bytes corrupted = wire;
+    corrupted[pos] ^= 0xff;
+    try {
+      const SignedUserTicket parsed = SignedUserTicket::decode(corrupted);
+      EXPECT_FALSE(parsed.verify(issuer_keys().pub)) << "pos " << pos;
+    } catch (const util::WireError&) {
+      // Parse failure is an acceptable outcome for a corrupted ticket.
+    }
+  }
+}
+
+TEST(SignedTicketTest, ChannelTicketSignVerify) {
+  const SignedChannelTicket t =
+      SignedChannelTicket::sign(sample_channel_ticket(), issuer_keys().priv);
+  EXPECT_TRUE(t.verify(issuer_keys().pub));
+  const SignedChannelTicket decoded = SignedChannelTicket::decode(t.encode());
+  EXPECT_EQ(decoded.ticket.channel_id, 7u);
+  EXPECT_TRUE(decoded.verify(issuer_keys().pub));
+}
+
+// --- Challenge ---
+
+TEST(ChallengeTest, MakeAndVerify) {
+  crypto::SecureRandom rng(5);
+  const util::Bytes secret = rng.bytes(32);
+  const util::Bytes nonce = rng.bytes(kNonceSize);
+  const util::Bytes binding = util::bytes_of("user@example.com|fingerprint");
+
+  const Challenge c = make_challenge(secret, "login", binding, nonce, 1000);
+  EXPECT_TRUE(verify_challenge(c, secret, "login", binding, 1500, kMinute));
+}
+
+TEST(ChallengeTest, WrongContextFails) {
+  crypto::SecureRandom rng(6);
+  const util::Bytes secret = rng.bytes(32);
+  const Challenge c = make_challenge(secret, "login", util::bytes_of("b"),
+                                     rng.bytes(kNonceSize), 1000);
+  EXPECT_FALSE(verify_challenge(c, secret, "switch", util::bytes_of("b"), 1500, kMinute));
+}
+
+TEST(ChallengeTest, WrongBindingFails) {
+  crypto::SecureRandom rng(7);
+  const util::Bytes secret = rng.bytes(32);
+  const Challenge c = make_challenge(secret, "login", util::bytes_of("user-a"),
+                                     rng.bytes(kNonceSize), 1000);
+  EXPECT_FALSE(
+      verify_challenge(c, secret, "login", util::bytes_of("user-b"), 1500, kMinute));
+}
+
+TEST(ChallengeTest, WrongSecretFails) {
+  crypto::SecureRandom rng(8);
+  const util::Bytes secret = rng.bytes(32);
+  const util::Bytes other = rng.bytes(32);
+  const Challenge c = make_challenge(secret, "login", util::bytes_of("b"),
+                                     rng.bytes(kNonceSize), 1000);
+  EXPECT_FALSE(verify_challenge(c, other, "login", util::bytes_of("b"), 1500, kMinute));
+}
+
+TEST(ChallengeTest, StaleChallengeFails) {
+  crypto::SecureRandom rng(9);
+  const util::Bytes secret = rng.bytes(32);
+  const Challenge c = make_challenge(secret, "login", util::bytes_of("b"),
+                                     rng.bytes(kNonceSize), 1000);
+  EXPECT_FALSE(verify_challenge(c, secret, "login", util::bytes_of("b"),
+                                1000 + 2 * kMinute, kMinute));
+}
+
+TEST(ChallengeTest, FutureChallengeFails) {
+  crypto::SecureRandom rng(10);
+  const util::Bytes secret = rng.bytes(32);
+  const Challenge c = make_challenge(secret, "login", util::bytes_of("b"),
+                                     rng.bytes(kNonceSize), 5000);
+  EXPECT_FALSE(verify_challenge(c, secret, "login", util::bytes_of("b"), 1000, kMinute));
+}
+
+TEST(ChallengeTest, TamperedNonceFails) {
+  crypto::SecureRandom rng(11);
+  const util::Bytes secret = rng.bytes(32);
+  Challenge c = make_challenge(secret, "login", util::bytes_of("b"),
+                               rng.bytes(kNonceSize), 1000);
+  c.nonce[0] ^= 1;
+  EXPECT_FALSE(verify_challenge(c, secret, "login", util::bytes_of("b"), 1500, kMinute));
+}
+
+TEST(ChallengeTest, WrongNonceSizeFails) {
+  crypto::SecureRandom rng(12);
+  const util::Bytes secret = rng.bytes(32);
+  Challenge c = make_challenge(secret, "login", util::bytes_of("b"), rng.bytes(16), 1000);
+  EXPECT_FALSE(verify_challenge(c, secret, "login", util::bytes_of("b"), 1500, kMinute));
+}
+
+TEST(ChallengeTest, WireRoundTrip) {
+  crypto::SecureRandom rng(13);
+  const Challenge c = make_challenge(rng.bytes(32), "switch", util::bytes_of("x"),
+                                     rng.bytes(kNonceSize), 777);
+  util::WireWriter w;
+  c.encode(w);
+  util::WireReader r(w.data());
+  EXPECT_EQ(Challenge::decode(r), c);
+}
+
+// --- Message codecs ---
+
+TEST(MessageCodecTest, Login1RoundTrip) {
+  Login1Request m;
+  m.email = "user@example.com";
+  m.client_public_key = client_keys().pub;
+  m.client_version = 3;
+  const Login1Request d = Login1Request::decode(m.encode());
+  EXPECT_EQ(d.email, m.email);
+  EXPECT_EQ(d.client_public_key, m.client_public_key);
+  EXPECT_EQ(d.client_version, 3u);
+}
+
+TEST(MessageCodecTest, Login2ResponseWithAndWithoutTicket) {
+  Login2Response with;
+  with.ticket = SignedUserTicket::sign(sample_user_ticket(), issuer_keys().priv);
+  with.server_time = 999;
+  with.minimum_version = 2;
+  const Login2Response d = Login2Response::decode(with.encode());
+  ASSERT_TRUE(d.ticket.has_value());
+  EXPECT_TRUE(d.ticket->verify(issuer_keys().pub));
+  EXPECT_EQ(d.server_time, 999);
+
+  Login2Response without;
+  without.error = DrmError::kUnknownUser;
+  const Login2Response d2 = Login2Response::decode(without.encode());
+  EXPECT_EQ(d2.error, DrmError::kUnknownUser);
+  EXPECT_FALSE(d2.ticket.has_value());
+}
+
+TEST(MessageCodecTest, Switch2ResponsePeerList) {
+  Switch2Response m;
+  m.ticket = SignedChannelTicket::sign(sample_channel_ticket(), issuer_keys().priv);
+  m.peers = {{10, util::parse_netaddr("10.0.0.2")}, {11, util::parse_netaddr("10.0.0.3")}};
+  const Switch2Response d = Switch2Response::decode(m.encode());
+  EXPECT_EQ(d.peers, m.peers);
+  ASSERT_TRUE(d.ticket.has_value());
+}
+
+TEST(MessageCodecTest, SwitchRequestRenewalFlag) {
+  Switch1Request fresh;
+  fresh.channel_id = 5;
+  EXPECT_FALSE(fresh.is_renewal());
+  Switch1Request renewal;
+  renewal.expiring_ticket = util::bytes_of("ticket-bytes");
+  EXPECT_TRUE(renewal.is_renewal());
+  const Switch1Request d = Switch1Request::decode(renewal.encode());
+  EXPECT_TRUE(d.is_renewal());
+}
+
+TEST(MessageCodecTest, JoinRoundTrip) {
+  JoinRequest req;
+  req.channel_ticket = util::bytes_of("ct");
+  EXPECT_EQ(JoinRequest::decode(req.encode()).channel_ticket, req.channel_ticket);
+
+  JoinResponse resp;
+  resp.error = DrmError::kNoCapacity;
+  EXPECT_EQ(JoinResponse::decode(resp.encode()).error, DrmError::kNoCapacity);
+}
+
+TEST(MessageCodecTest, ChannelListRoundTrip) {
+  ChannelListRequest req;
+  req.user_ticket = util::bytes_of("ut");
+  req.stale_attributes = {"Region", "Subscription"};
+  const ChannelListRequest d = ChannelListRequest::decode(req.encode());
+  EXPECT_EQ(d.stale_attributes, req.stale_attributes);
+
+  ChannelListResponse resp;
+  ChannelRecord c;
+  c.id = 3;
+  c.name = "news";
+  resp.channels.push_back(c);
+  PartitionInfo p;
+  p.partition = 1;
+  p.manager_addr = util::parse_netaddr("10.0.0.9");
+  p.manager_public_key = issuer_keys().pub.encode();
+  resp.partitions.push_back(p);
+  const ChannelListResponse d2 = ChannelListResponse::decode(resp.encode());
+  ASSERT_EQ(d2.channels.size(), 1u);
+  EXPECT_EQ(d2.channels[0].name, "news");
+  ASSERT_EQ(d2.partitions.size(), 1u);
+  EXPECT_EQ(d2.partitions[0], p);
+}
+
+TEST(MessageCodecTest, ErrorNamesAreStable) {
+  EXPECT_EQ(to_string(DrmError::kOk), "ok");
+  EXPECT_EQ(to_string(DrmError::kAccessDenied), "access-denied");
+  EXPECT_EQ(to_string(DrmError::kRenewalRefused), "renewal-refused");
+}
+
+TEST(MessageCodecTest, BadErrorCodeRejected) {
+  util::Bytes bytes = Login1Response{}.encode();
+  bytes[0] = 200;
+  EXPECT_THROW(Login1Response::decode(bytes), util::WireError);
+}
+
+}  // namespace
+}  // namespace p2pdrm::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.h"
+#include "crypto/chacha20.h"
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+using util::from_hex;
+using util::to_hex;
+
+AesKey key_from_hex(const std::string& hex) {
+  const Bytes b = from_hex(hex);
+  AesKey k{};
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+// FIPS-197 Appendix C.1.
+TEST(Aes128Test, Fips197Vector) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(util::BytesView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(util::BytesView(back, 16)), to_hex(pt));
+}
+
+// NIST SP 800-38A F.1.1 (ECB example block 1).
+TEST(Aes128Test, Sp800_38aEcbBlock) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(util::BytesView(ct, 16)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128Test, EncryptDecryptInPlace) {
+  const Aes128 aes(key_from_hex("00000000000000000000000000000000"));
+  std::uint8_t block[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::uint8_t original[16];
+  std::copy(std::begin(block), std::end(block), original);
+  aes.encrypt_block(block, block);
+  aes.decrypt_block(block, block);
+  EXPECT_TRUE(std::equal(std::begin(block), std::end(block), original));
+}
+
+TEST(Aes128Test, DifferentKeysDifferentCiphertext) {
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  std::uint8_t c1[16], c2[16];
+  Aes128(key_from_hex("000102030405060708090a0b0c0d0e0f")).encrypt_block(pt.data(), c1);
+  Aes128(key_from_hex("100102030405060708090a0b0c0d0e0f")).encrypt_block(pt.data(), c2);
+  EXPECT_NE(to_hex(util::BytesView(c1, 16)), to_hex(util::BytesView(c2, 16)));
+}
+
+TEST(AesCtrTest, RoundTrip) {
+  const AesCtr ctr(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"), 0x1234);
+  const Bytes plain = bytes_of("live broadcast content packet payload, 47 bytes");
+  Bytes data = plain;
+  ctr.crypt(data);
+  EXPECT_NE(data, plain);
+  ctr.crypt(data);
+  EXPECT_EQ(data, plain);
+}
+
+TEST(AesCtrTest, CryptCopyMatchesInPlace) {
+  const AesCtr ctr(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"), 99);
+  const Bytes plain = bytes_of("stream data");
+  Bytes in_place = plain;
+  ctr.crypt(in_place);
+  EXPECT_EQ(ctr.crypt_copy(plain), in_place);
+}
+
+TEST(AesCtrTest, RandomAccessOffsets) {
+  // Encrypting a buffer in one shot must equal encrypting it piecewise at
+  // the matching offsets — peers decrypt packets independently.
+  const AesCtr ctr(key_from_hex("000102030405060708090a0b0c0d0e0f"), 7);
+  Bytes whole(100);
+  for (std::size_t i = 0; i < whole.size(); ++i) whole[i] = static_cast<std::uint8_t>(i);
+  const Bytes plain = whole;
+  ctr.crypt(whole);
+
+  for (std::size_t start : {0u, 1u, 15u, 16u, 17u, 31u, 33u, 64u, 99u}) {
+    Bytes piece(plain.begin() + static_cast<std::ptrdiff_t>(start), plain.end());
+    ctr.crypt(piece, start);
+    EXPECT_EQ(piece, Bytes(whole.begin() + static_cast<std::ptrdiff_t>(start), whole.end()))
+        << "offset " << start;
+  }
+}
+
+TEST(AesCtrTest, DifferentNoncesDifferentStreams) {
+  const AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain(32, 0);
+  EXPECT_NE(AesCtr(key, 1).crypt_copy(plain), AesCtr(key, 2).crypt_copy(plain));
+}
+
+TEST(AesCtrTest, EmptyInput) {
+  const AesCtr ctr(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"), 0);
+  Bytes empty;
+  ctr.crypt(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+class AesCtrLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AesCtrLengthTest, RoundTripAtLength) {
+  const AesCtr ctr(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"), 555);
+  Bytes data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  const Bytes original = data;
+  ctr.crypt(data);
+  if (!data.empty()) EXPECT_NE(data, original);
+  ctr.crypt(data);
+  EXPECT_EQ(data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AesCtrLengthTest,
+                         ::testing::Values(1, 15, 16, 17, 32, 100, 1000, 1500, 4096));
+
+}  // namespace
+}  // namespace p2pdrm::crypto

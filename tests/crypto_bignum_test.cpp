@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/bignum.h"
+#include "crypto/chacha20.h"
+
+namespace p2pdrm::crypto {
+namespace {
+
+TEST(BigUIntTest, ZeroBasics) {
+  const BigUInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_even());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+  EXPECT_EQ(zero.low_u64(), 0u);
+}
+
+TEST(BigUIntTest, U64Construction) {
+  const BigUInt v(0x0123456789abcdefull);
+  EXPECT_EQ(v.low_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef");
+  EXPECT_EQ(v.bit_length(), 57u);
+  EXPECT_TRUE(v.is_odd());
+}
+
+TEST(BigUIntTest, BytesRoundTrip) {
+  const util::Bytes raw = util::from_hex("00ffee010203");
+  const BigUInt v = BigUInt::from_bytes_be(raw);
+  EXPECT_EQ(v.to_hex(), "ffee010203");
+  EXPECT_EQ(util::to_hex(v.to_bytes_be(6)), "00ffee010203");
+  EXPECT_EQ(util::to_hex(v.to_bytes_be()), "ffee010203");
+}
+
+TEST(BigUIntTest, HexRoundTrip) {
+  const BigUInt v = BigUInt::from_hex("deadbeefcafebabe0123456789");
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe0123456789");
+  // Odd-length hex is padded.
+  EXPECT_EQ(BigUInt::from_hex("abc").to_hex(), "abc");
+}
+
+TEST(BigUIntTest, Comparison) {
+  EXPECT_LT(BigUInt(1), BigUInt(2));
+  EXPECT_GT(BigUInt::from_hex("100000000"), BigUInt(0xffffffffull));
+  EXPECT_EQ(BigUInt(5), BigUInt(5));
+  EXPECT_LT(BigUInt(), BigUInt(1));
+}
+
+TEST(BigUIntTest, AdditionWithCarryChain) {
+  const BigUInt a = BigUInt::from_hex("ffffffffffffffffffffffff");
+  const BigUInt one(1);
+  EXPECT_EQ((a + one).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigUIntTest, SubtractionWithBorrow) {
+  const BigUInt a = BigUInt::from_hex("1000000000000000000000000");
+  EXPECT_EQ((a - BigUInt(1)).to_hex(), "ffffffffffffffffffffffff");
+  EXPECT_EQ((a - a).to_hex(), "0");
+}
+
+TEST(BigUIntTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), std::underflow_error);
+}
+
+TEST(BigUIntTest, Multiplication) {
+  const BigUInt a = BigUInt::from_hex("123456789abcdef0");
+  const BigUInt b = BigUInt::from_hex("fedcba9876543210");
+  EXPECT_EQ((a * b).to_hex(), "121fa00ad77d7422236d88fe5618cf00");
+  EXPECT_TRUE((a * BigUInt()).is_zero());
+  EXPECT_EQ((a * BigUInt(1)), a);
+}
+
+TEST(BigUIntTest, Shifts) {
+  const BigUInt v = BigUInt::from_hex("1234");
+  EXPECT_EQ((v << 4).to_hex(), "12340");
+  EXPECT_EQ((v << 32).to_hex(), "123400000000");
+  EXPECT_EQ((v >> 4).to_hex(), "123");
+  EXPECT_EQ((v >> 16).to_hex(), "0");
+  EXPECT_EQ((v << 0), v);
+  EXPECT_EQ((v >> 0), v);
+  EXPECT_EQ(((v << 100) >> 100), v);
+}
+
+TEST(BigUIntTest, BitAccess) {
+  const BigUInt v = BigUInt::from_hex("5");  // 101
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(2));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BigUIntTest, DivisionBySmall) {
+  const BigUInt a = BigUInt::from_hex("123456789abcdef0123456789abcdef0");
+  const auto dm = BigUInt::divmod(a, BigUInt(7));
+  EXPECT_EQ(dm.quotient * BigUInt(7) + dm.remainder, a);
+  EXPECT_LT(dm.remainder, BigUInt(7));
+}
+
+TEST(BigUIntTest, DivisionMultiLimb) {
+  const BigUInt u = BigUInt::from_hex(
+      "ab54a98ceb1f0ad2ab54a98ceb1f0ad2ab54a98ceb1f0ad2");
+  const BigUInt v = BigUInt::from_hex("123456789abcdef0fedcba98");
+  const auto dm = BigUInt::divmod(u, v);
+  EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  EXPECT_LT(dm.remainder, v);
+}
+
+TEST(BigUIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(1) / BigUInt(), std::domain_error);
+  EXPECT_THROW(BigUInt(1) % BigUInt(), std::domain_error);
+}
+
+TEST(BigUIntTest, DivisionSmallerDividend) {
+  const auto dm = BigUInt::divmod(BigUInt(5), BigUInt(100));
+  EXPECT_TRUE(dm.quotient.is_zero());
+  EXPECT_EQ(dm.remainder, BigUInt(5));
+}
+
+TEST(BigUIntTest, ModU32) {
+  const BigUInt a = BigUInt::from_hex("123456789abcdef0123456789abcdef0");
+  EXPECT_EQ(a.mod_u32(97), (a % BigUInt(97)).low_u64());
+  EXPECT_EQ(BigUInt().mod_u32(5), 0u);
+  EXPECT_THROW(a.mod_u32(0), std::domain_error);
+}
+
+// Property sweep: q*v + r == u and r < v for deterministic pseudo-random
+// operands of many widths (this is the test that catches Knuth-D edge cases).
+class DivModPropertyTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DivModPropertyTest, Reconstructs) {
+  const auto [u_bits, v_bits] = GetParam();
+  SecureRandom rng(static_cast<std::uint64_t>(u_bits * 1000 + v_bits));
+  for (int iter = 0; iter < 25; ++iter) {
+    const BigUInt u = BigUInt::random_with_bits(rng, static_cast<std::size_t>(u_bits));
+    const BigUInt v = BigUInt::random_with_bits(rng, static_cast<std::size_t>(v_bits));
+    const auto dm = BigUInt::divmod(u, v);
+    ASSERT_EQ(dm.quotient * v + dm.remainder, u)
+        << "u=" << u.to_hex() << " v=" << v.to_hex();
+    ASSERT_LT(dm.remainder, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, DivModPropertyTest,
+    ::testing::Values(std::pair{64, 32}, std::pair{64, 64}, std::pair{128, 64},
+                      std::pair{256, 128}, std::pair{256, 255},
+                      std::pair{512, 256}, std::pair{512, 33},
+                      std::pair{1024, 512}, std::pair{1024, 1023},
+                      std::pair{96, 65}, std::pair{160, 96}));
+
+// Algorithm-D "add back" step is rare; force coverage with a known trigger
+// pattern (Hacker's Delight test case family).
+TEST(BigUIntTest, DivisionAddBackCase) {
+  const BigUInt u = BigUInt::from_hex("7fffffff800000010000000000000000");
+  const BigUInt v = BigUInt::from_hex("800000008000000200000005");
+  const auto dm = BigUInt::divmod(u, v);
+  EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  EXPECT_LT(dm.remainder, v);
+}
+
+TEST(BigUIntTest, ModPowSmallNumbers) {
+  // 3^7 mod 10 = 7 (odd modulus no longer than a limb)
+  EXPECT_EQ(BigUInt::mod_pow(BigUInt(3), BigUInt(7), BigUInt(10)).low_u64(), 7u);
+  // even modulus path: 5^3 mod 8 = 5
+  EXPECT_EQ(BigUInt::mod_pow(BigUInt(5), BigUInt(3), BigUInt(8)).low_u64(), 5u);
+  // exponent 0
+  EXPECT_EQ(BigUInt::mod_pow(BigUInt(9), BigUInt(), BigUInt(7)).low_u64(), 1u);
+  // base 0
+  EXPECT_TRUE(BigUInt::mod_pow(BigUInt(), BigUInt(5), BigUInt(7)).is_zero());
+}
+
+TEST(BigUIntTest, ModPowMatchesNaive) {
+  SecureRandom rng(99);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::uint64_t base = rng.uniform(1000) + 1;
+    const std::uint64_t exp = rng.uniform(50);
+    const std::uint64_t mod = (rng.uniform(500) * 2 + 3);  // odd, >= 3
+    std::uint64_t expected = 1;
+    for (std::uint64_t i = 0; i < exp; ++i) expected = (expected * base) % mod;
+    EXPECT_EQ(BigUInt::mod_pow(BigUInt(base), BigUInt(exp), BigUInt(mod)).low_u64(),
+              expected)
+        << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(BigUIntTest, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p not dividing a.
+  const BigUInt p = BigUInt::from_hex("ffffffffffffffffffffffffffffff61");  // 2^128-159, prime
+  SecureRandom rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const BigUInt a = BigUInt::random_below(rng, p - BigUInt(2)) + BigUInt(2);
+    EXPECT_EQ(BigUInt::mod_pow(a, p - BigUInt(1), p), BigUInt(1));
+  }
+}
+
+TEST(BigUIntTest, MontgomeryMatchesEvenFallbackStyle) {
+  // Cross-check the Montgomery path against the plain square-and-multiply
+  // (driven through an even-looking computation done manually).
+  SecureRandom rng(123);
+  for (int iter = 0; iter < 8; ++iter) {
+    BigUInt m = BigUInt::random_with_bits(rng, 128);
+    if (m.is_even()) m += BigUInt(1);
+    const BigUInt base = BigUInt::random_with_bits(rng, 200);
+    const BigUInt exp = BigUInt::random_with_bits(rng, 64);
+
+    // Reference: repeated square-and-multiply with divmod reductions.
+    BigUInt result(1);
+    BigUInt b = base % m;
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      result = (result * result) % m;
+      if (exp.bit(i)) result = (result * b) % m;
+    }
+    EXPECT_EQ(BigUInt::mod_pow(base, exp, m), result);
+  }
+}
+
+TEST(MontgomeryTest, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigUInt(8)), std::domain_error);
+  EXPECT_THROW(Montgomery(BigUInt(1)), std::domain_error);
+}
+
+TEST(BigUIntTest, Gcd) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt(48), BigUInt(36)).low_u64(), 12u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt(17), BigUInt(5)).low_u64(), 1u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt(), BigUInt(7)).low_u64(), 7u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt(7), BigUInt()).low_u64(), 7u);
+}
+
+TEST(BigUIntTest, ModInverse) {
+  SecureRandom rng(31);
+  const BigUInt m = BigUInt::from_hex("ffffffffffffffffffffffffffffff61");
+  for (int i = 0; i < 8; ++i) {
+    const BigUInt a = BigUInt::random_below(rng, m - BigUInt(1)) + BigUInt(1);
+    const BigUInt inv = BigUInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1));
+  }
+}
+
+TEST(BigUIntTest, ModInverseOfOne) {
+  EXPECT_EQ(BigUInt::mod_inverse(BigUInt(1), BigUInt(97)), BigUInt(1));
+}
+
+TEST(BigUIntTest, ModInverseNonCoprimeThrows) {
+  EXPECT_THROW(BigUInt::mod_inverse(BigUInt(6), BigUInt(9)), std::domain_error);
+}
+
+TEST(BigUIntTest, RandomWithBitsExactWidth) {
+  SecureRandom rng(71);
+  for (std::size_t bits : {8u, 17u, 32u, 33u, 64u, 100u, 256u}) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(BigUInt::random_with_bits(rng, bits).bit_length(), bits);
+    }
+  }
+}
+
+TEST(BigUIntTest, RandomBelowRespectsBound) {
+  SecureRandom rng(73);
+  const BigUInt bound = BigUInt::from_hex("1000000000000001");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigUInt::random_below(rng, bound), bound);
+  }
+}
+
+// --- golden vectors generated independently with Python's arbitrary-
+// precision integers (random.seed(777)) ---
+
+struct DivModVector {
+  const char* u;
+  const char* v;
+  const char* q;
+  const char* r;
+};
+
+TEST(BigUIntGoldenTest, DivModAgainstPython) {
+  const DivModVector vectors[] = {
+      {"89a560d8297d4d495104513e9a493548b905e5c7474fdec65fe721297377222d7283ab5a383",
+       "3a625b7218d06eec35bea10a3bf4d9c097ce13",
+       "25b8b002f2bfc6394c6288ee0da2afc4c94699",
+       "13b835d2dc6eaaf555d9841fc8a06644b74828"},
+      {"b11d3f578cede15ff11eefb5c0fe3f7f14e06fc89649f9b43a99fb6ec663bc45c18c1a87369f4b56d2ab00ca3e",
+       "2f5cbd5bdb589bdd1a845f0d554949efe35fed0d13f6a1e7",
+       "3bd541b37663d4ce078a5533dbbe2109962b5dc9d78",
+       "2e82f9b0592e63f5127220c0305ae4327fba19998963af6"},
+      {"aa17739631b6ebfdd447364c8959f352e4983b1175698042793a9ba74a4ae0b71d637d8f2005075e8e99662adeefe4237fe0733f5",
+       "34cfae3e63d07da4792027d9dd804b29624fefc8ef35ae2cd6def04b77",
+       "33882c81681cf68dc64d4f184c1255a21144d899327af1d3",
+       "33364149b24f045da50413b293b0fa98281803708d726255ddd237f9e0"},
+      {"de6d73444660ac57a96e030a8be16eab8beeb02e138b7d0186a09d76939d412c25d6e1559c10c03b591e8c2308bb2028cd8d4c489635f0716a3dfe43",
+       "1c1b02cb40cd2b05600a73465a408c5ee086182163037f058744b0a52a49c6610001",
+       "7e9fd1f9f34d98f3ddda3645037c2003b62380336671002219ea5",
+       "6f1f98b79afb952a87a1e20e8b864260178673003d8bd97f74254526ae3ad975f9e"},
+  };
+  for (const DivModVector& v : vectors) {
+    const auto dm = BigUInt::divmod(BigUInt::from_hex(v.u), BigUInt::from_hex(v.v));
+    EXPECT_EQ(dm.quotient.to_hex(), v.q);
+    EXPECT_EQ(dm.remainder.to_hex(), v.r);
+  }
+}
+
+struct ModPowVector {
+  const char* base;
+  const char* exp;
+  const char* mod;
+  const char* expected;
+};
+
+TEST(BigUIntGoldenTest, ModPowAgainstPython) {
+  const ModPowVector vectors[] = {
+      {"6016a50459621e1360907f6085a8f5fe2337ddb56441a81490",
+       "7aec65f393401ccfbba0942d90fe01",
+       "147b3c3ee4defae8f9275f3e2e66b7d64c50c5689443a8710583debbedd5e4b",
+       "cf0644ae0e9506e64d1728be17b9041f33249efaf22c0638781997a57dba5a"},
+      {"1f2c31775afdd61a04183589e9fc81e9993010b8c24e702f85",
+       "8a8e89504eb52d57fa6978df317b6",
+       "1117e75a5b063e543c31538e1e3545b9628371e78a4d89ff9eda1e901989e71",
+       "a2b7cce7a5e18a52cc37d8aa5e492df58b5b0c9cbd2756b752b438b17b9a68"},
+      {"e7cda915ff1eb59167b2d30d162b2336c102bcdfd6d38517c1",
+       "1ff39d62b956857f5b2384a46be223",
+       "1c786f766242e436c1c040a67eea237d111122f7f6cf171a9b81f92a759ee5b",
+       "16f8b8a0bc4b9ebea951aa83e7d429b49f25d7fc0020343599496dc30575d74"},
+      {"5b8cb2be9fa0c21aa2a3f82949ad99260e96e78e4257d99977",
+       "81917d9ae35f008a9fe779ad113eb4",
+       "12568c75fb595f2d2501595e2a7eb3e0dab9490ce6452db9c47f4ee0d7801a7",
+       "3e3bcf56c55002617d27a226043c3cdeace754baeae8abc4f061722bf1551b"},
+      // even modulus (exercises the non-Montgomery fallback)
+      {"ed5afe54494ded5dfe661b021", "b282907826", "4994eaadb140c2268fcffa6f1bbe68",
+       "4088713941752d3415374f81916279"},
+  };
+  for (const ModPowVector& v : vectors) {
+    EXPECT_EQ(BigUInt::mod_pow(BigUInt::from_hex(v.base), BigUInt::from_hex(v.exp),
+                               BigUInt::from_hex(v.mod))
+                  .to_hex(),
+              v.expected);
+  }
+}
+
+struct ModInverseVector {
+  const char* a;
+  const char* m;
+  const char* inv;
+};
+
+TEST(BigUIntGoldenTest, ModInverseAgainstPython) {
+  const ModInverseVector vectors[] = {
+      {"4d1fc444ac763488b4a11ebc88f4514acce32531c65aa",
+       "d5e7fe266be8a52c6daf53638f7d7a4f47a941ad93b422ffbf",
+       "37444229fe24cc9acd36adea3fafeaf8093d333a98db8f0ae0"},
+      {"1252fc5f34db0fe76cc167625ee2c1628dbf82afda1b9",
+       "9171c6563f97bfbd488e9ee0a2e64ffb1528166f6f6d288d41",
+       "8ddcf96d9d5f532a635db4608f9f066b2ae600601ad02bdc8b"},
+      {"1b0cbde079eaea48e8c66216647fa9d1852a7338025f4",
+       "be9a1b929eaab8999eedc47b8862f5b39c18efb83b56d821cf",
+       "5d9024f8422191a03821b48a017e10796291278d250f60194c"},
+  };
+  for (const ModInverseVector& v : vectors) {
+    EXPECT_EQ(
+        BigUInt::mod_inverse(BigUInt::from_hex(v.a), BigUInt::from_hex(v.m)).to_hex(),
+        v.inv);
+  }
+}
+
+TEST(PrimalityTest, SmallPrimes) {
+  SecureRandom rng(1);
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 97u, 1009u, 7919u}) {
+    EXPECT_TRUE(is_probable_prime(BigUInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimalityTest, SmallComposites) {
+  SecureRandom rng(2);
+  for (std::uint64_t c : {1u, 4u, 6u, 9u, 15u, 100u, 1001u, 7917u}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, CarmichaelNumbers) {
+  // Fermat pseudoprimes that Miller–Rabin must still reject.
+  SecureRandom rng(3);
+  for (std::uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, KnownLargePrime) {
+  SecureRandom rng(4);
+  // 2^127 - 1 (Mersenne prime)
+  const BigUInt m127 = (BigUInt(1) << 127) - BigUInt(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(is_probable_prime((BigUInt(1) << 128) - BigUInt(1), rng));
+}
+
+TEST(PrimalityTest, GeneratePrimeWidthAndPrimality) {
+  SecureRandom rng(6);
+  const BigUInt p = generate_prime(rng, 128);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+}  // namespace
+}  // namespace p2pdrm::crypto

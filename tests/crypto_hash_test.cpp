@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace p2pdrm::crypto {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+using util::from_hex;
+using util::to_hex;
+
+std::string digest_hex(const Sha256Digest& d) {
+  return to_hex(util::BytesView(d.data(), d.size()));
+}
+
+// --- SHA-256: FIPS 180-4 / NIST CAVP vectors ---
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(digest_hex(sha256(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(util::BytesView(msg.data(), split));
+    h.update(util::BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x5a);
+    Sha256 h;
+    h.update(msg);
+    EXPECT_EQ(h.finish(), sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, ResetReusesObject) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  (void)h.finish();
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(digest_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, BytesHelper) {
+  EXPECT_EQ(sha256_bytes(bytes_of("abc")).size(), kSha256DigestSize);
+}
+
+// --- HMAC-SHA-256: RFC 4231 vectors ---
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(digest_hex(hmac_sha256(bytes_of("Jefe"),
+                                   bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(digest_hex(hmac_sha256(
+                key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, IncrementalMatchesOneShot) {
+  const Bytes key = bytes_of("attestation-key");
+  const Bytes data = bytes_of("some client binary region");
+  HmacSha256 h(key);
+  h.update(util::BytesView(data.data(), 10));
+  h.update(util::BytesView(data.data() + 10, data.size() - 10));
+  EXPECT_EQ(h.finish(), hmac_sha256(key, data));
+}
+
+TEST(HmacTest, DifferentKeysDiffer) {
+  const Bytes data = bytes_of("payload");
+  EXPECT_NE(hmac_sha256(bytes_of("k1"), data), hmac_sha256(bytes_of("k2"), data));
+}
+
+TEST(DeriveKeyTest, LengthAndDeterminism) {
+  const Bytes key = bytes_of("master");
+  const Bytes a = derive_key(key, bytes_of("label"), 48);
+  const Bytes b = derive_key(key, bytes_of("label"), 48);
+  EXPECT_EQ(a.size(), 48u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeriveKeyTest, LabelSeparation) {
+  const Bytes key = bytes_of("master");
+  EXPECT_NE(derive_key(key, bytes_of("a"), 32), derive_key(key, bytes_of("b"), 32));
+}
+
+TEST(DeriveKeyTest, PrefixConsistency) {
+  const Bytes key = bytes_of("master");
+  const Bytes long_out = derive_key(key, bytes_of("label"), 64);
+  const Bytes short_out = derive_key(key, bytes_of("label"), 32);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 32), short_out);
+}
+
+// --- ChaCha20: RFC 8439 vectors ---
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce{};
+  const Bytes nonce_bytes = from_hex("000000090000004a00000000");
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+
+  std::uint8_t out[kChaChaBlockSize];
+  chacha20_block(key, nonce, 1, out);
+  EXPECT_EQ(to_hex(util::BytesView(out, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce{};
+  const Bytes nonce_bytes = from_hex("000000000000004a00000000");
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+
+  Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  chacha20_xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(to_hex(util::BytesView(plaintext.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20Test, XorIsInvolution) {
+  ChaChaKey key{};
+  key[0] = 7;
+  ChaChaNonce nonce{};
+  Bytes data = bytes_of("round trip me");
+  const Bytes original = data;
+  chacha20_xor(key, nonce, 0, data);
+  EXPECT_NE(data, original);
+  chacha20_xor(key, nonce, 0, data);
+  EXPECT_EQ(data, original);
+}
+
+// --- SecureRandom (DRBG) ---
+
+TEST(SecureRandomTest, DeterministicFromSeed) {
+  SecureRandom a(42), b(42);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SecureRandomTest, DifferentSeedsDiffer) {
+  SecureRandom a(1), b(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(SecureRandomTest, UniformBoundRespected) {
+  SecureRandom rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(SecureRandomTest, UniformRealInUnitInterval) {
+  SecureRandom rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SecureRandomTest, ExponentialMean) {
+  SecureRandom rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SecureRandomTest, NormalMoments) {
+  SecureRandom rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(SecureRandomTest, ForkIndependence) {
+  SecureRandom parent(5);
+  SecureRandom child = parent.fork();
+  EXPECT_NE(parent.bytes(32), child.bytes(32));
+}
+
+TEST(SecureRandomTest, ChanceExtremes) {
+  SecureRandom rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace p2pdrm::crypto

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "geo/geodb.h"
+
+namespace p2pdrm::geo {
+namespace {
+
+TEST(PrefixTest, Contains) {
+  const Prefix p{0x0a010000, 16};  // 10.1.0.0/16
+  EXPECT_TRUE(p.contains(util::parse_netaddr("10.1.2.3")));
+  EXPECT_TRUE(p.contains(util::parse_netaddr("10.1.255.255")));
+  EXPECT_FALSE(p.contains(util::parse_netaddr("10.2.0.0")));
+}
+
+TEST(PrefixTest, ZeroLengthMatchesEverything) {
+  const Prefix p{0, 0};
+  EXPECT_TRUE(p.contains(util::parse_netaddr("1.2.3.4")));
+  EXPECT_TRUE(p.contains(util::parse_netaddr("255.255.255.255")));
+}
+
+TEST(PrefixTest, ToString) {
+  EXPECT_EQ((Prefix{0x0a010000, 16}).to_string(), "10.1.0.0/16");
+}
+
+TEST(GeoDatabaseTest, ExactAndMiss) {
+  GeoDatabase db;
+  db.add_prefix({0x0a010000, 16}, {100, 7018});
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.1.2.3")), (GeoInfo{100, 7018}));
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.2.2.3")), (GeoInfo{}));
+  EXPECT_FALSE(db.lookup_exactly(util::parse_netaddr("10.2.2.3")).has_value());
+}
+
+TEST(GeoDatabaseTest, LongestPrefixWins) {
+  GeoDatabase db;
+  db.add_prefix({0x0a000000, 8}, {100, 1});   // 10.0.0.0/8
+  db.add_prefix({0x0a010000, 16}, {101, 2});  // 10.1.0.0/16
+  db.add_prefix({0x0a010200, 24}, {102, 3});  // 10.1.2.0/24
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.5.0.1")).region, 100u);
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.1.9.1")).region, 101u);
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.1.2.9")).region, 102u);
+}
+
+TEST(GeoDatabaseTest, HostRoute) {
+  GeoDatabase db;
+  db.add_prefix({0x0a010203, 32}, {200, 9});
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.1.2.3")).region, 200u);
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.1.2.4")).region, kUnknownRegion);
+}
+
+TEST(GeoDatabaseTest, DefaultRoute) {
+  GeoDatabase db;
+  db.add_prefix({0, 0}, {42, 42});
+  EXPECT_EQ(db.lookup(util::parse_netaddr("8.8.8.8")).region, 42u);
+}
+
+TEST(GeoDatabaseTest, OverwriteSamePrefix) {
+  GeoDatabase db;
+  db.add_prefix({0x0a010000, 16}, {100, 1});
+  db.add_prefix({0x0a010000, 16}, {200, 2});
+  EXPECT_EQ(db.lookup(util::parse_netaddr("10.1.0.1")).region, 200u);
+  EXPECT_EQ(db.prefix_count(), 1u);
+}
+
+TEST(GeoDatabaseTest, RejectsMalformedPrefix) {
+  GeoDatabase db;
+  EXPECT_THROW(db.add_prefix({0x0a010001, 16}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(db.add_prefix({0, 33}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(db.add_prefix({0, -1}, {1, 1}), std::invalid_argument);
+}
+
+TEST(SyntheticGeoTest, RegionsNumberedFrom100) {
+  crypto::SecureRandom rng(1);
+  const SyntheticGeo geo(rng, {.num_regions = 3});
+  EXPECT_EQ(geo.region_at(0), 100u);
+  EXPECT_EQ(geo.region_at(2), 102u);
+  EXPECT_THROW(geo.region_at(3), std::out_of_range);
+  EXPECT_THROW(geo.region_at(-1), std::out_of_range);
+}
+
+TEST(SyntheticGeoTest, SampledAddressesResolveToTheirRegion) {
+  crypto::SecureRandom rng(2);
+  const SyntheticGeo geo(rng, {.num_regions = 4, .prefixes_per_region = 5});
+  for (int r = 0; r < 4; ++r) {
+    const RegionId region = geo.region_at(r);
+    for (int i = 0; i < 20; ++i) {
+      const util::NetAddr addr = geo.sample_address(rng, region);
+      EXPECT_EQ(geo.db().lookup(addr).region, region);
+    }
+  }
+}
+
+TEST(SyntheticGeoTest, AsNumbersBelongToRegionBlock) {
+  crypto::SecureRandom rng(3);
+  const SyntheticGeo geo(rng, {.num_regions = 2, .prefixes_per_region = 4, .as_per_region = 3});
+  for (int r = 0; r < 2; ++r) {
+    const RegionId region = geo.region_at(r);
+    const util::NetAddr addr = geo.sample_address(rng, region);
+    const AsNumber as = geo.db().lookup(addr).as_number;
+    EXPECT_GE(as, 1000u + static_cast<AsNumber>(r) * 100);
+    EXPECT_LT(as, 1000u + static_cast<AsNumber>(r) * 100 + 3);
+  }
+}
+
+TEST(SyntheticGeoTest, UnknownRegionThrows) {
+  crypto::SecureRandom rng(4);
+  const SyntheticGeo geo(rng, {.num_regions = 2});
+  EXPECT_THROW(geo.sample_address(rng, 999), std::invalid_argument);
+}
+
+TEST(SyntheticGeoTest, DeterministicForSeed) {
+  crypto::SecureRandom rng1(5), rng2(5);
+  const SyntheticGeo a(rng1, {.num_regions = 2});
+  const SyntheticGeo b(rng2, {.num_regions = 2});
+  crypto::SecureRandom s1(9), s2(9);
+  EXPECT_EQ(a.sample_address(s1, 100), b.sample_address(s2, 100));
+}
+
+TEST(SyntheticGeoTest, PrefixCountMatchesPlan) {
+  crypto::SecureRandom rng(6);
+  const SyntheticGeo geo(rng, {.num_regions = 3, .prefixes_per_region = 7});
+  EXPECT_EQ(geo.db().prefix_count(), 21u);
+}
+
+TEST(SyntheticGeoTest, BadPlanRejected) {
+  crypto::SecureRandom rng(7);
+  EXPECT_THROW(SyntheticGeo(rng, {.num_regions = 0}), std::invalid_argument);
+  EXPECT_THROW(SyntheticGeo(rng, {.prefix_length = 31}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2pdrm::geo

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "p2p/substream.h"
+
+namespace p2pdrm::p2p {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+
+TEST(SubstreamOfTest, RoundRobin) {
+  EXPECT_EQ(substream_of(0, 4), 0u);
+  EXPECT_EQ(substream_of(1, 4), 1u);
+  EXPECT_EQ(substream_of(4, 4), 0u);
+  EXPECT_EQ(substream_of(7, 4), 3u);
+  EXPECT_EQ(substream_of(1000, 1), 0u);
+}
+
+TEST(SubstreamRouterTest, AssignAndLookup) {
+  SubstreamRouter router(4);
+  EXPECT_EQ(router.substream_count(), 4u);
+  EXPECT_EQ(router.unassigned().size(), 4u);
+
+  router.assign(0, 10);
+  router.assign(1, 11);
+  router.assign(2, 10);  // one parent can serve several sub-streams
+  EXPECT_EQ(router.parent_of(0), 10u);
+  EXPECT_EQ(router.parent_of(2), 10u);
+  EXPECT_FALSE(router.parent_of(3).has_value());
+  EXPECT_EQ(router.unassigned(), std::vector<std::size_t>{3});
+}
+
+TEST(SubstreamRouterTest, DistinctParents) {
+  SubstreamRouter router(4);
+  router.assign(0, 10);
+  router.assign(1, 11);
+  router.assign(2, 10);
+  const auto parents = router.parents();
+  EXPECT_EQ(parents.size(), 2u);
+}
+
+TEST(SubstreamRouterTest, DropParentFreesItsSubstreams) {
+  SubstreamRouter router(4);
+  router.assign(0, 10);
+  router.assign(1, 11);
+  router.assign(2, 10);
+  router.assign(3, 12);
+
+  const auto freed = router.drop_parent(10);
+  EXPECT_EQ(freed, (std::vector<std::size_t>{0, 2}));
+  EXPECT_FALSE(router.parent_of(0).has_value());
+  EXPECT_EQ(router.parent_of(1), 11u);
+  // Failover: reassign the freed sub-streams to a surviving parent.
+  for (std::size_t s : freed) router.assign(s, 11);
+  EXPECT_TRUE(router.unassigned().empty());
+}
+
+TEST(SubstreamRouterTest, ZeroSubstreamsRejected) {
+  EXPECT_THROW(SubstreamRouter(0), std::invalid_argument);
+}
+
+TEST(SubstreamRouterTest, OutOfRangeThrows) {
+  SubstreamRouter router(2);
+  EXPECT_THROW(router.assign(2, 1), std::out_of_range);
+  EXPECT_THROW((void)router.parent_of(5), std::out_of_range);
+}
+
+TEST(SubstreamBufferTest, InOrderPassthrough) {
+  SubstreamBuffer buf;
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    const auto out = buf.insert(seq, bytes_of("p" + std::to_string(seq)));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].seq, seq);
+  }
+  EXPECT_EQ(buf.delivered_count(), 5u);
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+TEST(SubstreamBufferTest, ReordersAcrossSubstreams) {
+  // Two sub-streams with the odd stream running ahead: 1, 0, 3, 2, 5, 4.
+  SubstreamBuffer buf;
+  EXPECT_TRUE(buf.insert(1, bytes_of("b")).empty());
+  auto out = buf.insert(0, bytes_of("a"));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[1].seq, 1u);
+
+  EXPECT_TRUE(buf.insert(3, bytes_of("d")).empty());
+  out = buf.insert(2, bytes_of("c"));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, bytes_of("c"));
+  EXPECT_EQ(out[1].payload, bytes_of("d"));
+}
+
+TEST(SubstreamBufferTest, DuplicateDropped) {
+  SubstreamBuffer buf;
+  (void)buf.insert(0, bytes_of("a"));
+  EXPECT_TRUE(buf.insert(0, bytes_of("a-again")).empty());
+  EXPECT_EQ(buf.dropped_count(), 1u);
+
+  EXPECT_TRUE(buf.insert(2, bytes_of("c")).empty());
+  EXPECT_TRUE(buf.insert(2, bytes_of("c-again")).empty());  // buffered dup
+  EXPECT_EQ(buf.dropped_count(), 2u);
+}
+
+TEST(SubstreamBufferTest, WindowBound) {
+  SubstreamBuffer buf(/*window=*/4);
+  EXPECT_TRUE(buf.insert(3, bytes_of("edge")).empty());   // inside window
+  EXPECT_TRUE(buf.insert(4, bytes_of("beyond")).empty()); // outside
+  EXPECT_EQ(buf.dropped_count(), 1u);
+  EXPECT_EQ(buf.buffered(), 1u);
+}
+
+TEST(SubstreamBufferTest, SkipToAbandonsGap) {
+  SubstreamBuffer buf;
+  (void)buf.insert(0, bytes_of("a"));
+  // Packet 1 lost; 2 and 3 buffered.
+  EXPECT_TRUE(buf.insert(2, bytes_of("c")).empty());
+  EXPECT_TRUE(buf.insert(3, bytes_of("d")).empty());
+
+  const auto out = buf.skip_to(2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 2u);
+  EXPECT_EQ(out[1].seq, 3u);
+  EXPECT_EQ(buf.next_expected(), 4u);
+}
+
+TEST(SubstreamBufferTest, SkipToDropsStaleBuffered) {
+  SubstreamBuffer buf;
+  EXPECT_TRUE(buf.insert(1, bytes_of("b")).empty());
+  EXPECT_TRUE(buf.insert(5, bytes_of("f")).empty());
+  const auto out = buf.skip_to(5);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 5u);
+  EXPECT_GE(buf.dropped_count(), 1u);  // packet 1 abandoned
+}
+
+TEST(SubstreamBufferTest, SkipBackwardsIsNoop) {
+  SubstreamBuffer buf;
+  (void)buf.insert(0, bytes_of("a"));
+  EXPECT_TRUE(buf.skip_to(0).empty());
+  EXPECT_EQ(buf.next_expected(), 1u);
+}
+
+TEST(SubstreamBufferTest, ZeroWindowRejected) {
+  EXPECT_THROW(SubstreamBuffer(0), std::invalid_argument);
+}
+
+// Property sweep: random interleavings across k sub-streams always deliver
+// the exact in-order sequence.
+class SubstreamPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SubstreamPropertyTest, RandomInterleavingDeliversInOrder) {
+  const std::size_t k = GetParam();
+  crypto::SecureRandom rng(k);
+  constexpr std::uint64_t kTotal = 300;
+
+  // Per-substream queues advancing independently (bounded skew).
+  std::vector<std::uint64_t> cursor(k, 0);
+  SubstreamBuffer buf(/*window=*/512);
+  std::vector<std::uint64_t> delivered;
+  std::uint64_t issued = 0;
+  while (issued < kTotal) {
+    const std::size_t s = static_cast<std::size_t>(rng.uniform(k));
+    // Next seq on sub-stream s: s, s+k, s+2k, ...
+    const std::uint64_t seq = s + cursor[s] * k;
+    if (seq >= kTotal) continue;
+    ++cursor[s];
+    ++issued;
+    for (auto& d : buf.insert(seq, bytes_of(std::to_string(seq)))) {
+      delivered.push_back(d.seq);
+    }
+  }
+  ASSERT_EQ(delivered.size(), kTotal);
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(delivered[i], i);
+  }
+  EXPECT_EQ(buf.dropped_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substreams, SubstreamPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace p2pdrm::p2p

@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include "p2p/peer.h"
+#include "p2p/tracker.h"
+
+namespace p2pdrm::p2p {
+namespace {
+
+using core::DrmError;
+using util::kMinute;
+
+class PeerTest : public ::testing::Test {
+ protected:
+  PeerTest() : rng_(600) {
+    cm_keys_ = crypto::generate_rsa_keypair(rng_, 512);
+  }
+
+  Peer make_peer(util::NodeId node, util::ChannelId channel = 1,
+                 std::size_t capacity = 4) {
+    PeerConfig cfg;
+    cfg.node = node;
+    cfg.addr = util::NetAddr{0x0a000000u + node};
+    cfg.channel = channel;
+    cfg.capacity = capacity;
+    return Peer(cfg, crypto::generate_rsa_keypair(rng_, 512), cm_keys_.pub, rng_.fork());
+  }
+
+  core::SignedChannelTicket make_ticket(const Peer& for_peer, util::ChannelId channel = 1,
+                                        util::SimTime expiry = 10 * kMinute,
+                                        bool renewal = false) {
+    core::ChannelTicket t;
+    t.user_in = 100 + for_peer.config().node;
+    t.channel_id = channel;
+    t.client_public_key = for_peer.public_key();
+    t.net_addr = for_peer.config().addr;
+    t.renewal = renewal;
+    t.start_time = 0;
+    t.expiry_time = expiry;
+    return core::SignedChannelTicket::sign(t, cm_keys_.priv);
+  }
+
+  /// Join `child` to `parent`; returns the join response.
+  core::JoinResponse join(Peer& parent, Peer& child, util::SimTime now = 0) {
+    const core::SignedChannelTicket ticket = make_ticket(child);
+    const core::JoinRequest req = child.make_join_request(ticket);
+    core::JoinResponse resp =
+        parent.handle_join(req, child.config().addr, child.config().node, now);
+    if (resp.error == DrmError::kOk) {
+      EXPECT_TRUE(child.complete_join(parent.config().node, resp));
+    }
+    return resp;
+  }
+
+  crypto::SecureRandom rng_;
+  crypto::RsaKeyPair cm_keys_;
+};
+
+TEST_F(PeerTest, JoinEstablishesSessionAndDeliversKey) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  crypto::SecureRandom krng(1);
+  const core::ContentKey key = core::generate_content_key(krng, 0, 0);
+  root.install_key(key);
+
+  const core::JoinResponse resp = join(root, child);
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  EXPECT_EQ(root.child_count(), 1u);
+  EXPECT_EQ(child.parents().size(), 1u);
+  EXPECT_TRUE(child.knows_serial(0));
+
+  // The child can now decrypt content encrypted under that key.
+  const core::ContentPacket packet =
+      core::encrypt_packet(key, 1, 7, util::bytes_of("frame"));
+  EXPECT_EQ(child.decrypt(packet), util::bytes_of("frame"));
+}
+
+TEST_F(PeerTest, JoinWithoutInstalledKeyStillWorks) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  const core::JoinResponse resp = join(root, child);
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  EXPECT_TRUE(resp.encrypted_content_key.empty());
+  EXPECT_EQ(child.known_key_count(), 0u);
+}
+
+TEST_F(PeerTest, ForgedTicketRejected) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  core::SignedChannelTicket ticket = make_ticket(child);
+  ticket.body[4] ^= 1;
+  const core::JoinResponse resp = root.handle_join(
+      child.make_join_request(ticket), child.config().addr, child.config().node, 0);
+  EXPECT_EQ(resp.error, DrmError::kBadTicket);
+}
+
+TEST_F(PeerTest, ExpiredTicketRejected) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  const core::SignedChannelTicket ticket = make_ticket(child, 1, 5 * kMinute);
+  const core::JoinResponse resp = root.handle_join(
+      child.make_join_request(ticket), child.config().addr, child.config().node,
+      6 * kMinute);
+  EXPECT_EQ(resp.error, DrmError::kTicketExpired);
+}
+
+TEST_F(PeerTest, AddressMismatchRejected) {
+  // A stolen ticket presented from a different address is useless (§IV-G1).
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  const core::SignedChannelTicket ticket = make_ticket(child);
+  const core::JoinResponse resp =
+      root.handle_join(child.make_join_request(ticket),
+                       util::NetAddr{0x0afffffe}, child.config().node, 0);
+  EXPECT_EQ(resp.error, DrmError::kAddressMismatch);
+}
+
+TEST_F(PeerTest, WrongChannelRejected) {
+  Peer root = make_peer(1, /*channel=*/1);
+  Peer child = make_peer(2, /*channel=*/2);
+  const core::SignedChannelTicket ticket = make_ticket(child, /*channel=*/2);
+  const core::JoinResponse resp = root.handle_join(
+      child.make_join_request(ticket), child.config().addr, child.config().node, 0);
+  EXPECT_EQ(resp.error, DrmError::kWrongChannel);
+}
+
+TEST_F(PeerTest, CapacityEnforced) {
+  Peer root = make_peer(1, 1, /*capacity=*/2);
+  Peer c1 = make_peer(2), c2 = make_peer(3), c3 = make_peer(4);
+  EXPECT_EQ(join(root, c1).error, DrmError::kOk);
+  EXPECT_EQ(join(root, c2).error, DrmError::kOk);
+  EXPECT_EQ(join(root, c3).error, DrmError::kNoCapacity);
+  EXPECT_FALSE(root.has_spare_capacity());
+  root.drop_child(c1.config().node);
+  EXPECT_EQ(join(root, c3).error, DrmError::kOk);
+}
+
+TEST_F(PeerTest, StolenTicketUselessWithoutPrivateKey) {
+  // An attacker who captured a victim's Channel Ticket and spoofs the
+  // victim's address still cannot decrypt the session key (§IV-G1).
+  Peer root = make_peer(1);
+  Peer victim = make_peer(2);
+  crypto::SecureRandom krng(2);
+  root.install_key(core::generate_content_key(krng, 0, 0));
+
+  const core::SignedChannelTicket stolen = make_ticket(victim);
+  Peer attacker = make_peer(3);  // different key pair
+  const core::JoinResponse resp =
+      root.handle_join(attacker.make_join_request(stolen), victim.config().addr,
+                       victim.config().node, 0);
+  // The peer cannot tell; it accepts and sends the session key encrypted
+  // with the *victim's* public key...
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  // ...which the attacker cannot decrypt.
+  EXPECT_FALSE(attacker.complete_join(root.config().node, resp));
+  EXPECT_EQ(attacker.known_key_count(), 0u);
+}
+
+TEST_F(PeerTest, KeyRelayThroughTree) {
+  // root -> b -> {d, e}: pair-wise re-encryption at each hop (§IV-E).
+  Peer root = make_peer(1);
+  Peer b = make_peer(2);
+  Peer d = make_peer(3);
+  Peer e = make_peer(4);
+  ASSERT_EQ(join(root, b).error, DrmError::kOk);
+  ASSERT_EQ(join(b, d).error, DrmError::kOk);
+  ASSERT_EQ(join(b, e).error, DrmError::kOk);
+
+  crypto::SecureRandom krng(3);
+  const core::ContentKey key = core::generate_content_key(krng, 5, 100);
+  std::vector<Outgoing> to_b = root.announce_key(key);
+  ASSERT_EQ(to_b.size(), 1u);
+  EXPECT_EQ(to_b[0].to, b.config().node);
+
+  std::vector<Outgoing> to_de = b.handle_key_blob(root.config().node, to_b[0].payload);
+  ASSERT_EQ(to_de.size(), 2u);
+  EXPECT_TRUE(b.knows_serial(5));
+  // Blobs for d and e are encrypted under *different* session keys.
+  EXPECT_NE(to_de[0].payload, to_de[1].payload);
+
+  for (const Outgoing& o : to_de) {
+    Peer& target = (o.to == d.config().node) ? d : e;
+    EXPECT_TRUE(target.handle_key_blob(b.config().node, o.payload).empty());
+    EXPECT_TRUE(target.knows_serial(5));
+  }
+}
+
+TEST_F(PeerTest, DuplicateKeySerialDiscarded) {
+  // Multi-parent delivery: the same key arriving twice propagates once.
+  Peer p1 = make_peer(1);
+  Peer p2 = make_peer(2);
+  Peer child = make_peer(3);
+  ASSERT_EQ(join(p1, child).error, DrmError::kOk);
+  ASSERT_EQ(join(p2, child).error, DrmError::kOk);
+  EXPECT_EQ(child.parents().size(), 2u);
+
+  crypto::SecureRandom krng(4);
+  const core::ContentKey key = core::generate_content_key(krng, 9, 0);
+  const std::vector<Outgoing> from_p1 = p1.announce_key(key);
+  const std::vector<Outgoing> from_p2 = p2.announce_key(key);
+  ASSERT_EQ(from_p1.size(), 1u);
+  ASSERT_EQ(from_p2.size(), 1u);
+
+  (void)child.handle_key_blob(p1.config().node, from_p1[0].payload);
+  EXPECT_TRUE(child.knows_serial(9));
+  const std::size_t keys_before = child.known_key_count();
+  // Second copy from the other parent: discarded, not re-forwarded.
+  EXPECT_TRUE(child.handle_key_blob(p2.config().node, from_p2[0].payload).empty());
+  EXPECT_EQ(child.known_key_count(), keys_before);
+}
+
+TEST_F(PeerTest, KeyBlobFromStrangerIgnored) {
+  Peer child = make_peer(1);
+  crypto::SecureRandom krng(5);
+  const core::ContentKey key = core::generate_content_key(krng, 1, 0);
+  const core::SessionKey session = core::generate_session_key(krng);
+  const util::Bytes blob = core::wrap_content_key(key, session, 0);
+  EXPECT_TRUE(child.handle_key_blob(999, blob).empty());
+  EXPECT_FALSE(child.knows_serial(1));
+}
+
+TEST_F(PeerTest, EvictionOnTicketExpiry) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  const core::SignedChannelTicket ticket = make_ticket(child, 1, 10 * kMinute);
+  ASSERT_EQ(root.handle_join(child.make_join_request(ticket), child.config().addr,
+                             child.config().node, 0)
+                .error,
+            DrmError::kOk);
+  EXPECT_TRUE(root.evict_expired(9 * kMinute).empty());
+  const std::vector<util::NodeId> evicted = root.evict_expired(10 * kMinute + 1);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], child.config().node);
+  EXPECT_EQ(root.child_count(), 0u);
+}
+
+TEST_F(PeerTest, RenewalExtendsPeering) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  ASSERT_EQ(join(root, child).error, DrmError::kOk);
+
+  const core::SignedChannelTicket renewed =
+      make_ticket(child, 1, 20 * kMinute, /*renewal=*/true);
+  EXPECT_TRUE(root.present_renewal(child.config().node, renewed.encode(), 9 * kMinute));
+  EXPECT_TRUE(root.evict_expired(15 * kMinute).empty());
+  EXPECT_EQ(root.evict_expired(21 * kMinute).size(), 1u);
+}
+
+TEST_F(PeerTest, RenewalWithoutRenewalBitRejected) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  ASSERT_EQ(join(root, child).error, DrmError::kOk);
+  const core::SignedChannelTicket not_renewal =
+      make_ticket(child, 1, 20 * kMinute, /*renewal=*/false);
+  EXPECT_FALSE(root.present_renewal(child.config().node, not_renewal.encode(), 9 * kMinute));
+}
+
+TEST_F(PeerTest, RenewalForWrongUserRejected) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  Peer other = make_peer(3);
+  ASSERT_EQ(join(root, child).error, DrmError::kOk);
+  // A renewal ticket belonging to a different user/address.
+  const core::SignedChannelTicket foreign =
+      make_ticket(other, 1, 20 * kMinute, /*renewal=*/true);
+  EXPECT_FALSE(root.present_renewal(child.config().node, foreign.encode(), 9 * kMinute));
+}
+
+TEST_F(PeerTest, RenewalForUnknownChildRejected) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  const core::SignedChannelTicket renewed = make_ticket(child, 1, 20 * kMinute, true);
+  EXPECT_FALSE(root.present_renewal(child.config().node, renewed.encode(), 0));
+}
+
+TEST_F(PeerTest, DropParentStopsAcceptingItsKeys) {
+  Peer parent = make_peer(1);
+  Peer child = make_peer(2);
+  ASSERT_EQ(join(parent, child).error, DrmError::kOk);
+  child.drop_parent(parent.config().node);
+  EXPECT_TRUE(child.parents().empty());
+
+  crypto::SecureRandom krng(11);
+  const core::ContentKey key = core::generate_content_key(krng, 2, 0);
+  const auto blobs = parent.announce_key(key);
+  ASSERT_EQ(blobs.size(), 1u);
+  // The severed link's blobs are ignored (no session to decrypt them under).
+  EXPECT_TRUE(child.handle_key_blob(parent.config().node, blobs[0].payload).empty());
+  EXPECT_FALSE(child.knows_serial(2));
+}
+
+TEST_F(PeerTest, RejoinAfterEvictionWorks) {
+  Peer root = make_peer(1);
+  Peer child = make_peer(2);
+  const core::SignedChannelTicket short_ticket = make_ticket(child, 1, 5 * kMinute);
+  ASSERT_EQ(root.handle_join(child.make_join_request(short_ticket),
+                             child.config().addr, child.config().node, 0)
+                .error,
+            DrmError::kOk);
+  ASSERT_EQ(root.evict_expired(6 * kMinute).size(), 1u);
+
+  // Fresh ticket, fresh join: a new session key is minted for the new link.
+  const core::SignedChannelTicket fresh = make_ticket(child, 1, 20 * kMinute);
+  const core::JoinResponse resp = root.handle_join(
+      child.make_join_request(fresh), child.config().addr, child.config().node,
+      6 * kMinute);
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  EXPECT_TRUE(child.complete_join(root.config().node, resp));
+  EXPECT_EQ(root.child_count(), 1u);
+}
+
+TEST_F(PeerTest, RejoinBySameNodeDoesNotConsumeExtraCapacity) {
+  Peer root = make_peer(1, 1, /*capacity=*/1);
+  Peer child = make_peer(2);
+  ASSERT_EQ(join(root, child).error, DrmError::kOk);
+  // Re-join (e.g. after a client restart) replaces the existing link even
+  // at full capacity, rather than leaking a slot.
+  const core::SignedChannelTicket ticket = make_ticket(child);
+  const core::JoinResponse resp = root.handle_join(
+      child.make_join_request(ticket), child.config().addr, child.config().node, 0);
+  EXPECT_EQ(resp.error, DrmError::kOk);
+  EXPECT_EQ(root.child_count(), 1u);
+}
+
+TEST_F(PeerTest, KeyRingEvictsOldSerials) {
+  Peer peer = make_peer(1);
+  crypto::SecureRandom krng(12);
+  for (int i = 0; i < 12; ++i) {
+    peer.install_key(core::generate_content_key(
+        krng, static_cast<std::uint8_t>(i), i * 60));
+  }
+  EXPECT_EQ(peer.known_key_count(), 8u);  // ring bound
+  EXPECT_FALSE(peer.knows_serial(0));
+  EXPECT_FALSE(peer.knows_serial(3));
+  EXPECT_TRUE(peer.knows_serial(4));
+  EXPECT_TRUE(peer.knows_serial(11));
+}
+
+// --- Tracker ---
+
+TEST(TrackerTest, RegisterAndSample) {
+  crypto::SecureRandom rng(1);
+  Tracker tracker(std::move(rng));
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4);
+  tracker.register_peer(1, {11, util::NetAddr{0x0a00000b}}, 4);
+  EXPECT_EQ(tracker.peer_count(1), 2u);
+
+  const auto peers = tracker.sample_peers(1, 8, util::NetAddr{0x0afffffe});
+  EXPECT_EQ(peers.size(), 2u);
+}
+
+TEST(TrackerTest, RequesterExcluded) {
+  crypto::SecureRandom rng(2);
+  Tracker tracker(std::move(rng));
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4);
+  const auto peers = tracker.sample_peers(1, 8, util::NetAddr{0x0a00000a});
+  EXPECT_TRUE(peers.empty());
+}
+
+TEST(TrackerTest, SparePreferredOverLoaded) {
+  crypto::SecureRandom rng(3);
+  Tracker tracker(std::move(rng));
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 2);
+  tracker.register_peer(1, {11, util::NetAddr{0x0a00000b}}, 2);
+  tracker.update_load(1, 10, 2);  // full
+
+  const auto peers = tracker.sample_peers(1, 1, util::NetAddr{0x0afffffe});
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].node, 11u);
+  // Loaded peers still returned when the sample size demands it.
+  const auto both = tracker.sample_peers(1, 2, util::NetAddr{0x0afffffe});
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(TrackerTest, UnregisterRemoves) {
+  crypto::SecureRandom rng(4);
+  Tracker tracker(std::move(rng));
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4);
+  tracker.unregister_peer(1, 10);
+  EXPECT_EQ(tracker.peer_count(1), 0u);
+  EXPECT_TRUE(tracker.sample_peers(1, 4, util::NetAddr{}).empty());
+  tracker.unregister_peer(2, 99);  // unknown channel: no-op
+}
+
+TEST(TrackerTest, Utilization) {
+  crypto::SecureRandom rng(5);
+  Tracker tracker(std::move(rng));
+  EXPECT_DOUBLE_EQ(tracker.utilization(1), 0.0);
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4);
+  tracker.register_peer(1, {11, util::NetAddr{0x0a00000b}}, 4);
+  tracker.update_load(1, 10, 2);
+  EXPECT_DOUBLE_EQ(tracker.utilization(1), 0.25);
+  tracker.update_load(1, 10, 100);  // clamped to capacity
+  EXPECT_DOUBLE_EQ(tracker.utilization(1), 0.5);
+}
+
+TEST(TrackerTest, SampleHonoursMaxPeers) {
+  crypto::SecureRandom rng(6);
+  Tracker tracker(std::move(rng));
+  for (util::NodeId n = 0; n < 20; ++n) {
+    tracker.register_peer(1, {n, util::NetAddr{0x0a000000u + n}}, 4);
+  }
+  EXPECT_EQ(tracker.sample_peers(1, 5, util::NetAddr{0x0afffffe}).size(), 5u);
+}
+
+TEST(TrackerTest, UnknownChannelEmpty) {
+  crypto::SecureRandom rng(7);
+  Tracker tracker(std::move(rng));
+  EXPECT_TRUE(tracker.sample_peers(42, 4, util::NetAddr{}).empty());
+  EXPECT_EQ(tracker.peer_count(42), 0u);
+}
+
+}  // namespace
+}  // namespace p2pdrm::p2p

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "services/catalog.h"
+#include "services/channel_manager.h"
+
+namespace p2pdrm::services {
+namespace {
+
+using util::kHour;
+
+TEST(CatalogBuildersTest, RegionalChannelShape) {
+  const core::ChannelRecord c = make_regional_channel(7, "news", 100, 2);
+  EXPECT_EQ(c.id, 7u);
+  EXPECT_EQ(c.name, "news");
+  EXPECT_EQ(c.partition, 2u);
+  ASSERT_EQ(c.policies.size(), 1u);
+  EXPECT_EQ(c.policies[0].to_string(), "Priority 50: Region=100, Return ACCEPT");
+}
+
+TEST(CatalogBuildersTest, SubscriptionChannelShape) {
+  const core::ChannelRecord c = make_subscription_channel(8, "premium", 101, "GOLD");
+  ASSERT_EQ(c.policies.size(), 1u);
+  EXPECT_EQ(c.policies[0].to_string(),
+            "Priority 50: Region=101 & Subscription=GOLD, Return ACCEPT");
+}
+
+constexpr const char* kFig2Catalog = R"(
+# The paper's Fig. 2 lineup.
+channel 1 "Channel A" partition 0
+  attribute Region=100
+  attribute Region=101
+  attribute Subscription=101
+  policy Priority 50: Region=100 & Subscription=101, Return ACCEPT
+  policy Priority 50: Region=101, Return ACCEPT
+
+channel 2 "Channel B"
+  attribute Region=100
+  attribute Region=ANY stime=72000000000 etime=75600000000
+  policy Priority 50: Region=100, Return ACCEPT
+  policy Priority 100: Region=ANY, Return REJECT
+)";
+
+TEST(CatalogParseTest, Fig2LineupParses) {
+  const CatalogParseResult result = parse_catalog(kFig2Catalog);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.channels.size(), 2u);
+
+  const core::ChannelRecord& a = result.channels[0];
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(a.name, "Channel A");
+  EXPECT_EQ(a.attributes.size(), 3u);
+  EXPECT_EQ(a.policies.size(), 2u);
+
+  const core::ChannelRecord& b = result.channels[1];
+  EXPECT_EQ(b.name, "Channel B");
+  EXPECT_EQ(b.partition, 0u);
+  const auto anys = b.attributes.find_active(core::kAttrRegion, 20 * kHour + kHour / 2);
+  ASSERT_EQ(anys.size(), 2u);  // Region=100 plus the windowed ANY
+}
+
+TEST(CatalogParseTest, ParsedBlackoutBehaves) {
+  const CatalogParseResult result = parse_catalog(kFig2Catalog);
+  ASSERT_TRUE(result.ok());
+  const core::ChannelRecord& b = result.channels[1];
+
+  core::AttributeSet viewer;
+  core::Attribute region;
+  region.name = core::kAttrRegion;
+  region.value = core::AttrValue::of("100");
+  viewer.add(region);
+
+  // The ANY window is 20:00-21:00 (72000s-75600s in microseconds).
+  EXPECT_TRUE(core::channel_accessible(b, viewer, 19 * kHour));
+  EXPECT_FALSE(core::channel_accessible(b, viewer, 20 * kHour + kHour / 2));
+  EXPECT_TRUE(core::channel_accessible(b, viewer, 22 * kHour));
+}
+
+TEST(CatalogParseTest, CommentsAndBlankLines) {
+  const auto result = parse_catalog("\n# nothing but comments\n\n   # indented\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.channels.empty());
+}
+
+TEST(CatalogParseTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"bogus 1", "line 1"},
+      {"channel x \"n\"", "bad channel id"},
+      {"channel 1 n", "expected quoted name"},
+      {"channel 1 \"unterminated", "unterminated name"},
+      {"channel 1 \"a\" part 0", "expected 'partition'"},
+      {"attribute Region=1", "attribute before any channel"},
+      {"policy Priority 1: A=1, Return ACCEPT", "policy before any channel"},
+      {"channel 1 \"a\"\nattribute Region", "Name=Value"},
+      {"channel 1 \"a\"\nattribute Region=1 when=5", "bad attribute bound"},
+      {"channel 1 \"a\"\npolicy gibberish", "unparseable policy"},
+      {"channel 1 \"a\"\nchannel 1 \"b\"", "duplicate channel id"},
+  };
+  for (const Case& c : cases) {
+    const auto result = parse_catalog(c.text);
+    EXPECT_FALSE(result.ok()) << c.text;
+    EXPECT_NE(result.error.find(c.expect), std::string::npos)
+        << c.text << " -> " << result.error;
+    EXPECT_TRUE(result.channels.empty());
+  }
+}
+
+TEST(CatalogParseTest, ErrorLineNumberPointsAtOffendingLine) {
+  const auto result = parse_catalog("channel 1 \"a\"\n# fine\nbogus here");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 3"), std::string::npos) << result.error;
+}
+
+// --- ViewingLog persistence ---
+
+TEST(ViewingLogPersistenceTest, RoundTrip) {
+  ViewingLog log;
+  log.record({1, 10, util::parse_netaddr("10.0.0.1"), 100, false});
+  log.record({1, 10, util::parse_netaddr("10.0.0.1"), 200, true});
+  log.record({2, 10, util::parse_netaddr("10.0.0.2"), 300, false});
+  log.record({1, 11, util::parse_netaddr("10.0.0.1"), 400, false});
+
+  const ViewingLog restored = ViewingLog::decode(log.encode());
+  EXPECT_EQ(restored.size(), 4u);
+  EXPECT_EQ(restored.views_per_channel().at(10), 2u);
+  EXPECT_EQ(restored.views_per_channel().at(11), 1u);
+  // Latest-entry index rebuilt: renewal did not move user 1's entry.
+  const ViewingLog::Entry* latest = restored.latest(1, 10);
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->time, 100);
+}
+
+TEST(ViewingLogPersistenceTest, EmptyLog) {
+  const ViewingLog restored = ViewingLog::decode(ViewingLog{}.encode());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(ViewingLogPersistenceTest, CorruptedInputRejected) {
+  ViewingLog log;
+  log.record({1, 10, util::parse_netaddr("10.0.0.1"), 100, false});
+  util::Bytes wire = log.encode();
+  // Truncation.
+  util::Bytes truncated(wire.begin(), wire.begin() + 10);
+  EXPECT_THROW(ViewingLog::decode(truncated), util::WireError);
+  // Trailing bytes.
+  util::Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(ViewingLog::decode(trailing), util::WireError);
+  // Implausible count.
+  util::Bytes huge = wire;
+  huge[0] = 0xff;
+  huge[7] = 0xff;
+  EXPECT_THROW(ViewingLog::decode(huge), util::WireError);
+  // Bad renewal flag.
+  util::Bytes bad_flag = wire;
+  bad_flag.back() = 9;
+  EXPECT_THROW(ViewingLog::decode(bad_flag), util::WireError);
+}
+
+}  // namespace
+}  // namespace p2pdrm::services

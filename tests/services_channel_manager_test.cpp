@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "services/channel_manager.h"
+
+namespace p2pdrm::services {
+namespace {
+
+using core::DrmError;
+using util::kMinute;
+
+class StubPeers : public PeerDirectory {
+ public:
+  std::vector<core::PeerInfo> sample_peers(util::ChannelId channel, std::size_t max_peers,
+                                           util::NetAddr requester) override {
+    last_channel = channel;
+    last_requester = requester;
+    std::vector<core::PeerInfo> out;
+    for (std::size_t i = 0; i < std::min(max_peers, available); ++i) {
+      out.push_back({static_cast<util::NodeId>(i + 1), util::NetAddr{0x0a000001u + static_cast<std::uint32_t>(i)}});
+    }
+    return out;
+  }
+  std::size_t available = 3;
+  util::ChannelId last_channel = 0;
+  util::NetAddr last_requester;
+};
+
+class ChannelManagerTest : public ::testing::Test {
+ protected:
+  ChannelManagerTest() : rng_(700) {
+    um_keys_ = crypto::generate_rsa_keypair(rng_, 512);
+    client_keys_ = crypto::generate_rsa_keypair(rng_, 512);
+    ChannelManagerConfig config;
+    config.partition = 0;
+    config.ticket_lifetime = 10 * kMinute;
+    config.renewal_window = 3 * kMinute;
+    partition_ = std::make_shared<ChannelManagerPartition>(
+        config, crypto::generate_rsa_keypair(rng_, 512), um_keys_.pub, rng_.bytes(32));
+    cm_ = std::make_unique<ChannelManager>(partition_, &peers_, rng_.fork());
+
+    core::ChannelRecord news = make_channel(1, "news", 0);
+    core::ChannelRecord other_partition = make_channel(2, "sports", 1);
+    cm_->update_channel_list({news, other_partition});
+    addr_ = util::parse_netaddr("10.9.9.9");
+  }
+
+  static core::ChannelRecord make_channel(util::ChannelId id, const std::string& name,
+                                          std::uint32_t partition) {
+    core::ChannelRecord c;
+    c.id = id;
+    c.name = name;
+    c.partition = partition;
+    core::Attribute region;
+    region.name = core::kAttrRegion;
+    region.value = core::AttrValue::of("100");
+    c.attributes.add(region);
+    core::Policy accept;
+    accept.priority = 50;
+    accept.terms.push_back({core::kAttrRegion, core::AttrValue::of("100")});
+    accept.action = core::PolicyAction::kAccept;
+    c.policies.push_back(accept);
+    return c;
+  }
+
+  core::SignedUserTicket make_user_ticket(util::SimTime now, const std::string& region = "100",
+                                          util::SimTime lifetime = 30 * kMinute) {
+    core::UserTicket t;
+    t.user_in = 42;
+    t.client_public_key = client_keys_.pub;
+    t.start_time = now;
+    t.expiry_time = now + lifetime;
+    core::Attribute netaddr;
+    netaddr.name = core::kAttrNetAddr;
+    netaddr.value = core::AttrValue::of(util::to_string(addr_));
+    t.attributes.add(netaddr);
+    core::Attribute r;
+    r.name = core::kAttrRegion;
+    r.value = core::AttrValue::of(region);
+    t.attributes.add(r);
+    return core::SignedUserTicket::sign(t, um_keys_.priv);
+  }
+
+  /// Run both switch rounds honestly; returns the SWITCH2 response.
+  core::Switch2Response do_switch(const core::SignedUserTicket& ut,
+                                  util::ChannelId channel, util::SimTime now,
+                                  const util::Bytes& expiring = {}) {
+    core::Switch1Request r1;
+    r1.user_ticket = ut.encode();
+    r1.channel_id = channel;
+    r1.expiring_ticket = expiring;
+    const core::Switch1Response resp1 = cm_->handle_switch1(r1, addr_, now);
+    if (resp1.error != DrmError::kOk) {
+      core::Switch2Response fail;
+      fail.error = resp1.error;
+      return fail;
+    }
+    core::Switch2Request r2;
+    r2.user_ticket = r1.user_ticket;
+    r2.channel_id = channel;
+    r2.expiring_ticket = expiring;
+    r2.challenge = resp1.challenge;
+    r2.proof = crypto::rsa_sign(client_keys_.priv, resp1.challenge.nonce);
+    return cm_->handle_switch2(r2, addr_, now);
+  }
+
+  crypto::SecureRandom rng_;
+  crypto::RsaKeyPair um_keys_;
+  crypto::RsaKeyPair client_keys_;
+  std::shared_ptr<ChannelManagerPartition> partition_;
+  std::unique_ptr<ChannelManager> cm_;
+  StubPeers peers_;
+  util::NetAddr addr_;
+};
+
+TEST_F(ChannelManagerTest, HappyPathIssuesTicketAndPeers) {
+  const core::SignedUserTicket ut = make_user_ticket(1000);
+  const core::Switch2Response resp = do_switch(ut, 1, 1000);
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  ASSERT_TRUE(resp.ticket.has_value());
+  EXPECT_TRUE(resp.ticket->verify(partition_->keys.pub));
+  EXPECT_EQ(resp.ticket->ticket.channel_id, 1u);
+  EXPECT_EQ(resp.ticket->ticket.user_in, 42u);
+  EXPECT_EQ(resp.ticket->ticket.net_addr, addr_);
+  EXPECT_FALSE(resp.ticket->ticket.renewal);
+  EXPECT_EQ(resp.ticket->ticket.expiry_time, 1000 + 10 * kMinute);
+  EXPECT_EQ(resp.peers.size(), 3u);
+  EXPECT_EQ(peers_.last_channel, 1u);
+}
+
+TEST_F(ChannelManagerTest, PrivacyIntermediation) {
+  // The Channel Ticket must expose only the network address — no region,
+  // subscription, or other user attributes (§IV-C).
+  const core::Switch2Response resp = do_switch(make_user_ticket(0), 1, 0);
+  ASSERT_TRUE(resp.ticket.has_value());
+  const util::Bytes body = resp.ticket->ticket.encode();
+  const std::string body_str(body.begin(), body.end());
+  EXPECT_EQ(body_str.find("Region"), std::string::npos);
+  EXPECT_EQ(body_str.find("Subscription"), std::string::npos);
+  EXPECT_EQ(body_str.find("100"), std::string::npos);
+}
+
+TEST_F(ChannelManagerTest, ViewingLogRecordsIssue) {
+  (void)do_switch(make_user_ticket(0), 1, 0);
+  EXPECT_EQ(cm_->log().size(), 1u);
+  const ViewingLog::Entry* e = cm_->log().latest(42, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->addr, addr_);
+  EXPECT_EQ(cm_->log().views_per_channel().at(1), 1u);
+}
+
+TEST_F(ChannelManagerTest, PolicyRejectionNoTicket) {
+  const core::SignedUserTicket ut = make_user_ticket(0, "999");
+  const core::Switch2Response resp = do_switch(ut, 1, 0);
+  EXPECT_EQ(resp.error, DrmError::kAccessDenied);
+  EXPECT_FALSE(resp.ticket.has_value());
+  EXPECT_EQ(cm_->log().size(), 0u);
+}
+
+TEST_F(ChannelManagerTest, UnknownChannelRejected) {
+  EXPECT_EQ(do_switch(make_user_ticket(0), 99, 0).error, DrmError::kUnknownChannel);
+}
+
+TEST_F(ChannelManagerTest, OtherPartitionChannelNotServed) {
+  // Channel 2 exists but belongs to partition 1; this manager serves 0.
+  EXPECT_EQ(do_switch(make_user_ticket(0), 2, 0).error, DrmError::kUnknownChannel);
+}
+
+TEST_F(ChannelManagerTest, ExpiredUserTicketRejected) {
+  const core::SignedUserTicket ut = make_user_ticket(0, "100", 5 * kMinute);
+  EXPECT_EQ(do_switch(ut, 1, 6 * kMinute).error, DrmError::kTicketExpired);
+}
+
+TEST_F(ChannelManagerTest, ForgedUserTicketRejected) {
+  core::SignedUserTicket ut = make_user_ticket(0);
+  ut.body[20] ^= 1;
+  core::Switch1Request r1;
+  r1.user_ticket = ut.encode();
+  r1.channel_id = 1;
+  EXPECT_EQ(cm_->handle_switch1(r1, addr_, 0).error, DrmError::kBadTicket);
+}
+
+TEST_F(ChannelManagerTest, GarbageUserTicketRejected) {
+  core::Switch1Request r1;
+  r1.user_ticket = util::bytes_of("not a ticket");
+  r1.channel_id = 1;
+  EXPECT_EQ(cm_->handle_switch1(r1, addr_, 0).error, DrmError::kBadTicket);
+}
+
+TEST_F(ChannelManagerTest, AddressMismatchRejected) {
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  core::Switch1Request r1;
+  r1.user_ticket = ut.encode();
+  r1.channel_id = 1;
+  EXPECT_EQ(cm_->handle_switch1(r1, util::parse_netaddr("10.8.8.8"), 0).error,
+            DrmError::kAddressMismatch);
+}
+
+TEST_F(ChannelManagerTest, WrongProofKeyRejected) {
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  core::Switch1Request r1;
+  r1.user_ticket = ut.encode();
+  r1.channel_id = 1;
+  const core::Switch1Response resp1 = cm_->handle_switch1(r1, addr_, 0);
+  ASSERT_EQ(resp1.error, DrmError::kOk);
+
+  const crypto::RsaKeyPair attacker = crypto::generate_rsa_keypair(rng_, 512);
+  core::Switch2Request r2;
+  r2.user_ticket = r1.user_ticket;
+  r2.channel_id = 1;
+  r2.challenge = resp1.challenge;
+  r2.proof = crypto::rsa_sign(attacker.priv, resp1.challenge.nonce);
+  EXPECT_EQ(cm_->handle_switch2(r2, addr_, 0).error, DrmError::kBadCredentials);
+}
+
+TEST_F(ChannelManagerTest, ChallengeFromDifferentRequestRejected) {
+  // Challenge minted for channel 1 cannot authorize... channel binding is
+  // part of the MAC, so reusing it for another channel id fails.
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  core::Switch1Request r1;
+  r1.user_ticket = ut.encode();
+  r1.channel_id = 1;
+  const core::Switch1Response resp1 = cm_->handle_switch1(r1, addr_, 0);
+
+  core::Switch2Request r2;
+  r2.user_ticket = r1.user_ticket;
+  r2.channel_id = 2;  // different channel than the challenge was minted for
+  r2.challenge = resp1.challenge;
+  r2.proof = crypto::rsa_sign(client_keys_.priv, resp1.challenge.nonce);
+  const DrmError err = cm_->handle_switch2(r2, addr_, 0).error;
+  EXPECT_TRUE(err == DrmError::kChallengeInvalid || err == DrmError::kUnknownChannel);
+}
+
+TEST_F(ChannelManagerTest, TicketExpiryCappedByUserTicket) {
+  // User Ticket expires in 4 minutes; Channel Ticket must not outlive it.
+  const core::SignedUserTicket ut = make_user_ticket(0, "100", 4 * kMinute);
+  const core::Switch2Response resp = do_switch(ut, 1, 0);
+  ASSERT_TRUE(resp.ticket.has_value());
+  EXPECT_EQ(resp.ticket->ticket.expiry_time, 4 * kMinute);
+}
+
+TEST_F(ChannelManagerTest, RenewalHappyPath) {
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  const core::Switch2Response first = do_switch(ut, 1, 0);
+  ASSERT_TRUE(first.ticket.has_value());
+
+  // Renew within the window before expiry (expiry at 10 min, window 3 min).
+  const util::SimTime renew_at = 8 * kMinute;
+  const core::SignedUserTicket ut2 = make_user_ticket(renew_at);
+  const core::Switch2Response renewed =
+      do_switch(ut2, 0, renew_at, first.ticket->encode());
+  ASSERT_EQ(renewed.error, DrmError::kOk);
+  ASSERT_TRUE(renewed.ticket.has_value());
+  EXPECT_TRUE(renewed.ticket->ticket.renewal);
+  EXPECT_EQ(renewed.ticket->ticket.channel_id, 1u);
+  EXPECT_EQ(renewed.ticket->ticket.expiry_time, 10 * kMinute + 10 * kMinute);
+  EXPECT_TRUE(renewed.ticket->verify(partition_->keys.pub));
+}
+
+TEST_F(ChannelManagerTest, RenewalTooEarlyRefused) {
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  const core::Switch2Response first = do_switch(ut, 1, 0);
+  ASSERT_TRUE(first.ticket.has_value());
+  const core::Switch2Response early =
+      do_switch(make_user_ticket(2 * kMinute), 0, 2 * kMinute, first.ticket->encode());
+  EXPECT_EQ(early.error, DrmError::kRenewalRefused);
+}
+
+TEST_F(ChannelManagerTest, RenewalAfterMovingComputersRefused) {
+  // §IV-D: user moves to a new machine and gets a fresh ticket there; the
+  // old machine's renewal no longer matches the latest log entry.
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  const core::Switch2Response first = do_switch(ut, 1, 0);
+  ASSERT_TRUE(first.ticket.has_value());
+
+  // Same account joins from a new address.
+  const util::NetAddr new_addr = util::parse_netaddr("10.7.7.7");
+  const util::NetAddr old_addr = addr_;
+  addr_ = new_addr;
+  const core::Switch2Response second = do_switch(make_user_ticket(kMinute), 1, kMinute);
+  ASSERT_EQ(second.error, DrmError::kOk);
+
+  // Old machine tries to renew inside the window.
+  addr_ = old_addr;
+  const core::Switch2Response renewal =
+      do_switch(make_user_ticket(8 * kMinute), 0, 8 * kMinute, first.ticket->encode());
+  EXPECT_EQ(renewal.error, DrmError::kRenewalRefused);
+}
+
+TEST_F(ChannelManagerTest, RenewalWithForeignChannelTicketRejected) {
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  // A channel ticket signed by someone other than this CM.
+  core::ChannelTicket forged;
+  forged.user_in = 42;
+  forged.channel_id = 1;
+  forged.client_public_key = client_keys_.pub;
+  forged.net_addr = addr_;
+  forged.expiry_time = 10 * kMinute;
+  const crypto::RsaKeyPair other = crypto::generate_rsa_keypair(rng_, 512);
+  const core::SignedChannelTicket bad = core::SignedChannelTicket::sign(forged, other.priv);
+  EXPECT_EQ(do_switch(ut, 0, 8 * kMinute, bad.encode()).error, DrmError::kBadTicket);
+}
+
+TEST_F(ChannelManagerTest, StatelessAcrossFarmInstances) {
+  // SWITCH1 on one instance, SWITCH2 on another sharing the partition state.
+  ChannelManager other(partition_, &peers_, rng_.fork());
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  core::Switch1Request r1;
+  r1.user_ticket = ut.encode();
+  r1.channel_id = 1;
+  const core::Switch1Response resp1 = cm_->handle_switch1(r1, addr_, 0);
+  ASSERT_EQ(resp1.error, DrmError::kOk);
+  core::Switch2Request r2;
+  r2.user_ticket = r1.user_ticket;
+  r2.channel_id = 1;
+  r2.challenge = resp1.challenge;
+  r2.proof = crypto::rsa_sign(client_keys_.priv, resp1.challenge.nonce);
+  const core::Switch2Response resp2 = other.handle_switch2(r2, addr_, 0);
+  EXPECT_EQ(resp2.error, DrmError::kOk);
+  ASSERT_TRUE(resp2.ticket.has_value());
+}
+
+TEST_F(ChannelManagerTest, RenewalsDoNotMoveLatestLogEntry) {
+  const core::SignedUserTicket ut = make_user_ticket(0);
+  const core::Switch2Response first = do_switch(ut, 1, 0);
+  ASSERT_TRUE(first.ticket.has_value());
+  const util::SimTime t0 = cm_->log().latest(42, 1)->time;
+
+  const core::Switch2Response renewed =
+      do_switch(make_user_ticket(8 * kMinute), 0, 8 * kMinute, first.ticket->encode());
+  ASSERT_EQ(renewed.error, DrmError::kOk);
+  EXPECT_EQ(cm_->log().latest(42, 1)->time, t0);  // fresh-issue entry unchanged
+  EXPECT_EQ(cm_->log().size(), 2u);               // but audited
+}
+
+}  // namespace
+}  // namespace p2pdrm::services

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "services/channel_policy_manager.h"
+
+namespace p2pdrm::services {
+namespace {
+
+using core::DrmError;
+using util::kHour;
+using util::kMinute;
+
+class CpmTest : public ::testing::Test {
+ protected:
+  CpmTest() : rng_(800) {
+    um_keys_ = crypto::generate_rsa_keypair(rng_, 512);
+    client_keys_ = crypto::generate_rsa_keypair(rng_, 512);
+    cpm_ = std::make_unique<ChannelPolicyManager>(um_keys_.pub);
+  }
+
+  static core::ChannelRecord make_channel(util::ChannelId id, const std::string& region,
+                                          std::uint32_t partition = 0) {
+    core::ChannelRecord c;
+    c.id = id;
+    c.name = "ch-" + std::to_string(id);
+    c.partition = partition;
+    core::Attribute r;
+    r.name = core::kAttrRegion;
+    r.value = core::AttrValue::of(region);
+    c.attributes.add(r);
+    core::Policy accept;
+    accept.priority = 50;
+    accept.terms.push_back({core::kAttrRegion, core::AttrValue::of(region)});
+    accept.action = core::PolicyAction::kAccept;
+    c.policies.push_back(accept);
+    return c;
+  }
+
+  core::SignedUserTicket make_user_ticket(util::SimTime now) {
+    core::UserTicket t;
+    t.user_in = 1;
+    t.client_public_key = client_keys_.pub;
+    t.start_time = now;
+    t.expiry_time = now + 30 * kMinute;
+    return core::SignedUserTicket::sign(t, um_keys_.priv);
+  }
+
+  crypto::SecureRandom rng_;
+  crypto::RsaKeyPair um_keys_;
+  crypto::RsaKeyPair client_keys_;
+  std::unique_ptr<ChannelPolicyManager> cpm_;
+};
+
+TEST_F(CpmTest, AddChannelSetsUtimes) {
+  cpm_->add_channel(make_channel(1, "100"), 5 * kHour);
+  const core::ChannelRecord* c = cpm_->find_channel(1);
+  ASSERT_NE(c, nullptr);
+  for (const core::Attribute& a : c->attributes.items()) {
+    EXPECT_EQ(a.utime, 5 * kHour);
+  }
+}
+
+TEST_F(CpmTest, DuplicateChannelIdThrows) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  EXPECT_THROW(cpm_->add_channel(make_channel(1, "101"), 0), std::invalid_argument);
+}
+
+TEST_F(CpmTest, AttributeListCollatesUniquePairs) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  cpm_->add_channel(make_channel(2, "100"), 0);
+  cpm_->add_channel(make_channel(3, "101"), 0);
+  // Two unique (Region, value) pairs across three channels.
+  EXPECT_EQ(cpm_->channel_attribute_list().size(), 2u);
+}
+
+TEST_F(CpmTest, ModifyingChannelBumpsUtime) {
+  cpm_->add_channel(make_channel(1, "100"), 1 * kHour);
+  cpm_->add_policy(1, core::Policy{}, 9 * kHour);
+  const core::Attribute* entry = cpm_->channel_attribute_list().find(core::kAttrRegion);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->utime, 9 * kHour);
+}
+
+TEST_F(CpmTest, RemovingChannelBumpsRetiredAttributeUtime) {
+  // "If a channel is added or deleted from the offering of region X, the
+  // Region=X attribute has its last-update time made current."
+  cpm_->add_channel(make_channel(1, "100"), 1 * kHour);
+  cpm_->add_channel(make_channel(2, "100"), 1 * kHour);
+  ASSERT_TRUE(cpm_->remove_channel(1, 6 * kHour));
+  const core::Attribute* entry = cpm_->channel_attribute_list().find(core::kAttrRegion);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->utime, 6 * kHour);
+  EXPECT_FALSE(cpm_->remove_channel(1, 7 * kHour));
+}
+
+TEST_F(CpmTest, SinksReceivePushes) {
+  int channel_pushes = 0, attr_pushes = 0;
+  std::size_t last_channels = 0;
+  cpm_->add_channel_list_sink([&](const std::vector<core::ChannelRecord>& list) {
+    ++channel_pushes;
+    last_channels = list.size();
+  });
+  cpm_->add_attribute_list_sink([&](const core::AttributeSet&) { ++attr_pushes; });
+  EXPECT_EQ(channel_pushes, 1);  // immediate replay on registration
+  EXPECT_EQ(attr_pushes, 1);
+
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  EXPECT_EQ(channel_pushes, 2);
+  EXPECT_EQ(attr_pushes, 2);
+  EXPECT_EQ(last_channels, 1u);
+}
+
+TEST_F(CpmTest, BlackoutAddsAttributeAndPolicy) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  cpm_->blackout(1, 20 * kHour, 21 * kHour, 10 * kHour);
+  const core::ChannelRecord* c = cpm_->find_channel(1);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->policies.size(), 2u);
+  EXPECT_EQ(c->policies.back().priority, 100u);
+  EXPECT_EQ(c->policies.back().action, core::PolicyAction::kReject);
+
+  // End-to-end: a region-100 user is accepted outside, rejected inside.
+  core::AttributeSet user;
+  core::Attribute r;
+  r.name = core::kAttrRegion;
+  r.value = core::AttrValue::of("100");
+  user.add(r);
+  EXPECT_TRUE(core::channel_accessible(*c, user, 19 * kHour));
+  EXPECT_FALSE(core::channel_accessible(*c, user, 20 * kHour + kMinute));
+  EXPECT_TRUE(core::channel_accessible(*c, user, 22 * kHour));
+}
+
+TEST_F(CpmTest, PpvProgramGatesWindowOnly) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  cpm_->add_ppv_program(1, "ppv-42", 21 * kHour, 23 * kHour, 0);
+  const core::ChannelRecord* c = cpm_->find_channel(1);
+  ASSERT_NE(c, nullptr);
+
+  core::AttributeSet viewer;
+  core::Attribute region;
+  region.name = core::kAttrRegion;
+  region.value = core::AttrValue::of("100");
+  viewer.add(region);
+
+  core::AttributeSet purchaser = viewer;
+  core::Attribute grant;
+  grant.name = core::kAttrSubscription;
+  grant.value = core::AttrValue::of("ppv-42");
+  grant.stime = 21 * kHour;
+  grant.etime = 23 * kHour;
+  purchaser.add(grant);
+
+  // Before the window: both watch.
+  EXPECT_TRUE(core::channel_accessible(*c, viewer, 20 * kHour));
+  EXPECT_TRUE(core::channel_accessible(*c, purchaser, 20 * kHour));
+  // During: only the purchaser.
+  EXPECT_FALSE(core::channel_accessible(*c, viewer, 22 * kHour));
+  EXPECT_TRUE(core::channel_accessible(*c, purchaser, 22 * kHour));
+  // After: both again (and the grant has lapsed harmlessly).
+  EXPECT_TRUE(core::channel_accessible(*c, viewer, 23 * kHour + kMinute));
+  EXPECT_TRUE(core::channel_accessible(*c, purchaser, 23 * kHour + kMinute));
+}
+
+TEST_F(CpmTest, PpvOnUnknownChannelThrows) {
+  EXPECT_THROW(cpm_->add_ppv_program(9, "x", 0, 1, 0), std::invalid_argument);
+}
+
+TEST_F(CpmTest, PpvPurchaseOutsideWindowDoesNotUnlock) {
+  // A grant that expired before the program does not satisfy the window.
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  cpm_->add_ppv_program(1, "ppv-42", 21 * kHour, 23 * kHour, 0);
+  const core::ChannelRecord* c = cpm_->find_channel(1);
+
+  core::AttributeSet stale;
+  core::Attribute region;
+  region.name = core::kAttrRegion;
+  region.value = core::AttrValue::of("100");
+  stale.add(region);
+  core::Attribute old_grant;
+  old_grant.name = core::kAttrSubscription;
+  old_grant.value = core::AttrValue::of("ppv-42");
+  old_grant.etime = 20 * kHour;  // lapsed before the event
+  stale.add(old_grant);
+  EXPECT_FALSE(core::channel_accessible(*c, stale, 22 * kHour));
+}
+
+TEST_F(CpmTest, ChannelListRequiresValidTicket) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  core::ChannelListRequest req;
+  req.user_ticket = util::bytes_of("garbage");
+  EXPECT_EQ(cpm_->handle_channel_list(req, 0).error, DrmError::kBadTicket);
+
+  core::SignedUserTicket forged = make_user_ticket(0);
+  forged.body[5] ^= 1;
+  req.user_ticket = forged.encode();
+  EXPECT_EQ(cpm_->handle_channel_list(req, 0).error, DrmError::kBadTicket);
+
+  req.user_ticket = make_user_ticket(0).encode();
+  EXPECT_EQ(cpm_->handle_channel_list(req, 40 * kMinute).error,
+            DrmError::kTicketExpired);
+}
+
+TEST_F(CpmTest, FullChannelListFetch) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  cpm_->add_channel(make_channel(2, "101"), 0);
+  core::ChannelListRequest req;
+  req.user_ticket = make_user_ticket(0).encode();
+  const core::ChannelListResponse resp = cpm_->handle_channel_list(req, kMinute);
+  EXPECT_EQ(resp.error, DrmError::kOk);
+  EXPECT_EQ(resp.channels.size(), 2u);
+}
+
+TEST_F(CpmTest, PartialFetchFiltersByAttributeName) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  core::ChannelRecord sub_only;
+  sub_only.id = 2;
+  sub_only.name = "premium";
+  core::Attribute s;
+  s.name = core::kAttrSubscription;
+  s.value = core::AttrValue::of("101");
+  sub_only.attributes.add(s);
+  cpm_->add_channel(sub_only, 0);
+
+  core::ChannelListRequest req;
+  req.user_ticket = make_user_ticket(0).encode();
+  req.stale_attributes = {core::kAttrSubscription};
+  const core::ChannelListResponse resp = cpm_->handle_channel_list(req, kMinute);
+  ASSERT_EQ(resp.channels.size(), 1u);
+  EXPECT_EQ(resp.channels[0].id, 2u);
+}
+
+TEST_F(CpmTest, PartitionInfoReturnedWithList) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  core::PartitionInfo info;
+  info.partition = 3;
+  info.manager_addr = util::parse_netaddr("10.0.0.5");
+  info.manager_public_key = um_keys_.pub.encode();
+  cpm_->set_partition_info(info);
+
+  core::ChannelListRequest req;
+  req.user_ticket = make_user_ticket(0).encode();
+  const core::ChannelListResponse resp = cpm_->handle_channel_list(req, kMinute);
+  ASSERT_EQ(resp.partitions.size(), 1u);
+  EXPECT_EQ(resp.partitions[0], info);
+}
+
+TEST_F(CpmTest, SetPartitionInfoReplacesSamePartition) {
+  core::PartitionInfo a;
+  a.partition = 1;
+  a.manager_addr = util::parse_netaddr("10.0.0.1");
+  cpm_->set_partition_info(a);
+  core::PartitionInfo b = a;
+  b.manager_addr = util::parse_netaddr("10.0.0.2");
+  cpm_->set_partition_info(b);
+
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  core::ChannelListRequest req;
+  req.user_ticket = make_user_ticket(0).encode();
+  const core::ChannelListResponse resp = cpm_->handle_channel_list(req, kMinute);
+  ASSERT_EQ(resp.partitions.size(), 1u);
+  EXPECT_EQ(resp.partitions[0].manager_addr, util::parse_netaddr("10.0.0.2"));
+}
+
+TEST_F(CpmTest, RemoveChannelAttribute) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  EXPECT_EQ(cpm_->remove_channel_attribute(1, core::kAttrRegion, kHour), 1u);
+  EXPECT_EQ(cpm_->find_channel(1)->attributes.size(), 0u);
+  EXPECT_EQ(cpm_->remove_channel_attribute(1, core::kAttrRegion, kHour), 0u);
+  EXPECT_EQ(cpm_->remove_channel_attribute(99, core::kAttrRegion, kHour), 0u);
+}
+
+TEST_F(CpmTest, SetPoliciesReplaces) {
+  cpm_->add_channel(make_channel(1, "100"), 0);
+  cpm_->set_policies(1, {}, kHour);
+  EXPECT_TRUE(cpm_->find_channel(1)->policies.empty());
+  EXPECT_THROW(cpm_->set_policies(99, {}, kHour), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2pdrm::services

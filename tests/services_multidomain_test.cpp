@@ -1,0 +1,152 @@
+// Multi-domain deployment (§V): users partitioned across Authentication
+// Domains, each with its own User Manager (farm), discovered through the
+// Redirection Manager; Channel Managers accept tickets only from the UM
+// key they trust.
+#include <gtest/gtest.h>
+
+#include "core/auth.h"
+#include "geo/geodb.h"
+#include "services/account_manager.h"
+#include "services/channel_manager.h"
+#include "services/redirection_manager.h"
+#include "services/user_manager.h"
+
+namespace p2pdrm::services {
+namespace {
+
+using core::DrmError;
+
+class MultiDomainTest : public ::testing::Test {
+ protected:
+  MultiDomainTest() : rng_(4000), geo_(rng_, {.num_regions = 2}) {
+    for (std::uint32_t d = 0; d < 2; ++d) {
+      UserManagerConfig cfg;
+      cfg.domain = d;
+      auto domain = std::make_shared<UserManagerDomain>(
+          cfg, crypto::generate_rsa_keypair(rng_, 512), rng_.bytes(32));
+      domain->reference_binaries[1] = binary_;
+      domains_.push_back(domain);
+      ums_.push_back(std::make_unique<UserManager>(domain, &geo_.db(), rng_.fork()));
+      redirection_.register_domain(
+          d, ManagerCoordinates{util::NetAddr{0x0a000000u + d},
+                                domain->keys.pub.encode()});
+    }
+    binary_ = rng_.bytes(1024);
+    for (auto& d : domains_) d->reference_binaries[1] = binary_;
+
+    // Accounts are assigned to domains by the Account Manager at signup.
+    accounts_ = std::make_unique<AccountManager>();
+    add_user("east@example.com", 0);
+    add_user("west@example.com", 1);
+  }
+
+  void add_user(const std::string& email, std::uint32_t domain) {
+    accounts_->create_account(email, "pw", 0);
+    ums_[domain]->provision(UserProvisioning{*accounts_->find(email)});
+    redirection_.assign_user(email, domain);
+  }
+
+  /// Full login against a specific UM; returns the signed ticket if issued.
+  std::optional<core::SignedUserTicket> login(UserManager& um, const std::string& email,
+                                              util::NetAddr addr) {
+    crypto::RsaKeyPair client = crypto::generate_rsa_keypair(rng_, 512);
+    core::Login1Request r1;
+    r1.email = email;
+    r1.client_public_key = client.pub;
+    r1.client_version = 1;
+    const core::Login1Response resp1 = um.handle_login1(r1, addr, 0);
+    if (resp1.error != DrmError::kOk) return std::nullopt;
+    const auto payload =
+        core::decrypt_with_shp(core::password_hash("pw"), resp1.encrypted_params);
+    if (!payload) return std::nullopt;
+    util::WireReader r(*payload);
+    const util::Bytes nonce = r.raw(core::kNonceSize);
+    const core::ChecksumParams params = core::ChecksumParams::decode(r);
+
+    core::Login2Request r2;
+    r2.email = email;
+    r2.client_public_key = client.pub;
+    r2.client_version = 1;
+    r2.params = params;
+    r2.checksum = core::compute_attestation_checksum(binary_, params);
+    r2.challenge = resp1.challenge;
+    r2.challenge.nonce = nonce;
+    util::Bytes signed_payload = nonce;
+    signed_payload.insert(signed_payload.end(), r2.checksum.begin(), r2.checksum.end());
+    r2.proof = crypto::rsa_sign(client.priv, signed_payload);
+    core::Login2Response resp2 = um.handle_login2(r2, addr, 1);
+    if (resp2.error != DrmError::kOk) return std::nullopt;
+    return std::move(resp2.ticket);
+  }
+
+  crypto::SecureRandom rng_;
+  geo::SyntheticGeo geo_;
+  util::Bytes binary_ = crypto::SecureRandom(1).bytes(1024);
+  std::vector<std::shared_ptr<UserManagerDomain>> domains_;
+  std::vector<std::unique_ptr<UserManager>> ums_;
+  std::unique_ptr<AccountManager> accounts_;
+  RedirectionManager redirection_;
+};
+
+TEST_F(MultiDomainTest, RedirectionRoutesToAssignedDomain) {
+  const RedirectResponse east = redirection_.handle_lookup({"east@example.com"});
+  const RedirectResponse west = redirection_.handle_lookup({"west@example.com"});
+  ASSERT_TRUE(east.found);
+  ASSERT_TRUE(west.found);
+  EXPECT_EQ(east.domain, 0u);
+  EXPECT_EQ(west.domain, 1u);
+  EXPECT_NE(east.user_manager.public_key, west.user_manager.public_key);
+}
+
+TEST_F(MultiDomainTest, LoginSucceedsInOwnDomainOnly) {
+  const util::NetAddr addr = geo_.sample_address(rng_, 100);
+  EXPECT_TRUE(login(*ums_[0], "east@example.com", addr).has_value());
+  // The other domain's UM does not know this user.
+  EXPECT_FALSE(login(*ums_[1], "east@example.com", addr).has_value());
+}
+
+TEST_F(MultiDomainTest, DomainsSignWithDistinctKeys) {
+  const util::NetAddr addr = geo_.sample_address(rng_, 100);
+  const auto east_ticket = login(*ums_[0], "east@example.com", addr);
+  const auto west_ticket = login(*ums_[1], "west@example.com", addr);
+  ASSERT_TRUE(east_ticket && west_ticket);
+  EXPECT_TRUE(east_ticket->verify(domains_[0]->keys.pub));
+  EXPECT_FALSE(east_ticket->verify(domains_[1]->keys.pub));
+  EXPECT_TRUE(west_ticket->verify(domains_[1]->keys.pub));
+}
+
+TEST_F(MultiDomainTest, ChannelManagerTrustsOnlyItsDomain) {
+  // A Channel Manager configured with domain 0's UM key rejects tickets
+  // minted by domain 1 — cross-domain access requires explicit federation.
+  ChannelManagerConfig cfg;
+  auto partition = std::make_shared<ChannelManagerPartition>(
+      cfg, crypto::generate_rsa_keypair(rng_, 512), domains_[0]->keys.pub,
+      rng_.bytes(32));
+  ChannelManager cm(partition, nullptr, rng_.fork());
+  core::ChannelRecord ch;
+  ch.id = 1;
+  ch.name = "ch";
+  cm.update_channel_list({ch});
+
+  const util::NetAddr addr = geo_.sample_address(rng_, 100);
+  const auto west_ticket = login(*ums_[1], "west@example.com", addr);
+  ASSERT_TRUE(west_ticket.has_value());
+  core::Switch1Request r1;
+  r1.user_ticket = west_ticket->encode();
+  r1.channel_id = 1;
+  EXPECT_EQ(cm.handle_switch1(r1, addr, 2).error, DrmError::kBadTicket);
+}
+
+TEST_F(MultiDomainTest, UserINsIndependentPerDomain) {
+  // Each domain numbers its own users; identity is (domain, UserIN).
+  add_user("e2@example.com", 0);
+  add_user("w2@example.com", 1);
+  EXPECT_EQ(ums_[0]->user_in_of("east@example.com"), 1u);
+  EXPECT_EQ(ums_[0]->user_in_of("e2@example.com"), 2u);
+  EXPECT_EQ(ums_[1]->user_in_of("west@example.com"), 1u);
+  EXPECT_EQ(ums_[1]->user_in_of("w2@example.com"), 2u);
+  EXPECT_EQ(ums_[0]->user_in_of("west@example.com"), 0u);  // unknown here
+}
+
+}  // namespace
+}  // namespace p2pdrm::services

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "core/auth.h"
+#include "geo/geodb.h"
+#include "services/account_manager.h"
+#include "services/user_manager.h"
+
+namespace p2pdrm::services {
+namespace {
+
+using core::DrmError;
+using util::kMinute;
+
+/// Fixture wiring an Account Manager, synthetic geo, and a User Manager,
+/// plus a manual login driver that can tamper with any step.
+class UserManagerTest : public ::testing::Test {
+ protected:
+  UserManagerTest()
+      : rng_(900), geo_(rng_, {.num_regions = 2, .prefixes_per_region = 4}) {
+    UserManagerConfig config;
+    config.ticket_lifetime = 30 * kMinute;
+    domain_ = std::make_shared<UserManagerDomain>(
+        config, crypto::generate_rsa_keypair(rng_, 512), rng_.bytes(32));
+    binary_ = rng_.bytes(8192);
+    domain_->reference_binaries[1] = binary_;
+    um_ = std::make_unique<UserManager>(domain_, &geo_.db(), rng_.fork());
+    accounts_ = std::make_unique<AccountManager>(
+        [this](const UserProvisioning& p) { um_->provision(p); });
+    accounts_->create_account("alice@example.com", "password1", 0);
+    client_keys_ = crypto::generate_rsa_keypair(rng_, 512);
+    addr_ = geo_.sample_address(rng_, 100);
+  }
+
+  core::Login1Request login1_request(const std::string& email = "alice@example.com") {
+    core::Login1Request req;
+    req.email = email;
+    req.client_public_key = client_keys_.pub;
+    req.client_version = 1;
+    return req;
+  }
+
+  struct Login1Output {
+    util::Bytes nonce;
+    core::ChecksumParams params;
+    core::Challenge challenge;
+  };
+
+  /// Decrypt the LOGIN1 response like the genuine client would.
+  std::optional<Login1Output> open_login1(const core::Login1Response& resp,
+                                          const std::string& password) {
+    const auto payload =
+        core::decrypt_with_shp(core::password_hash(password), resp.encrypted_params);
+    if (!payload) return std::nullopt;
+    util::WireReader r(*payload);
+    Login1Output out;
+    out.nonce = r.raw(core::kNonceSize);
+    out.params = core::ChecksumParams::decode(r);
+    (void)r.i64();
+    out.challenge = resp.challenge;
+    out.challenge.nonce = out.nonce;
+    return out;
+  }
+
+  core::Login2Request login2_request(const Login1Output& opened,
+                                     const util::Bytes& binary,
+                                     const crypto::RsaKeyPair& keys) {
+    core::Login2Request req;
+    req.email = "alice@example.com";
+    req.client_public_key = keys.pub;
+    req.client_version = 1;
+    req.params = opened.params;
+    req.checksum = core::compute_attestation_checksum(binary, opened.params);
+    req.challenge = opened.challenge;
+    util::Bytes signed_payload = opened.challenge.nonce;
+    signed_payload.insert(signed_payload.end(), req.checksum.begin(), req.checksum.end());
+    req.proof = crypto::rsa_sign(keys.priv, signed_payload);
+    return req;
+  }
+
+  /// Full honest login; returns the response.
+  core::Login2Response do_login(util::SimTime now) {
+    const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, now);
+    EXPECT_EQ(r1.error, DrmError::kOk);
+    const auto opened = open_login1(r1, "password1");
+    EXPECT_TRUE(opened.has_value());
+    return um_->handle_login2(login2_request(*opened, binary_, client_keys_), addr_, now);
+  }
+
+  crypto::SecureRandom rng_;
+  geo::SyntheticGeo geo_;
+  std::shared_ptr<UserManagerDomain> domain_;
+  std::unique_ptr<UserManager> um_;
+  std::unique_ptr<AccountManager> accounts_;
+  util::Bytes binary_;
+  crypto::RsaKeyPair client_keys_;
+  util::NetAddr addr_;
+};
+
+TEST_F(UserManagerTest, HappyPathIssuesTicket) {
+  const core::Login2Response resp = do_login(1000);
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  ASSERT_TRUE(resp.ticket.has_value());
+  EXPECT_TRUE(resp.ticket->verify(domain_->keys.pub));
+  EXPECT_EQ(resp.ticket->ticket.user_in, um_->user_in_of("alice@example.com"));
+  EXPECT_EQ(resp.ticket->ticket.client_public_key, client_keys_.pub);
+  EXPECT_EQ(resp.ticket->ticket.expiry_time, 1000 + 30 * kMinute);
+}
+
+TEST_F(UserManagerTest, TicketCarriesTableIAttributes) {
+  const core::Login2Response resp = do_login(1000);
+  ASSERT_TRUE(resp.ticket.has_value());
+  const core::AttributeSet& attrs = resp.ticket->ticket.attributes;
+  // Table I: NetAddr, Region, AS, Version (Subscription when subscribed).
+  ASSERT_NE(attrs.find(core::kAttrNetAddr), nullptr);
+  EXPECT_EQ(attrs.find(core::kAttrNetAddr)->value.value(), util::to_string(addr_));
+  ASSERT_NE(attrs.find(core::kAttrRegion), nullptr);
+  EXPECT_EQ(attrs.find(core::kAttrRegion)->value.value(), "100");
+  ASSERT_NE(attrs.find(core::kAttrAs), nullptr);
+  ASSERT_NE(attrs.find(core::kAttrVersion), nullptr);
+  EXPECT_EQ(attrs.find(core::kAttrVersion)->value.value(), "1");
+  EXPECT_EQ(attrs.find(core::kAttrSubscription), nullptr);
+}
+
+TEST_F(UserManagerTest, SubscriptionAttributesCarryWindows) {
+  accounts_->subscribe("alice@example.com",
+                       {"101", util::kNullTime, 100 * util::kHour});
+  const core::Login2Response resp = do_login(1000);
+  ASSERT_TRUE(resp.ticket.has_value());
+  const core::Attribute* sub =
+      resp.ticket->ticket.attributes.find(core::kAttrSubscription);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->value.value(), "101");
+  EXPECT_EQ(sub->etime, 100 * util::kHour);
+}
+
+TEST_F(UserManagerTest, TicketExpiryCappedByAttributeEtime) {
+  // A subscription expiring in 5 minutes caps the 30-minute ticket (§IV-B).
+  accounts_->subscribe("alice@example.com", {"101", util::kNullTime, 1000 + 5 * kMinute});
+  const core::Login2Response resp = do_login(1000);
+  ASSERT_TRUE(resp.ticket.has_value());
+  EXPECT_EQ(resp.ticket->ticket.expiry_time, 1000 + 5 * kMinute);
+}
+
+TEST_F(UserManagerTest, ExpiredSubscriptionOmitted) {
+  accounts_->subscribe("alice@example.com", {"101", util::kNullTime, 500});
+  const core::Login2Response resp = do_login(1000 * kMinute);
+  ASSERT_TRUE(resp.ticket.has_value());
+  EXPECT_EQ(resp.ticket->ticket.attributes.find(core::kAttrSubscription), nullptr);
+}
+
+TEST_F(UserManagerTest, UnknownUserRejected) {
+  const core::Login1Response r1 =
+      um_->handle_login1(login1_request("bob@example.com"), addr_, 0);
+  EXPECT_EQ(r1.error, DrmError::kUnknownUser);
+}
+
+TEST_F(UserManagerTest, SuspendedUserRejected) {
+  accounts_->set_suspended("alice@example.com", true);
+  EXPECT_EQ(um_->handle_login1(login1_request(), addr_, 0).error,
+            DrmError::kUnknownUser);
+  accounts_->set_suspended("alice@example.com", false);
+  EXPECT_EQ(um_->handle_login1(login1_request(), addr_, 0).error, DrmError::kOk);
+}
+
+TEST_F(UserManagerTest, OldClientVersionRejected) {
+  core::Login1Request req = login1_request();
+  req.client_version = 0;
+  EXPECT_EQ(um_->handle_login1(req, addr_, 0).error, DrmError::kVersionTooOld);
+}
+
+TEST_F(UserManagerTest, UnknownBinaryVersionRejected) {
+  core::Login1Request req = login1_request();
+  req.client_version = 99;  // >= minimum but no reference binary registered
+  EXPECT_EQ(um_->handle_login1(req, addr_, 0).error, DrmError::kVersionTooOld);
+}
+
+TEST_F(UserManagerTest, WrongPasswordCannotCompleteLogin) {
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  ASSERT_EQ(r1.error, DrmError::kOk);
+  // Decryption with the wrong password fails outright.
+  EXPECT_FALSE(open_login1(r1, "wrong-password").has_value());
+  // A client that guesses a nonce anyway fails the challenge MAC.
+  auto opened = open_login1(r1, "password1");
+  ASSERT_TRUE(opened.has_value());
+  opened->challenge.nonce = rng_.bytes(core::kNonceSize);  // wrong nonce
+  const core::Login2Response r2 =
+      um_->handle_login2(login2_request(*opened, binary_, client_keys_), addr_, 10);
+  EXPECT_EQ(r2.error, DrmError::kChallengeInvalid);
+}
+
+TEST_F(UserManagerTest, Login1NonceNotDisclosedInClear) {
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  EXPECT_TRUE(r1.challenge.nonce.empty());
+}
+
+TEST_F(UserManagerTest, ModifiedClientFailsAttestation) {
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  const auto opened = open_login1(r1, "password1");
+  ASSERT_TRUE(opened.has_value());
+  util::Bytes tampered_binary = binary_;
+  for (std::size_t i = 0; i < tampered_binary.size(); i += 64) {
+    tampered_binary[i] ^= 0x5a;  // patch throughout so any window catches it
+  }
+  const core::Login2Response r2 =
+      um_->handle_login2(login2_request(*opened, tampered_binary, client_keys_), addr_, 10);
+  EXPECT_EQ(r2.error, DrmError::kAttestationFailed);
+}
+
+TEST_F(UserManagerTest, StolenChallengeUnusableWithDifferentKey) {
+  // An attacker who captured the LOGIN1 exchange cannot substitute its own
+  // key pair: the challenge MAC binds the original public key.
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  const auto opened = open_login1(r1, "password1");
+  ASSERT_TRUE(opened.has_value());
+  const crypto::RsaKeyPair attacker = crypto::generate_rsa_keypair(rng_, 512);
+  const core::Login2Response r2 =
+      um_->handle_login2(login2_request(*opened, binary_, attacker), addr_, 10);
+  EXPECT_EQ(r2.error, DrmError::kChallengeInvalid);
+}
+
+TEST_F(UserManagerTest, WrongProofSignatureRejected) {
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  const auto opened = open_login1(r1, "password1");
+  ASSERT_TRUE(opened.has_value());
+  core::Login2Request req = login2_request(*opened, binary_, client_keys_);
+  req.proof[0] ^= 0x01;
+  EXPECT_EQ(um_->handle_login2(req, addr_, 10).error, DrmError::kBadCredentials);
+}
+
+TEST_F(UserManagerTest, StaleChallengeRejected) {
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  const auto opened = open_login1(r1, "password1");
+  ASSERT_TRUE(opened.has_value());
+  const core::Login2Request req = login2_request(*opened, binary_, client_keys_);
+  EXPECT_EQ(um_->handle_login2(req, addr_, 10 * kMinute).error,
+            DrmError::kChallengeInvalid);
+}
+
+TEST_F(UserManagerTest, StatelessAcrossFarmInstances) {
+  // LOGIN1 against one farm instance, LOGIN2 against another (§V): works
+  // because they share the domain state and the challenge is self-contained.
+  UserManager other_instance(domain_, &geo_.db(), rng_.fork());
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  const auto opened = open_login1(r1, "password1");
+  ASSERT_TRUE(opened.has_value());
+  const core::Login2Response r2 = other_instance.handle_login2(
+      login2_request(*opened, binary_, client_keys_), addr_, 10);
+  EXPECT_EQ(r2.error, DrmError::kOk);
+  ASSERT_TRUE(r2.ticket.has_value());
+  EXPECT_TRUE(r2.ticket->verify(domain_->keys.pub));
+}
+
+TEST_F(UserManagerTest, UserInStableAcrossLogins) {
+  const core::Login2Response a = do_login(0);
+  const core::Login2Response b = do_login(5 * kMinute);
+  ASSERT_TRUE(a.ticket && b.ticket);
+  EXPECT_EQ(a.ticket->ticket.user_in, b.ticket->ticket.user_in);
+}
+
+TEST_F(UserManagerTest, UtimesFlowFromChannelAttributeList) {
+  core::AttributeSet channel_attrs;
+  core::Attribute region;
+  region.name = core::kAttrRegion;
+  region.value = core::AttrValue::of("100");
+  region.utime = 777;
+  channel_attrs.add(region);
+  um_->update_channel_attributes(channel_attrs);
+
+  const core::Login2Response resp = do_login(1000);
+  ASSERT_TRUE(resp.ticket.has_value());
+  const core::Attribute* user_region =
+      resp.ticket->ticket.attributes.find(core::kAttrRegion);
+  ASSERT_NE(user_region, nullptr);
+  EXPECT_EQ(user_region->utime, 777);
+}
+
+TEST_F(UserManagerTest, AccountManagerPasswordCheck) {
+  EXPECT_TRUE(accounts_->check_password("alice@example.com", "password1"));
+  EXPECT_FALSE(accounts_->check_password("alice@example.com", "nope"));
+  EXPECT_FALSE(accounts_->check_password("ghost@example.com", "password1"));
+}
+
+}  // namespace
+}  // namespace p2pdrm::services

@@ -1,0 +1,196 @@
+// Threat-model scenarios (§IV-G): ticket capture and replay, peer-list
+// substitution, stolen credentials, and compromised-client boundaries —
+// each exercised end-to-end against the real service stack.
+#include <gtest/gtest.h>
+
+#include "client/testbed.h"
+
+namespace p2pdrm::client {
+namespace {
+
+using core::DrmError;
+using util::kMinute;
+
+class ThreatModelTest : public ::testing::Test {
+ protected:
+  ThreatModelTest() : tb_(make_config()) {
+    tb_.add_user("victim@example.com", "victims-password");
+    tb_.add_user("attacker@example.com", "attackers-password");
+    region_ = tb_.geo().region_at(0);
+    tb_.add_regional_channel(1, "news", region_);
+    tb_.start_channel_server(1);
+  }
+
+  static TestbedConfig make_config() {
+    TestbedConfig cfg;
+    cfg.seed = 1337;
+    return cfg;
+  }
+
+  Testbed tb_;
+  geo::RegionId region_ = 0;
+};
+
+// §IV-G1: "an attacker that has a client's User Ticket but not the client's
+// private key cannot do much with the ticket."
+TEST_F(ThreatModelTest, StolenUserTicketUselessWithoutPrivateKey) {
+  Client& victim = tb_.add_client("victim@example.com", "victims-password", region_);
+  ASSERT_EQ(victim.login(), DrmError::kOk);
+
+  // Attacker captures the victim's User Ticket bytes off the wire and
+  // presents them from the victim's own address (strongest position).
+  const util::Bytes stolen = victim.user_ticket()->encode();
+  core::Switch1Request r1;
+  r1.user_ticket = stolen;
+  r1.channel_id = 1;
+  const core::Switch1Response resp1 =
+      tb_.switch1(0, r1, victim.config().addr);
+  ASSERT_EQ(resp1.error, DrmError::kOk);  // challenge is issued...
+
+  // ...but SWITCH2 requires a signature with the private key certified in
+  // the ticket, which the attacker does not hold.
+  crypto::SecureRandom rng(1);
+  const crypto::RsaKeyPair attacker_keys = crypto::generate_rsa_keypair(rng, 512);
+  core::Switch2Request r2;
+  r2.user_ticket = stolen;
+  r2.channel_id = 1;
+  r2.challenge = resp1.challenge;
+  r2.proof = crypto::rsa_sign(attacker_keys.priv, resp1.challenge.nonce);
+  EXPECT_EQ(tb_.switch2(0, r2, victim.config().addr).error,
+            DrmError::kBadCredentials);
+}
+
+// §IV-G1: a Channel Ticket captured during the join procedure cannot yield
+// content keys without the victim's private key.
+TEST_F(ThreatModelTest, CapturedChannelTicketYieldsNoKeys) {
+  Client& victim = tb_.add_client("victim@example.com", "victims-password", region_);
+  ASSERT_EQ(victim.login(), DrmError::kOk);
+  ASSERT_EQ(victim.switch_channel(1), DrmError::kOk);
+
+  // The attacker captured the ticket bytes (peers see them during join) and
+  // replays the join — even spoofing the victim's network address.
+  const util::Bytes stolen = victim.channel_ticket()->encode();
+  core::JoinRequest req;
+  req.channel_ticket = stolen;
+  const core::JoinResponse resp =
+      tb_.join(1 + 1 /* root node of channel 1 */, req, victim.config().addr,
+               /*self=*/4242);
+  // The peer accepts (it cannot distinguish), but the session key is
+  // encrypted under the *victim's* certified public key.
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  crypto::SecureRandom rng(2);
+  const crypto::RsaKeyPair attacker_keys = crypto::generate_rsa_keypair(rng, 512);
+  EXPECT_FALSE(crypto::rsa_decrypt(attacker_keys.priv, resp.encrypted_session_key)
+                   .has_value());
+}
+
+// §IV-G1: the peer list is deliberately unsigned; an attacker who controls
+// the victim's traffic substitutes itself. The damage is bounded: it can
+// capture the (useless, see above) ticket or deny service — it cannot mint
+// decryptable keys without being an authorized peer itself.
+TEST_F(ThreatModelTest, SubstitutedPeerListBoundedDamage) {
+  Client& victim = tb_.add_client("victim@example.com", "victims-password", region_);
+  ASSERT_EQ(victim.login(), DrmError::kOk);
+  ASSERT_EQ(victim.switch_channel(1), DrmError::kOk);
+
+  // A fake "peer" (node id that maps to nothing in the overlay) is what a
+  // substituted list would point the client at: the join simply fails and
+  // the client can fall back to other peers — denial, not compromise.
+  core::JoinRequest req;
+  req.channel_ticket = victim.channel_ticket()->encode();
+  const core::JoinResponse resp =
+      tb_.join(/*target=*/999999, req, victim.config().addr, victim.config().node);
+  EXPECT_NE(resp.error, DrmError::kOk);
+}
+
+// Replaying a whole captured LOGIN2 gets the attacker a ticket bound to the
+// victim's public key — which it cannot use (no private key). Verified via
+// the ticket's certified key.
+TEST_F(ThreatModelTest, ReplayedLogin2YieldsUnusableTicket) {
+  Client& victim = tb_.add_client("victim@example.com", "victims-password", region_);
+  ASSERT_EQ(victim.login(), DrmError::kOk);
+  // The replayed response would carry the same certified key.
+  EXPECT_EQ(victim.user_ticket()->ticket.client_public_key, victim.public_key());
+}
+
+// An eavesdropper on LOGIN1 cannot recover the nonce (password-encrypted),
+// so it cannot complete the login as the victim even with captured traffic.
+TEST_F(ThreatModelTest, Login1EavesdropperLearnsNoNonce) {
+  crypto::SecureRandom rng(3);
+  const crypto::RsaKeyPair attacker_keys = crypto::generate_rsa_keypair(rng, 512);
+  core::Login1Request req;
+  req.email = "victim@example.com";
+  req.client_public_key = attacker_keys.pub;
+  req.client_version = 1;
+  const core::Login1Response resp =
+      tb_.login1(req, tb_.geo().sample_address(rng, region_));
+  ASSERT_EQ(resp.error, DrmError::kOk);
+  // The clear part of the response carries no nonce...
+  EXPECT_TRUE(resp.challenge.nonce.empty());
+  // ...and the encrypted part does not open without the password.
+  EXPECT_FALSE(core::decrypt_with_shp(core::password_hash("guess1"),
+                                      resp.encrypted_params)
+                   .has_value());
+}
+
+// Account sharing across regions: credentials shared with someone in
+// another region do not unlock region-locked channels there.
+TEST_F(ThreatModelTest, SharedCredentialsDontCrossRegions) {
+  TestbedConfig cfg = make_config();
+  cfg.geo_plan.num_regions = 2;
+  Testbed tb(cfg);
+  tb.add_user("victim@example.com", "pw");
+  tb.add_regional_channel(1, "region0-only", tb.geo().region_at(0));
+  tb.start_channel_server(1);
+
+  Client& foreign = tb.add_client("victim@example.com", "pw", tb.geo().region_at(1));
+  ASSERT_EQ(foreign.login(), DrmError::kOk);
+  EXPECT_EQ(foreign.switch_channel(1), DrmError::kAccessDenied);
+}
+
+// A client whose binary was patched fails attestation at the next login —
+// the per-login random window makes precomputed checksums useless.
+TEST_F(ThreatModelTest, PatchedClientEventuallyCaughtByRandomWindows) {
+  Client& victim = tb_.add_client("victim@example.com", "victims-password", region_);
+  ASSERT_EQ(victim.login(), DrmError::kOk);
+
+  // Attacker runs a patched binary under the victim's credentials.
+  ClientConfig cc = victim.config();
+  cc.client_binary[cc.client_binary.size() / 2] ^= 0xff;  // one patched byte
+  cc.node = 777;
+  crypto::SecureRandom rng(4);
+  Client patched(cc, tb_, tb_.clock(), std::move(rng));
+
+  // A single-byte patch escapes some windows; repeated logins (fresh random
+  // windows each time) catch it with overwhelming probability.
+  int failures = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (patched.login() == DrmError::kAttestationFailed) ++failures;
+  }
+  EXPECT_GT(failures, 0);
+}
+
+// Ticket lifetimes bound how long any captured ticket is worth anything.
+TEST_F(ThreatModelTest, ExpiredTicketsRejectedEverywhere) {
+  Client& victim = tb_.add_client("victim@example.com", "victims-password", region_);
+  ASSERT_EQ(victim.login(), DrmError::kOk);
+  ASSERT_EQ(victim.switch_channel(1), DrmError::kOk);
+  const util::Bytes user_ticket = victim.user_ticket()->encode();
+  const util::Bytes channel_ticket = victim.channel_ticket()->encode();
+
+  tb_.clock().advance(31 * kMinute);  // past both lifetimes
+
+  core::Switch1Request r1;
+  r1.user_ticket = user_ticket;
+  r1.channel_id = 1;
+  EXPECT_EQ(tb_.switch1(0, r1, victim.config().addr).error,
+            DrmError::kTicketExpired);
+
+  core::JoinRequest jr;
+  jr.channel_ticket = channel_ticket;
+  EXPECT_EQ(tb_.join(2, jr, victim.config().addr, victim.config().node).error,
+            DrmError::kTicketExpired);
+}
+
+}  // namespace
+}  // namespace p2pdrm::client

@@ -1,0 +1,141 @@
+// Wire-format stability: golden digests of deterministic encodings.
+//
+// Tickets are signed over their exact byte encoding, and deployed clients
+// and servers must interoperate across releases — so the wire format is a
+// compatibility contract. These tests pin the SHA-256 of reference
+// encodings; any change to field order, widths, or defaults fails here
+// first (and must come with a kProtocolVersion bump).
+#include <gtest/gtest.h>
+
+#include "core/content.h"
+#include "core/messages.h"
+#include "core/ticket.h"
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace p2pdrm {
+namespace {
+
+std::string digest_of(const util::Bytes& b) {
+  return util::to_hex(crypto::sha256_bytes(b));
+}
+
+/// Deterministic actors shared by every golden structure.
+struct GoldenActors {
+  GoldenActors() : rng(424242) {
+    issuer = crypto::generate_rsa_keypair(rng, 512);
+    client = crypto::generate_rsa_keypair(rng, 512);
+  }
+  crypto::SecureRandom rng;
+  crypto::RsaKeyPair issuer;
+  crypto::RsaKeyPair client;
+};
+
+const GoldenActors& actors() {
+  static const GoldenActors a;
+  return a;
+}
+
+core::UserTicket golden_user_ticket() {
+  core::UserTicket ut;
+  ut.user_in = 77;
+  ut.client_public_key = actors().client.pub;
+  ut.start_time = 1000000;
+  ut.expiry_time = 2000000;
+  core::Attribute a;
+  a.name = core::kAttrRegion;
+  a.value = core::AttrValue::of("100");
+  a.stime = util::kNullTime;
+  a.etime = 5000000;
+  a.utime = 123;
+  ut.attributes.add(a);
+  return ut;
+}
+
+core::ChannelTicket golden_channel_ticket() {
+  core::ChannelTicket ct;
+  ct.user_in = 77;
+  ct.channel_id = 9;
+  ct.client_public_key = actors().client.pub;
+  ct.net_addr = util::parse_netaddr("10.1.2.3");
+  ct.renewal = true;
+  ct.start_time = 1;
+  ct.expiry_time = 2;
+  return ct;
+}
+
+TEST(WireGoldenTest, UserTicket) {
+  const util::Bytes wire = golden_user_ticket().encode();
+  EXPECT_EQ(wire.size(), 151u);
+  EXPECT_EQ(digest_of(wire),
+            "348dcf6b62e9aa19b184107e63b7e721ebbbfada5ece582fe92179eb68d3c156");
+}
+
+TEST(WireGoldenTest, SignedUserTicket) {
+  const util::Bytes wire =
+      core::SignedUserTicket::sign(golden_user_ticket(), actors().issuer.priv).encode();
+  EXPECT_EQ(wire.size(), 223u);
+  EXPECT_EQ(digest_of(wire),
+            "009237d79b93f8815607651aed02e13c211d404d491986cc1f095aade03dd85b");
+}
+
+TEST(WireGoldenTest, ChannelTicket) {
+  const util::Bytes wire = golden_channel_ticket().encode();
+  EXPECT_EQ(wire.size(), 114u);
+  EXPECT_EQ(digest_of(wire),
+            "b1d0f4186d2c3bf4cb6c2c9d1d97b7ef542b90324da142f73640beefa439afde");
+}
+
+TEST(WireGoldenTest, Login1Request) {
+  core::Login1Request l1;
+  l1.email = "golden@example.com";
+  l1.client_public_key = actors().client.pub;
+  l1.client_version = 3;
+  const util::Bytes wire = l1.encode();
+  EXPECT_EQ(wire.size(), 107u);
+  EXPECT_EQ(digest_of(wire),
+            "9a2347a08444a95d88a917fc194138e8bb856012682042dca1a4ae920e78f719");
+}
+
+TEST(WireGoldenTest, Switch2Response) {
+  core::Switch2Response s2;
+  s2.ticket =
+      core::SignedChannelTicket::sign(golden_channel_ticket(), actors().issuer.priv);
+  s2.peers = {{5, util::parse_netaddr("10.0.0.5")}};
+  const util::Bytes wire = s2.encode();
+  EXPECT_EQ(wire.size(), 204u);
+  EXPECT_EQ(digest_of(wire),
+            "14cc55b33b3b2143ed1689c06bd7a065a1241aa10f4e115ea216b08291a2420f");
+}
+
+TEST(WireGoldenTest, ContentPacketAndKey) {
+  crypto::SecureRandom krng(7);
+  const core::ContentKey key = core::generate_content_key(krng, 3, 60000000);
+  util::WireWriter kw;
+  key.encode(kw);
+  EXPECT_EQ(digest_of(kw.data()),
+            "b5d8d3920ab1a536b57a919dfcdd5b5d5e3ff09e39430c57d67298113ef9da6a");
+
+  const core::ContentPacket p =
+      core::encrypt_packet(key, 9, 12, util::bytes_of("golden frame"));
+  const util::Bytes wire = p.encode();
+  EXPECT_EQ(wire.size(), 29u);
+  EXPECT_EQ(digest_of(wire),
+            "0b425a6f376105c071cd1f9795a67a6349fdf219b010520b34ba3a53fdb1ca83");
+}
+
+TEST(WireGoldenTest, ProtocolVersionPinned) {
+  // Bump this assertion together with any golden digest change.
+  // v4: JoinRequest gained substream_mask (peer-division multiplexing).
+  EXPECT_EQ(core::kProtocolVersion, 4);
+}
+
+TEST(WireGoldenTest, DrbgPinned) {
+  // The golden structures above depend on SecureRandom determinism; pin the
+  // DRBG's output so a drift there is diagnosed directly.
+  crypto::SecureRandom rng(424242);
+  EXPECT_EQ(util::to_hex(rng.bytes(16)), "941c27a4f504e9959ee5aff02050019a");
+}
+
+}  // namespace
+}  // namespace p2pdrm
