@@ -1,0 +1,127 @@
+// Chaos demo: run a textual fault schedule against a live deployment and
+// watch the service ride it out.
+//
+//   ./chaos_demo                # built-in schedule
+//   ./chaos_demo my-plan.txt    # your own (see src/fault/fault_plan.h)
+//
+// The schedule below crashes a User Manager farm instance, partitions the
+// whole client population away from the backend for 30 seconds, skews a
+// Channel Manager clock, and throws a churn storm at the overlay — all
+// deterministic, all survivable with client resilience on.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fault/fault_engine.h"
+#include "fault/report.h"
+#include "net/deployment.h"
+
+using namespace p2pdrm;
+
+namespace {
+
+constexpr util::ChannelId kChannel = 1;
+
+const char* kDefaultSchedule =
+    "# chaos_demo default schedule\n"
+    "5m  crash-um 0            # primary User Manager dies; farm survives\n"
+    "8m  restart-um 0\n"
+    "10m partition * 10.254.0.0/16 30s   # backend unreachable for 30s\n"
+    "12m delay 0.0.0.0/0 150ms 60s       # everything slows down\n"
+    "15m skew 10 2m            # Channel Manager clock runs 2 minutes fast\n"
+    "18m churn 1 5 5           # 5 viewers crash, 5 new ones arrive\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schedule = kDefaultSchedule;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "chaos_demo: cannot read %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    schedule = buf.str();
+  }
+
+  fault::FaultPlan plan;
+  try {
+    plan = fault::FaultPlan::parse(schedule);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "chaos_demo: %s\n", e.what());
+    return 1;
+  }
+  std::printf("=== fault schedule (%zu events) ===\n%s", plan.size(),
+              plan.to_string().c_str());
+
+  net::DeploymentConfig cfg;
+  cfg.seed = 42;
+  cfg.default_link.latency.floor = 10 * util::kMillisecond;
+  cfg.default_link.latency.median = 40 * util::kMillisecond;
+  cfg.default_link.latency.sigma = 0.4;
+  cfg.default_link.loss = 0.01;
+  cfg.processing.light = 1 * util::kMillisecond;
+  cfg.processing.heavy = 8 * util::kMillisecond;
+  cfg.um_instances = 2;     // a farm worth crashing members of
+  cfg.cm_instances = 2;
+  cfg.tracker_stale_age = 2 * util::kMinute;
+  cfg.client_resilience = true;
+
+  net::Deployment d(cfg);
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(kChannel, "live", region);
+  d.start_channel_server(kChannel);
+
+  constexpr std::size_t kViewers = 10;
+  for (std::size_t i = 0; i < kViewers; ++i) {
+    const std::string email = "viewer-" + std::to_string(i) + "@example.com";
+    d.add_user(email, "pw");
+    net::AsyncClient& client = d.add_client(email, "pw", region);
+    bool done = false;
+    client.login([&](core::DrmError err) {
+      if (err != core::DrmError::kOk) {
+        done = true;
+        return;
+      }
+      client.switch_channel(kChannel, [&](core::DrmError) { done = true; });
+    });
+    const util::SimTime deadline = d.sim().now() + 5 * util::kMinute;
+    while (!done && d.sim().now() < deadline && d.sim().step()) {
+    }
+    d.announce(client);
+    client.enable_auto_renewal();
+  }
+  std::printf("\n%zu viewers watching channel %u; releasing the chaos...\n",
+              kViewers, kChannel);
+
+  fault::FaultEngineConfig engine_cfg;
+  engine_cfg.arrival_region = region;
+  fault::FaultEngine engine(d, plan, engine_cfg);
+  engine.arm();
+  d.run_until(25 * util::kMinute);
+
+  std::printf("\n=== fault log ===\n");
+  for (const std::string& line : engine.log()) std::printf("%s\n", line.c_str());
+  std::printf("overlay verdicts: dropped=%llu delayed=%llu\n",
+              static_cast<unsigned long long>(engine.packets_dropped()),
+              static_cast<unsigned long long>(engine.packets_delayed()));
+
+  std::printf("\n%s", fault::ResilienceReport::collect(d).to_string().c_str());
+
+  std::size_t alive = 0, joined = 0;
+  for (const auto& client : d.clients()) {
+    if (client->departed()) continue;
+    ++alive;
+    // A stale ticket object survives a dead session; only an unexpired
+    // ticket proves the client is still renewing.
+    if (client->logged_in() && client->channel_ticket() &&
+        !client->channel_ticket()->ticket.expired_at(d.now())) {
+      ++joined;
+    }
+  }
+  std::printf("\nend state: %zu clients alive, %zu authenticated and joined\n",
+              alive, joined);
+  return joined == alive ? 0 : 1;  // every survivor must have recovered
+}

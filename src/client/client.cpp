@@ -17,6 +17,20 @@ std::string_view to_string(Round r) {
   return "?";
 }
 
+bool is_permanent_failure(core::DrmError err) {
+  switch (err) {
+    case DrmError::kUnknownUser:
+    case DrmError::kBadCredentials:
+    case DrmError::kAttestationFailed:
+    case DrmError::kVersionTooOld:
+    case DrmError::kAccessDenied:
+    case DrmError::kUnknownChannel:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Client::Client(ClientConfig config, ServiceEndpoints& endpoints,
                const util::Clock& clock, crypto::SecureRandom rng)
     : config_(std::move(config)), endpoints_(endpoints), clock_(clock),

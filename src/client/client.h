@@ -29,6 +29,13 @@ namespace p2pdrm::client {
 enum class Round : std::uint8_t { kLogin1, kLogin2, kSwitch1, kSwitch2, kJoin };
 std::string_view to_string(Round r);
 
+/// True for failures no amount of retrying, failover, or re-login can fix
+/// (bad credentials, access denied, ...). Infrastructure errors — timeouts,
+/// capacity, wrong-partition — are recoverable and return false. Shared by
+/// the in-process client and net::AsyncClient's session-recovery loop so
+/// the two transports agree on what is worth retrying.
+bool is_permanent_failure(core::DrmError err);
+
 /// One timed protocol round in the client's feedback log.
 struct LatencySample {
   Round round;

@@ -1,0 +1,173 @@
+#include "fault/fault_engine.h"
+
+#include <algorithm>
+
+namespace p2pdrm::fault {
+
+FaultEngine::FaultEngine(net::Deployment& deployment, FaultPlan plan,
+                         FaultEngineConfig config)
+    : dep_(deployment),
+      plan_(std::move(plan)),
+      config_(std::move(config)),
+      rng_(config_.seed) {}
+
+FaultEngine::~FaultEngine() {
+  if (dep_.network().fault_overlay() == this) dep_.network().set_fault_overlay(nullptr);
+}
+
+void FaultEngine::arm() {
+  if (armed_) return;
+  armed_ = true;
+  dep_.network().set_fault_overlay(this);
+  const util::SimTime now = dep_.sim().now();
+  for (const FaultEvent& ev : plan_.events()) {
+    // Absolute plan times; anything already in the past fires immediately.
+    const util::SimTime delay = ev.at > now ? ev.at - now : 0;
+    dep_.sim().schedule(delay, [this, ev] { apply(ev); });
+  }
+}
+
+void FaultEngine::note(const FaultEvent& ev, const std::string& detail) {
+  log_.push_back("t=" + util::format_time(dep_.sim().now()) + " " + ev.to_string() +
+                 detail);
+}
+
+void FaultEngine::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kCrashUm:
+      if (ev.instance >= dep_.um_instance_count()) {
+        note(ev, "  # ignored: no such instance");
+        return;
+      }
+      dep_.crash_um_instance(ev.instance);
+      note(ev);
+      return;
+    case FaultKind::kRestartUm:
+      if (ev.instance >= dep_.um_instance_count()) {
+        note(ev, "  # ignored: no such instance");
+        return;
+      }
+      dep_.restart_um_instance(ev.instance);
+      note(ev);
+      return;
+    case FaultKind::kCrashCm:
+      if (ev.partition >= dep_.partition_count() ||
+          ev.instance >= dep_.cm_instance_count(ev.partition)) {
+        note(ev, "  # ignored: no such instance");
+        return;
+      }
+      dep_.crash_cm_instance(ev.partition, ev.instance);
+      note(ev);
+      return;
+    case FaultKind::kRestartCm:
+      if (ev.partition >= dep_.partition_count() ||
+          ev.instance >= dep_.cm_instance_count(ev.partition)) {
+        note(ev, "  # ignored: no such instance");
+        return;
+      }
+      dep_.restart_cm_instance(ev.partition, ev.instance);
+      note(ev);
+      return;
+    case FaultKind::kPartition:
+      partitions_.push_back({ev.a, ev.b, dep_.sim().now() + ev.duration});
+      note(ev);
+      return;
+    case FaultKind::kLossBurst:
+      losses_.push_back({ev.a, ev.rate, dep_.sim().now() + ev.duration});
+      note(ev);
+      return;
+    case FaultKind::kLatencySpike:
+      delays_.push_back({ev.a, ev.delay, dep_.sim().now() + ev.duration});
+      note(ev);
+      return;
+    case FaultKind::kChurnStorm:
+      churn(ev);
+      return;
+    case FaultKind::kClockSkew:
+      dep_.network().set_clock_skew(ev.node, ev.delay);
+      note(ev);
+      return;
+  }
+}
+
+void FaultEngine::churn(const FaultEvent& ev) {
+  // Departures: ungraceful crashes of the longest-attached clients on the
+  // channel (vector order = attach order), nothing told to the tracker.
+  std::size_t killed = 0;
+  for (const std::unique_ptr<net::AsyncClient>& client : dep_.clients()) {
+    if (killed >= ev.departures) break;
+    if (client->departed() || !client->channel_ticket()) continue;
+    if (client->channel_ticket()->ticket.channel_id != ev.channel) continue;
+    dep_.crash_client(*client);
+    ++killed;
+    ++churn_departures_;
+  }
+
+  // Arrivals: brand-new viewers signing up mid-storm, spread across the geo
+  // plan's regions. With client_resilience on they weather whatever other
+  // faults are active when they first dial in.
+  for (std::size_t i = 0; i < ev.arrivals; ++i) {
+    const std::uint64_t serial = churn_serial_++;
+    const std::string email =
+        config_.arrival_email_prefix + std::to_string(serial) + "@fault";
+    const std::string password = "storm-" + std::to_string(serial);
+    if (!dep_.add_user(email, password)) continue;  // duplicate storm serial
+    const geo::RegionId region =
+        config_.arrival_region.value_or(dep_.geo().region_at(static_cast<int>(
+            serial % static_cast<std::uint64_t>(dep_.geo().num_regions()))));
+    net::AsyncClient& client = dep_.add_client(email, password, region);
+    ++churn_arrivals_;
+    net::AsyncClient* cp = &client;
+    net::Deployment* dep = &dep_;
+    const bool announce = config_.arrivals_announce;
+    const util::ChannelId channel = ev.channel;
+    cp->login([cp, dep, announce, channel](core::DrmError err) {
+      if (err != core::DrmError::kOk) return;
+      cp->switch_channel(channel, [cp, dep, announce](core::DrmError err2) {
+        if (err2 != core::DrmError::kOk) return;
+        if (announce) dep->announce(*cp);
+        cp->enable_auto_renewal();
+      });
+    });
+  }
+  note(ev, "  # killed=" + std::to_string(killed) +
+               " spawned=" + std::to_string(ev.arrivals));
+}
+
+net::FaultOverlay::Verdict FaultEngine::on_send(util::NodeId /*from*/,
+                                           util::NetAddr from_addr,
+                                           util::NodeId /*to*/, util::NetAddr to_addr,
+                                           util::SimTime now) {
+  Verdict verdict;
+  const auto expired = [now](const auto& rule) { return rule.until <= now; };
+  std::erase_if(partitions_, expired);
+  std::erase_if(losses_, expired);
+  std::erase_if(delays_, expired);
+
+  for (const PartitionRule& rule : partitions_) {
+    const bool ab = rule.a.contains(from_addr) && rule.b.contains(to_addr);
+    const bool ba = rule.b.contains(from_addr) && rule.a.contains(to_addr);
+    if (ab || ba) {
+      ++dropped_;
+      verdict.drop = true;
+      return verdict;
+    }
+  }
+  for (const LossRule& rule : losses_) {
+    if (!rule.scope.contains(from_addr) && !rule.scope.contains(to_addr)) continue;
+    if (rng_.chance(rule.rate)) {
+      ++dropped_;
+      verdict.drop = true;
+      return verdict;
+    }
+  }
+  for (const DelayRule& rule : delays_) {
+    if (rule.scope.contains(from_addr) || rule.scope.contains(to_addr)) {
+      verdict.extra_delay += rule.extra;
+    }
+  }
+  if (verdict.extra_delay > 0) ++delayed_;
+  return verdict;
+}
+
+}  // namespace p2pdrm::fault

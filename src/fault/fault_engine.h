@@ -1,0 +1,104 @@
+// Fault engine: executes a FaultPlan against a live Deployment inside the
+// discrete-event simulation. Crash/restart and clock-skew events call the
+// deployment's chaos plane; partitions, loss bursts and latency spikes are
+// enforced packet-by-packet through the net::FaultOverlay seam; churn
+// storms kill and spawn real clients. Everything is deterministic: the
+// engine draws from its own forked DRBG, so the same (seed, plan) pair
+// replays the exact same packet fates and the exact same report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/deployment.h"
+
+namespace p2pdrm::fault {
+
+struct FaultEngineConfig {
+  /// Seed of the engine's own DRBG (loss-burst coin flips). Independent of
+  /// the deployment's stream so arming a plan never perturbs the workload's
+  /// random sequence.
+  std::uint64_t seed = 0xfa017;
+  /// Clients spawned by churn-storm arrivals get accounts named
+  /// "<prefix><serial>@fault" and rotate through the geo plan's regions
+  /// (or all land in arrival_region when set — required when the stormed
+  /// channel is regional, since out-of-region arrivals are denied).
+  std::string arrival_email_prefix = "churn-";
+  std::optional<geo::RegionId> arrival_region;
+  /// Arrivals announce themselves as parent candidates after joining.
+  bool arrivals_announce = true;
+};
+
+class FaultEngine final : public net::FaultOverlay {
+ public:
+  /// Does not arm anything yet; call arm() once the deployment is
+  /// provisioned (the engine schedules plan events at absolute sim times,
+  /// so arm before running past the first event).
+  FaultEngine(net::Deployment& deployment, FaultPlan plan,
+              FaultEngineConfig config = {});
+  ~FaultEngine() override;
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  /// Install the overlay on the deployment's network and schedule every
+  /// plan event. Idempotent.
+  void arm();
+
+  // net::FaultOverlay
+  Verdict on_send(util::NodeId from, util::NetAddr from_addr, util::NodeId to,
+                  util::NetAddr to_addr, util::SimTime now) override;
+
+  /// Human-readable record of every injected fault ("t=d0 00:10:00.000
+  /// crash-um 1" style), in injection order. Deterministic.
+  const std::vector<std::string>& log() const { return log_; }
+
+  /// Packets dropped by partitions and loss bursts (overlay verdicts only,
+  /// not the links' own background loss).
+  std::uint64_t packets_dropped() const { return dropped_; }
+  /// Packets held back by an active latency spike.
+  std::uint64_t packets_delayed() const { return delayed_; }
+  /// Clients crashed / spawned by churn storms so far.
+  std::uint64_t churn_departures() const { return churn_departures_; }
+  std::uint64_t churn_arrivals() const { return churn_arrivals_; }
+
+ private:
+  struct PartitionRule {
+    AddrBlock a, b;
+    util::SimTime until = 0;
+  };
+  struct LossRule {
+    AddrBlock scope;
+    double rate = 0.0;
+    util::SimTime until = 0;
+  };
+  struct DelayRule {
+    AddrBlock scope;
+    util::SimTime extra = 0;
+    util::SimTime until = 0;
+  };
+
+  void apply(const FaultEvent& ev);
+  void churn(const FaultEvent& ev);
+  void note(const FaultEvent& ev, const std::string& detail = {});
+
+  net::Deployment& dep_;
+  FaultPlan plan_;
+  FaultEngineConfig config_;
+  crypto::SecureRandom rng_;
+  bool armed_ = false;
+
+  std::vector<PartitionRule> partitions_;
+  std::vector<LossRule> losses_;
+  std::vector<DelayRule> delays_;
+
+  std::vector<std::string> log_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t churn_departures_ = 0;
+  std::uint64_t churn_arrivals_ = 0;
+  std::uint64_t churn_serial_ = 0;
+};
+
+}  // namespace p2pdrm::fault

@@ -1,0 +1,330 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pdrm::fault {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("FaultPlan: " + what);
+}
+
+double parse_double(std::string_view s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(s), &used);
+    if (used != s.size()) bad("trailing junk in " + what + ": '" + std::string(s) + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad("malformed " + what + ": '" + std::string(s) + "'");
+  } catch (const std::out_of_range&) {
+    bad("out-of-range " + what + ": '" + std::string(s) + "'");
+  }
+}
+
+std::uint64_t parse_uint(std::string_view s, const std::string& what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    bad("malformed " + what + ": '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+util::SimTime parse_duration(std::string_view s) {
+  if (s.empty()) bad("empty duration");
+  std::size_t digits = 0;
+  while (digits < s.size() && (std::isdigit(static_cast<unsigned char>(s[digits])) ||
+                               s[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) bad("malformed duration: '" + std::string(s) + "'");
+  const double value = parse_double(s.substr(0, digits), "duration");
+  const std::string_view unit = s.substr(digits);
+  if (unit.empty()) return static_cast<util::SimTime>(value);  // raw microseconds
+  if (unit == "ms") return util::millis(value);
+  if (unit == "s") return util::seconds(value);
+  if (unit == "m") return static_cast<util::SimTime>(value * util::kMinute);
+  if (unit == "h") return static_cast<util::SimTime>(value * util::kHour);
+  bad("unknown duration unit: '" + std::string(unit) + "'");
+}
+
+std::string format_duration(util::SimTime t) {
+  const auto whole = [t](util::SimTime unit) { return t != 0 && t % unit == 0; };
+  std::ostringstream out;
+  if (whole(util::kHour)) {
+    out << t / util::kHour << "h";
+  } else if (whole(util::kMinute)) {
+    out << t / util::kMinute << "m";
+  } else if (whole(util::kSecond)) {
+    out << t / util::kSecond << "s";
+  } else if (whole(util::kMillisecond)) {
+    out << t / util::kMillisecond << "ms";
+  } else {
+    out << t;  // raw microseconds (also the zero case)
+  }
+  return out.str();
+}
+
+AddrBlock AddrBlock::parse(std::string_view cidr) {
+  if (cidr == "*") return {};
+  const std::size_t slash = cidr.find('/');
+  if (slash == std::string_view::npos) {
+    bad("address block needs a /bits suffix: '" + std::string(cidr) + "'");
+  }
+  AddrBlock block;
+  block.addr = util::parse_netaddr(std::string(cidr.substr(0, slash))).ip;
+  block.bits = static_cast<std::uint32_t>(
+      parse_uint(cidr.substr(slash + 1), "prefix length"));
+  if (block.bits > 32) bad("prefix length > 32");
+  return block;
+}
+
+std::string AddrBlock::to_string() const {
+  return util::to_string(util::NetAddr{addr}) + "/" + std::to_string(bits);
+}
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrashUm: return "crash-um";
+    case FaultKind::kRestartUm: return "restart-um";
+    case FaultKind::kCrashCm: return "crash-cm";
+    case FaultKind::kRestartCm: return "restart-cm";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLossBurst: return "loss";
+    case FaultKind::kLatencySpike: return "delay";
+    case FaultKind::kChurnStorm: return "churn";
+    case FaultKind::kClockSkew: return "skew";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream out;
+  out << format_duration(at) << " " << fault::to_string(kind);
+  switch (kind) {
+    case FaultKind::kCrashUm:
+    case FaultKind::kRestartUm:
+      out << " " << instance;
+      break;
+    case FaultKind::kCrashCm:
+    case FaultKind::kRestartCm:
+      out << " " << partition << " " << instance;
+      break;
+    case FaultKind::kPartition:
+      out << " " << a.to_string() << " " << b.to_string() << " "
+          << format_duration(duration);
+      break;
+    case FaultKind::kLossBurst:
+      out << " " << a.to_string() << " " << rate << " " << format_duration(duration);
+      break;
+    case FaultKind::kLatencySpike:
+      out << " " << a.to_string() << " " << format_duration(delay) << " "
+          << format_duration(duration);
+      break;
+    case FaultKind::kChurnStorm:
+      out << " " << channel << " " << departures << " " << arrivals;
+      break;
+    case FaultKind::kClockSkew:
+      out << " " << node << " " << format_duration(delay);
+      break;
+  }
+  return out.str();
+}
+
+FaultPlan& FaultPlan::push(FaultEvent ev) {
+  // Stable insert keeps the vector time-sorted while same-time events
+  // preserve plan order (determinism hinges on this).
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), ev.at,
+      [](util::SimTime at, const FaultEvent& e) { return at < e.at; });
+  events_.insert(pos, std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_um(util::SimTime at, std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kCrashUm;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::restart_um(util::SimTime at, std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kRestartUm;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::crash_cm(util::SimTime at, std::uint32_t partition,
+                               std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kCrashCm;
+  ev.partition = partition;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::restart_cm(util::SimTime at, std::uint32_t partition,
+                                 std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kRestartCm;
+  ev.partition = partition;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::partition(util::SimTime at, util::SimTime duration, AddrBlock a,
+                                AddrBlock b) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kPartition;
+  ev.duration = duration;
+  ev.a = a;
+  ev.b = b;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::loss_burst(util::SimTime at, util::SimTime duration,
+                                 AddrBlock scope, double rate) {
+  if (rate < 0.0 || rate > 1.0) bad("loss rate outside [0, 1]");
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kLossBurst;
+  ev.duration = duration;
+  ev.a = scope;
+  ev.rate = rate;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::latency_spike(util::SimTime at, util::SimTime duration,
+                                    AddrBlock scope, util::SimTime extra) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kLatencySpike;
+  ev.duration = duration;
+  ev.a = scope;
+  ev.delay = extra;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::churn_storm(util::SimTime at, util::ChannelId channel,
+                                  std::size_t departures, std::size_t arrivals) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kChurnStorm;
+  ev.channel = channel;
+  ev.departures = departures;
+  ev.arrivals = arrivals;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::clock_skew(util::SimTime at, util::NodeId node,
+                                 util::SimTime skew) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kClockSkew;
+  ev.node = node;
+  ev.delay = skew;
+  return push(ev);
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string_view> tok;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      std::size_t j = i;
+      while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+      if (j > i) tok.push_back(line.substr(i, j - i));
+      i = j;
+    }
+    if (tok.empty()) continue;
+
+    try {
+      if (tok.size() < 2) bad("expected '<time> <verb> ...'");
+      const util::SimTime at = parse_duration(tok[0]);
+      const std::string_view verb = tok[1];
+      const auto want = [&](std::size_t n) {
+        if (tok.size() != 2 + n) {
+          bad("verb '" + std::string(verb) + "' takes " + std::to_string(n) +
+              " argument(s)");
+        }
+      };
+      if (verb == "crash-um") {
+        want(1);
+        plan.crash_um(at, parse_uint(tok[2], "instance"));
+      } else if (verb == "restart-um") {
+        want(1);
+        plan.restart_um(at, parse_uint(tok[2], "instance"));
+      } else if (verb == "crash-cm") {
+        want(2);
+        plan.crash_cm(at, static_cast<std::uint32_t>(parse_uint(tok[2], "partition")),
+                      parse_uint(tok[3], "instance"));
+      } else if (verb == "restart-cm") {
+        want(2);
+        plan.restart_cm(at, static_cast<std::uint32_t>(parse_uint(tok[2], "partition")),
+                        parse_uint(tok[3], "instance"));
+      } else if (verb == "partition") {
+        want(3);
+        plan.partition(at, parse_duration(tok[4]), AddrBlock::parse(tok[2]),
+                       AddrBlock::parse(tok[3]));
+      } else if (verb == "loss") {
+        want(3);
+        plan.loss_burst(at, parse_duration(tok[4]), AddrBlock::parse(tok[2]),
+                        parse_double(tok[3], "loss rate"));
+      } else if (verb == "delay") {
+        want(3);
+        plan.latency_spike(at, parse_duration(tok[4]), AddrBlock::parse(tok[2]),
+                           parse_duration(tok[3]));
+      } else if (verb == "churn") {
+        want(3);
+        plan.churn_storm(at, static_cast<util::ChannelId>(parse_uint(tok[2], "channel")),
+                         parse_uint(tok[3], "departures"),
+                         parse_uint(tok[4], "arrivals"));
+      } else if (verb == "skew") {
+        want(2);
+        plan.clock_skew(at, static_cast<util::NodeId>(parse_uint(tok[2], "node")),
+                        parse_duration(tok[3]));
+      } else {
+        bad("unknown verb '" + std::string(verb) + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string(e.what()) + " (line " +
+                                  std::to_string(line_no) + ")");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  for (const FaultEvent& ev : events_) out << ev.to_string() << "\n";
+  return out.str();
+}
+
+}  // namespace p2pdrm::fault

@@ -1,5 +1,7 @@
 #include "net/async_client.h"
 
+#include <algorithm>
+
 #include "core/client_flows.h"
 
 namespace p2pdrm::net {
@@ -13,7 +15,17 @@ AsyncClient::AsyncClient(Config config, Network& network, crypto::SecureRandom r
   network_.attach(config_.node, config_.addr, this);
 }
 
-AsyncClient::~AsyncClient() { leave(); }
+AsyncClient::~AsyncClient() {
+  *alive_ = false;
+  leave();
+}
+
+void AsyncClient::schedule(util::SimTime delay, std::function<void()> action) {
+  network_.sim().schedule(delay,
+                          [alive = alive_, action = std::move(action)] {
+    if (*alive) action();
+  });
+}
 
 void AsyncClient::leave() {
   if (departed_) return;
@@ -32,7 +44,7 @@ void AsyncClient::enable_starvation_recovery(util::SimTime gap) {
 void AsyncClient::arm_starvation_watchdog() {
   if (!starvation_recovery_ || departed_ || watchdog_armed_) return;
   watchdog_armed_ = true;
-  network_.sim().schedule(starvation_gap_, [this] {
+  schedule(starvation_gap_, [this] {
     watchdog_armed_ = false;
     if (departed_ || !starvation_recovery_) return;
     if (!channel_ticket_ || recovering_) {
@@ -66,13 +78,25 @@ void AsyncClient::schedule_auto_renewal() {
   const std::uint64_t epoch = ++renew_epoch_;
   const util::SimTime due = std::max(
       channel_ticket_->ticket.expiry_time - renew_margin_, network_.sim().now() + 1);
-  network_.sim().schedule(due - network_.sim().now(), [this, epoch] {
+  schedule(due - network_.sim().now(), [this, epoch] {
     if (departed_ || epoch != renew_epoch_ || !channel_ticket_) return;
     // Keep the User Ticket ahead of the Channel Ticket: re-login first when
     // it would expire before the renewed Channel Ticket needs it.
     const auto renew = [this](DrmError) {
       renew_channel_ticket([this](DrmError err) {
-        if (err == DrmError::kOk) schedule_auto_renewal();
+        if (err == DrmError::kOk) {
+          schedule_auto_renewal();
+          return;
+        }
+        // Renewal (and, with resilience on, the recovery behind it) failed.
+        // A session recovery may still be running — the re-switch it ends
+        // with re-arms this timer — but if nothing else is in flight, kick
+        // off a recovery ourselves rather than silently losing the session.
+        if (config_.resilience && !departed_ && !session_recovery_active_) {
+          recover_session([this](DrmError err2) {
+            if (err2 == DrmError::kOk) schedule_auto_renewal();
+          });
+        }
       });
     };
     if (user_ticket_ &&
@@ -118,17 +142,29 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
   const auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
   const std::uint64_t attempt = it->second.attempt;
-  network_.sim().schedule(config_.request_timeout, [this, request_id, attempt] {
+
+  // Exponential backoff with jitter: attempt k waits factor^k times the
+  // base timeout (capped), stretched by up to `jitter` so clients that all
+  // lost the same manager do not hammer its replacement in lockstep.
+  const int step = config_.max_retries - it->second.retries_left;
+  double timeout = static_cast<double>(config_.request_timeout);
+  for (int i = 0; i < step; ++i) timeout *= config_.backoff_factor;
+  timeout = std::min(timeout, static_cast<double>(config_.max_timeout));
+  if (config_.jitter > 0) timeout *= 1.0 + config_.jitter * rng_.uniform_real();
+
+  schedule(static_cast<util::SimTime>(timeout), [this, request_id, attempt] {
     const auto p = pending_.find(request_id);
     if (p == pending_.end() || p->second.attempt != attempt) return;  // resolved
     if (p->second.retries_left > 0) {
       --p->second.retries_left;
       ++p->second.attempt;
+      ++retransmits_;
       network_.send(config_.node, p->second.to, p->second.wire);
       arm_timeout(request_id);
       return;
     }
     // Give up: record the failed round and fail the operation.
+    ++timeout_exhaustions_;
     Pending failed = std::move(p->second);
     pending_.erase(p);
     record(failed.round, failed.started, false);
@@ -162,9 +198,158 @@ void AsyncClient::on_packet(const Packet& packet) {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience: operation-level failover and session recovery
+
+bool AsyncClient::permanent_failure(core::DrmError err) {
+  return client::is_permanent_failure(err);
+}
+
+util::SimTime AsyncClient::recovery_backoff(int attempt) {
+  double delay = static_cast<double>(config_.recovery_delay);
+  for (int i = 0; i < attempt; ++i) delay *= 2.0;
+  delay = std::min(delay, static_cast<double>(config_.max_recovery_delay));
+  if (config_.jitter > 0) delay *= 1.0 + config_.jitter * rng_.uniform_real();
+  return static_cast<util::SimTime>(delay);
+}
+
+void AsyncClient::run_resilient(std::function<void(Callback)> op, int attempt,
+                                Callback done) {
+  auto self_op = op;  // keep a copy for the retry closure
+  op([this, op = std::move(self_op), attempt, done](DrmError err) {
+    if (err == DrmError::kOk || departed_ || !config_.resilience ||
+        permanent_failure(err) || attempt + 1 >= config_.max_recovery_attempts) {
+      done(err);
+      return;
+    }
+    // Fail over: drop the cached redirect and channel list so the next
+    // attempt re-resolves the User Manager (the Redirection Manager steers
+    // around dead farm instances) and refetches partition info (the CPM
+    // re-points a partition at a surviving Channel Manager instance).
+    ++failovers_;
+    redirect_.reset();
+    channels_.clear();
+    partitions_.clear();
+    schedule(recovery_backoff(attempt), [this, op, attempt, done] {
+      if (departed_) {
+        done(DrmError::kNoCapacity);
+        return;
+      }
+      run_resilient(op, attempt + 1, done);
+    });
+  });
+}
+
+void AsyncClient::recover_session(Callback done) {
+  if (session_recovery_active_ || departed_) {
+    done(DrmError::kRenewalRefused);  // a recovery loop is already running
+    return;
+  }
+  session_recovery_active_ = true;
+  recover_session_attempt(network_.sim().now(), 0, std::move(done));
+}
+
+void AsyncClient::recover_session_attempt(util::SimTime started, int attempt,
+                                          Callback done) {
+  if (departed_) {
+    session_recovery_active_ = false;
+    done(DrmError::kNoCapacity);
+    return;
+  }
+  // Start from scratch: fresh redirect, fresh channel list, fresh login.
+  redirect_.reset();
+  channels_.clear();
+  partitions_.clear();
+  const util::ChannelId channel = current_channel_;
+  do_login([this, started, attempt, channel, done](DrmError err) {
+    const auto retry = [this, started, attempt, done](DrmError failure) {
+      if (permanent_failure(failure)) {
+        session_recovery_active_ = false;
+        done(failure);
+        return;
+      }
+      schedule(recovery_backoff(attempt), [this, started, attempt, done] {
+        recover_session_attempt(started, std::min(attempt + 1, 16), done);
+      });
+    };
+    if (err != DrmError::kOk) {
+      retry(err);
+      return;
+    }
+    ++relogins_;
+    if (channel == 0) {  // never watched anything: logged in again is enough
+      session_recovery_active_ = false;
+      ++rejoins_;
+      rejoin_latencies_.push_back(network_.sim().now() - started);
+      done(DrmError::kOk);
+      return;
+    }
+    do_switch_channel(channel, [this, started, retry, done](DrmError err2) {
+      if (err2 != DrmError::kOk) {
+        retry(err2);
+        return;
+      }
+      session_recovery_active_ = false;
+      ++rejoins_;
+      rejoin_latencies_.push_back(network_.sim().now() - started);
+      done(DrmError::kOk);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Login
 
 void AsyncClient::login(Callback done) {
+  if (!config_.resilience) {
+    do_login(std::move(done));
+    return;
+  }
+  run_resilient([this](Callback cb) { do_login(std::move(cb)); }, 0,
+                std::move(done));
+}
+
+void AsyncClient::switch_channel(util::ChannelId channel, Callback done) {
+  if (!config_.resilience) {
+    do_switch_channel(channel, std::move(done));
+    return;
+  }
+  run_resilient(
+      [this, channel](Callback cb) {
+        // After a failover the cached session may be gone; re-login first
+        // when the channel list (with its partition info) was dropped.
+        if (!user_ticket_ || channels_.empty()) {
+          do_login([this, channel, cb](DrmError err) {
+            if (err != DrmError::kOk) {
+              cb(err);
+              return;
+            }
+            do_switch_channel(channel, cb);
+          });
+          return;
+        }
+        do_switch_channel(channel, std::move(cb));
+      },
+      0, std::move(done));
+}
+
+void AsyncClient::renew_channel_ticket(Callback done) {
+  if (!config_.resilience) {
+    do_renew_channel_ticket(std::move(done));
+    return;
+  }
+  do_renew_channel_ticket([this, done](DrmError err) {
+    if (err == DrmError::kOk || departed_ || permanent_failure(err)) {
+      done(err);
+      return;
+    }
+    // The renewal window closed, the manager lost our viewing-log entry in
+    // a crash, or the farm is unreachable: the session is as good as lost.
+    // Re-login and re-join instead of clinging to the expiring ticket.
+    recover_session(std::move(done));
+  });
+}
+
+void AsyncClient::do_login(Callback done) {
   if (!redirect_) {
     services::RedirectRequest req{config_.email};
     send_request(
@@ -341,7 +526,7 @@ std::optional<util::NodeId> AsyncClient::manager_node(std::uint32_t partition) c
   return std::nullopt;
 }
 
-void AsyncClient::switch_channel(util::ChannelId channel, Callback done) {
+void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
   if (!user_ticket_) {
     done(DrmError::kBadTicket);
     return;
@@ -393,6 +578,7 @@ void AsyncClient::switch_channel(util::ChannelId channel, Callback done) {
                 return;
               }
               channel_ticket_ = std::move(resp2.ticket);
+              current_channel_ = channel;
               parent_.reset();
 
               // Fresh overlay half for the new channel; the network keeps
@@ -561,7 +747,7 @@ void AsyncClient::join_striped(std::shared_ptr<StripedJoin> state, Callback done
       });
 }
 
-void AsyncClient::renew_channel_ticket(Callback done) {
+void AsyncClient::do_renew_channel_ticket(Callback done) {
   if (!user_ticket_ || !channel_ticket_) {
     done(DrmError::kBadTicket);
     return;

@@ -35,9 +35,22 @@ class AsyncClient final : public Node {
     /// client stripes its subscription across up to k distinct parents
     /// (redundancy against churn and loss, §III).
     std::size_t substreams = 1;
-    /// Retransmission policy.
+    /// Retransmission policy: every retransmission waits `backoff_factor`×
+    /// longer than the previous one (capped at `max_timeout`), stretched by
+    /// up to a `jitter` fraction so a fleet of clients recovering from the
+    /// same outage does not retry in lockstep.
     util::SimTime request_timeout = 3 * util::kSecond;
     int max_retries = 4;
+    double backoff_factor = 2.0;
+    double jitter = 0.1;
+    util::SimTime max_timeout = 30 * util::kSecond;
+    /// Operation-level resilience: when true, failed protocol rounds fail
+    /// over to an alternate manager instance (fresh redirect + channel-list
+    /// refetch) and a lost session re-logins and re-joins automatically.
+    bool resilience = false;
+    int max_recovery_attempts = 6;  // per operation; recover_session is unbounded
+    util::SimTime recovery_delay = 1 * util::kSecond;  // base, doubles per attempt
+    util::SimTime max_recovery_delay = 30 * util::kSecond;
     /// Well-known bootstrap (baked into the client binary, §V).
     util::NodeId redirection_node = util::kInvalidNode;
   };
@@ -56,6 +69,15 @@ class AsyncClient final : public Node {
   void login(Callback done);
   void switch_channel(util::ChannelId channel, Callback done);
   void renew_channel_ticket(Callback done);
+
+  /// Rebuild a lost session from scratch: fresh redirect (so the
+  /// Redirection Manager can steer us to a healthy farm instance), full
+  /// re-login, then re-switch to the channel we were watching. Retries
+  /// itself with capped exponential backoff until it succeeds, the failure
+  /// is permanent (bad credentials, access denied...), or the client
+  /// departs. A successful recovery counts as one rejoin and records the
+  /// outage-to-rejoined latency.
+  void recover_session(Callback done);
 
   /// Self-driving ticket maintenance: after every successful switch or
   /// renewal, schedule the next Channel Ticket renewal `margin` before its
@@ -77,6 +99,24 @@ class AsyncClient final : public Node {
   void leave();
   bool departed() const { return departed_; }
   std::uint64_t starvation_recoveries() const { return starvation_recoveries_; }
+
+  // --- resilience accounting (inputs to fault::ResilienceReport) ---
+
+  /// Packet-level retransmissions across all requests.
+  std::uint64_t retransmits() const { return retransmits_; }
+  /// Requests whose whole retry budget drained without a response.
+  std::uint64_t timeout_exhaustions() const { return timeout_exhaustions_; }
+  /// Operation-level failovers (fresh redirect / channel-list refetch after
+  /// a failed round).
+  std::uint64_t failovers() const { return failovers_; }
+  /// Automatic re-authentications performed by the recovery machinery.
+  std::uint64_t relogins() const { return relogins_; }
+  /// Completed session recoveries (re-login + re-join).
+  std::uint64_t rejoins() const { return rejoins_; }
+  /// Latency of each completed recovery, from detection to rejoined.
+  const std::vector<util::SimTime>& rejoin_latencies() const {
+    return rejoin_latencies_;
+  }
 
   // --- state ---
 
@@ -147,6 +187,25 @@ class AsyncClient final : public Node {
   void schedule_auto_renewal();
   void arm_starvation_watchdog();
 
+  // resilience machinery
+  static bool permanent_failure(core::DrmError err);
+  util::SimTime recovery_backoff(int attempt);
+  /// Run `op`; on a recoverable failure, fail over (drop cached redirect +
+  /// channel list so the next attempt re-resolves both) and retry after a
+  /// backoff, up to the recovery budget.
+  void run_resilient(std::function<void(Callback)> op, int attempt, Callback done);
+  void recover_session_attempt(util::SimTime started, int attempt, Callback done);
+
+  void do_login(Callback done);
+  void do_switch_channel(util::ChannelId channel, Callback done);
+  void do_renew_channel_ticket(Callback done);
+
+  /// Schedule a simulation event tied to this client's lifetime. Simulation
+  /// events cannot be cancelled, so a raw [this] capture would dangle if the
+  /// client is destroyed (churn!) before the timer fires; the event is
+  /// silently dropped instead.
+  void schedule(util::SimTime delay, std::function<void()> action);
+
   Config config_;
   Network& network_;
   crypto::SecureRandom rng_;
@@ -181,6 +240,19 @@ class AsyncClient final : public Node {
   util::SimTime last_content_ = 0;
   bool recovering_ = false;
   std::uint64_t starvation_recoveries_ = 0;
+
+  /// Cleared by the destructor; pending timers hold a copy and no-op.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  /// Channel of the last successful switch (what recover_session rejoins).
+  util::ChannelId current_channel_ = 0;
+  bool session_recovery_active_ = false;  // one recovery loop at a time
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeout_exhaustions_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t relogins_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::vector<util::SimTime> rejoin_latencies_;
 };
 
 }  // namespace p2pdrm::net

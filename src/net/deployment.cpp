@@ -6,6 +6,9 @@ namespace p2pdrm::net {
 
 Deployment::Deployment(DeploymentConfig config)
     : config_(config), rng_(config.seed) {
+  if (config_.um_instances == 0) config_.um_instances = 1;
+  if (config_.cm_instances == 0) config_.cm_instances = 1;
+
   network_ = std::make_unique<Network>(sim_, config_.default_link, rng_.fork());
   geo_ = std::make_unique<geo::SyntheticGeo>(rng_, config_.geo_plan);
 
@@ -14,29 +17,43 @@ Deployment::Deployment(DeploymentConfig config)
       rng_.bytes(32));
   reference_binary_ = rng_.bytes(config_.client_binary_size);
   um_domain_->reference_binaries[config_.um.minimum_client_version] = reference_binary_;
-  um_ = std::make_unique<services::UserManager>(um_domain_, &geo_->db(), rng_.fork());
+
+  // The User Manager farm: every instance is a stateless front to the same
+  // shared domain state (§V) — that is what makes crash/restart survivable.
+  for (std::size_t i = 0; i < config_.um_instances; ++i) {
+    UmInstance inst;
+    inst.um = std::make_unique<services::UserManager>(um_domain_, &geo_->db(),
+                                                      rng_.fork());
+    inst.id = i == 0 ? kUserManagerNode
+                     : kUmInstanceBase + static_cast<util::NodeId>(i);
+    inst.addr = i == 0 ? util::parse_netaddr("10.254.0.2")
+                       : util::NetAddr{0x0afe0200u + static_cast<std::uint32_t>(i)};
+    um_instances_.push_back(std::move(inst));
+  }
+  services::UserManager* um0 = um_instances_[0].um.get();
 
   accounts_ = std::make_unique<services::AccountManager>(
-      [this](const services::UserProvisioning& p) { um_->provision(p); });
+      [um0](const services::UserProvisioning& p) { um0->provision(p); });
 
   cpm_ = std::make_unique<services::ChannelPolicyManager>(um_domain_->keys.pub);
   cpm_->add_attribute_list_sink(
-      [this](const core::AttributeSet& list) { um_->update_channel_attributes(list); });
+      [um0](const core::AttributeSet& list) { um0->update_channel_attributes(list); });
 
   tracker_ = std::make_unique<p2p::Tracker>(rng_.fork());
 
   // Attach the backend to well-known addresses on the network.
   const util::NetAddr redirection_addr = util::parse_netaddr("10.254.0.1");
-  const util::NetAddr um_addr = util::parse_netaddr("10.254.0.2");
   const util::NetAddr cpm_addr = util::parse_netaddr("10.254.0.3");
 
   redirection_node_ = std::make_unique<RedirectionNode>(
       redirection_, *network_, kRedirectionNode, config_.processing);
   network_->attach(kRedirectionNode, redirection_addr, redirection_node_.get());
 
-  um_node_ = std::make_unique<UserManagerNode>(*um_, *network_, kUserManagerNode,
-                                               config_.processing);
-  network_->attach(kUserManagerNode, um_addr, um_node_.get());
+  for (UmInstance& inst : um_instances_) {
+    inst.node = std::make_unique<UserManagerNode>(*inst.um, *network_, inst.id,
+                                                  config_.processing);
+    network_->attach(inst.id, inst.addr, inst.node.get());
+  }
 
   cpm_node_ = std::make_unique<ChannelPolicyNode>(*cpm_, *network_, kChannelPolicyNode,
                                                   config_.processing);
@@ -49,36 +66,63 @@ Deployment::Deployment(DeploymentConfig config)
         cm_cfg, crypto::generate_rsa_keypair(rng_, config_.key_bits),
         um_domain_->keys.pub, rng_.bytes(32));
     cm_partitions_.push_back(partition);
-    cms_.push_back(std::make_unique<services::ChannelManager>(partition, tracker_.get(),
-                                                              rng_.fork()));
-    services::ChannelManager* cm = cms_.back().get();
+
+    // The Channel Manager farm for this partition. The channel list lives
+    // in the shared partition state, so one sink (through instance 0, which
+    // exists even when crashed — crashing only detaches the node) is enough.
+    cm_instances_.emplace_back();
+    for (std::size_t i = 0; i < config_.cm_instances; ++i) {
+      CmInstance inst;
+      inst.cm = std::make_unique<services::ChannelManager>(partition, tracker_.get(),
+                                                           rng_.fork());
+      inst.id = i == 0 ? kChannelManagerBase + static_cast<util::NodeId>(p)
+                       : kCmInstanceBase + static_cast<util::NodeId>(p * 16 + i);
+      inst.addr = i == 0
+          ? util::NetAddr{0x0afe0100u + static_cast<std::uint32_t>(p)}
+          : util::NetAddr{0x0afe0300u + static_cast<std::uint32_t>(p * 16 + i)};
+      inst.node = std::make_unique<ChannelManagerNode>(*inst.cm, *network_, inst.id,
+                                                       config_.processing);
+      network_->attach(inst.id, inst.addr, inst.node.get());
+      cm_instances_.back().push_back(std::move(inst));
+    }
+    services::ChannelManager* cm0 = cm_instances_.back()[0].cm.get();
     cpm_->add_channel_list_sink(
-        [cm](const std::vector<core::ChannelRecord>& list) {
-          cm->update_channel_list(list);
+        [cm0](const std::vector<core::ChannelRecord>& list) {
+          cm0->update_channel_list(list);
         });
 
-    const util::NodeId node = kChannelManagerBase + static_cast<util::NodeId>(p);
-    const util::NetAddr addr{0x0afe0100u + static_cast<std::uint32_t>(p)};
-    cm_nodes_.push_back(std::make_unique<ChannelManagerNode>(*cm, *network_, node,
-                                                             config_.processing));
-    network_->attach(node, addr, cm_nodes_.back().get());
-
-    core::PartitionInfo info;
-    info.partition = cm_cfg.partition;
-    info.manager_addr = addr;
-    info.manager_public_key = partition->keys.pub.encode();
-    cpm_->set_partition_info(info);
+    readvertise_partition(static_cast<std::uint32_t>(p));
   }
 
-  redirection_.register_domain(
-      config_.um.domain,
-      services::ManagerCoordinates{um_addr, um_domain_->keys.pub.encode()});
+  for (const UmInstance& inst : um_instances_) {
+    redirection_.register_domain(
+        config_.um.domain,
+        services::ManagerCoordinates{inst.addr, um_domain_->keys.pub.encode()});
+  }
   redirection_.set_channel_policy_manager(services::ManagerCoordinates{cpm_addr, {}});
+
+  if (config_.tracker_stale_age > 0) schedule_stale_sweep();
+}
+
+void Deployment::readvertise_partition(std::uint32_t partition) {
+  const std::vector<CmInstance>& farm = cm_instances_.at(partition);
+  const CmInstance* live = nullptr;
+  for (const CmInstance& inst : farm) {
+    if (inst.up) { live = &inst; break; }
+  }
+  // Whole farm down: keep the stale advertisement; clients time out and
+  // their failover loop refetches once an instance comes back.
+  if (live == nullptr) return;
+  core::PartitionInfo info;
+  info.partition = partition;
+  info.manager_addr = live->addr;
+  info.manager_public_key = cm_partitions_[partition]->keys.pub.encode();
+  cpm_->set_partition_info(info);
 }
 
 services::ChannelManager& Deployment::channel_manager(std::uint32_t partition) {
-  if (partition >= cms_.size()) throw std::out_of_range("Deployment: partition");
-  return *cms_[partition];
+  if (partition >= cm_instances_.size()) throw std::out_of_range("Deployment: partition");
+  return *cm_instances_[partition][0].cm;
 }
 
 bool Deployment::add_user(const std::string& email, const std::string& password) {
@@ -125,10 +169,11 @@ void Deployment::start_channel_server(util::ChannelId id,
   source.root->peer().install_key(source.server->latest_key());
   source.root->set_join_observer(
       [this, id, node = pc.node](util::NodeId, std::size_t children) {
-        tracker_->update_load(id, node, children);
+        tracker_->update_load(id, node, children, sim_.now());
       });
   network_->attach(pc.node, pc.addr, source.root.get());
-  tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity);
+  tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity,
+                          sim_.now());
 
   sources_.insert_or_assign(id, std::move(source));
   schedule_rotation(id);
@@ -143,9 +188,33 @@ void Deployment::schedule_eviction(util::ChannelId id) {
     if (source == sources_.end()) return;
     if (!source->second.root->peer().evict_expired(sim_.now()).empty()) {
       tracker_->update_load(id, source->second.root->id(),
-                            source->second.root->peer().child_count());
+                            source->second.root->peer().child_count(), sim_.now());
     }
     schedule_eviction(id);
+  });
+}
+
+void Deployment::schedule_stale_sweep() {
+  // The keep-alive half of ungraceful-churn defense: once a minute, every
+  // peer still on the network refreshes its tracker entry, then everything
+  // not heard from within the stale age is evicted. A crashed client never
+  // refreshes, so the tracker stops advertising it within one age window.
+  sim_.schedule(util::kMinute, [this] {
+    for (const auto& [id, source] : sources_) {
+      tracker_->update_load(id, source.root->id(),
+                            source.root->peer().child_count(), sim_.now());
+    }
+    for (const std::unique_ptr<AsyncClient>& client : clients_) {
+      if (client->departed() || !client->channel_ticket()) continue;
+      if (client->peer_node() == nullptr) continue;
+      tracker_->update_load(client->channel_ticket()->ticket.channel_id,
+                            client->config().node,
+                            client->peer_node()->peer().child_count(), sim_.now());
+    }
+    if (sim_.now() > config_.tracker_stale_age) {
+      tracker_->evict_stale(sim_.now() - config_.tracker_stale_age);
+    }
+    schedule_stale_sweep();
   });
 }
 
@@ -163,6 +232,56 @@ void Deployment::schedule_rotation(util::ChannelId id) {
   });
 }
 
+void Deployment::crash_um_instance(std::size_t instance) {
+  UmInstance& inst = um_instances_.at(instance);
+  if (!inst.up) return;
+  network_->detach(inst.id);  // in-flight responses die with the box
+  inst.up = false;
+  redirection_.set_instance_health(config_.um.domain, inst.addr, false);
+}
+
+void Deployment::restart_um_instance(std::size_t instance) {
+  UmInstance& inst = um_instances_.at(instance);
+  if (inst.up) return;
+  network_->attach(inst.id, inst.addr, inst.node.get());
+  inst.up = true;
+  redirection_.set_instance_health(config_.um.domain, inst.addr, true);
+}
+
+bool Deployment::um_instance_up(std::size_t instance) const {
+  return um_instances_.at(instance).up;
+}
+
+void Deployment::crash_cm_instance(std::uint32_t partition, std::size_t instance) {
+  CmInstance& inst = cm_instances_.at(partition).at(instance);
+  if (!inst.up) return;
+  network_->detach(inst.id);
+  inst.up = false;
+  readvertise_partition(partition);
+}
+
+void Deployment::restart_cm_instance(std::uint32_t partition, std::size_t instance) {
+  CmInstance& inst = cm_instances_.at(partition).at(instance);
+  if (inst.up) return;
+  network_->attach(inst.id, inst.addr, inst.node.get());
+  inst.up = true;
+  readvertise_partition(partition);
+}
+
+bool Deployment::cm_instance_up(std::uint32_t partition, std::size_t instance) const {
+  return cm_instances_.at(partition).at(instance).up;
+}
+
+std::size_t Deployment::cm_instance_count(std::uint32_t partition) const {
+  return cm_instances_.at(partition).size();
+}
+
+void Deployment::crash_client(AsyncClient& client) {
+  // Deliberately no tracker unregistration: an ungraceful death looks like
+  // silence, and only the stale sweep (or failed joins) reveals it.
+  client.leave();
+}
+
 AsyncClient::Config Deployment::make_client_config(const std::string& email,
                                                    const std::string& password,
                                                    geo::RegionId region) {
@@ -177,6 +296,7 @@ AsyncClient::Config Deployment::make_client_config(const std::string& email,
   cc.substreams = config_.substreams;
   cc.request_timeout = config_.request_timeout;
   cc.max_retries = config_.max_retries;
+  cc.resilience = config_.client_resilience;
   cc.redirection_node = kRedirectionNode;
   return cc;
 }
@@ -194,10 +314,10 @@ void Deployment::announce(AsyncClient& client) {
   const util::ChannelId channel = client.channel_ticket()->ticket.channel_id;
   const util::NodeId node = client.config().node;
   tracker_->register_peer(channel, core::PeerInfo{node, client.config().addr},
-                          client.config().peer_capacity);
+                          client.config().peer_capacity, sim_.now());
   client.peer_node()->set_join_observer(
       [this, channel, node](util::NodeId, std::size_t children) {
-        tracker_->update_load(channel, node, children);
+        tracker_->update_load(channel, node, children, sim_.now());
       });
 }
 

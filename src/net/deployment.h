@@ -34,6 +34,17 @@ struct DeploymentConfig {
   /// Client retransmission policy.
   util::SimTime request_timeout = 3 * util::kSecond;
   int max_retries = 4;
+  /// Farm sizes: instances per User Manager domain / per Channel Manager
+  /// partition. All instances of a farm share the logical manager's state
+  /// (§V); individual instances can be crashed and restarted.
+  std::size_t um_instances = 1;
+  std::size_t cm_instances = 1;
+  /// When > 0, a minute-by-minute sweep evicts tracker entries not heard
+  /// from in this long (defense against ungraceful peer churn).
+  util::SimTime tracker_stale_age = 0;
+  /// Forwarded to every client config: operation-level failover and
+  /// automatic re-login/re-join (see AsyncClient::Config::resilience).
+  bool client_resilience = false;
 };
 
 class Deployment {
@@ -75,9 +86,34 @@ class Deployment {
   /// tree (delivery happens as simulation events).
   void broadcast(util::ChannelId channel, util::BytesView payload);
 
+  // --- fault operations (the chaos plane; used by fault::FaultEngine) ---
+
+  /// Crash a User Manager farm instance: it drops off the network (losing
+  /// in-flight work) and the Redirection Manager steers new logins around
+  /// it. Instance 0 is the primary created at construction.
+  void crash_um_instance(std::size_t instance);
+  void restart_um_instance(std::size_t instance);
+  bool um_instance_up(std::size_t instance) const;
+  std::size_t um_instance_count() const { return um_instances_.size(); }
+
+  /// Crash a Channel Manager instance. If it carried the partition's
+  /// advertised address, the CPM's partition info is re-pointed at a
+  /// surviving instance — clients discover it on their next channel-list
+  /// fetch (that is the client-side failover path).
+  void crash_cm_instance(std::uint32_t partition, std::size_t instance);
+  void restart_cm_instance(std::uint32_t partition, std::size_t instance);
+  bool cm_instance_up(std::uint32_t partition, std::size_t instance) const;
+  std::size_t cm_instance_count(std::uint32_t partition) const;
+
+  /// Ungraceful client departure: off the network immediately, nothing
+  /// unregistered from the tracker (what a crash or power loss looks like
+  /// from the outside — the stale-peer sweep eventually cleans up).
+  void crash_client(AsyncClient& client);
+
   // --- simulation control ---
 
   sim::Simulation& sim() { return sim_; }
+  util::SimTime now() const { return sim_.now(); }
   Network& network() { return *network_; }
   void run_until(util::SimTime t) { sim_.run_until(t); }
   /// Drain all scheduled events (careful with self-rescheduling servers:
@@ -92,6 +128,17 @@ class Deployment {
   p2p::Tracker& tracker() { return *tracker_; }
   const geo::SyntheticGeo& geo() const { return *geo_; }
   PeerNode* root_node(util::ChannelId channel);
+  services::RedirectionManager& redirection() { return redirection_; }
+  const services::UserManagerDomain& um_domain() const { return *um_domain_; }
+  const services::ChannelManagerPartition& cm_partition(std::uint32_t p) const {
+    return *cm_partitions_.at(p);
+  }
+  std::size_t partition_count() const { return cm_partitions_.size(); }
+  /// Clients owned by the deployment, departed/crashed ones included
+  /// (remove_client is the only thing that drops one) — report input.
+  const std::vector<std::unique_ptr<AsyncClient>>& clients() const {
+    return clients_;
+  }
 
   /// Well-known node ids.
   static constexpr util::NodeId kRedirectionNode = 1;
@@ -99,6 +146,10 @@ class Deployment {
   static constexpr util::NodeId kChannelPolicyNode = 3;
   static constexpr util::NodeId kChannelManagerBase = 10;   // + partition
   static constexpr util::NodeId kChannelRootBase = 100;     // + channel id
+  /// Extra farm instances (instance >= 1; instance 0 keeps the well-known
+  /// ids above). Keep channel ids below ~400 when using farms.
+  static constexpr util::NodeId kUmInstanceBase = 500;      // + instance
+  static constexpr util::NodeId kCmInstanceBase = 520;      // + partition*16 + instance
   static constexpr util::NodeId kClientBase = 1000;
 
  private:
@@ -106,9 +157,26 @@ class Deployment {
     std::unique_ptr<services::ChannelServer> server;
     std::unique_ptr<PeerNode> root;
   };
+  struct UmInstance {
+    std::unique_ptr<services::UserManager> um;
+    std::unique_ptr<UserManagerNode> node;
+    util::NodeId id = util::kInvalidNode;
+    util::NetAddr addr;
+    bool up = true;
+  };
+  struct CmInstance {
+    std::unique_ptr<services::ChannelManager> cm;
+    std::unique_ptr<ChannelManagerNode> node;
+    util::NodeId id = util::kInvalidNode;
+    util::NetAddr addr;
+    bool up = true;
+  };
 
   void schedule_rotation(util::ChannelId id);
   void schedule_eviction(util::ChannelId id);
+  void schedule_stale_sweep();
+  /// Point the CPM's partition info at the first live instance.
+  void readvertise_partition(std::uint32_t partition);
 
   DeploymentConfig config_;
   crypto::SecureRandom rng_;
@@ -118,18 +186,16 @@ class Deployment {
   std::unique_ptr<geo::SyntheticGeo> geo_;
   std::unique_ptr<services::AccountManager> accounts_;
   std::shared_ptr<services::UserManagerDomain> um_domain_;
-  std::unique_ptr<services::UserManager> um_;
   std::unique_ptr<services::ChannelPolicyManager> cpm_;
   std::vector<std::shared_ptr<services::ChannelManagerPartition>> cm_partitions_;
-  std::vector<std::unique_ptr<services::ChannelManager>> cms_;
   std::unique_ptr<p2p::Tracker> tracker_;
   services::RedirectionManager redirection_;
   util::Bytes reference_binary_;
 
   std::unique_ptr<RedirectionNode> redirection_node_;
-  std::unique_ptr<UserManagerNode> um_node_;
   std::unique_ptr<ChannelPolicyNode> cpm_node_;
-  std::vector<std::unique_ptr<ChannelManagerNode>> cm_nodes_;
+  std::vector<UmInstance> um_instances_;
+  std::vector<std::vector<CmInstance>> cm_instances_;  // [partition][instance]
   std::map<util::ChannelId, ChannelSource> sources_;
   std::vector<std::unique_ptr<AsyncClient>> clients_;
   util::NodeId next_client_node_ = kClientBase;

@@ -31,11 +31,38 @@ const LinkConfig& Network::link_of(util::NodeId id) const {
   return default_link_;
 }
 
+void Network::set_clock_skew(util::NodeId id, util::SimTime skew) {
+  if (skew == 0) {
+    clock_skew_.erase(id);
+  } else {
+    clock_skew_[id] = skew;
+  }
+}
+
+util::SimTime Network::local_time(util::NodeId id) const {
+  const auto it = clock_skew_.find(id);
+  return sim_.now() + (it == clock_skew_.end() ? 0 : it->second);
+}
+
 void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   ++sent_;
   const auto sender = nodes_.find(from);
   const util::NetAddr from_addr =
       sender != nodes_.end() ? sender->second.addr : util::NetAddr{};
+
+  // The fault overlay sees the packet before the link's own loss model, so
+  // partition drops are counted like any other loss.
+  FaultOverlay::Verdict fault;
+  if (fault_overlay_ != nullptr) {
+    const auto receiver = nodes_.find(to);
+    const util::NetAddr to_addr =
+        receiver != nodes_.end() ? receiver->second.addr : util::NetAddr{};
+    fault = fault_overlay_->on_send(from, from_addr, to, to_addr, sim_.now());
+    if (fault.drop) {
+      ++dropped_;
+      return;
+    }
+  }
 
   // Path properties combine both endpoints' access links.
   const LinkConfig& out_link = link_of(from);
@@ -45,7 +72,7 @@ void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
     ++dropped_;
     return;
   }
-  const util::SimTime delay =
+  const util::SimTime delay = fault.extra_delay +
       out_link.latency.sample_rtt(rng_) / 2 + in_link.latency.sample_rtt(rng_) / 2;
 
   Packet packet{from, from_addr, to, std::move(data)};

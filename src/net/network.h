@@ -37,6 +37,23 @@ struct LinkConfig {
   double loss = 0.0;          // per-packet drop probability
 };
 
+/// Injection seam for the fault subsystem: consulted on every send() before
+/// the link's own loss/latency model. A fault engine implements this to
+/// model partitions (unconditional drops between address groups), loss
+/// bursts, and latency spikes layered on top of the configured links.
+class FaultOverlay {
+ public:
+  struct Verdict {
+    bool drop = false;
+    util::SimTime extra_delay = 0;  // added to the sampled one-way delay
+  };
+
+  virtual ~FaultOverlay() = default;
+  virtual Verdict on_send(util::NodeId from, util::NetAddr from_addr,
+                          util::NodeId to, util::NetAddr to_addr,
+                          util::SimTime now) = 0;
+};
+
 class Network {
  public:
   Network(sim::Simulation& sim, LinkConfig default_link, crypto::SecureRandom rng);
@@ -59,6 +76,17 @@ class Network {
   /// Reverse lookup (exact address match).
   std::optional<util::NodeId> node_at(util::NetAddr addr) const;
 
+  /// Install (or clear, with nullptr) the fault overlay. Not owned.
+  void set_fault_overlay(FaultOverlay* overlay) { fault_overlay_ = overlay; }
+  FaultOverlay* fault_overlay() const { return fault_overlay_; }
+
+  /// Clock skew: a node's local clock reads sim.now() + skew. Servers stamp
+  /// and validate tickets against their *local* clock, so a skewed manager
+  /// misjudges expiry times — a classic production fault.
+  void set_clock_skew(util::NodeId id, util::SimTime skew);
+  /// The node's local wall clock (sim time for nodes without skew).
+  util::SimTime local_time(util::NodeId id) const;
+
   sim::Simulation& sim() { return sim_; }
 
   std::uint64_t packets_sent() const { return sent_; }
@@ -71,6 +99,11 @@ class Network {
     Node* node = nullptr;
     std::optional<LinkConfig> link;
   };
+
+  /// Skews live outside the bindings: a crashed (detached) node keeps its
+  /// wrong clock across a restart, exactly like real broken hardware.
+  std::map<util::NodeId, util::SimTime> clock_skew_;
+  FaultOverlay* fault_overlay_ = nullptr;
 
   const LinkConfig& link_of(util::NodeId id) const;
 

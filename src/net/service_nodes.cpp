@@ -18,6 +18,9 @@ void respond_after(Network& network, util::NodeId self, util::NodeId to,
     return;
   }
   network.sim().schedule(processing, [&network, self, to, wire = std::move(wire)]() mutable {
+    // An instance that crashed while the request was in service loses its
+    // in-flight state: the half-finished response never leaves the box.
+    if (!network.attached(self)) return;
     network.send(self, to, std::move(wire));
   });
 }
@@ -46,7 +49,7 @@ UserManagerNode::UserManagerNode(services::UserManager& um, Network& network,
 void UserManagerNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
   if (!env) return;
-  const util::SimTime now = network_.sim().now();
+  const util::SimTime now = network_.local_time(self_);
   try {
     switch (env->kind) {
       case MsgKind::kLogin1Request: {
@@ -84,7 +87,7 @@ void ChannelPolicyNode::on_packet(const Packet& packet) {
     const auto req = core::ChannelListRequest::decode(env->payload);
     respond_after(network_, self_, packet.from, MsgKind::kChannelListResponse,
                   env->request_id,
-                  cpm_.handle_channel_list(req, network_.sim().now()).encode(),
+                  cpm_.handle_channel_list(req, network_.local_time(self_)).encode(),
                   processing_.light);
   } catch (const util::WireError&) {
   }
@@ -97,7 +100,7 @@ ChannelManagerNode::ChannelManagerNode(services::ChannelManager& cm, Network& ne
 void ChannelManagerNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
   if (!env) return;
-  const util::SimTime now = network_.sim().now();
+  const util::SimTime now = network_.local_time(self_);
   try {
     switch (env->kind) {
       case MsgKind::kSwitch1Request: {
@@ -130,7 +133,7 @@ PeerNode::PeerNode(std::unique_ptr<p2p::Peer> peer, Network& network,
 void PeerNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
   if (!env) return;
-  const util::SimTime now = network_.sim().now();
+  const util::SimTime now = network_.local_time(id());
   switch (env->kind) {
     case MsgKind::kJoinRequest: {
       try {

@@ -7,16 +7,18 @@ namespace p2pdrm::p2p {
 Tracker::Tracker(crypto::SecureRandom rng) : rng_(std::move(rng)) {}
 
 void Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
-                            std::size_t capacity) {
-  channels_[channel][info.node] = PeerState{info, capacity, 0};
+                            std::size_t capacity, util::SimTime now) {
+  channels_[channel][info.node] = PeerState{info, capacity, 0, now};
 }
 
 void Tracker::update_load(util::ChannelId channel, util::NodeId node,
-                          std::size_t children) {
+                          std::size_t children, util::SimTime now) {
   const auto ch_it = channels_.find(channel);
   if (ch_it == channels_.end()) return;
   const auto it = ch_it->second.find(node);
-  if (it != ch_it->second.end()) it->second.children = children;
+  if (it == ch_it->second.end()) return;
+  it->second.children = children;
+  if (now > it->second.last_seen) it->second.last_seen = now;
 }
 
 void Tracker::unregister_peer(util::ChannelId channel, util::NodeId node) {
@@ -50,6 +52,17 @@ std::vector<core::PeerInfo> Tracker::sample_peers(util::ChannelId channel,
   take_random(spare);
   take_random(loaded);
   return out;
+}
+
+std::size_t Tracker::evict_stale(util::SimTime cutoff) {
+  std::size_t evicted = 0;
+  for (auto ch_it = channels_.begin(); ch_it != channels_.end();) {
+    evicted += std::erase_if(ch_it->second, [cutoff](const auto& entry) {
+      return entry.second.last_seen < cutoff;
+    });
+    ch_it = ch_it->second.empty() ? channels_.erase(ch_it) : std::next(ch_it);
+  }
+  return evicted;
 }
 
 std::size_t Tracker::peer_count(util::ChannelId channel) const {

@@ -22,10 +22,20 @@ class Tracker : public services::PeerDirectory {
   explicit Tracker(crypto::SecureRandom rng);
 
   /// Announce a peer carrying `channel` with the given child capacity.
-  void register_peer(util::ChannelId channel, core::PeerInfo info, std::size_t capacity);
-  /// Update a peer's current load (child count).
-  void update_load(util::ChannelId channel, util::NodeId node, std::size_t children);
+  /// `now` stamps the peer's liveness (see evict_stale).
+  void register_peer(util::ChannelId channel, core::PeerInfo info, std::size_t capacity,
+                     util::SimTime now = 0);
+  /// Update a peer's current load (child count); doubles as a keep-alive.
+  void update_load(util::ChannelId channel, util::NodeId node, std::size_t children,
+                   util::SimTime now = 0);
   void unregister_peer(util::ChannelId channel, util::NodeId node);
+
+  /// Drop every peer not heard from since `cutoff` — the defense against
+  /// ungraceful departures (crash, power loss, NAT rebind): such peers
+  /// never unregister, and without eviction a churn storm would leave the
+  /// directory full of dead parents that every joiner must time out on.
+  /// Returns the number of peers evicted across all channels.
+  std::size_t evict_stale(util::SimTime cutoff);
 
   /// PeerDirectory: random sample preferring peers with spare capacity;
   /// falls back to loaded peers only if there are not enough spare ones
@@ -44,6 +54,7 @@ class Tracker : public services::PeerDirectory {
     core::PeerInfo info;
     std::size_t capacity = 0;
     std::size_t children = 0;
+    util::SimTime last_seen = 0;
   };
 
   std::map<util::ChannelId, std::map<util::NodeId, PeerState>> channels_;

@@ -2,6 +2,16 @@
 
 namespace p2pdrm::services {
 
+void OpsCounters::merge(const OpsCounters& other) {
+  total_ += other.total_;
+  for (const auto& [outcome, count] : other.by_outcome_) by_outcome_[outcome] += count;
+}
+
+void OpsCounters::reset() {
+  total_ = 0;
+  by_outcome_.clear();
+}
+
 std::string OpsCounters::to_string() const {
   std::string out;
   for (const auto& [outcome, count] : by_outcome_) {

@@ -29,6 +29,14 @@ class OpsCounters {
                        : static_cast<double>(successes()) / static_cast<double>(total_);
   }
 
+  /// Fold another instance's counts into this one. Farm aggregation: after
+  /// a crash/restart cycle each instance carries its own partial counts and
+  /// the dashboard (or the resilience report) merges them per farm.
+  void merge(const OpsCounters& other);
+
+  /// Zero every counter (an instance restarting with fresh state).
+  void reset();
+
   /// "ok=120 access-denied=3 ticket-expired=1" style rendering.
   std::string to_string() const;
 

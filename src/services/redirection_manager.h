@@ -48,19 +48,39 @@ struct RedirectResponse {
 
 class RedirectionManager {
  public:
-  /// Register a domain's User Manager coordinates.
+  /// Register a domain's User Manager coordinates. Called repeatedly it
+  /// grows the domain's instance pool: each call adds one farm instance
+  /// (the first registered instance is the farm's "primary").
   void register_domain(std::uint32_t domain, ManagerCoordinates um);
   /// Assign a user to a domain (the Account Manager does this at signup).
   void assign_user(const std::string& email, std::uint32_t domain);
   void set_channel_policy_manager(ManagerCoordinates cpm);
+
+  /// Health steering: lookups never return an instance marked down. The
+  /// health signal comes from the operations plane (the deployment knows
+  /// which farm members it crashed); a production redirector would run
+  /// heartbeats instead.
+  void set_instance_health(std::uint32_t domain, util::NetAddr addr, bool healthy);
+  std::size_t healthy_instances(std::uint32_t domain) const;
+  std::size_t instance_count(std::uint32_t domain) const;
 
   RedirectResponse handle_lookup(const RedirectRequest& req) const;
 
   std::size_t user_count() const { return user_domain_.size(); }
 
  private:
+  struct Instance {
+    ManagerCoordinates coords;
+    bool healthy = true;
+  };
+  struct Domain {
+    std::vector<Instance> instances;
+    /// Round-robin cursor so a farm spreads logins across its members.
+    mutable std::size_t cursor = 0;
+  };
+
   std::map<std::string, std::uint32_t> user_domain_;
-  std::map<std::uint32_t, ManagerCoordinates> domains_;
+  std::map<std::uint32_t, Domain> domains_;
   ManagerCoordinates cpm_;
 };
 

@@ -431,7 +431,8 @@ TEST_F(DistributedTest, StarvationRecoveryAfterParentChurn) {
   // Restore the root as a parent candidate, then kill Bob's parent.
   d_.tracker().register_peer(
       1, core::PeerInfo{root->id(), *d_.network().addr_of(root->id())}, 64);
-  d_.remove_client(alice);
+  const util::NodeId alice_node = alice.config().node;
+  d_.remove_client(alice);  // destroys alice; only alice_node survives
 
   // Feed content; Bob misses it until the watchdog fires, then recovers.
   for (int i = 0; i < 30; ++i) {
@@ -440,7 +441,7 @@ TEST_F(DistributedTest, StarvationRecoveryAfterParentChurn) {
   }
   EXPECT_GE(bob.starvation_recoveries(), 1u);
   ASSERT_TRUE(bob.parent().has_value());
-  EXPECT_NE(*bob.parent(), alice.config().node);
+  EXPECT_NE(*bob.parent(), alice_node);
   EXPECT_GT(bob.content_decrypted(), 0u);
 }
 

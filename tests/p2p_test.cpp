@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "p2p/peer.h"
 #include "p2p/tracker.h"
 
@@ -407,6 +409,64 @@ TEST(TrackerTest, UnknownChannelEmpty) {
   Tracker tracker(std::move(rng));
   EXPECT_TRUE(tracker.sample_peers(42, 4, util::NetAddr{}).empty());
   EXPECT_EQ(tracker.peer_count(42), 0u);
+}
+
+TEST(TrackerTest, EvictStaleDropsSilentPeers) {
+  crypto::SecureRandom rng(8);
+  Tracker tracker(std::move(rng));
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4, 0);
+  tracker.register_peer(1, {11, util::NetAddr{0x0a00000b}}, 4, 0);
+  tracker.register_peer(2, {12, util::NetAddr{0x0a00000c}}, 4, 0);
+
+  // Peer 10 keeps checking in; 11 and 12 go silent (an ungraceful crash is
+  // just silence from the tracker's point of view).
+  tracker.update_load(1, 10, 1, 5 * kMinute);
+  EXPECT_EQ(tracker.evict_stale(2 * kMinute), 2u);
+  EXPECT_EQ(tracker.peer_count(1), 1u);
+  EXPECT_EQ(tracker.peer_count(2), 0u);  // emptied channel removed entirely
+
+  const auto peers = tracker.sample_peers(1, 8, util::NetAddr{});
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].node, 10u);
+}
+
+TEST(TrackerTest, KeepAliveNeverMovesTimeBackwards) {
+  crypto::SecureRandom rng(9);
+  Tracker tracker(std::move(rng));
+  tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4, 10 * kMinute);
+  // A stale (reordered) load report must not rewind the liveness stamp.
+  tracker.update_load(1, 10, 2, 1 * kMinute);
+  EXPECT_EQ(tracker.evict_stale(5 * kMinute), 0u);
+  EXPECT_EQ(tracker.peer_count(1), 1u);
+}
+
+TEST(TrackerTest, ChurnStormSamplingConsistency) {
+  // Mass ungraceful departure: half the overlay dies silently mid-run.
+  // After eviction, sampling never returns a departed peer and the
+  // utilization stays a sane fraction of the surviving capacity.
+  crypto::SecureRandom rng(10);
+  Tracker tracker(std::move(rng));
+  for (util::NodeId n = 0; n < 40; ++n) {
+    tracker.register_peer(1, {n, util::NetAddr{0x0a000000u + n}}, 4, 0);
+    tracker.update_load(1, n, n % 5, 0);  // some full (4/4), some spare
+  }
+  // Even nodes stay alive and keep checking in; odd nodes crash at t=0.
+  for (util::NodeId n = 0; n < 40; n += 2) {
+    tracker.update_load(1, n, n % 5, 10 * kMinute);
+  }
+  EXPECT_EQ(tracker.evict_stale(5 * kMinute), 20u);
+  EXPECT_EQ(tracker.peer_count(1), 20u);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    for (const core::PeerInfo& peer : tracker.sample_peers(1, 8, util::NetAddr{})) {
+      EXPECT_EQ(peer.node % 2, 0u) << "sampled a crashed peer";
+    }
+  }
+  // Surviving load: nodes 0,2,..,38 with children (n % 5) clamped to 4.
+  std::size_t used = 0;
+  for (util::NodeId n = 0; n < 40; n += 2) used += std::min<std::size_t>(n % 5, 4);
+  const double expected = static_cast<double>(used) / (20.0 * 4.0);
+  EXPECT_DOUBLE_EQ(tracker.utilization(1), expected);
 }
 
 }  // namespace

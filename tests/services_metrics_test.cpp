@@ -1,0 +1,69 @@
+// OpsCounters aggregation: the farm-dashboard merge/reset semantics used
+// by the resilience report.
+#include <gtest/gtest.h>
+
+#include "services/metrics.h"
+
+namespace p2pdrm::services {
+namespace {
+
+using core::DrmError;
+
+TEST(OpsCountersTest, MergeSumsTotalsAndOutcomes) {
+  OpsCounters a;
+  a.record(DrmError::kOk);
+  a.record(DrmError::kOk);
+  a.record(DrmError::kAccessDenied);
+
+  OpsCounters b;
+  b.record(DrmError::kOk);
+  b.record(DrmError::kTicketExpired);
+
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.successes(), 3u);
+  EXPECT_EQ(a.count(DrmError::kAccessDenied), 1u);
+  EXPECT_EQ(a.count(DrmError::kTicketExpired), 1u);
+  EXPECT_DOUBLE_EQ(a.success_rate(), 3.0 / 5.0);
+  // The source is untouched.
+  EXPECT_EQ(b.total(), 2u);
+}
+
+TEST(OpsCountersTest, MergeWithEmptyIsIdentity) {
+  OpsCounters a;
+  a.record(DrmError::kOk);
+  OpsCounters empty;
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 1u);
+  EXPECT_EQ(empty.successes(), 1u);
+}
+
+TEST(OpsCountersTest, SelfMergeDoubles) {
+  OpsCounters a;
+  a.record(DrmError::kOk);
+  a.record(DrmError::kBadCredentials);
+  a.merge(a);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.successes(), 2u);
+  EXPECT_EQ(a.count(DrmError::kBadCredentials), 2u);
+}
+
+TEST(OpsCountersTest, ResetZeroesEverything) {
+  OpsCounters a;
+  a.record(DrmError::kOk);
+  a.record(DrmError::kAccessDenied);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.successes(), 0u);
+  EXPECT_EQ(a.count(DrmError::kAccessDenied), 0u);
+  EXPECT_DOUBLE_EQ(a.success_rate(), 0.0);
+  // Usable again after reset.
+  a.record(DrmError::kOk);
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_DOUBLE_EQ(a.success_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace p2pdrm::services
