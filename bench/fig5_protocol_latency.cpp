@@ -17,6 +17,21 @@ using namespace p2pdrm;
 
 namespace {
 
+/// Per-hour median latency in seconds, read from the run's metrics registry
+/// (bucketed histograms over the full population — the reservoirs they
+/// replaced sampled 3000 per hour). Hours with no samples report 0.
+std::vector<double> hourly_median(const sim::MacroSimResult& result,
+                                  sim::ProtocolRound r) {
+  std::vector<double> out;
+  out.reserve(result.hourly_concurrency.size());
+  for (std::size_t h = 0; h < result.hourly_concurrency.size(); ++h) {
+    const obs::LatencyHistogram* hist =
+        result.registry->find_histogram(sim::hourly_histogram_name(r, h));
+    out.push_back(hist == nullptr || hist->empty() ? 0.0 : hist->p50() * 1e-6);
+  }
+  return out;
+}
+
 void print_series(const sim::MacroSimResult& result, sim::ProtocolRound a,
                   sim::ProtocolRound b, bool has_b, const char* fig) {
   std::printf("\n--- Fig. 5%s: hour-of-week series ---\n", fig);
@@ -24,8 +39,8 @@ void print_series(const sim::MacroSimResult& result, sim::ProtocolRound a,
               to_string(a).data());
   if (has_b) std::printf(" %14s", to_string(b).data());
   std::printf("\n");
-  const auto ma = result.round(a).hourly_median();
-  const auto mb = result.round(b).hourly_median();
+  const auto ma = hourly_median(result, a);
+  const auto mb = hourly_median(result, b);
   for (std::size_t h = 0; h < result.hourly_concurrency.size(); ++h) {
     std::printf("d%-5zu %-5zu %12.0f %12.3fs", h / 24, h % 24,
                 result.hourly_concurrency[h], ma[h]);
@@ -37,7 +52,7 @@ void print_series(const sim::MacroSimResult& result, sim::ProtocolRound a,
 void print_correlation(const sim::MacroSimResult& result, sim::ProtocolRound r,
                        double paper_lo, double paper_hi) {
   const auto corr =
-      analysis::pearson(result.round(r).hourly_median(), result.hourly_concurrency);
+      analysis::pearson(hourly_median(result, r), result.hourly_concurrency);
   std::printf("%-8s  r = %+.3f   (paper: %+0.2f .. %+0.2f)  %s\n",
               to_string(r).data(), corr.value_or(0.0), paper_lo, paper_hi,
               (corr && *corr >= paper_lo - 0.15 && *corr <= paper_hi + 0.15)

@@ -15,22 +15,27 @@ using namespace p2pdrm;
 namespace {
 
 void print_cdf_pair(const sim::MacroSimResult& result, sim::ProtocolRound r) {
-  const auto& trace = result.round(r);
+  // Read the paper's split from the run's metrics registry: bucketed
+  // histograms over every recorded round, not a sampling reservoir.
+  const obs::LatencyHistogram* peak_hist =
+      result.registry->find_histogram(sim::split_histogram_name(r, true));
+  const obs::LatencyHistogram* off_hist =
+      result.registry->find_histogram(sim::split_histogram_name(r, false));
   std::printf("\n--- %s: latency CDF, peak (18-24h) vs off-peak (0-18h) ---\n",
               to_string(r).data());
   std::printf("%-6s %12s %12s\n", "CDF", "peak(s)", "off-peak(s)");
   double max_gap = 0;
   for (double q = 0.50; q <= 0.995; q += 0.025) {
-    const double peak = trace.peak.quantile(q);
-    const double off = trace.offpeak.quantile(q);
+    const double peak = peak_hist->quantile(q) * 1e-6;
+    const double off = off_hist->quantile(q) * 1e-6;
     max_gap = std::max(max_gap, std::abs(peak - off));
     std::printf("%-6.3f %12.3f %12.3f\n", q, peak, off);
   }
   std::printf("max |peak - offpeak| gap over plotted range: %.3fs  "
               "(paper: curves virtually identical)\n", max_gap);
   std::printf("samples: peak=%llu off-peak=%llu\n",
-              static_cast<unsigned long long>(trace.peak.seen()),
-              static_cast<unsigned long long>(trace.offpeak.seen()));
+              static_cast<unsigned long long>(peak_hist->count()),
+              static_cast<unsigned long long>(off_hist->count()));
 }
 
 }  // namespace

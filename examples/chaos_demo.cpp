@@ -4,17 +4,23 @@
 //   ./chaos_demo                # built-in schedule
 //   ./chaos_demo my-plan.txt    # your own (see src/fault/fault_plan.h)
 //
+// Set P2PDRM_TRACE_OUT=<path> to capture protocol-round spans for the whole
+// run and write them as Chrome trace_event JSON (load in about:tracing or
+// https://ui.perfetto.dev). CI does exactly this and archives the trace.
+//
 // The schedule below crashes a User Manager farm instance, partitions the
 // whole client population away from the backend for 30 seconds, skews a
 // Channel Manager clock, and throws a churn storm at the overlay — all
 // deterministic, all survivable with client resilience on.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "fault/fault_engine.h"
 #include "fault/report.h"
 #include "net/deployment.h"
+#include "obs/export.h"
 
 using namespace p2pdrm;
 
@@ -56,8 +62,11 @@ int main(int argc, char** argv) {
   std::printf("=== fault schedule (%zu events) ===\n%s", plan.size(),
               plan.to_string().c_str());
 
+  const char* trace_out = std::getenv("P2PDRM_TRACE_OUT");
+
   net::DeploymentConfig cfg;
   cfg.seed = 42;
+  cfg.tracing = trace_out != nullptr;
   cfg.default_link.latency.floor = 10 * util::kMillisecond;
   cfg.default_link.latency.median = 40 * util::kMillisecond;
   cfg.default_link.latency.sigma = 0.4;
@@ -107,6 +116,15 @@ int main(int argc, char** argv) {
   std::printf("overlay verdicts: dropped=%llu delayed=%llu\n",
               static_cast<unsigned long long>(engine.packets_dropped()),
               static_cast<unsigned long long>(engine.packets_delayed()));
+  const net::Network& net = d.network();
+  std::printf("packet fates: sent=%llu delivered=%llu "
+              "dropped: injected=%llu link=%llu no-destination=%llu\n",
+              static_cast<unsigned long long>(net.packets_sent()),
+              static_cast<unsigned long long>(net.packets_delivered()),
+              static_cast<unsigned long long>(net.packets_dropped_injected()),
+              static_cast<unsigned long long>(net.packets_dropped_link()),
+              static_cast<unsigned long long>(
+                  net.packets_dropped_no_destination()));
 
   std::printf("\n%s", fault::ResilienceReport::collect(d).to_string().c_str());
 
@@ -123,5 +141,18 @@ int main(int argc, char** argv) {
   }
   std::printf("\nend state: %zu clients alive, %zu authenticated and joined\n",
               alive, joined);
+
+  if (trace_out != nullptr) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "chaos_demo: cannot write %s\n", trace_out);
+      return 1;
+    }
+    out << obs::spans_to_chrome_trace(d.tracer());
+    std::printf("wrote %zu spans (%llu dropped at capacity) to %s\n",
+                d.tracer().spans().size(),
+                static_cast<unsigned long long>(d.tracer().spans_dropped()),
+                trace_out);
+  }
   return joined == alive ? 0 : 1;  // every survivor must have recovered
 }

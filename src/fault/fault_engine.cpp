@@ -11,14 +11,12 @@ FaultEngine::FaultEngine(net::Deployment& deployment, FaultPlan plan,
       config_(std::move(config)),
       rng_(config_.seed) {}
 
-FaultEngine::~FaultEngine() {
-  if (dep_.network().fault_overlay() == this) dep_.network().set_fault_overlay(nullptr);
-}
+FaultEngine::~FaultEngine() { dep_.network().remove_interceptor(this); }
 
 void FaultEngine::arm() {
   if (armed_) return;
   armed_ = true;
-  dep_.network().set_fault_overlay(this);
+  dep_.network().add_interceptor(this);
   const util::SimTime now = dep_.sim().now();
   for (const FaultEvent& ev : plan_.events()) {
     // Absolute plan times; anything already in the past fires immediately.
@@ -134,10 +132,10 @@ void FaultEngine::churn(const FaultEvent& ev) {
                " spawned=" + std::to_string(ev.arrivals));
 }
 
-net::FaultOverlay::Verdict FaultEngine::on_send(util::NodeId /*from*/,
-                                           util::NetAddr from_addr,
-                                           util::NodeId /*to*/, util::NetAddr to_addr,
-                                           util::SimTime now) {
+net::SendInterceptor::Verdict FaultEngine::on_send(const net::SendContext& ctx) {
+  const util::NetAddr from_addr = ctx.from_addr;
+  const util::NetAddr to_addr = ctx.to_addr;
+  const util::SimTime now = ctx.now;
   Verdict verdict;
   const auto expired = [now](const auto& rule) { return rule.until <= now; };
   std::erase_if(partitions_, expired);

@@ -1,7 +1,7 @@
 // Fault engine: executes a FaultPlan against a live Deployment inside the
 // discrete-event simulation. Crash/restart and clock-skew events call the
 // deployment's chaos plane; partitions, loss bursts and latency spikes are
-// enforced packet-by-packet through the net::FaultOverlay seam; churn
+// enforced packet-by-packet through the net::SendInterceptor seam; churn
 // storms kill and spawn real clients. Everything is deterministic: the
 // engine draws from its own forked DRBG, so the same (seed, plan) pair
 // replays the exact same packet fates and the exact same report.
@@ -30,7 +30,7 @@ struct FaultEngineConfig {
   bool arrivals_announce = true;
 };
 
-class FaultEngine final : public net::FaultOverlay {
+class FaultEngine final : public net::SendInterceptor {
  public:
   /// Does not arm anything yet; call arm() once the deployment is
   /// provisioned (the engine schedules plan events at absolute sim times,
@@ -42,20 +42,19 @@ class FaultEngine final : public net::FaultOverlay {
   FaultEngine(const FaultEngine&) = delete;
   FaultEngine& operator=(const FaultEngine&) = delete;
 
-  /// Install the overlay on the deployment's network and schedule every
-  /// plan event. Idempotent.
+  /// Join the network's interceptor chain and schedule every plan event.
+  /// Idempotent.
   void arm();
 
-  // net::FaultOverlay
-  Verdict on_send(util::NodeId from, util::NetAddr from_addr, util::NodeId to,
-                  util::NetAddr to_addr, util::SimTime now) override;
+  // net::SendInterceptor
+  Verdict on_send(const net::SendContext& ctx) override;
 
   /// Human-readable record of every injected fault ("t=d0 00:10:00.000
   /// crash-um 1" style), in injection order. Deterministic.
   const std::vector<std::string>& log() const { return log_; }
 
-  /// Packets dropped by partitions and loss bursts (overlay verdicts only,
-  /// not the links' own background loss).
+  /// Packets dropped by partitions and loss bursts (this engine's verdicts
+  /// only, not the links' own background loss).
   std::uint64_t packets_dropped() const { return dropped_; }
   /// Packets held back by an active latency spike.
   std::uint64_t packets_delayed() const { return delayed_; }

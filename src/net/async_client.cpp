@@ -108,8 +108,37 @@ void AsyncClient::schedule_auto_renewal() {
   });
 }
 
+void AsyncClient::bind_observability(obs::Registry* registry,
+                                     obs::Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ != nullptr) {
+    for (const Round r : {Round::kLogin1, Round::kLogin2, Round::kSwitch1,
+                          Round::kSwitch2, Round::kJoin}) {
+      round_hist_[static_cast<std::size_t>(r)] = &registry_->histogram(
+          "client.round." + std::string(client::to_string(r)));
+    }
+  } else {
+    for (auto& h : round_hist_) h = nullptr;
+  }
+}
+
 void AsyncClient::record(Round round, util::SimTime started, bool success) {
-  feedback_.push_back({round, started, network_.sim().now() - started, success});
+  const util::SimTime latency = network_.sim().now() - started;
+  feedback_.push_back({round, started, latency, success});
+  if (success && round_hist_[static_cast<std::size_t>(round)] != nullptr) {
+    round_hist_[static_cast<std::size_t>(round)]->record(latency);
+  }
+}
+
+void AsyncClient::close_request_spans(std::uint64_t request_id, Pending& pending,
+                                      bool ok, const char* outcome) {
+  if (tracer_ == nullptr) return;
+  const util::SimTime now = network_.sim().now();
+  tracer_->end_span(pending.attempt_span, now, ok);
+  tracer_->tag(pending.span, "outcome", outcome);
+  tracer_->end_span(pending.span, now, ok);
+  tracer_->unbind_request(config_.node, request_id);
 }
 
 void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payload,
@@ -131,6 +160,18 @@ void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payloa
   pending.started = network_.sim().now();
   pending.on_response = std::move(on_response);
   pending.on_fail = std::move(on_fail);
+  if (tracer_ != nullptr) {
+    // One span for the whole request, one child per transmission attempt;
+    // the binding lets the network's trace interceptor and the serving node
+    // parent their spans under the in-flight attempt.
+    pending.span = tracer_->begin_span("client", std::string(client::to_string(round)),
+                                       config_.node, pending.started);
+    tracer_->tag(pending.span, "kind", std::string(to_string(kind)));
+    tracer_->tag(pending.span, "to", std::to_string(to));
+    pending.attempt_span = tracer_->begin_span("client", "attempt", config_.node,
+                                               pending.started, pending.span);
+    tracer_->bind_request(config_.node, request_id, pending.attempt_span);
+  }
   const util::Bytes wire = pending.wire;
   pending_.emplace(request_id, std::move(pending));
 
@@ -159,6 +200,17 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
       --p->second.retries_left;
       ++p->second.attempt;
       ++retransmits_;
+      if (tracer_ != nullptr) {
+        // The old attempt timed out; open a fresh child span and rebind the
+        // request id to it so later hops/serves parent under the right one.
+        const util::SimTime now = network_.sim().now();
+        tracer_->end_span(p->second.attempt_span, now, /*ok=*/false);
+        tracer_->event(p->second.span, now, "retransmit",
+                       "attempt " + std::to_string(p->second.attempt));
+        p->second.attempt_span = tracer_->begin_span(
+            "client", "attempt", config_.node, now, p->second.span);
+        tracer_->bind_request(config_.node, request_id, p->second.attempt_span);
+      }
       network_.send(config_.node, p->second.to, p->second.wire);
       arm_timeout(request_id);
       return;
@@ -167,6 +219,7 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
     ++timeout_exhaustions_;
     Pending failed = std::move(p->second);
     pending_.erase(p);
+    close_request_spans(request_id, failed, /*ok=*/false, "timeout");
     record(failed.round, failed.started, false);
     if (failed.on_fail) failed.on_fail(DrmError::kNoCapacity);
   });
@@ -193,6 +246,7 @@ void AsyncClient::on_packet(const Packet& packet) {
   if (it->second.expect != env->kind) return; // mismatched response kind
   Pending pending = std::move(it->second);
   pending_.erase(it);
+  close_request_spans(env->request_id, pending, /*ok=*/true, "ok");
   record(pending.round, pending.started, true);
   pending.on_response(*env);
 }
@@ -598,6 +652,7 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
               peer_node_ = std::make_unique<PeerNode>(
                   std::make_unique<p2p::Peer>(pc, keys_, cm_key, rng_.fork()),
                   network_);
+              if (tracer_ != nullptr) peer_node_->set_tracer(tracer_);
               reassembly_ = std::make_unique<p2p::SubstreamBuffer>(1024);
               router_.reset();
               peer_node_->set_content_sink(

@@ -15,6 +15,8 @@
 
 #include "client/client.h"  // Round / LatencySample vocabulary
 #include "net/service_nodes.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "p2p/substream.h"
 
 namespace p2pdrm::net {
@@ -142,6 +144,11 @@ class AsyncClient final : public Node {
 
   void on_packet(const Packet& packet) override;
 
+  /// Route this client's telemetry into a registry (per-round latency
+  /// histograms "client.round.<NAME>") and/or a tracer (request spans with
+  /// one child span per transmission attempt). Either may be null.
+  void bind_observability(obs::Registry* registry, obs::Tracer* tracer);
+
  private:
   struct Pending {
     MsgKind expect;
@@ -153,7 +160,13 @@ class AsyncClient final : public Node {
     util::SimTime started = 0;
     std::function<void(const Envelope&)> on_response;
     Callback on_fail;
+    obs::SpanId span = 0;          // the whole request (all attempts)
+    obs::SpanId attempt_span = 0;  // the transmission currently in flight
   };
+
+  /// End the request's spans with the final outcome and drop its binding.
+  void close_request_spans(std::uint64_t request_id, Pending& pending, bool ok,
+                           const char* outcome);
 
   void send_request(util::NodeId to, MsgKind kind, util::Bytes payload,
                     MsgKind expect, client::Round round,
@@ -210,6 +223,10 @@ class AsyncClient final : public Node {
   Network& network_;
   crypto::SecureRandom rng_;
   crypto::RsaKeyPair keys_;
+
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::LatencyHistogram* round_hist_[5] = {};  // indexed by client::Round
 
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_request_id_ = 1;

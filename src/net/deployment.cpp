@@ -10,6 +10,7 @@ Deployment::Deployment(DeploymentConfig config)
   if (config_.cm_instances == 0) config_.cm_instances = 1;
 
   network_ = std::make_unique<Network>(sim_, config_.default_link, rng_.fork());
+  network_->bind_registry(&registry_);
   geo_ = std::make_unique<geo::SyntheticGeo>(rng_, config_.geo_plan);
 
   um_domain_ = std::make_shared<services::UserManagerDomain>(
@@ -40,6 +41,7 @@ Deployment::Deployment(DeploymentConfig config)
       [um0](const core::AttributeSet& list) { um0->update_channel_attributes(list); });
 
   tracker_ = std::make_unique<p2p::Tracker>(rng_.fork());
+  tracker_->bind_registry(&registry_);
 
   // Attach the backend to well-known addresses on the network.
   const util::NetAddr redirection_addr = util::parse_netaddr("10.254.0.1");
@@ -102,6 +104,24 @@ Deployment::Deployment(DeploymentConfig config)
   redirection_.set_channel_policy_manager(services::ManagerCoordinates{cpm_addr, {}});
 
   if (config_.tracker_stale_age > 0) schedule_stale_sweep();
+  if (config_.tracing) enable_tracing();
+}
+
+void Deployment::enable_tracing() {
+  if (tracing_) return;
+  tracing_ = true;
+  trace_interceptor_ = std::make_unique<TraceInterceptor>(tracer_);
+  network_->add_interceptor(trace_interceptor_.get());
+  redirection_node_->set_tracer(&tracer_);
+  cpm_node_->set_tracer(&tracer_);
+  for (UmInstance& inst : um_instances_) inst.node->set_tracer(&tracer_);
+  for (std::vector<CmInstance>& farm : cm_instances_) {
+    for (CmInstance& inst : farm) inst.node->set_tracer(&tracer_);
+  }
+  for (auto& [id, source] : sources_) source.root->set_tracer(&tracer_);
+  for (const std::unique_ptr<AsyncClient>& client : clients_) {
+    client->bind_observability(&registry_, &tracer_);
+  }
 }
 
 void Deployment::readvertise_partition(std::uint32_t partition) {
@@ -171,6 +191,7 @@ void Deployment::start_channel_server(util::ChannelId id,
       [this, id, node = pc.node](util::NodeId, std::size_t children) {
         tracker_->update_load(id, node, children, sim_.now());
       });
+  if (tracing_) source.root->set_tracer(&tracer_);
   network_->attach(pc.node, pc.addr, source.root.get());
   tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity,
                           sim_.now());
@@ -306,6 +327,7 @@ AsyncClient& Deployment::add_client(const std::string& email,
                                     geo::RegionId region) {
   clients_.push_back(std::make_unique<AsyncClient>(
       make_client_config(email, password, region), *network_, rng_.fork()));
+  clients_.back()->bind_observability(&registry_, tracing_ ? &tracer_ : nullptr);
   return *clients_.back();
 }
 

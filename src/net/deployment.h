@@ -11,6 +11,7 @@
 
 #include "net/async_client.h"
 #include "net/service_nodes.h"
+#include "net/trace_interceptor.h"
 #include "p2p/tracker.h"
 #include "services/account_manager.h"
 #include "services/catalog.h"
@@ -45,6 +46,9 @@ struct DeploymentConfig {
   /// Forwarded to every client config: operation-level failover and
   /// automatic re-login/re-join (see AsyncClient::Config::resilience).
   bool client_resilience = false;
+  /// Capture protocol-round spans from construction on (equivalent to
+  /// calling enable_tracing() immediately). Metrics are always on.
+  bool tracing = false;
 };
 
 class Deployment {
@@ -115,6 +119,20 @@ class Deployment {
   sim::Simulation& sim() { return sim_; }
   util::SimTime now() const { return sim_.now(); }
   Network& network() { return *network_; }
+
+  // --- observability ---
+
+  /// Always-on metrics: the network, tracker, and every client feed this.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// Span log (empty until enable_tracing).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Start capturing spans: installs the trace interceptor on the network
+  /// and hands the tracer to every node and client, current and future.
+  /// Idempotent.
+  void enable_tracing();
+  bool tracing_enabled() const { return tracing_; }
   void run_until(util::SimTime t) { sim_.run_until(t); }
   /// Drain all scheduled events (careful with self-rescheduling servers:
   /// prefer run_until).
@@ -181,6 +199,12 @@ class Deployment {
   DeploymentConfig config_;
   crypto::SecureRandom rng_;
   sim::Simulation sim_;
+  /// Declared before network_ and the nodes/clients: they all hold pointers
+  /// into the registry/tracer, so these must be destroyed last.
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  std::unique_ptr<TraceInterceptor> trace_interceptor_;
+  bool tracing_ = false;
   std::unique_ptr<Network> network_;
 
   std::unique_ptr<geo::SyntheticGeo> geo_;

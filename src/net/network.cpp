@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 namespace p2pdrm::net {
 
 Network::Network(sim::Simulation& sim, LinkConfig default_link,
@@ -31,6 +33,48 @@ const LinkConfig& Network::link_of(util::NodeId id) const {
   return default_link_;
 }
 
+void Network::add_interceptor(SendInterceptor* interceptor) {
+  if (interceptor == nullptr) return;
+  if (std::find(interceptors_.begin(), interceptors_.end(), interceptor) !=
+      interceptors_.end()) {
+    return;
+  }
+  interceptors_.push_back(interceptor);
+}
+
+void Network::remove_interceptor(SendInterceptor* interceptor) {
+  interceptors_.erase(
+      std::remove(interceptors_.begin(), interceptors_.end(), interceptor),
+      interceptors_.end());
+}
+
+void Network::bind_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    m_sent_ = m_dropped_injected_ = m_dropped_link_ = m_dropped_no_dest_ =
+        m_delivered_ = nullptr;
+    return;
+  }
+  m_sent_ = &registry->counter("net.packets.sent");
+  m_dropped_injected_ = &registry->counter("net.packets.dropped.injected");
+  m_dropped_link_ = &registry->counter("net.packets.dropped.link");
+  m_dropped_no_dest_ =
+      &registry->counter("net.packets.dropped.no_destination");
+  m_delivered_ = &registry->counter("net.packets.delivered");
+  // Catch the registry up with counts accumulated before binding.
+  m_sent_->inc(sent_ - m_sent_->value());
+  m_dropped_injected_->inc(dropped_injected_ - m_dropped_injected_->value());
+  m_dropped_link_->inc(dropped_link_ - m_dropped_link_->value());
+  m_dropped_no_dest_->inc(dropped_no_dest_ - m_dropped_no_dest_->value());
+  m_delivered_->inc(delivered_ - m_delivered_->value());
+}
+
+void Network::notify_fate(const SendContext& ctx, PacketFate fate,
+                          util::SimTime delay) {
+  for (SendInterceptor* interceptor : interceptors_) {
+    interceptor->on_packet_fate(ctx, fate, delay);
+  }
+}
+
 void Network::set_clock_skew(util::NodeId id, util::SimTime skew) {
   if (skew == 0) {
     clock_skew_.erase(id);
@@ -46,22 +90,32 @@ util::SimTime Network::local_time(util::NodeId id) const {
 
 void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   ++sent_;
+  if (m_sent_ != nullptr) m_sent_->inc();
   const auto sender = nodes_.find(from);
   const util::NetAddr from_addr =
       sender != nodes_.end() ? sender->second.addr : util::NetAddr{};
+  const auto receiver = nodes_.find(to);
+  const util::NetAddr to_addr =
+      receiver != nodes_.end() ? receiver->second.addr : util::NetAddr{};
 
-  // The fault overlay sees the packet before the link's own loss model, so
-  // partition drops are counted like any other loss.
-  FaultOverlay::Verdict fault;
-  if (fault_overlay_ != nullptr) {
-    const auto receiver = nodes_.find(to);
-    const util::NetAddr to_addr =
-        receiver != nodes_.end() ? receiver->second.addr : util::NetAddr{};
-    fault = fault_overlay_->on_send(from, from_addr, to, to_addr, sim_.now());
-    if (fault.drop) {
-      ++dropped_;
-      return;
-    }
+  SendContext ctx{from, from_addr, to,          to_addr,
+                  sim_.now(),      &data,       data.size()};
+
+  // The interceptor chain sees the packet before the link's own loss model,
+  // so partition drops are counted separately from ambient loss. Every
+  // interceptor is consulted even after one votes to drop — trace capture
+  // must see the packet regardless of the fault engine's verdict.
+  SendInterceptor::Verdict combined;
+  for (SendInterceptor* interceptor : interceptors_) {
+    const SendInterceptor::Verdict v = interceptor->on_send(ctx);
+    combined.drop = combined.drop || v.drop;
+    combined.extra_delay += v.extra_delay;
+  }
+  if (combined.drop) {
+    ++dropped_injected_;
+    if (m_dropped_injected_ != nullptr) m_dropped_injected_->inc();
+    notify_fate(ctx, PacketFate::kInterceptorDropped, combined.extra_delay);
+    return;
   }
 
   // Path properties combine both endpoints' access links.
@@ -69,20 +123,31 @@ void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   const LinkConfig& in_link = link_of(to);
   const double loss = 1.0 - (1.0 - out_link.loss) * (1.0 - in_link.loss);
   if (loss > 0 && rng_.chance(loss)) {
-    ++dropped_;
+    ++dropped_link_;
+    if (m_dropped_link_ != nullptr) m_dropped_link_->inc();
+    notify_fate(ctx, PacketFate::kLinkDropped, combined.extra_delay);
     return;
   }
-  const util::SimTime delay = fault.extra_delay +
+  const util::SimTime delay = combined.extra_delay +
       out_link.latency.sample_rtt(rng_) / 2 + in_link.latency.sample_rtt(rng_) / 2;
+  notify_fate(ctx, PacketFate::kInFlight, delay);
 
   Packet packet{from, from_addr, to, std::move(data)};
-  sim_.schedule(delay, [this, packet = std::move(packet)]() mutable {
+  sim_.schedule(delay, [this, to_addr, delay,
+                        packet = std::move(packet)]() mutable {
+    SendContext arrival{packet.from, packet.from_addr, packet.to,
+                        to_addr,     sim_.now(),       &packet.data,
+                        packet.data.size()};
     const auto it = nodes_.find(packet.to);
     if (it == nodes_.end() || it->second.node == nullptr) {
-      ++dropped_;  // destination gone by arrival time
+      ++dropped_no_dest_;  // destination gone by arrival time
+      if (m_dropped_no_dest_ != nullptr) m_dropped_no_dest_->inc();
+      notify_fate(arrival, PacketFate::kNoDestination, delay);
       return;
     }
     ++delivered_;
+    if (m_delivered_ != nullptr) m_delivered_->inc();
+    notify_fate(arrival, PacketFate::kDelivered, delay);
     it->second.node->on_packet(packet);
   });
 }

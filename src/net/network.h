@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "crypto/chacha20.h"
+#include "obs/registry.h"
 #include "sim/latency.h"
 #include "sim/simulation.h"
 #include "util/ids.h"
@@ -37,21 +39,53 @@ struct LinkConfig {
   double loss = 0.0;          // per-packet drop probability
 };
 
-/// Injection seam for the fault subsystem: consulted on every send() before
-/// the link's own loss/latency model. A fault engine implements this to
-/// model partitions (unconditional drops between address groups), loss
-/// bursts, and latency spikes layered on top of the configured links.
-class FaultOverlay {
+/// Everything an interceptor can know about a packet without owning it.
+/// `data` stays valid only for the duration of the callback.
+struct SendContext {
+  util::NodeId from = util::kInvalidNode;
+  util::NetAddr from_addr;
+  util::NodeId to = util::kInvalidNode;
+  util::NetAddr to_addr;
+  util::SimTime now = 0;           // send time, or arrival time for the
+                                   // kDelivered / kNoDestination callbacks
+  const util::Bytes* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// How a send() resolved, reported to every interceptor via on_packet_fate.
+enum class PacketFate {
+  kInterceptorDropped,  // some interceptor in the chain dropped it
+  kLinkDropped,         // the links' own loss model dropped it
+  kInFlight,            // scheduled for delivery (delay = one-way latency)
+  kDelivered,           // arrived; receiver's on_packet ran
+  kNoDestination,       // arrived but the destination had detached
+};
+
+/// Injection seam consulted on every send(), in installation order, before
+/// the link's own loss/latency model. The fault subsystem implements this to
+/// model partitions, loss bursts, and latency spikes; the observability
+/// subsystem implements it to trace packet hops. Every interceptor sees
+/// every packet — verdicts combine across the chain (drop = any, delay =
+/// sum) — and every interceptor hears the packet's final fate, including
+/// drops decided by *other* interceptors.
+class SendInterceptor {
  public:
   struct Verdict {
     bool drop = false;
     util::SimTime extra_delay = 0;  // added to the sampled one-way delay
   };
 
-  virtual ~FaultOverlay() = default;
-  virtual Verdict on_send(util::NodeId from, util::NetAddr from_addr,
-                          util::NodeId to, util::NetAddr to_addr,
-                          util::SimTime now) = 0;
+  virtual ~SendInterceptor() = default;
+  virtual Verdict on_send(const SendContext& ctx) = 0;
+  /// Called once when the send resolves (dropped or in flight; for in-flight
+  /// packets `delay` is the total one-way delay), and again on arrival with
+  /// kDelivered or kNoDestination. Default: ignore.
+  virtual void on_packet_fate(const SendContext& ctx, PacketFate fate,
+                              util::SimTime delay) {
+    (void)ctx;
+    (void)fate;
+    (void)delay;
+  }
 };
 
 class Network {
@@ -76,9 +110,18 @@ class Network {
   /// Reverse lookup (exact address match).
   std::optional<util::NodeId> node_at(util::NetAddr addr) const;
 
-  /// Install (or clear, with nullptr) the fault overlay. Not owned.
-  void set_fault_overlay(FaultOverlay* overlay) { fault_overlay_ = overlay; }
-  FaultOverlay* fault_overlay() const { return fault_overlay_; }
+  /// Append an interceptor to the chain (not owned). Consulted in
+  /// installation order on every send. No-op if already installed.
+  void add_interceptor(SendInterceptor* interceptor);
+  /// Remove from the chain; safe to call for an absent interceptor.
+  void remove_interceptor(SendInterceptor* interceptor);
+  const std::vector<SendInterceptor*>& interceptors() const {
+    return interceptors_;
+  }
+
+  /// Mirror packet counters into `registry` (net.packets.*). Pass nullptr
+  /// to stop mirroring. Counts accumulated before binding are copied in.
+  void bind_registry(obs::Registry* registry);
 
   /// Clock skew: a node's local clock reads sim.now() + skew. Servers stamp
   /// and validate tickets against their *local* clock, so a skewed manager
@@ -90,8 +133,18 @@ class Network {
   sim::Simulation& sim() { return sim_; }
 
   std::uint64_t packets_sent() const { return sent_; }
-  std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t packets_dropped() const {
+    return dropped_injected_ + dropped_link_ + dropped_no_dest_;
+  }
   std::uint64_t packets_delivered() const { return delivered_; }
+
+  // Drop-cause split: interceptor-injected vs the links' own loss model vs
+  // destination gone by arrival time.
+  std::uint64_t packets_dropped_injected() const { return dropped_injected_; }
+  std::uint64_t packets_dropped_link() const { return dropped_link_; }
+  std::uint64_t packets_dropped_no_destination() const {
+    return dropped_no_dest_;
+  }
 
  private:
   struct Binding {
@@ -100,10 +153,13 @@ class Network {
     std::optional<LinkConfig> link;
   };
 
+  void notify_fate(const SendContext& ctx, PacketFate fate,
+                   util::SimTime delay);
+
   /// Skews live outside the bindings: a crashed (detached) node keeps its
   /// wrong clock across a restart, exactly like real broken hardware.
   std::map<util::NodeId, util::SimTime> clock_skew_;
-  FaultOverlay* fault_overlay_ = nullptr;
+  std::vector<SendInterceptor*> interceptors_;
 
   const LinkConfig& link_of(util::NodeId id) const;
 
@@ -113,8 +169,17 @@ class Network {
   std::map<util::NodeId, Binding> nodes_;
   std::map<std::uint32_t, util::NodeId> by_addr_;
   std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_injected_ = 0;
+  std::uint64_t dropped_link_ = 0;
+  std::uint64_t dropped_no_dest_ = 0;
   std::uint64_t delivered_ = 0;
+
+  // Registry mirrors (null until bind_registry).
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_dropped_injected_ = nullptr;
+  obs::Counter* m_dropped_link_ = nullptr;
+  obs::Counter* m_dropped_no_dest_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
 };
 
 }  // namespace p2pdrm::net

@@ -25,6 +25,24 @@ void respond_after(Network& network, util::NodeId self, util::NodeId to,
   });
 }
 
+/// Record the span of one served request: parented to the client attempt
+/// that sent it (via the tracer's request-binding table), covering
+/// [arrival, arrival + processing]. `outcome` tags the handler's verdict.
+void trace_serve(obs::Tracer* tracer, Network& network, util::NodeId self,
+                 const Packet& packet, const Envelope& env,
+                 util::SimTime processing, std::string_view outcome) {
+  if (tracer == nullptr) return;
+  const util::SimTime now = network.sim().now();
+  const obs::SpanId parent = tracer->bound_request(packet.from, env.request_id);
+  const obs::SpanId span =
+      tracer->begin_span("server", "serve " + std::string(to_string(env.kind)),
+                         self, now, parent);
+  tracer->tag(span, "from", std::to_string(packet.from));
+  const bool ok = outcome == "ok";
+  if (!outcome.empty()) tracer->tag(span, "outcome", std::string(outcome));
+  tracer->end_span(span, now + processing, ok || outcome.empty());
+}
+
 }  // namespace
 
 RedirectionNode::RedirectionNode(services::RedirectionManager& rm, Network& network,
@@ -36,8 +54,11 @@ void RedirectionNode::on_packet(const Packet& packet) {
   if (!env || env->kind != MsgKind::kRedirectRequest) return;
   try {
     const auto req = services::RedirectRequest::decode(env->payload);
+    const auto resp = rm_.handle_lookup(req);
+    trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
+                resp.found ? "ok" : "unknown-user");
     respond_after(network_, self_, packet.from, MsgKind::kRedirectResponse,
-                  env->request_id, rm_.handle_lookup(req).encode(), processing_.light);
+                  env->request_id, resp.encode(), processing_.light);
   } catch (const util::WireError&) {
   }
 }
@@ -54,18 +75,20 @@ void UserManagerNode::on_packet(const Packet& packet) {
     switch (env->kind) {
       case MsgKind::kLogin1Request: {
         const auto req = core::Login1Request::decode(env->payload);
+        const auto resp = um_.handle_login1(req, packet.from_addr, now);
+        trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
+                    core::to_string(resp.error));
         respond_after(network_, self_, packet.from, MsgKind::kLogin1Response,
-                      env->request_id,
-                      um_.handle_login1(req, packet.from_addr, now).encode(),
-                      processing_.light);
+                      env->request_id, resp.encode(), processing_.light);
         return;
       }
       case MsgKind::kLogin2Request: {
         const auto req = core::Login2Request::decode(env->payload);
+        const auto resp = um_.handle_login2(req, packet.from_addr, now);
+        trace_serve(tracer_, network_, self_, packet, *env, processing_.heavy,
+                    core::to_string(resp.error));
         respond_after(network_, self_, packet.from, MsgKind::kLogin2Response,
-                      env->request_id,
-                      um_.handle_login2(req, packet.from_addr, now).encode(),
-                      processing_.heavy);
+                      env->request_id, resp.encode(), processing_.heavy);
         return;
       }
       default:
@@ -85,10 +108,11 @@ void ChannelPolicyNode::on_packet(const Packet& packet) {
   if (!env || env->kind != MsgKind::kChannelListRequest) return;
   try {
     const auto req = core::ChannelListRequest::decode(env->payload);
+    const auto resp = cpm_.handle_channel_list(req, network_.local_time(self_));
+    trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
+                core::to_string(resp.error));
     respond_after(network_, self_, packet.from, MsgKind::kChannelListResponse,
-                  env->request_id,
-                  cpm_.handle_channel_list(req, network_.local_time(self_)).encode(),
-                  processing_.light);
+                  env->request_id, resp.encode(), processing_.light);
   } catch (const util::WireError&) {
   }
 }
@@ -105,18 +129,20 @@ void ChannelManagerNode::on_packet(const Packet& packet) {
     switch (env->kind) {
       case MsgKind::kSwitch1Request: {
         const auto req = core::Switch1Request::decode(env->payload);
+        const auto resp = cm_.handle_switch1(req, packet.from_addr, now);
+        trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
+                    core::to_string(resp.error));
         respond_after(network_, self_, packet.from, MsgKind::kSwitch1Response,
-                      env->request_id,
-                      cm_.handle_switch1(req, packet.from_addr, now).encode(),
-                      processing_.light);
+                      env->request_id, resp.encode(), processing_.light);
         return;
       }
       case MsgKind::kSwitch2Request: {
         const auto req = core::Switch2Request::decode(env->payload);
+        const auto resp = cm_.handle_switch2(req, packet.from_addr, now);
+        trace_serve(tracer_, network_, self_, packet, *env, processing_.heavy,
+                    core::to_string(resp.error));
         respond_after(network_, self_, packet.from, MsgKind::kSwitch2Response,
-                      env->request_id,
-                      cm_.handle_switch2(req, packet.from_addr, now).encode(),
-                      processing_.heavy);
+                      env->request_id, resp.encode(), processing_.heavy);
         return;
       }
       default:
@@ -140,6 +166,8 @@ void PeerNode::on_packet(const Packet& packet) {
         const auto req = core::JoinRequest::decode(env->payload);
         const core::JoinResponse resp =
             peer_->handle_join(req, packet.from_addr, packet.from, now);
+        trace_serve(tracer_, network_, id(), packet, *env, processing_.heavy,
+                    core::to_string(resp.error));
         respond_after(network_, id(), packet.from, MsgKind::kJoinResponse,
                       env->request_id, resp.encode(), processing_.heavy);
         if (resp.error == core::DrmError::kOk && join_observer_) {

@@ -12,6 +12,7 @@
 
 #include "net/envelope.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "p2p/peer.h"
 #include "services/channel_manager.h"
 #include "services/channel_policy_manager.h"
@@ -33,8 +34,11 @@ class RedirectionNode final : public Node {
   RedirectionNode(services::RedirectionManager& rm, Network& network,
                   util::NodeId self, ProcessingModel processing = {});
   void on_packet(const Packet& packet) override;
+  /// Record a serve span per handled request (null to disable).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  obs::Tracer* tracer_ = nullptr;
   services::RedirectionManager& rm_;
   Network& network_;
   util::NodeId self_;
@@ -46,8 +50,11 @@ class UserManagerNode final : public Node {
   UserManagerNode(services::UserManager& um, Network& network, util::NodeId self,
                   ProcessingModel processing = {});
   void on_packet(const Packet& packet) override;
+  /// Record a serve span per handled request (null to disable).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  obs::Tracer* tracer_ = nullptr;
   services::UserManager& um_;
   Network& network_;
   util::NodeId self_;
@@ -59,8 +66,11 @@ class ChannelPolicyNode final : public Node {
   ChannelPolicyNode(services::ChannelPolicyManager& cpm, Network& network,
                     util::NodeId self, ProcessingModel processing = {});
   void on_packet(const Packet& packet) override;
+  /// Record a serve span per handled request (null to disable).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  obs::Tracer* tracer_ = nullptr;
   services::ChannelPolicyManager& cpm_;
   Network& network_;
   util::NodeId self_;
@@ -72,8 +82,11 @@ class ChannelManagerNode final : public Node {
   ChannelManagerNode(services::ChannelManager& cm, Network& network, util::NodeId self,
                      ProcessingModel processing = {});
   void on_packet(const Packet& packet) override;
+  /// Record a serve span per handled request (null to disable).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  obs::Tracer* tracer_ = nullptr;
   services::ChannelManager& cm_;
   Network& network_;
   util::NodeId self_;
@@ -101,6 +114,8 @@ class PeerNode : public Node {
   util::NodeId id() const { return peer_->config().node; }
 
   void set_content_sink(ContentSink sink) { content_sink_ = std::move(sink); }
+  /// Record a serve span per handled join/renewal (null to disable).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   void set_join_observer(JoinObserver observer) { join_observer_ = std::move(observer); }
 
   /// Push a key blob to every child (root use; relays do it on receipt).
@@ -117,6 +132,7 @@ class PeerNode : public Node {
  private:
   std::unique_ptr<p2p::Peer> peer_;
   Network& network_;
+  obs::Tracer* tracer_ = nullptr;
   ProcessingModel processing_;
   ContentSink content_sink_;
   JoinObserver join_observer_;

@@ -1,0 +1,52 @@
+#include "net/trace_interceptor.h"
+
+namespace p2pdrm::net {
+namespace {
+
+const char* fate_name(PacketFate fate) {
+  switch (fate) {
+    case PacketFate::kInterceptorDropped: return "injected-drop";
+    case PacketFate::kLinkDropped: return "link-drop";
+    case PacketFate::kInFlight: return "in-flight";
+    case PacketFate::kDelivered: return "delivered";
+    case PacketFate::kNoDestination: return "no-destination";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TraceInterceptor::Verdict TraceInterceptor::on_send(const SendContext&) {
+  return {};  // observe only
+}
+
+void TraceInterceptor::on_packet_fate(const SendContext& ctx, PacketFate fate,
+                                      util::SimTime delay) {
+  // One span per *final* fate; the in-flight notification is skipped so a
+  // delivered packet yields exactly one hop span covering its flight.
+  if (fate == PacketFate::kInFlight) return;
+
+  std::string name = "hop ?";
+  obs::SpanId parent = 0;
+  if (ctx.data != nullptr) {
+    if (const auto env = Envelope::decode(*ctx.data)) {
+      name = "hop " + std::string(to_string(env->kind));
+      parent = tracer_.bound_request(ctx.from, env->request_id);
+      if (parent == 0) parent = tracer_.bound_request(ctx.to, env->request_id);
+    }
+  }
+
+  const bool arrived = fate == PacketFate::kDelivered;
+  const util::SimTime start =
+      fate == PacketFate::kDelivered || fate == PacketFate::kNoDestination
+          ? ctx.now - delay  // arrival-time callback; span covers the flight
+          : ctx.now;         // dropped at send time: zero-length span
+  const obs::SpanId span =
+      tracer_.begin_span("net", std::move(name), ctx.from, start, parent);
+  tracer_.tag(span, "fate", fate_name(fate));
+  tracer_.tag(span, "to", std::to_string(ctx.to));
+  tracer_.tag(span, "bytes", std::to_string(ctx.bytes));
+  tracer_.end_span(span, ctx.now, arrived);
+}
+
+}  // namespace p2pdrm::net

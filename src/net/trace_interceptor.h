@@ -1,0 +1,31 @@
+// Network-hop trace capture: a SendInterceptor that records one span per
+// packet fate. It never alters a verdict — it rides the chain purely for
+// visibility, so a run traces identically with or without a fault engine
+// installed ahead of it.
+//
+// Each hop span is parented to the client attempt that put the request id
+// in flight (looked up in the tracer's request-binding table under the
+// sender, then the receiver — responses travel server->client), so injected
+// drops, link losses, and deliveries all land under the protocol round that
+// suffered them without any wire-format change.
+#pragma once
+
+#include "net/envelope.h"
+#include "net/network.h"
+#include "obs/trace.h"
+
+namespace p2pdrm::net {
+
+class TraceInterceptor final : public SendInterceptor {
+ public:
+  explicit TraceInterceptor(obs::Tracer& tracer) : tracer_(tracer) {}
+
+  Verdict on_send(const SendContext& ctx) override;
+  void on_packet_fate(const SendContext& ctx, PacketFate fate,
+                      util::SimTime delay) override;
+
+ private:
+  obs::Tracer& tracer_;
+};
+
+}  // namespace p2pdrm::net

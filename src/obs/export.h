@@ -1,0 +1,33 @@
+// Exporters for the observability subsystem. All output is byte-stable:
+// fixed printf formatting, span/metric iteration in deterministic order —
+// two runs of the same seed export identical bytes (asserted by test).
+//
+//  - spans_to_jsonl:        one JSON object per span, id order. The
+//                           grep/jq-friendly archival format.
+//  - spans_to_chrome_trace: Chrome trace_event JSON ("traceEvents" array),
+//                           loadable in about:tracing or Perfetto; spans
+//                           become complete ("X") slices keyed pid=actor,
+//                           span events become instant ("i") markers.
+//  - histograms_to_csv:     per-histogram quantile summary table.
+//  - histogram_buckets_to_csv: full bucket dump of one histogram (plotting
+//                           CDFs outside the repo).
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace p2pdrm::obs {
+
+std::string spans_to_jsonl(const Tracer& tracer);
+std::string spans_to_chrome_trace(const Tracer& tracer);
+
+std::string histograms_to_csv(const Registry& registry);
+std::string histogram_buckets_to_csv(const std::string& name,
+                                     const LatencyHistogram& histogram);
+
+/// JSON string escaping (exposed for the exporters' tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace p2pdrm::obs

@@ -1,0 +1,76 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+
+namespace p2pdrm::obs {
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Counter& Registry::counter(const std::string& family, const std::string& label) {
+  return counters_[family + "{" + label + "}"];
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+LatencyHistogram& Registry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const LatencyHistogram* Registry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::family(
+    const std::string& family) const {
+  std::vector<std::pair<std::string, const Counter*>> out;
+  const std::string prefix = family + "{";
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->first.back() != '}') continue;
+    out.emplace_back(it->first.substr(prefix.size(),
+                                      it->first.size() - prefix.size() - 1),
+                     &it->second);
+  }
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string Registry::to_string() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s=%lld\n", name.c_str(),
+                  static_cast<long long>(g.value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf), "%s count=%llu p50=%.0f p95=%.0f p99=%.0f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.p50(), h.p95(), h.p99());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::obs

@@ -1,0 +1,81 @@
+// Metrics registry: named counters, gauges, and log-bucketed latency
+// histograms, created on first use and held for the registry's lifetime.
+//
+// The registry is the one place an operator dashboard (or a bench harness)
+// scrapes; components hold plain references to their metrics, so the hot
+// path is a single integer bump. Names are free-form dotted strings
+// ("net.packets.sent"); *families* are labelled counter sets rendered as
+// "family{label}" ("um.login1{ok}", "um.login1{access-denied}") — the shape
+// per-DrmError operational counters use. Iteration order is the map's
+// lexicographic name order, so every rendering is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace p2pdrm::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Registry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (node-based map storage).
+  Counter& counter(const std::string& name);
+  /// Labelled member of a counter family, stored as "family{label}".
+  Counter& counter(const std::string& family, const std::string& label);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Read-only lookups: nullptr when the metric was never created.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const LatencyHistogram* find_histogram(const std::string& name) const;
+
+  /// A family's members in label order: (label, counter) pairs.
+  std::vector<std::pair<std::string, const Counter*>> family(
+      const std::string& family) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Zero every metric; names stay registered (references stay valid).
+  void reset();
+
+  /// Deterministic "name=value" dump, one metric per line; histograms
+  /// render count/p50/p95/p99.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace p2pdrm::obs

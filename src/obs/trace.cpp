@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+namespace p2pdrm::obs {
+
+SpanId Tracer::begin_span(std::string category, std::string name,
+                          std::uint64_t actor, util::SimTime now, SpanId parent) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent;
+  span.category = std::move(category);
+  span.name = std::move(name);
+  span.actor = actor;
+  span.start = now;
+  span.end = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+Span* Tracer::mutable_span(SpanId span) {
+  if (span == 0 || span > spans_.size()) return nullptr;
+  return &spans_[span - 1];
+}
+
+void Tracer::tag(SpanId span, std::string key, std::string value) {
+  if (Span* s = mutable_span(span)) {
+    s->tags.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void Tracer::event(SpanId span, util::SimTime now, std::string name,
+                   std::string detail) {
+  if (Span* s = mutable_span(span)) {
+    s->events.push_back(SpanEvent{now, std::move(name), std::move(detail)});
+  }
+}
+
+void Tracer::end_span(SpanId span, util::SimTime now, bool ok) {
+  if (Span* s = mutable_span(span)) {
+    s->end = now;
+    s->open = false;
+    s->ok = ok;
+  }
+}
+
+void Tracer::bind_request(std::uint64_t actor, std::uint64_t request_id,
+                          SpanId span) {
+  inflight_[{actor, request_id}] = span;
+}
+
+SpanId Tracer::bound_request(std::uint64_t actor, std::uint64_t request_id) const {
+  const auto it = inflight_.find({actor, request_id});
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+void Tracer::unbind_request(std::uint64_t actor, std::uint64_t request_id) {
+  inflight_.erase({actor, request_id});
+}
+
+const Span* Tracer::find(SpanId span) const {
+  if (span == 0 || span > spans_.size()) return nullptr;
+  return &spans_[span - 1];
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t open = 0;
+  for (const Span& s : spans_) {
+    if (s.open) ++open;
+  }
+  return open;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  inflight_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace p2pdrm::obs

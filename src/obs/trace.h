@@ -1,0 +1,93 @@
+// Deterministic protocol-round tracing.
+//
+// A Span is one timed piece of work — a client's LOGIN1 exchange, one
+// transmission attempt within it, the farm instance serving the request, a
+// packet's flight across the simulated network — with a parent link, so one
+// protocol round traces end-to-end from the AsyncClient through retransmits
+// and hops to the manager that answered. Spans carry ordered key=value tags
+// and instant events (retransmissions, injected drops).
+//
+// All timestamps come from the simulation clock, span ids are assigned in
+// creation order, and tags/events keep insertion order, so two runs of the
+// same seed export byte-identical traces (asserted by test).
+//
+// The request-binding table is how spans link up across components without
+// touching the wire format: the client binds its in-flight attempt span
+// under (node, request id); the network and the serving node look the
+// binding up from the envelope they already parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace p2pdrm::obs {
+
+/// Index+1 into the tracer's span log; 0 = "no span" (every operation on
+/// span 0 is a no-op, so call sites need no null checks).
+using SpanId = std::uint64_t;
+
+struct SpanEvent {
+  util::SimTime at = 0;
+  std::string name;
+  std::string detail;
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string category;  // "client" | "server" | "net"
+  std::string name;      // "LOGIN1", "serve login1-req", "hop content", ...
+  std::uint64_t actor = 0;  // node id of the component doing the work
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  bool open = true;
+  bool ok = true;
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::vector<SpanEvent> events;
+};
+
+class Tracer {
+ public:
+  SpanId begin_span(std::string category, std::string name, std::uint64_t actor,
+                    util::SimTime now, SpanId parent = 0);
+  void tag(SpanId span, std::string key, std::string value);
+  void event(SpanId span, util::SimTime now, std::string name,
+             std::string detail = {});
+  void end_span(SpanId span, util::SimTime now, bool ok = true);
+
+  // --- request correlation (client node, request id) -> in-flight span ---
+
+  void bind_request(std::uint64_t actor, std::uint64_t request_id, SpanId span);
+  /// 0 when nothing is bound.
+  SpanId bound_request(std::uint64_t actor, std::uint64_t request_id) const;
+  void unbind_request(std::uint64_t actor, std::uint64_t request_id);
+
+  // --- inspection / export ---
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* find(SpanId span) const;
+  std::size_t open_spans() const;
+
+  /// Hard cap on retained spans; begin_span beyond it returns 0 and counts
+  /// the drop (long content-heavy runs stay bounded in memory).
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t spans_dropped() const { return dropped_; }
+
+  void clear();
+
+ private:
+  Span* mutable_span(SpanId span);
+
+  std::vector<Span> spans_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SpanId> inflight_;
+  std::size_t capacity_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace p2pdrm::obs

@@ -6,9 +6,31 @@ namespace p2pdrm::p2p {
 
 Tracker::Tracker(crypto::SecureRandom rng) : rng_(std::move(rng)) {}
 
+void Tracker::bind_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    m_announcements_ = m_load_updates_ = m_unregisters_ = m_evictions_ =
+        m_samples_ = nullptr;
+    m_peers_ = nullptr;
+    return;
+  }
+  m_announcements_ = &registry->counter("tracker.announcements");
+  m_load_updates_ = &registry->counter("tracker.load_updates");
+  m_unregisters_ = &registry->counter("tracker.unregisters");
+  m_evictions_ = &registry->counter("tracker.evictions");
+  m_samples_ = &registry->counter("tracker.samples");
+  m_peers_ = &registry->gauge("tracker.peers");
+  std::size_t peers = 0;
+  for (const auto& [channel, members] : channels_) peers += members.size();
+  m_peers_->set(static_cast<std::int64_t>(peers));
+}
+
 void Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
                             std::size_t capacity, util::SimTime now) {
-  channels_[channel][info.node] = PeerState{info, capacity, 0, now};
+  auto& members = channels_[channel];
+  const bool fresh = !members.contains(info.node);
+  members[info.node] = PeerState{info, capacity, 0, now};
+  if (m_announcements_ != nullptr) m_announcements_->inc();
+  if (fresh && m_peers_ != nullptr) m_peers_->add(1);
 }
 
 void Tracker::update_load(util::ChannelId channel, util::NodeId node,
@@ -19,19 +41,25 @@ void Tracker::update_load(util::ChannelId channel, util::NodeId node,
   if (it == ch_it->second.end()) return;
   it->second.children = children;
   if (now > it->second.last_seen) it->second.last_seen = now;
+  if (m_load_updates_ != nullptr) m_load_updates_->inc();
 }
 
 void Tracker::unregister_peer(util::ChannelId channel, util::NodeId node) {
   const auto ch_it = channels_.find(channel);
   if (ch_it == channels_.end()) return;
-  ch_it->second.erase(node);
+  const std::size_t erased = ch_it->second.erase(node);
   if (ch_it->second.empty()) channels_.erase(ch_it);
+  if (erased > 0) {
+    if (m_unregisters_ != nullptr) m_unregisters_->inc();
+    if (m_peers_ != nullptr) m_peers_->add(-1);
+  }
 }
 
 std::vector<core::PeerInfo> Tracker::sample_peers(util::ChannelId channel,
                                                   std::size_t max_peers,
                                                   util::NetAddr requester) {
   std::vector<core::PeerInfo> out;
+  if (m_samples_ != nullptr) m_samples_->inc();
   const auto ch_it = channels_.find(channel);
   if (ch_it == channels_.end()) return out;
 
@@ -61,6 +89,10 @@ std::size_t Tracker::evict_stale(util::SimTime cutoff) {
       return entry.second.last_seen < cutoff;
     });
     ch_it = ch_it->second.empty() ? channels_.erase(ch_it) : std::next(ch_it);
+  }
+  if (evicted > 0) {
+    if (m_evictions_ != nullptr) m_evictions_->inc(evicted);
+    if (m_peers_ != nullptr) m_peers_->add(-static_cast<std::int64_t>(evicted));
   }
   return evicted;
 }

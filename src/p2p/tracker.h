@@ -12,6 +12,7 @@
 
 #include "core/messages.h"
 #include "crypto/chacha20.h"
+#include "obs/registry.h"
 #include "services/channel_manager.h"
 #include "util/ids.h"
 
@@ -49,6 +50,10 @@ class Tracker : public services::PeerDirectory {
   /// Fraction of total capacity currently used on a channel (0 if empty).
   double utilization(util::ChannelId channel) const;
 
+  /// Mirror directory activity into `registry` (tracker.* counters; the
+  /// live membership size as a gauge). Pass nullptr to stop.
+  void bind_registry(obs::Registry* registry);
+
  private:
   struct PeerState {
     core::PeerInfo info;
@@ -59,6 +64,14 @@ class Tracker : public services::PeerDirectory {
 
   std::map<util::ChannelId, std::map<util::NodeId, PeerState>> channels_;
   crypto::SecureRandom rng_;
+
+  // Registry mirrors (null until bind_registry).
+  obs::Counter* m_announcements_ = nullptr;
+  obs::Counter* m_load_updates_ = nullptr;
+  obs::Counter* m_unregisters_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_samples_ = nullptr;
+  obs::Gauge* m_peers_ = nullptr;
 };
 
 }  // namespace p2pdrm::p2p

@@ -2,21 +2,52 @@
 
 namespace p2pdrm::services {
 
-void OpsCounters::merge(const OpsCounters& other) {
-  total_ += other.total_;
-  for (const auto& [outcome, count] : other.by_outcome_) by_outcome_[outcome] += count;
+namespace {
+
+/// Every DrmError value, in enum order — the iteration order of the old
+/// map-based implementation, which to_string and merge must preserve.
+constexpr core::DrmError kAllOutcomes[] = {
+    core::DrmError::kOk,            core::DrmError::kUnknownUser,
+    core::DrmError::kBadCredentials, core::DrmError::kAttestationFailed,
+    core::DrmError::kVersionTooOld, core::DrmError::kBadTicket,
+    core::DrmError::kTicketExpired, core::DrmError::kAddressMismatch,
+    core::DrmError::kAccessDenied,  core::DrmError::kUnknownChannel,
+    core::DrmError::kRenewalRefused, core::DrmError::kChallengeInvalid,
+    core::DrmError::kNoCapacity,    core::DrmError::kWrongChannel,
+    core::DrmError::kWrongPartition, core::DrmError::kWrongDomain,
+};
+
+}  // namespace
+
+std::uint64_t OpsCounters::count(core::DrmError outcome) const {
+  const obs::Counter* c = registry_.find_counter(
+      "ops{" + std::string(core::to_string(outcome)) + "}");
+  return c == nullptr ? 0 : c->value();
 }
 
-void OpsCounters::reset() {
-  total_ = 0;
-  by_outcome_.clear();
+void OpsCounters::merge(const OpsCounters& other) {
+  // Snapshot first so merging a counter set into itself doubles it rather
+  // than reading values mid-mutation.
+  std::uint64_t counts[std::size(kAllOutcomes)];
+  for (std::size_t i = 0; i < std::size(kAllOutcomes); ++i) {
+    counts[i] = other.count(kAllOutcomes[i]);
+  }
+  const std::uint64_t other_total = other.total();
+  registry_.counter("ops.total").inc(other_total);
+  for (std::size_t i = 0; i < std::size(kAllOutcomes); ++i) {
+    if (counts[i] == 0) continue;
+    registry_.counter("ops", std::string(core::to_string(kAllOutcomes[i])))
+        .inc(counts[i]);
+  }
 }
 
 std::string OpsCounters::to_string() const {
   std::string out;
-  for (const auto& [outcome, count] : by_outcome_) {
+  for (const core::DrmError outcome : kAllOutcomes) {
+    const std::uint64_t n = count(outcome);
+    if (n == 0) continue;
     if (!out.empty()) out += " ";
-    out += std::string(core::to_string(outcome)) + "=" + std::to_string(count);
+    out += std::string(core::to_string(outcome)) + "=" + std::to_string(n);
   }
   return out.empty() ? "(no requests)" : out;
 }

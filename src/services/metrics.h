@@ -1,32 +1,38 @@
 // Operational counters for the manager farms. Aggregated in the shared
 // domain/partition state, so a farm of instances reports as one logical
 // manager (§V) — what an operator's dashboard would scrape.
+//
+// A thin facade over an obs::Registry counter family: each DrmError outcome
+// is one labelled member of the "ops" family ("ops{ok}",
+// "ops{access-denied}", ...), so the same counts the legacy accessors
+// expose are also scrapeable through the registry's uniform rendering.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "core/messages.h"
+#include "obs/registry.h"
 
 namespace p2pdrm::services {
 
 class OpsCounters {
  public:
   void record(core::DrmError outcome) {
-    ++total_;
-    ++by_outcome_[outcome];
+    registry_.counter("ops.total").inc();
+    registry_.counter("ops", std::string(core::to_string(outcome))).inc();
   }
 
-  std::uint64_t total() const { return total_; }
-  std::uint64_t count(core::DrmError outcome) const {
-    const auto it = by_outcome_.find(outcome);
-    return it == by_outcome_.end() ? 0 : it->second;
+  std::uint64_t total() const {
+    const obs::Counter* c = registry_.find_counter("ops.total");
+    return c == nullptr ? 0 : c->value();
   }
+  std::uint64_t count(core::DrmError outcome) const;
   std::uint64_t successes() const { return count(core::DrmError::kOk); }
   double success_rate() const {
-    return total_ == 0 ? 0.0
-                       : static_cast<double>(successes()) / static_cast<double>(total_);
+    const std::uint64_t n = total();
+    return n == 0 ? 0.0
+                  : static_cast<double>(successes()) / static_cast<double>(n);
   }
 
   /// Fold another instance's counts into this one. Farm aggregation: after
@@ -35,14 +41,19 @@ class OpsCounters {
   void merge(const OpsCounters& other);
 
   /// Zero every counter (an instance restarting with fresh state).
-  void reset();
+  void reset() { registry_.reset(); }
 
-  /// "ok=120 access-denied=3 ticket-expired=1" style rendering.
+  /// "ok=120 access-denied=3 ticket-expired=1" style rendering, outcomes in
+  /// enum order, zero counts omitted.
   std::string to_string() const;
 
+  /// The backing registry, for callers that want the uniform rendering or
+  /// the family view ("ops{<outcome>}" counters plus "ops.total").
+  const obs::Registry& registry() const { return registry_; }
+
  private:
-  std::uint64_t total_ = 0;
-  std::map<core::DrmError, std::uint64_t> by_outcome_;
+  /// Held by value: OpsCounters lives inside copyable report structs.
+  obs::Registry registry_;
 };
 
 }  // namespace p2pdrm::services

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <queue>
 
 namespace p2pdrm::sim {
@@ -15,6 +16,21 @@ std::string_view to_string(ProtocolRound r) {
     case ProtocolRound::kJoin: return "JOIN";
   }
   return "?";
+}
+
+std::string hourly_histogram_name(ProtocolRound r, std::size_t hour) {
+  char hour_tag[16];
+  std::snprintf(hour_tag, sizeof(hour_tag), ".hour%03zu", hour);
+  return "macro.round." + std::string(to_string(r)) + hour_tag;
+}
+
+std::string split_histogram_name(ProtocolRound r, bool peak) {
+  return "macro.round." + std::string(to_string(r)) +
+         (peak ? ".peak" : ".offpeak");
+}
+
+std::string round_histogram_name(ProtocolRound r) {
+  return "macro.round." + std::string(to_string(r));
 }
 
 std::vector<double> RoundTrace::hourly_median() const {
@@ -73,6 +89,7 @@ class Engine {
         um_(config.user_manager_servers), cm_(config.channel_manager_servers),
         horizon_(static_cast<util::SimTime>(config.days) * util::kDay) {
     const std::size_t hours = static_cast<std::size_t>(cfg_.days) * 24;
+    result_.registry = std::make_shared<obs::Registry>();
     for (std::size_t r = 0; r < kNumRounds; ++r) {
       RoundTrace& trace = result_.rounds[r];
       trace.hourly.reserve(hours);
@@ -81,6 +98,21 @@ class Engine {
       }
       trace.peak = analysis::Reservoir(cfg_.reservoir_cdf, cfg_.seed + 77 + r);
       trace.offpeak = analysis::Reservoir(cfg_.reservoir_cdf, cfg_.seed + 177 + r);
+
+      // Histogram twins, with the pointers cached: record() runs ~80M times
+      // at paper scale, far too hot for name lookups.
+      const ProtocolRound round = static_cast<ProtocolRound>(r);
+      hist_hourly_[r].reserve(hours);
+      for (std::size_t h = 0; h < hours; ++h) {
+        hist_hourly_[r].push_back(
+            &result_.registry->histogram(hourly_histogram_name(round, h)));
+      }
+      hist_peak_[r] =
+          &result_.registry->histogram(split_histogram_name(round, true));
+      hist_offpeak_[r] =
+          &result_.registry->histogram(split_histogram_name(round, false));
+      hist_all_[r] =
+          &result_.registry->histogram(round_histogram_name(round));
     }
     concurrency_integral_.assign(hours, 0.0);
   }
@@ -185,12 +217,17 @@ class Engine {
   }
 
   void record(ProtocolRound r, util::SimTime latency) {
-    RoundTrace& trace = result_.rounds[static_cast<std::size_t>(r)];
+    const std::size_t ri = static_cast<std::size_t>(r);
+    RoundTrace& trace = result_.rounds[ri];
     const double seconds = util::to_seconds(latency);
     const std::size_t hour = static_cast<std::size_t>(now_ / util::kHour);
+    const bool peak = util::hour_of_day(now_) >= 18;
     if (hour < trace.hourly.size()) trace.hourly[hour].add(seconds);
-    (util::hour_of_day(now_) >= 18 ? trace.peak : trace.offpeak).add(seconds);
+    (peak ? trace.peak : trace.offpeak).add(seconds);
     ++trace.count;
+    if (hour < hist_hourly_[ri].size()) hist_hourly_[ri][hour]->record(latency);
+    (peak ? hist_peak_[ri] : hist_offpeak_[ri])->record(latency);
+    hist_all_[ri]->record(latency);
   }
 
   // --- round plumbing ---
@@ -400,6 +437,11 @@ class Engine {
   std::vector<double> concurrency_integral_;
 
   MacroSimResult result_;
+  /// Cached pointers into result_.registry (see record()).
+  std::array<std::vector<obs::LatencyHistogram*>, kNumRounds> hist_hourly_;
+  std::array<obs::LatencyHistogram*, kNumRounds> hist_peak_ = {};
+  std::array<obs::LatencyHistogram*, kNumRounds> hist_offpeak_ = {};
+  std::array<obs::LatencyHistogram*, kNumRounds> hist_all_ = {};
 };
 
 }  // namespace

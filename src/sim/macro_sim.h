@@ -18,9 +18,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/stats.h"
+#include "obs/registry.h"
 #include "sim/latency.h"
 #include "util/time.h"
 #include "workload/workload.h"
@@ -113,8 +116,21 @@ struct RoundTrace {
   std::vector<double> hourly_median() const;
 };
 
+/// Registry metric names used by the macro-sim (and the Fig. 5/6 benches):
+/// per-round per-hour latency histograms, the paper's peak/off-peak split,
+/// and a whole-run histogram per round. Values are recorded in microseconds.
+std::string hourly_histogram_name(ProtocolRound r, std::size_t hour);
+std::string split_histogram_name(ProtocolRound r, bool peak);
+std::string round_histogram_name(ProtocolRound r);
+
 struct MacroSimResult {
   std::array<RoundTrace, kNumRounds> rounds;
+  /// Bucketed latency histograms for every round (hourly + peak/off-peak +
+  /// whole-run, see the *_histogram_name helpers): the registry-backed twin
+  /// of the sampling reservoirs above. Quantiles agree with the reservoirs
+  /// within bucket resolution without storing a single sample. Shared so the
+  /// result stays copyable.
+  std::shared_ptr<obs::Registry> registry;
   /// Time-weighted mean concurrency per sim hour.
   std::vector<double> hourly_concurrency;
   std::uint64_t sessions = 0;

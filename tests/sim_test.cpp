@@ -288,6 +288,53 @@ TEST(MacroSimTest, JoinRetriesScaleWithLoadSensitivity) {
   EXPECT_GT(run_macro_sim(congested).join_retries, 1000u);
 }
 
+TEST(MacroSimTest, RegistryHistogramsAgreeWithReservoirs) {
+  // The registry's bucketed histograms are the reservoirs' replacement for
+  // the Fig. 5/6 benches: same latencies, different estimator. Quantiles
+  // must agree within the combined error budget — 1/16 relative from the
+  // bucket midpoint plus reservoir sampling noise.
+  const MacroSimResult result = run_macro_sim(small_config());
+  ASSERT_NE(result.registry, nullptr);
+  for (std::size_t ri = 0; ri < kNumRounds; ++ri) {
+    const auto r = static_cast<ProtocolRound>(ri);
+    const RoundTrace& trace = result.rounds[ri];
+
+    const obs::LatencyHistogram* all =
+        result.registry->find_histogram(round_histogram_name(r));
+    const obs::LatencyHistogram* peak =
+        result.registry->find_histogram(split_histogram_name(r, true));
+    const obs::LatencyHistogram* offpeak =
+        result.registry->find_histogram(split_histogram_name(r, false));
+    ASSERT_NE(all, nullptr) << to_string(r);
+    ASSERT_NE(peak, nullptr) << to_string(r);
+    ASSERT_NE(offpeak, nullptr) << to_string(r);
+
+    // The histograms saw every recorded round, unsampled.
+    EXPECT_EQ(all->count(), trace.count) << to_string(r);
+    EXPECT_EQ(peak->count() + offpeak->count(), trace.count) << to_string(r);
+    EXPECT_GE(peak->count(), trace.peak.seen()) << to_string(r);
+
+    for (const double q : {0.5, 0.9}) {
+      const double res_s = trace.peak.quantile(q);           // seconds
+      const double hist_s = peak->quantile(q) * 1e-6;        // us -> s
+      EXPECT_NEAR(hist_s, res_s, res_s * 0.15 + 0.001)
+          << to_string(r) << " q=" << q;
+    }
+
+    // Spot-check an evening-peak hour of the per-hour series too.
+    const std::size_t hour = 20;
+    ASSERT_LT(hour, trace.hourly.size());
+    const obs::LatencyHistogram* hourly =
+        result.registry->find_histogram(hourly_histogram_name(r, hour));
+    ASSERT_NE(hourly, nullptr) << to_string(r);
+    if (!trace.hourly[hour].empty()) {
+      const double res_s = trace.hourly[hour].median();
+      EXPECT_NEAR(hourly->p50() * 1e-6, res_s, res_s * 0.15 + 0.001)
+          << to_string(r);
+    }
+  }
+}
+
 TEST(MacroSimTest, UndersizedFarmSaturates) {
   // Ablation sanity: strip the farm down and crank the crypto cost; now
   // latency *does* track load (what the paper's design avoids).
