@@ -62,14 +62,26 @@ void print_correlation(const sim::MacroSimResult& result, sim::ProtocolRound r,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Fig. 5 — median protocol latency vs. concurrent users (1 week)");
-  const sim::MacroSimConfig cfg = bench::paper_config();
+  sim::MacroSimConfig cfg = bench::paper_config();
   std::printf("# days=%d peak_concurrent=%.0f UMs=%zu CMs=%zu seed=%llu\n", cfg.days,
               cfg.peak_concurrent, cfg.user_manager_servers,
               cfg.channel_manager_servers,
               static_cast<unsigned long long>(cfg.seed));
+
+  // Observability riders: SLO/load-correlation monitor and time-series
+  // scraping always; span capture only when a trace sink is requested
+  // (Fig 5's latency numbers are identical either way — the hooks draw no
+  // randomness).
+  const std::string trace_out =
+      bench::out_path(argc, argv, "--trace-out", "P2PDRM_TRACE_OUT");
+  const std::string ts_out =
+      bench::out_path(argc, argv, "--timeseries-out", "P2PDRM_TS_OUT");
+  bench::MacroObs obs;
+  obs.attach(cfg, /*trace=*/!trace_out.empty());
+  cfg.key_rotation.enabled = true;
 
   const sim::MacroSimResult result = sim::run_macro_sim(cfg);
   bench::print_run_summary(result);
@@ -95,5 +107,7 @@ int main() {
                                          result.hourly_concurrency.end());
   std::printf("\nconcurrency swing: %.0fx (%.0f .. %.0f)\n",
               min_c > 0 ? max_c / min_c : 0.0, min_c, max_c);
+
+  bench::print_obs_reports(obs, !trace_out.empty(), trace_out, ts_out);
   return 0;
 }

@@ -40,9 +40,18 @@ void print_cdf_pair(const sim::MacroSimResult& result, sim::ProtocolRound r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig. 6 — latency CDFs, peak vs off-peak (1 week)");
-  const sim::MacroSimConfig cfg = bench::paper_config();
+  sim::MacroSimConfig cfg = bench::paper_config();
+
+  const std::string trace_out =
+      bench::out_path(argc, argv, "--trace-out", "P2PDRM_TRACE_OUT");
+  const std::string ts_out =
+      bench::out_path(argc, argv, "--timeseries-out", "P2PDRM_TS_OUT");
+  bench::MacroObs obs;
+  obs.attach(cfg, /*trace=*/!trace_out.empty());
+  cfg.key_rotation.enabled = true;
+
   const sim::MacroSimResult result = sim::run_macro_sim(cfg);
   bench::print_run_summary(result);
 
@@ -54,5 +63,7 @@ int main() {
   print_cdf_pair(result, sim::ProtocolRound::kSwitch2);
   // Fig. 6(c): join protocol.
   print_cdf_pair(result, sim::ProtocolRound::kJoin);
+
+  bench::print_obs_reports(obs, !trace_out.empty(), trace_out, ts_out);
   return 0;
 }

@@ -3,10 +3,19 @@
 //
 //   ./chaos_demo                # built-in schedule
 //   ./chaos_demo my-plan.txt    # your own (see src/fault/fault_plan.h)
+//   ./chaos_demo --baseline     # no faults; exits nonzero on SLO violation
 //
 // Set P2PDRM_TRACE_OUT=<path> to capture protocol-round spans for the whole
 // run and write them as Chrome trace_event JSON (load in about:tracing or
-// https://ui.perfetto.dev). CI does exactly this and archives the trace.
+// https://ui.perfetto.dev). P2PDRM_TS_OUT=<path> writes the scraped
+// time-series CSV; P2PDRM_BREAKDOWN_OUT=<path> writes the trace-driven
+// critical-path table (requires tracing). CI does exactly this and archives
+// all three.
+//
+// An SLO monitor rides along in every mode: each client's successful rounds
+// feed per-round p95/p99 objectives and a load/latency correlation, printed
+// at the end. With --baseline the run must stay within budget to exit 0 —
+// that is the CI regression gate for the no-fault deployment.
 //
 // The schedule below crashes a User Manager farm instance, partitions the
 // whole client population away from the backend for 30 seconds, skews a
@@ -17,10 +26,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/critical_path.h"
 #include "fault/fault_engine.h"
 #include "fault/report.h"
 #include "net/deployment.h"
 #include "obs/export.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 
 using namespace p2pdrm;
 
@@ -40,11 +52,21 @@ const char* kDefaultSchedule =
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool baseline = false;
+  const char* schedule_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--baseline") {
+      baseline = true;
+    } else {
+      schedule_path = argv[i];
+    }
+  }
+
   std::string schedule = kDefaultSchedule;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  if (schedule_path != nullptr) {
+    std::ifstream in(schedule_path);
     if (!in) {
-      std::fprintf(stderr, "chaos_demo: cannot read %s\n", argv[1]);
+      std::fprintf(stderr, "chaos_demo: cannot read %s\n", schedule_path);
       return 1;
     }
     std::ostringstream buf;
@@ -53,14 +75,18 @@ int main(int argc, char** argv) {
   }
 
   fault::FaultPlan plan;
-  try {
-    plan = fault::FaultPlan::parse(schedule);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "chaos_demo: %s\n", e.what());
-    return 1;
+  if (baseline) {
+    std::printf("=== baseline run: no faults, SLO budget enforced ===\n");
+  } else {
+    try {
+      plan = fault::FaultPlan::parse(schedule);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "chaos_demo: %s\n", e.what());
+      return 1;
+    }
+    std::printf("=== fault schedule (%zu events) ===\n%s", plan.size(),
+                plan.to_string().c_str());
   }
-  std::printf("=== fault schedule (%zu events) ===\n%s", plan.size(),
-              plan.to_string().c_str());
 
   const char* trace_out = std::getenv("P2PDRM_TRACE_OUT");
 
@@ -79,6 +105,23 @@ int main(int argc, char** argv) {
   cfg.client_resilience = true;
 
   net::Deployment d(cfg);
+
+  // Deployment-scale SLOs: a clean round is ~100-200 ms (two 40 ms-median
+  // hops + processing). With 1% packet loss and tens of samples per round,
+  // a single 3 s retransmission timeout IS the p95, so the targets absorb
+  // one retransmit at p95 and two (3 s + 6 s backoff) at p99. Anything
+  // beyond that in a no-fault run is a regression.
+  obs::SloMonitor slo({
+      {"LOGIN1", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"LOGIN2", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"SWITCH1", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"SWITCH2", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"JOIN", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+  });
+  obs::TimeSeries timeseries;
+  timeseries.set_scrape_filters({"client.round.*", "keys.*", "load.*"});
+  d.enable_scraping(&timeseries, &slo, 5 * util::kSecond);
+
   const geo::RegionId region = d.geo().region_at(0);
   d.add_regional_channel(kChannel, "live", region);
   d.start_channel_server(kChannel);
@@ -128,6 +171,9 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s", fault::ResilienceReport::collect(d).to_string().c_str());
 
+  std::printf("\n=== SLO / load-correlation monitor ===\n%s",
+              slo.report().c_str());
+
   std::size_t alive = 0, joined = 0;
   for (const auto& client : d.clients()) {
     if (client->departed()) continue;
@@ -154,5 +200,39 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(d.tracer().spans_dropped()),
                 trace_out);
   }
-  return joined == alive ? 0 : 1;  // every survivor must have recovered
+  if (const char* ts_out = std::getenv("P2PDRM_TS_OUT")) {
+    std::ofstream out(ts_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "chaos_demo: cannot write %s\n", ts_out);
+      return 1;
+    }
+    out << timeseries.to_csv();
+    std::printf("wrote %zu time series (%zu scrapes) to %s\n",
+                timeseries.names().size(), timeseries.scrapes(), ts_out);
+  }
+  if (const char* breakdown_out = std::getenv("P2PDRM_BREAKDOWN_OUT")) {
+    if (trace_out != nullptr) {
+      std::ofstream out(breakdown_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "chaos_demo: cannot write %s\n", breakdown_out);
+        return 1;
+      }
+      const analysis::CriticalPathReport cp =
+          analysis::analyze_critical_path(d.tracer());
+      out << cp.to_table();
+      std::printf("wrote critical-path breakdown (%zu rounds) to %s\n",
+                  cp.rounds.size(), breakdown_out);
+    } else {
+      std::fprintf(stderr,
+                   "chaos_demo: P2PDRM_BREAKDOWN_OUT needs P2PDRM_TRACE_OUT "
+                   "(tracing) set\n");
+    }
+  }
+
+  bool ok = joined == alive;  // every survivor must have recovered
+  if (baseline && !slo.within_budget()) {
+    std::fprintf(stderr, "chaos_demo: baseline run violated round SLOs\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

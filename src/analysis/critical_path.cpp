@@ -1,0 +1,132 @@
+#include "analysis/critical_path.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace p2pdrm::analysis {
+namespace {
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+struct Components {
+  std::int64_t network = 0;
+  std::int64_t queue = 0;
+  std::int64_t service = 0;
+  std::int64_t retrans = 0;
+};
+
+/// Attribute every descendant of `root` (following `children` edges) to a
+/// component. "attempt" spans are structural and contribute nothing
+/// themselves; callers handle retransmission separately.
+void attribute_subtree(const obs::Tracer& tracer,
+                       const std::vector<std::vector<obs::SpanId>>& children,
+                       obs::SpanId root, Components* out) {
+  std::vector<obs::SpanId> stack = children[root];
+  while (!stack.empty()) {
+    const obs::SpanId id = stack.back();
+    stack.pop_back();
+    const obs::Span& span = tracer.spans()[id - 1];
+    for (obs::SpanId child : children[id]) stack.push_back(child);
+    if (span.open) continue;
+    const std::int64_t duration = span.end - span.start;
+    if (has_prefix(span.name, "hop ")) {
+      (span.ok ? out->network : out->retrans) += duration;
+    } else if (span.name == "queue") {
+      out->queue += duration;
+    } else if (has_prefix(span.name, "serve")) {
+      out->service += duration;
+    }
+  }
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const obs::Tracer& tracer) {
+  const std::vector<obs::Span>& spans = tracer.spans();
+  std::vector<std::vector<obs::SpanId>> children(spans.size() + 1);
+  for (const obs::Span& span : spans) {
+    if (span.parent != 0 && span.parent <= spans.size()) {
+      children[span.parent].push_back(span.id);
+    }
+  }
+
+  CriticalPathReport report;
+  for (const obs::Span& round : spans) {
+    if (round.parent != 0 || round.category != "client" || round.open ||
+        !round.ok) {
+      continue;
+    }
+    Components c;
+    std::int64_t retrans_base = 0;
+
+    // Deployment-stack rounds group work under "attempt" spans: hops and
+    // serve time count only on the attempt that succeeded; everything
+    // before its start is retransmission penalty.
+    const obs::Span* winning = nullptr;
+    for (obs::SpanId child_id : children[round.id]) {
+      const obs::Span& child = spans[child_id - 1];
+      if (child.name == "attempt" && child.ok && !child.open &&
+          (winning == nullptr || child.start >= winning->start)) {
+        winning = &child;
+      }
+    }
+    if (winning != nullptr) {
+      retrans_base = winning->start - round.start;
+      attribute_subtree(tracer, children, winning->id, &c);
+    } else {
+      bool has_attempts = false;
+      for (obs::SpanId child_id : children[round.id]) {
+        if (spans[child_id - 1].name == "attempt") has_attempts = true;
+      }
+      if (has_attempts) continue;  // round "ok" but no completed attempt
+      attribute_subtree(tracer, children, round.id, &c);
+    }
+
+    const std::int64_t total = round.end - round.start;
+    RoundBreakdown& agg = report.rounds[round.name];
+    ++agg.rounds;
+    agg.total_us += total;
+    agg.network_us += c.network;
+    agg.queue_us += c.queue;
+    agg.service_us += c.service;
+    agg.retrans_us += c.retrans + retrans_base;
+    agg.client_us +=
+        total - c.network - c.queue - c.service - c.retrans - retrans_base;
+  }
+  return report;
+}
+
+std::string CriticalPathReport::to_table() const {
+  std::string out =
+      "round         n  total_ms   net_ms     %  queue_ms     %  serve_ms"
+      "     %  retx_ms     %  client_ms     %\n";
+  char buf[256];
+  for (const auto& [name, b] : rounds) {
+    const double n = b.rounds == 0 ? 1.0 : static_cast<double>(b.rounds);
+    const double total = static_cast<double>(b.total_us);
+    const double share =
+        b.total_us == 0 ? 0.0 : 100.0 / static_cast<double>(b.total_us);
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-8s %6" PRIu64 " %9.1f %8.1f %5.1f %9.1f %5.1f %9.1f %5.1f %8.1f"
+        " %5.1f %10.1f %5.1f\n",
+        name.c_str(), b.rounds, total / n / 1000.0,
+        static_cast<double>(b.network_us) / n / 1000.0,
+        static_cast<double>(b.network_us) * share,
+        static_cast<double>(b.queue_us) / n / 1000.0,
+        static_cast<double>(b.queue_us) * share,
+        static_cast<double>(b.service_us) / n / 1000.0,
+        static_cast<double>(b.service_us) * share,
+        static_cast<double>(b.retrans_us) / n / 1000.0,
+        static_cast<double>(b.retrans_us) * share,
+        static_cast<double>(b.client_us) / n / 1000.0,
+        static_cast<double>(b.client_us) * share);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::analysis

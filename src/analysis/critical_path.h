@@ -1,0 +1,55 @@
+// Trace-driven critical-path decomposition of protocol-round latency.
+//
+// Every completed round in a trace is a "client"-category root span whose
+// descendants carry the work: "hop *" spans are packet flights, "serve *"
+// spans are server-side handler time, "queue" spans are FIFO waits in a
+// manager farm (macro-sim), and "attempt" spans group one transmission
+// try (deployment stack). The analyzer walks each round's span tree and
+// splits its wall-clock latency into
+//
+//   network  - delivered packet flights on the winning attempt
+//   queue    - time spent queued behind other requests at the farm
+//   service  - server/peer handler processing
+//   retrans  - retransmission penalty: time burned on attempts that never
+//              completed (deployment) or refused join targets (macro-sim)
+//   client   - the residual: client-side crypto and think time
+//
+// The five components sum to the measured round latency exactly — the
+// residual is defined as whatever the tree does not account for — which
+// is asserted by test and makes the breakdown table trustworthy: a column
+// cannot silently leak latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace p2pdrm::analysis {
+
+struct RoundBreakdown {
+  std::uint64_t rounds = 0;      // completed (ok) rounds aggregated
+  std::int64_t total_us = 0;     // summed wall-clock latency
+  std::int64_t network_us = 0;
+  std::int64_t queue_us = 0;
+  std::int64_t service_us = 0;
+  std::int64_t retrans_us = 0;
+  std::int64_t client_us = 0;    // residual; components sum to total_us
+};
+
+struct CriticalPathReport {
+  /// Keyed by round name ("LOGIN1", ...), map order = name order.
+  std::map<std::string, RoundBreakdown> rounds;
+
+  /// Deterministic fixed-width table: mean per-round latency and the mean
+  /// contribution (ms and share) of each component.
+  std::string to_table() const;
+};
+
+/// Decompose every closed, successful client round in the trace. Rounds
+/// that never completed (open or failed root spans) are skipped — their
+/// latency is not defined.
+CriticalPathReport analyze_critical_path(const obs::Tracer& tracer);
+
+}  // namespace p2pdrm::analysis

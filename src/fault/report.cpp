@@ -74,6 +74,7 @@ ResilienceReport ResilienceReport::collect(const net::Deployment& deployment) {
     const auto& partition = deployment.cm_partition(static_cast<std::uint32_t>(p));
     report.switch_ops.merge(partition.switch1_stats);
     report.switch_ops.merge(partition.switch2_stats);
+    report.key_ops.merge(partition.key_stats);
   }
   return report;
 }
@@ -108,7 +109,7 @@ std::string ResilienceReport::to_string() const {
   }
   out << "\n";
   out << "manager ops: login[" << login_ops.to_string() << "] switch["
-      << switch_ops.to_string() << "]\n";
+      << switch_ops.to_string() << "] keys[" << key_ops.to_string() << "]\n";
   return out.str();
 }
 

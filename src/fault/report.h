@@ -53,6 +53,9 @@ struct ResilienceReport {
   /// partitions).
   services::OpsCounters login_ops;
   services::OpsCounters switch_ops;
+  /// Content-key rotation pipeline across all partitions: rotations issued
+  /// vs epochs delivered, plus the worst peer key staleness observed.
+  services::OpsCounters key_ops;
 
   RoundStats& round(client::Round r) { return rounds[static_cast<std::size_t>(r)]; }
   const RoundStats& round(client::Round r) const {

@@ -109,17 +109,25 @@ void AsyncClient::schedule_auto_renewal() {
 }
 
 void AsyncClient::bind_observability(obs::Registry* registry,
-                                     obs::Tracer* tracer) {
+                                     obs::Tracer* tracer,
+                                     obs::SloMonitor* slo) {
   registry_ = registry;
   tracer_ = tracer;
+  slo_ = slo;
   if (registry_ != nullptr) {
     for (const Round r : {Round::kLogin1, Round::kLogin2, Round::kSwitch1,
                           Round::kSwitch2, Round::kJoin}) {
       round_hist_[static_cast<std::size_t>(r)] = &registry_->histogram(
           "client.round." + std::string(client::to_string(r)));
     }
+    keys_delivered_ = &registry_->counter("keys.epochs_delivered");
+    key_margin_hist_ = &registry_->histogram("keys.delivery_margin_us");
+    key_staleness_gauge_ = &registry_->gauge("keys.max_staleness_us");
   } else {
     for (auto& h : round_hist_) h = nullptr;
+    keys_delivered_ = nullptr;
+    key_margin_hist_ = nullptr;
+    key_staleness_gauge_ = nullptr;
   }
 }
 
@@ -129,6 +137,23 @@ void AsyncClient::record(Round round, util::SimTime started, bool success) {
   if (success && round_hist_[static_cast<std::size_t>(round)] != nullptr) {
     round_hist_[static_cast<std::size_t>(round)]->record(latency);
   }
+  if (success && slo_ != nullptr) {
+    slo_->observe(client::to_string(round), network_.sim().now(), latency);
+  }
+}
+
+void AsyncClient::on_key_installed(const core::ContentKey& key) {
+  const util::SimTime now = network_.sim().now();
+  if (keys_delivered_ != nullptr) {
+    keys_delivered_->inc();
+    // Margin: how far ahead of activation the epoch landed (0 = late).
+    const util::SimTime margin = key.activation - now;
+    key_margin_hist_->record(margin > 0 ? margin : 0);
+    if (margin < 0 && -margin > key_staleness_gauge_->value()) {
+      key_staleness_gauge_->set(-margin);
+    }
+  }
+  if (key_delivery_hook_) key_delivery_hook_(key, now);
 }
 
 void AsyncClient::close_request_spans(std::uint64_t request_id, Pending& pending,
@@ -653,6 +678,8 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
                   std::make_unique<p2p::Peer>(pc, keys_, cm_key, rng_.fork()),
                   network_);
               if (tracer_ != nullptr) peer_node_->set_tracer(tracer_);
+              peer_node_->peer().set_install_listener(
+                  [this](const core::ContentKey& key) { on_key_installed(key); });
               reassembly_ = std::make_unique<p2p::SubstreamBuffer>(1024);
               router_.reset();
               peer_node_->set_content_sink(

@@ -16,6 +16,7 @@
 #include "client/client.h"  // Round / LatencySample vocabulary
 #include "net/service_nodes.h"
 #include "obs/registry.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "p2p/substream.h"
 
@@ -145,9 +146,20 @@ class AsyncClient final : public Node {
   void on_packet(const Packet& packet) override;
 
   /// Route this client's telemetry into a registry (per-round latency
-  /// histograms "client.round.<NAME>") and/or a tracer (request spans with
-  /// one child span per transmission attempt). Either may be null.
-  void bind_observability(obs::Registry* registry, obs::Tracer* tracer);
+  /// histograms "client.round.<NAME>", key-epoch delivery metrics under
+  /// "keys.*"), a tracer (request spans with one child span per
+  /// transmission attempt), and/or an SLO monitor (fed every successful
+  /// round's latency). Any may be null.
+  void bind_observability(obs::Registry* registry, obs::Tracer* tracer,
+                          obs::SloMonitor* slo = nullptr);
+
+  /// Called whenever this client's overlay peer installs a rotated key
+  /// epoch delivered over the fan-out (after the registry metrics update).
+  using KeyDeliveryHook =
+      std::function<void(const core::ContentKey& key, util::SimTime at)>;
+  void set_key_delivery_hook(KeyDeliveryHook hook) {
+    key_delivery_hook_ = std::move(hook);
+  }
 
  private:
   struct Pending {
@@ -174,6 +186,8 @@ class AsyncClient final : public Node {
                     Callback on_fail);
   void arm_timeout(std::uint64_t request_id);
   void record(client::Round round, util::SimTime started, bool success);
+  /// Overlay fan-out delivered a rotated key epoch to our embedded peer.
+  void on_key_installed(const core::ContentKey& key);
 
   // login continuation chain
   void start_login1(Callback done);
@@ -226,7 +240,12 @@ class AsyncClient final : public Node {
 
   obs::Registry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::SloMonitor* slo_ = nullptr;
   obs::LatencyHistogram* round_hist_[5] = {};  // indexed by client::Round
+  obs::Counter* keys_delivered_ = nullptr;
+  obs::LatencyHistogram* key_margin_hist_ = nullptr;
+  obs::Gauge* key_staleness_gauge_ = nullptr;
+  KeyDeliveryHook key_delivery_hook_;
 
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_request_id_ = 1;

@@ -120,8 +120,38 @@ void Deployment::enable_tracing() {
   }
   for (auto& [id, source] : sources_) source.root->set_tracer(&tracer_);
   for (const std::unique_ptr<AsyncClient>& client : clients_) {
-    client->bind_observability(&registry_, &tracer_);
+    client->bind_observability(&registry_, &tracer_, slo_);
   }
+}
+
+void Deployment::enable_scraping(obs::TimeSeries* timeseries, obs::SloMonitor* slo,
+                                 util::SimTime interval) {
+  timeseries_ = timeseries;
+  slo_ = slo;
+  if (interval > 0) scrape_interval_ = interval;
+  for (const std::unique_ptr<AsyncClient>& client : clients_) {
+    client->bind_observability(&registry_, tracing_ ? &tracer_ : nullptr, slo_);
+  }
+  if (!scraping_) {
+    scraping_ = true;
+    schedule_scrape();
+  }
+}
+
+void Deployment::schedule_scrape() {
+  sim_.schedule(scrape_interval_, [this] {
+    std::size_t live = 0;
+    for (const std::unique_ptr<AsyncClient>& client : clients_) {
+      if (!client->departed()) ++live;
+    }
+    const util::SimTime now = sim_.now();
+    if (slo_ != nullptr) slo_->tick(now, static_cast<double>(live));
+    if (timeseries_ != nullptr) {
+      timeseries_->record("load.clients", now, static_cast<double>(live));
+      timeseries_->scrape(registry_, now);
+    }
+    schedule_scrape();
+  });
 }
 
 void Deployment::readvertise_partition(std::uint32_t partition) {
@@ -174,6 +204,7 @@ void Deployment::start_channel_server(util::ChannelId id,
 
   ChannelSource source;
   source.server = std::make_unique<services::ChannelServer>(cfg, rng_.fork(), sim_.now());
+  source.partition = record->partition;
 
   p2p::PeerConfig pc;
   pc.node = kChannelRootBase + id;
@@ -244,10 +275,31 @@ void Deployment::schedule_rotation(util::ChannelId id) {
   if (it == sources_.end()) return;
   const util::SimTime interval = it->second.server->config().rekey_interval;
   sim_.schedule(interval, [this, id] {
-    const auto source = sources_.find(id);
-    if (source == sources_.end()) return;
-    for (const core::ContentKey& key : source->second.server->advance(sim_.now())) {
-      source->second.root->announce_key(key);
+    const auto it2 = sources_.find(id);
+    if (it2 == sources_.end()) return;
+    ChannelSource& source = it2->second;
+    for (const core::ContentKey& key : source.server->advance(sim_.now())) {
+      registry_.counter("keys.rotations_issued").inc();
+      cm_partitions_[source.partition]->key_stats.record_rotation_issued();
+      if (!tracing_) {
+        source.root->announce_key(key);
+        continue;
+      }
+      // One root span per rotation; the epoch id stamps every blob of the
+      // fan-out so relay spans and key-blob hops hang under it.
+      const std::uint64_t epoch_id = (1ull << 48) + ++next_epoch_;
+      const obs::SpanId span = tracer_.begin_span("server", "KEY_ROTATION",
+                                                  source.root->id(), sim_.now());
+      tracer_.tag(span, "channel", std::to_string(id));
+      tracer_.tag(span, "serial", std::to_string(key.serial));
+      tracer_.tag(span, "activation", std::to_string(key.activation));
+      if (source.bound_epoch != 0) {
+        tracer_.unbind_request(source.root->id(), source.bound_epoch);
+      }
+      tracer_.bind_request(source.root->id(), epoch_id, span);
+      source.bound_epoch = epoch_id;
+      source.root->announce_key(key, epoch_id);
+      tracer_.end_span(span, sim_.now());
     }
     schedule_rotation(id);
   });
@@ -327,8 +379,24 @@ AsyncClient& Deployment::add_client(const std::string& email,
                                     geo::RegionId region) {
   clients_.push_back(std::make_unique<AsyncClient>(
       make_client_config(email, password, region), *network_, rng_.fork()));
-  clients_.back()->bind_observability(&registry_, tracing_ ? &tracer_ : nullptr);
-  return *clients_.back();
+  AsyncClient* client = clients_.back().get();
+  client->bind_observability(&registry_, tracing_ ? &tracer_ : nullptr, slo_);
+  // Route rotated-epoch installs into the owning partition's key ops so the
+  // resilience report can show issued vs delivered and worst staleness.
+  client->set_key_delivery_hook(
+      [this, client](const core::ContentKey& key, util::SimTime at) {
+        std::uint32_t partition = 0;
+        if (client->channel_ticket()) {
+          if (const core::ChannelRecord* rec = cpm_->find_channel(
+                  client->channel_ticket()->ticket.channel_id)) {
+            partition = rec->partition;
+          }
+        }
+        services::OpsCounters& ops = cm_partitions_[partition]->key_stats;
+        ops.record_epoch_delivered();
+        if (at > key.activation) ops.note_key_staleness(at - key.activation);
+      });
+  return *client;
 }
 
 void Deployment::announce(AsyncClient& client) {

@@ -12,6 +12,7 @@
 #include "net/async_client.h"
 #include "net/service_nodes.h"
 #include "net/trace_interceptor.h"
+#include "obs/timeseries.h"
 #include "p2p/tracker.h"
 #include "services/account_manager.h"
 #include "services/catalog.h"
@@ -133,6 +134,14 @@ class Deployment {
   /// Idempotent.
   void enable_tracing();
   bool tracing_enabled() const { return tracing_; }
+  /// Periodic observability sweep on the simulation clock: every `interval`
+  /// the SLO monitor ticks (closing a load/latency correlation bucket with
+  /// the live-client count as the load signal) and the time-series engine
+  /// scrapes the registry. Also feeds every client's successful rounds into
+  /// `slo`, current and future. Either pointer may be null; both must
+  /// outlive the deployment. Idempotent (later calls swap the sinks).
+  void enable_scraping(obs::TimeSeries* timeseries, obs::SloMonitor* slo,
+                       util::SimTime interval = 10 * util::kSecond);
   void run_until(util::SimTime t) { sim_.run_until(t); }
   /// Drain all scheduled events (careful with self-rescheduling servers:
   /// prefer run_until).
@@ -174,6 +183,11 @@ class Deployment {
   struct ChannelSource {
     std::unique_ptr<services::ChannelServer> server;
     std::unique_ptr<PeerNode> root;
+    std::uint32_t partition = 0;
+    /// Epoch request id whose rotation span the root currently has bound
+    /// (released when the next rotation rebinds — hop-fate callbacks fire
+    /// at arrival time, so the binding must outlive the announcement).
+    std::uint64_t bound_epoch = 0;
   };
   struct UmInstance {
     std::unique_ptr<services::UserManager> um;
@@ -193,6 +207,7 @@ class Deployment {
   void schedule_rotation(util::ChannelId id);
   void schedule_eviction(util::ChannelId id);
   void schedule_stale_sweep();
+  void schedule_scrape();
   /// Point the CPM's partition info at the first live instance.
   void readvertise_partition(std::uint32_t partition);
 
@@ -205,6 +220,14 @@ class Deployment {
   obs::Tracer tracer_;
   std::unique_ptr<TraceInterceptor> trace_interceptor_;
   bool tracing_ = false;
+  obs::TimeSeries* timeseries_ = nullptr;
+  obs::SloMonitor* slo_ = nullptr;
+  util::SimTime scrape_interval_ = 10 * util::kSecond;
+  bool scraping_ = false;
+  /// Rotation epoch ids live far above client request-id counters: client
+  /// nodes double as relay peers, and both share the tracer's
+  /// (actor, request_id) binding keyspace.
+  std::uint64_t next_epoch_ = 0;
   std::unique_ptr<Network> network_;
 
   std::unique_ptr<geo::SyntheticGeo> geo_;

@@ -186,9 +186,27 @@ void PeerNode::on_packet(const Packet& packet) {
       return;
     }
     case MsgKind::kKeyBlob: {
-      for (p2p::Outgoing& out : peer_->handle_key_blob(packet.from, env->payload)) {
+      std::vector<p2p::Outgoing> forwards =
+          peer_->handle_key_blob(packet.from, env->payload);
+      if (forwards.empty()) return;  // leaf install or duplicate epoch
+      if (tracer_ != nullptr && env->request_id != 0) {
+        // Parent this relay under the incoming blob's binding (the sender's
+        // relay span, or the rotation root span) and bind our own epoch so
+        // the outgoing hops attach here.
+        const obs::SpanId parent =
+            tracer_->bound_request(packet.from, env->request_id);
+        const obs::SpanId relay =
+            tracer_->begin_span("p2p", "relay key", id(), now, parent);
+        tracer_->tag(relay, "children", std::to_string(forwards.size()));
+        if (bound_epoch_ != 0) tracer_->unbind_request(id(), bound_epoch_);
+        tracer_->bind_request(id(), env->request_id, relay);
+        bound_epoch_ = env->request_id;
+        tracer_->end_span(relay, now);
+      }
+      for (p2p::Outgoing& out : forwards) {
         Envelope fwd;
         fwd.kind = MsgKind::kKeyBlob;
+        fwd.request_id = env->request_id;
         fwd.payload = std::move(out.payload);
         network_.send(id(), out.to, fwd.encode());
         ++keys_relayed_;
@@ -212,10 +230,12 @@ void PeerNode::on_packet(const Packet& packet) {
   }
 }
 
-void PeerNode::announce_key(const core::ContentKey& key) {
+void PeerNode::announce_key(const core::ContentKey& key,
+                            std::uint64_t request_id) {
   for (p2p::Outgoing& out : peer_->announce_key(key)) {
     Envelope env;
     env.kind = MsgKind::kKeyBlob;
+    env.request_id = request_id;
     env.payload = std::move(out.payload);
     network_.send(id(), out.to, env.encode());
     ++keys_relayed_;

@@ -119,7 +119,10 @@ class PeerNode : public Node {
   void set_join_observer(JoinObserver observer) { join_observer_ = std::move(observer); }
 
   /// Push a key blob to every child (root use; relays do it on receipt).
-  void announce_key(const core::ContentKey& key);
+  /// `request_id` stamps every blob of this epoch so the trace interceptor
+  /// and relay spans can correlate the whole fan-out under one rotation
+  /// span (0 = untraced legacy announcements).
+  void announce_key(const core::ContentKey& key, std::uint64_t request_id = 0);
   /// Encrypt nothing — forward an already-encrypted packet to all children.
   void forward_content(const core::ContentPacket& packet);
 
@@ -138,6 +141,10 @@ class PeerNode : public Node {
   JoinObserver join_observer_;
   std::uint64_t content_received_ = 0;
   std::uint64_t keys_relayed_ = 0;
+  /// Epoch request id whose relay span this node last bound (so the next
+  /// epoch can release the binding — hop-fate callbacks resolve at arrival
+  /// time, after on_packet returns, so unbinding inline would orphan them).
+  std::uint64_t bound_epoch_ = 0;
 };
 
 }  // namespace p2pdrm::net

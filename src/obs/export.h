@@ -11,6 +11,10 @@
 //  - histograms_to_csv:     per-histogram quantile summary table.
 //  - histogram_buckets_to_csv: full bucket dump of one histogram (plotting
 //                           CDFs outside the repo).
+//  - registry_to_prometheus: Prometheus text exposition of a whole
+//                           registry — counters/gauges under sanitized
+//                           names, families as labelled samples,
+//                           histograms as summaries with quantile labels.
 #pragma once
 
 #include <string>
@@ -27,7 +31,18 @@ std::string histograms_to_csv(const Registry& registry);
 std::string histogram_buckets_to_csv(const std::string& name,
                                      const LatencyHistogram& histogram);
 
+/// Prometheus text exposition format (version 0.0.4). Dots and dashes in
+/// metric names become underscores; a registry family "fam{label}" renders
+/// as `fam{label="..."}` with the label value escaped; histograms render
+/// as summaries (`{quantile="0.5"}`, `_sum`, `_count`). Iteration follows
+/// the registry's name order, so output is byte-stable.
+std::string registry_to_prometheus(const Registry& registry);
+
 /// JSON string escaping (exposed for the exporters' tests).
 std::string json_escape(const std::string& s);
+
+/// Prometheus label-value escaping: backslash, double quote, newline
+/// (exposed for the exporters' tests).
+std::string prometheus_escape_label(const std::string& s);
 
 }  // namespace p2pdrm::obs

@@ -1,0 +1,177 @@
+#include "obs/slo.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace p2pdrm::obs {
+namespace {
+
+// Two points always correlate perfectly, so demand at least three buckets
+// before reporting an r — early windows would otherwise pin |r|max at 1.
+bool pearson(std::uint64_t n, double sx, double sy, double sxx, double syy,
+             double sxy, double* r) {
+  if (n < 3) return false;
+  const double dn = static_cast<double>(n);
+  const double cov = sxy - sx * sy / dn;
+  const double vx = sxx - sx * sx / dn;
+  const double vy = syy - sy * sy / dn;
+  if (vx <= 0.0 || vy <= 0.0) return false;
+  *r = cov / std::sqrt(vx * vy);
+  return true;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(std::vector<SloObjective> objectives)
+    : objectives_(std::move(objectives)) {
+  for (const SloObjective& o : objectives_) {
+    rounds_[o.round].objective = o;
+  }
+}
+
+void SloMonitor::observe(std::string_view round, util::SimTime now,
+                         std::int64_t latency_us) {
+  (void)now;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) return;
+  RoundState& state = it->second;
+  state.hist.record(latency_us);
+  ++state.cur_count;
+  state.cur_sum += static_cast<double>(latency_us);
+  const SloObjective& o = state.objective;
+  if (o.p95_target_us > 0 && latency_us > o.p95_target_us) ++state.cur_over95;
+  if (o.p99_target_us > 0 && latency_us > o.p99_target_us) ++state.cur_over99;
+}
+
+void SloMonitor::tick(util::SimTime now, double load) {
+  ++ticks_;
+  for (auto& [name, state] : rounds_) {
+    TickBucket bucket;
+    bucket.at = now;
+    bucket.count = state.cur_count;
+    bucket.over95 = state.cur_over95;
+    bucket.over99 = state.cur_over99;
+    bucket.mean_latency =
+        state.cur_count == 0 ? 0.0
+                             : state.cur_sum / static_cast<double>(state.cur_count);
+    bucket.load = load;
+    if (state.cur_count > 0) {
+      state.sx += bucket.load;
+      state.sy += bucket.mean_latency;
+      state.sxx += bucket.load * bucket.load;
+      state.syy += bucket.mean_latency * bucket.mean_latency;
+      state.sxy += bucket.load * bucket.mean_latency;
+      ++state.n;
+    }
+    state.cur_count = state.cur_over95 = state.cur_over99 = 0;
+    state.cur_sum = 0;
+    state.window.push_back(bucket);
+    while (!state.window.empty() &&
+           state.window.front().at <= now - state.objective.window) {
+      state.window.pop_front();
+    }
+
+    std::uint64_t total = 0, over95 = 0, over99 = 0;
+    double wsx = 0, wsy = 0, wsxx = 0, wsyy = 0, wsxy = 0;
+    std::uint64_t wn = 0;
+    for (const TickBucket& b : state.window) {
+      total += b.count;
+      over95 += b.over95;
+      over99 += b.over99;
+      if (b.count > 0) {
+        wsx += b.load;
+        wsy += b.mean_latency;
+        wsxx += b.load * b.load;
+        wsyy += b.mean_latency * b.mean_latency;
+        wsxy += b.load * b.mean_latency;
+        ++wn;
+      }
+    }
+    const double dtotal = static_cast<double>(total);
+    state.burn95 = total == 0 ? 0.0
+                              : (static_cast<double>(over95) / dtotal) /
+                                    kP95Allowance;
+    state.burn99 = total == 0 ? 0.0
+                              : (static_cast<double>(over99) / dtotal) /
+                                    kP99Allowance;
+    state.worst_burn95 = std::max(state.worst_burn95, state.burn95);
+    state.worst_burn99 = std::max(state.worst_burn99, state.burn99);
+
+    double r = 0;
+    state.window_r_valid = pearson(wn, wsx, wsy, wsxx, wsyy, wsxy, &r);
+    state.window_r = state.window_r_valid ? r : 0.0;
+    if (state.window_r_valid) {
+      state.max_abs_window_r =
+          std::max(state.max_abs_window_r, std::fabs(state.window_r));
+    }
+  }
+}
+
+SloMonitor::RoundStatus SloMonitor::status(std::string_view round) const {
+  RoundStatus out;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) return out;
+  const RoundState& state = it->second;
+  const SloObjective& o = state.objective;
+  out.count = state.hist.count();
+  out.p95_us = state.hist.p95();
+  out.p99_us = state.hist.p99();
+  out.p95_ok = o.p95_target_us <= 0 ||
+               out.p95_us <= static_cast<double>(o.p95_target_us);
+  out.p99_ok = o.p99_target_us <= 0 ||
+               out.p99_us <= static_cast<double>(o.p99_target_us);
+  out.burn95 = state.burn95;
+  out.burn99 = state.burn99;
+  out.worst_burn95 = state.worst_burn95;
+  out.worst_burn99 = state.worst_burn99;
+  out.window_r_valid = state.window_r_valid;
+  out.window_r = state.window_r;
+  out.max_abs_window_r = state.max_abs_window_r;
+  out.run_r_valid = pearson(state.n, state.sx, state.sy, state.sxx, state.syy,
+                            state.sxy, &out.run_r);
+  if (!out.run_r_valid) out.run_r = 0.0;
+  return out;
+}
+
+bool SloMonitor::within_budget() const {
+  for (const SloObjective& o : objectives_) {
+    const RoundStatus s = status(o.round);
+    if (!s.p95_ok || !s.p99_ok) return false;
+  }
+  return true;
+}
+
+std::string SloMonitor::report() const {
+  std::string out =
+      "round      count  p95_ms  tgt_ms  p99_ms  tgt_ms  burn95  burn99"
+      "   r_win   r_run  |r|max  status\n";
+  char buf[256];
+  for (const SloObjective& o : objectives_) {
+    const RoundStatus s = status(o.round);
+    char rwin[16], rrun[16];
+    if (s.window_r_valid) {
+      std::snprintf(rwin, sizeof(rwin), "%+.3f", s.window_r);
+    } else {
+      std::snprintf(rwin, sizeof(rwin), "n/a");
+    }
+    if (s.run_r_valid) {
+      std::snprintf(rrun, sizeof(rrun), "%+.3f", s.run_r);
+    } else {
+      std::snprintf(rrun, sizeof(rrun), "n/a");
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s %7" PRIu64 " %7.1f %7.1f %7.1f %7.1f %7.2f %7.2f %7s"
+                  " %7s %7.3f  %s\n",
+                  o.round.c_str(), s.count, s.p95_us / 1000.0,
+                  static_cast<double>(o.p95_target_us) / 1000.0,
+                  s.p99_us / 1000.0,
+                  static_cast<double>(o.p99_target_us) / 1000.0, s.burn95,
+                  s.burn99, rwin, rrun, s.max_abs_window_r,
+                  s.p95_ok && s.p99_ok ? "PASS" : "FAIL");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::obs

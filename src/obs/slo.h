@@ -1,0 +1,122 @@
+// Online SLO evaluation for the five protocol rounds.
+//
+// The paper's headline evaluation claim (Figs. 5/6) is that round latency
+// stays flat and essentially uncorrelated with concurrent load. SloMonitor
+// turns that from an after-the-run plot into a continuously evaluated
+// signal: per-round p95/p99 latency objectives with error-budget burn
+// rates over a sliding window, plus an online windowed Pearson correlation
+// between the concurrent-user load and each round's mean latency.
+//
+// Feed it two streams on the simulation clock:
+//  - observe(round, now, latency): every completed round, as it completes.
+//  - tick(now, load): a periodic heartbeat (the scrape interval) carrying
+//    the current load. Each tick closes one aggregation bucket per round;
+//    the sliding window, burn rates, and windowed correlation are computed
+//    over these buckets.
+//
+// Burn rate follows the SRE convention: with a p99 objective, 1% of
+// requests are allowed over the target, so a window where 3% ran over
+// burns the error budget at 3x. Burn 1.0 = exactly on budget.
+//
+// Everything is deterministic: same observation sequence, same report
+// bytes (asserted by test).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/time.h"
+
+namespace p2pdrm::obs {
+
+struct SloObjective {
+  std::string round;                  // e.g. "LOGIN1"
+  std::int64_t p95_target_us = 0;     // 0 = no p95 objective
+  std::int64_t p99_target_us = 0;     // 0 = no p99 objective
+  util::SimTime window = util::kHour; // sliding window for burn/correlation
+};
+
+class SloMonitor {
+ public:
+  /// Fraction of requests allowed over the p95 / p99 target (the error
+  /// budget the burn rate is measured against).
+  static constexpr double kP95Allowance = 0.05;
+  static constexpr double kP99Allowance = 0.01;
+
+  explicit SloMonitor(std::vector<SloObjective> objectives);
+
+  /// One completed round. Rounds without an objective are ignored.
+  void observe(std::string_view round, util::SimTime now,
+               std::int64_t latency_us);
+  /// Close the current aggregation bucket for every round; `load` is the
+  /// concurrent-user count (or any load proxy) at `now`.
+  void tick(util::SimTime now, double load);
+
+  struct RoundStatus {
+    std::uint64_t count = 0;     // whole-run observations
+    double p95_us = 0;           // whole-run quantiles
+    double p99_us = 0;
+    bool p95_ok = true;          // whole-run quantile within target
+    bool p99_ok = true;
+    double burn95 = 0;           // burn rate over the current window
+    double burn99 = 0;
+    double worst_burn95 = 0;     // worst window seen this run
+    double worst_burn99 = 0;
+    bool window_r_valid = false; // windowed load<->latency Pearson r
+    double window_r = 0;
+    double max_abs_window_r = 0; // max |r| over all windows this run
+    bool run_r_valid = false;    // whole-run Pearson over tick buckets
+    double run_r = 0;
+  };
+  /// Zero-initialized status for unknown rounds.
+  RoundStatus status(std::string_view round) const;
+
+  /// True when every whole-run p95/p99 quantile meets its target (the CI
+  /// gate for no-fault baselines).
+  bool within_budget() const;
+
+  std::size_t ticks() const { return ticks_; }
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+  /// Deterministic fixed-width report table, one row per objective.
+  std::string report() const;
+
+ private:
+  struct TickBucket {
+    util::SimTime at = 0;
+    std::uint64_t count = 0;
+    std::uint64_t over95 = 0;
+    std::uint64_t over99 = 0;
+    double mean_latency = 0;
+    double load = 0;
+  };
+  struct RoundState {
+    SloObjective objective;
+    LatencyHistogram hist;  // whole run
+    // Open bucket, closed by the next tick().
+    std::uint64_t cur_count = 0;
+    std::uint64_t cur_over95 = 0;
+    std::uint64_t cur_over99 = 0;
+    double cur_sum = 0;
+    std::deque<TickBucket> window;
+    double burn95 = 0, burn99 = 0;
+    double worst_burn95 = 0, worst_burn99 = 0;
+    bool window_r_valid = false;
+    double window_r = 0;
+    double max_abs_window_r = 0;
+    // Whole-run correlation accumulators over non-empty tick buckets.
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    std::uint64_t n = 0;
+  };
+
+  std::vector<SloObjective> objectives_;
+  std::map<std::string, RoundState, std::less<>> rounds_;
+  std::size_t ticks_ = 0;
+};
+
+}  // namespace p2pdrm::obs

@@ -1,0 +1,85 @@
+#include "obs/timeseries.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p2pdrm::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity_per_series)
+    : capacity_(capacity_per_series == 0 ? 1 : capacity_per_series) {}
+
+void TimeSeries::set_scrape_filters(std::vector<std::string> filters) {
+  filters_ = std::move(filters);
+}
+
+bool TimeSeries::admitted(const std::string& name) const {
+  if (filters_.empty()) return true;
+  for (const std::string& f : filters_) {
+    if (!f.empty() && f.back() == '*') {
+      if (name.compare(0, f.size() - 1, f, 0, f.size() - 1) == 0) return true;
+    } else if (name == f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TimeSeries::push(const std::string& name, util::SimTime at, double value) {
+  std::deque<TimePoint>& points = series_[name];
+  if (points.size() >= capacity_) {
+    points.pop_front();
+    ++dropped_;
+  }
+  points.push_back(TimePoint{at, value});
+}
+
+void TimeSeries::record(const std::string& series, util::SimTime at,
+                        double value) {
+  push(series, at, value);
+}
+
+void TimeSeries::scrape(const Registry& registry, util::SimTime at) {
+  ++scrapes_;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!admitted(name)) continue;
+    push(name, at, static_cast<double>(counter.value()));
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!admitted(name)) continue;
+    push(name, at, static_cast<double>(gauge.value()));
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!admitted(name)) continue;
+    push(name + ".count", at, static_cast<double>(hist.count()));
+    push(name + ".p50", at, hist.p50());
+    push(name + ".p95", at, hist.p95());
+    push(name + ".p99", at, hist.p99());
+  }
+}
+
+std::vector<std::string> TimeSeries::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, points] : series_) out.push_back(name);
+  return out;
+}
+
+const std::deque<TimePoint>* TimeSeries::series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::string TimeSeries::to_csv() const {
+  std::string out = "series,t_us,value\n";
+  char buf[128];
+  for (const auto& [name, points] : series_) {
+    for (const TimePoint& p : points) {
+      std::snprintf(buf, sizeof(buf), ",%" PRId64 ",%.3f\n", p.at, p.value);
+      out += name;
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::obs

@@ -1,0 +1,72 @@
+// Time-series engine: periodic Registry scrapes into ring-buffered series.
+//
+// A TimeSeries holds named series of (sim time, value) points with a fixed
+// per-series ring capacity — long runs stay bounded in memory, and the
+// points that fall off the front are counted, never silently lost. Two
+// sources feed it:
+//
+//  - record(name, at, value): an explicit signal the registry does not
+//    carry (the macro-sim's concurrent-viewer load, a bench's phase marker).
+//  - scrape(registry, at): one snapshot of every registry metric. Counters
+//    and gauges become a series under their own name; histograms expand
+//    into ".count" / ".p50" / ".p95" / ".p99" sub-series.
+//
+// A scrape filter (exact names, or "prefix.*" wildcards) keeps week-scale
+// macro-sim scrapes from dragging hundreds of per-hour histograms along.
+// Iteration is map order and values are fixed-format, so the CSV exposition
+// is byte-identical across same-seed runs (asserted by test).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/time.h"
+
+namespace p2pdrm::obs {
+
+struct TimePoint {
+  util::SimTime at = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity_per_series = 4096);
+
+  /// Restrict scrape() to metrics matching one of `filters`: an exact name,
+  /// or a prefix wildcard ("macro.round.*"). Empty (the default) admits
+  /// everything. record() is never filtered — an explicit signal was asked
+  /// for by name.
+  void set_scrape_filters(std::vector<std::string> filters);
+
+  void record(const std::string& series, util::SimTime at, double value);
+  /// Snapshot every admitted registry metric at time `at`.
+  void scrape(const Registry& registry, util::SimTime at);
+
+  std::size_t scrapes() const { return scrapes_; }
+  /// Points evicted from ring buffers across all series.
+  std::uint64_t points_dropped() const { return dropped_; }
+
+  std::vector<std::string> names() const;
+  /// nullptr when the series does not exist.
+  const std::deque<TimePoint>* series(const std::string& name) const;
+
+  /// "series,t_us,value" rows, series in name order, points in time order.
+  std::string to_csv() const;
+
+ private:
+  bool admitted(const std::string& name) const;
+  void push(const std::string& name, util::SimTime at, double value);
+
+  std::size_t capacity_;
+  std::vector<std::string> filters_;
+  std::map<std::string, std::deque<TimePoint>> series_;
+  std::size_t scrapes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace p2pdrm::obs

@@ -157,6 +157,7 @@ std::vector<Outgoing> Peer::handle_key_blob(util::NodeId from, util::BytesView b
   // key arrives once per parent; only the first copy propagates.
   if (keys_.contains(key->serial)) return {};
   install_key(*key);
+  if (install_listener_) install_listener_(*key);
 
   std::vector<Outgoing> out;
   out.reserve(children_.size());

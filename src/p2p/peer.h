@@ -16,6 +16,7 @@
 //     renewal ticket being presented (§IV-D).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -100,6 +101,14 @@ class Peer {
   /// Install a key directly (root peer learning it from its ChannelServer).
   void install_key(const core::ContentKey& key);
 
+  /// Called for every *new* key epoch installed from the overlay fan-out
+  /// (handle_key_blob), after the install. Keys learned at join time or
+  /// announced by a root do not fire it — it measures rotation delivery.
+  using InstallListener = std::function<void(const core::ContentKey&)>;
+  void set_install_listener(InstallListener listener) {
+    install_listener_ = std::move(listener);
+  }
+
   // --- content packets ---
 
   /// Decrypt a packet with the matching installed key.
@@ -150,6 +159,7 @@ class Peer {
   std::map<util::NodeId, ParentLink> parents_;
   std::map<std::uint8_t, core::ContentKey> keys_;  // by serial
   std::vector<std::uint8_t> key_order_;            // installation order
+  InstallListener install_listener_;
 };
 
 }  // namespace p2pdrm::p2p

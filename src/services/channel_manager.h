@@ -103,6 +103,10 @@ struct ChannelManagerPartition {
   /// Farm-wide operational counters per protocol round.
   OpsCounters switch1_stats;
   OpsCounters switch2_stats;
+  /// Content-key rotation pipeline: rotations issued by this partition's
+  /// channel servers vs epochs delivered to peers over the overlay fan-out
+  /// (written by the deployment layer, not the manager handlers).
+  OpsCounters key_stats;
 };
 
 class ChannelManager {

@@ -1,5 +1,7 @@
 #include "services/metrics.h"
 
+#include <algorithm>
+
 namespace p2pdrm::services {
 
 namespace {
@@ -33,12 +35,22 @@ void OpsCounters::merge(const OpsCounters& other) {
     counts[i] = other.count(kAllOutcomes[i]);
   }
   const std::uint64_t other_total = other.total();
+  const std::uint64_t other_rotations = other.rotations_issued();
+  const std::uint64_t other_epochs = other.epochs_delivered();
+  const std::int64_t other_staleness = other.max_key_staleness_us();
   registry_.counter("ops.total").inc(other_total);
   for (std::size_t i = 0; i < std::size(kAllOutcomes); ++i) {
     if (counts[i] == 0) continue;
     registry_.counter("ops", std::string(core::to_string(kAllOutcomes[i])))
         .inc(counts[i]);
   }
+  if (other_rotations != 0) {
+    registry_.counter("keys.rotations_issued").inc(other_rotations);
+  }
+  if (other_epochs != 0) {
+    registry_.counter("keys.epochs_delivered").inc(other_epochs);
+  }
+  if (other_staleness != 0) note_key_staleness(other_staleness);
 }
 
 std::string OpsCounters::to_string() const {
@@ -49,6 +61,16 @@ std::string OpsCounters::to_string() const {
     if (!out.empty()) out += " ";
     out += std::string(core::to_string(outcome)) + "=" + std::to_string(n);
   }
+  const auto append = [&out](const char* key, std::uint64_t n) {
+    if (n == 0) return;
+    if (!out.empty()) out += " ";
+    out += key;
+    out += "=" + std::to_string(n);
+  };
+  append("rotations-issued", rotations_issued());
+  append("epochs-delivered", epochs_delivered());
+  append("max-key-staleness-us",
+         static_cast<std::uint64_t>(std::max<std::int64_t>(0, max_key_staleness_us())));
   return out.empty() ? "(no requests)" : out;
 }
 

@@ -29,6 +29,32 @@ class OpsCounters {
   }
   std::uint64_t count(core::DrmError outcome) const;
   std::uint64_t successes() const { return count(core::DrmError::kOk); }
+
+  // --- content-key rotation pipeline (§IV) ---
+
+  /// The channel server minted a key epoch.
+  void record_rotation_issued() { registry_.counter("keys.rotations_issued").inc(); }
+  /// A peer installed a rotated epoch it received over the overlay.
+  void record_epoch_delivered() { registry_.counter("keys.epochs_delivered").inc(); }
+  /// A peer installed an epoch `staleness_us` after its activation — it was
+  /// decrypting with the previous key until then. Keeps the running max.
+  void note_key_staleness(std::int64_t staleness_us) {
+    obs::Gauge& g = registry_.gauge("keys.max_staleness_us");
+    if (staleness_us > g.value()) g.set(staleness_us);
+  }
+
+  std::uint64_t rotations_issued() const {
+    const obs::Counter* c = registry_.find_counter("keys.rotations_issued");
+    return c == nullptr ? 0 : c->value();
+  }
+  std::uint64_t epochs_delivered() const {
+    const obs::Counter* c = registry_.find_counter("keys.epochs_delivered");
+    return c == nullptr ? 0 : c->value();
+  }
+  std::int64_t max_key_staleness_us() const {
+    const obs::Gauge* g = registry_.find_gauge("keys.max_staleness_us");
+    return g == nullptr ? 0 : g->value();
+  }
   double success_rate() const {
     const std::uint64_t n = total();
     return n == 0 ? 0.0
@@ -44,7 +70,8 @@ class OpsCounters {
   void reset() { registry_.reset(); }
 
   /// "ok=120 access-denied=3 ticket-expired=1" style rendering, outcomes in
-  /// enum order, zero counts omitted.
+  /// enum order, zero counts omitted. Nonzero key-rotation counters append
+  /// as "rotations-issued=", "epochs-delivered=", "max-key-staleness-us=".
   std::string to_string() const;
 
   /// The backing registry, for callers that want the uniform rendering or

@@ -18,10 +18,12 @@ QueueStation::QueueStation(std::size_t servers) : servers_(servers) {
   for (std::size_t i = 0; i < servers; ++i) free_at_.push(0);
 }
 
-util::SimTime QueueStation::submit(util::SimTime arrival, util::SimTime service) {
+util::SimTime QueueStation::submit(util::SimTime arrival, util::SimTime service,
+                                   util::SimTime* queue_wait) {
   util::SimTime free = free_at_.top();
   free_at_.pop();
   const util::SimTime start = std::max(arrival, free);
+  if (queue_wait != nullptr) *queue_wait = start - arrival;
   const util::SimTime departure = start + service;
   free_at_.push(departure);
   ++processed_;

@@ -32,7 +32,10 @@ class QueueStation {
  public:
   explicit QueueStation(std::size_t servers);
 
-  util::SimTime submit(util::SimTime arrival, util::SimTime service);
+  /// `queue_wait`, when non-null, receives the time the request spent
+  /// waiting for a free server before service began.
+  util::SimTime submit(util::SimTime arrival, util::SimTime service,
+                       util::SimTime* queue_wait = nullptr);
 
   std::uint64_t processed() const { return processed_; }
   /// Total busy time accumulated across all servers.

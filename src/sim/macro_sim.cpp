@@ -52,6 +52,8 @@ enum class Phase : std::uint8_t {
   kSwitch2Arrive, kSwitch2Resp,
   kJoinArrive, kJoinResp,
   kAction,        // watching; decide what happens next
+  kKeyRotation,   // channel server mints the next key epoch
+  kScrape,        // time-series scrape + SLO tick
 };
 
 struct Session {
@@ -61,11 +63,13 @@ struct Session {
   util::SimTime ut_expiry = 0;
   util::SimTime ct_expiry = 0;
   util::SimTime next_switch = 0;
+  obs::SpanId round_span = 0;  // open round span of a traced session
   std::uint8_t join_attempts = 0;
   bool renewing_ct = false;
   bool relogging_in = false;
   bool joined_once = false;
   bool active = false;
+  bool traced = false;
 };
 
 struct Event {
@@ -85,6 +89,10 @@ class Engine {
  public:
   explicit Engine(const MacroSimConfig& config)
       : cfg_(config), rng_(config.seed),
+        // The rotation pipeline draws from its own stream so enabling it
+        // never perturbs the session latencies (Fig. 5/6 stay bit-stable).
+        key_rng_(config.seed ^ 0x6b65792d726f7461ull),
+        tracer_(config.obs.tracer),
         arrivals_(config.profile, peak_rate()),
         um_(config.user_manager_servers), cm_(config.channel_manager_servers),
         horizon_(static_cast<util::SimTime>(config.days) * util::kDay) {
@@ -115,6 +123,14 @@ class Engine {
           &result_.registry->histogram(round_histogram_name(round));
     }
     concurrency_integral_.assign(hours, 0.0);
+    if (cfg_.key_rotation.enabled) {
+      rotations_issued_ =
+          &result_.registry->counter("macro.key.rotations_issued");
+      epochs_delivered_ =
+          &result_.registry->counter("macro.key.epochs_delivered");
+      key_lag_ = &result_.registry->histogram("macro.key.delivery_lag");
+      key_staleness_ = &result_.registry->gauge("macro.key.max_staleness_us");
+    }
   }
 
   MacroSimResult run() {
@@ -126,6 +142,12 @@ class Engine {
         if (t < horizon_) schedule(t, 0, Phase::kArrival);
       }
     }
+    if (cfg_.key_rotation.enabled) {
+      schedule(cfg_.key_rotation.interval, 0, Phase::kKeyRotation);
+    }
+    if (cfg_.obs.timeseries != nullptr || cfg_.obs.slo != nullptr) {
+      schedule(cfg_.obs.scrape_interval, 0, Phase::kScrape);
+    }
 
     while (!queue_.empty() && queue_.top().when < horizon_) {
       const Event ev = queue_.top();
@@ -134,6 +156,16 @@ class Engine {
       dispatch(ev);
     }
     flush_concurrency(horizon_);
+    // Sessions still mid-round at the horizon never completed: close their
+    // spans as failed so every exported tree is complete.
+    if (tracer_ != nullptr) {
+      for (Session& session : pool_) {
+        if (session.round_span != 0) {
+          tracer_->end_span(session.round_span, horizon_, false);
+          session.round_span = 0;
+        }
+      }
+    }
 
     const std::size_t hours = concurrency_integral_.size();
     result_.hourly_concurrency.resize(hours);
@@ -216,7 +248,7 @@ class Engine {
     return lognormal_around(base, c.dispersion);
   }
 
-  void record(ProtocolRound r, util::SimTime latency) {
+  void record(std::uint32_t s, ProtocolRound r, util::SimTime latency) {
     const std::size_t ri = static_cast<std::size_t>(r);
     RoundTrace& trace = result_.rounds[ri];
     const double seconds = util::to_seconds(latency);
@@ -228,6 +260,12 @@ class Engine {
     if (hour < hist_hourly_[ri].size()) hist_hourly_[ri][hour]->record(latency);
     (peak ? hist_peak_[ri] : hist_offpeak_[ri])->record(latency);
     hist_all_[ri]->record(latency);
+    if (cfg_.obs.slo != nullptr) cfg_.obs.slo->observe(to_string(r), now_, latency);
+    Session& session = pool_[s];
+    if (session.round_span != 0) {
+      tracer_->end_span(session.round_span, now_, true);
+      session.round_span = 0;
+    }
   }
 
   // --- round plumbing ---
@@ -238,13 +276,40 @@ class Engine {
     session.round_start = now_;
     const util::SimTime rtt = net.sample_rtt(rng_);
     session.rtt_half = rtt / 2;
-    schedule(now_ + client_time(r) + session.rtt_half, s, arrive_phase);
+    const util::SimTime think = client_time(r);
+    const util::SimTime arrive = now_ + think + session.rtt_half;
+    if (session.traced) {
+      session.round_span = tracer_->begin_span(
+          "client", std::string(to_string(r)), s + 1, now_);
+      // The request flight; client think time stays the round's residual.
+      const obs::SpanId hop = tracer_->begin_span("net", "hop request", s + 1,
+                                                  now_ + think,
+                                                  session.round_span);
+      tracer_->end_span(hop, arrive, true);
+    }
+    schedule(arrive, s, arrive_phase);
   }
 
   void serve_and_respond(std::uint32_t s, ProtocolRound r, QueueStation& station,
                          Phase resp_phase) {
     Session& session = pool_[s];
-    const util::SimTime depart = station.submit(now_, service_time(r));
+    util::SimTime wait = 0;
+    const util::SimTime depart = station.submit(now_, service_time(r), &wait);
+    if (session.round_span != 0) {
+      // Farm pseudo-actors: 2 = User Manager farm, 3 = Channel Manager farm.
+      const std::uint64_t farm = &station == &um_ ? 2 : 3;
+      if (wait > 0) {
+        const obs::SpanId q = tracer_->begin_span("server", "queue", farm,
+                                                  now_, session.round_span);
+        tracer_->end_span(q, now_ + wait, true);
+      }
+      const obs::SpanId serve = tracer_->begin_span(
+          "server", "serve", farm, now_ + wait, session.round_span);
+      tracer_->end_span(serve, depart, true);
+      const obs::SpanId hop = tracer_->begin_span("net", "hop response", s + 1,
+                                                  depart, session.round_span);
+      tracer_->end_span(hop, depart + session.rtt_half, true);
+    }
     schedule(depart + session.rtt_half, s, resp_phase);
   }
 
@@ -257,7 +322,8 @@ class Engine {
         serve_and_respond(ev.session, ProtocolRound::kLogin1, um_, Phase::kLogin1Resp);
         return;
       case Phase::kLogin1Resp: {
-        record(ProtocolRound::kLogin1, now_ - pool_[ev.session].round_start);
+        record(ev.session, ProtocolRound::kLogin1,
+               now_ - pool_[ev.session].round_start);
         start_round(ev.session, ProtocolRound::kLogin2, Phase::kLogin2Arrive,
                     cfg_.manager_net);
         return;
@@ -270,7 +336,8 @@ class Engine {
         serve_and_respond(ev.session, ProtocolRound::kSwitch1, cm_, Phase::kSwitch1Resp);
         return;
       case Phase::kSwitch1Resp: {
-        record(ProtocolRound::kSwitch1, now_ - pool_[ev.session].round_start);
+        record(ev.session, ProtocolRound::kSwitch1,
+               now_ - pool_[ev.session].round_start);
         start_round(ev.session, ProtocolRound::kSwitch2, Phase::kSwitch2Arrive,
                     cfg_.manager_net);
         return;
@@ -282,7 +349,85 @@ class Engine {
       case Phase::kJoinArrive: on_join_arrive(ev.session); return;
       case Phase::kJoinResp: on_join_complete(ev.session); return;
       case Phase::kAction: on_action(ev.session); return;
+      case Phase::kKeyRotation: on_key_rotation(); return;
+      case Phase::kScrape: on_scrape(); return;
     }
+  }
+
+  void on_scrape() {
+    if (cfg_.obs.slo != nullptr) {
+      cfg_.obs.slo->tick(now_, static_cast<double>(concurrency_));
+    }
+    if (cfg_.obs.timeseries != nullptr) {
+      cfg_.obs.timeseries->record("load.concurrent", now_,
+                                  static_cast<double>(concurrency_));
+      cfg_.obs.timeseries->scrape(*result_.registry, now_);
+    }
+    schedule(now_ + cfg_.obs.scrape_interval, 0, Phase::kScrape);
+  }
+
+  /// Depth of a delivery path, weighted by level population: a full
+  /// `fanout`-ary tree holds fanout^d peers at depth d, so deep levels
+  /// dominate. Draws from the rotation stream only.
+  std::size_t sample_depth(std::size_t levels, std::size_t fanout) {
+    double total = 0, weight = 1;
+    for (std::size_t d = 1; d <= levels; ++d) {
+      weight *= static_cast<double>(fanout);
+      total += weight;
+    }
+    double x = key_rng_.uniform_real() * total;
+    weight = 1;
+    for (std::size_t d = 1; d <= levels; ++d) {
+      weight *= static_cast<double>(fanout);
+      if (x < weight) return d;
+      x -= weight;
+    }
+    return levels;
+  }
+
+  void on_key_rotation() {
+    const KeyRotationModel& kr = cfg_.key_rotation;
+    const std::uint64_t serial = rotation_counter_++;
+    rotations_issued_->inc();
+    const double population = std::max(1.0, static_cast<double>(concurrency_));
+    std::size_t levels = 1;
+    double capacity = static_cast<double>(kr.fanout);
+    while (capacity < population && levels < 24) {
+      capacity *= static_cast<double>(kr.fanout);
+      ++levels;
+    }
+    const bool traced = tracer_ != nullptr &&
+                        cfg_.obs.trace_rotation_every > 0 &&
+                        serial % cfg_.obs.trace_rotation_every == 0;
+    obs::SpanId root = 0;
+    if (traced) {
+      root = tracer_->begin_span("server", "KEY_ROTATION", 0, now_);
+      tracer_->tag(root, "serial", std::to_string(serial & 0xff));
+      tracer_->tag(root, "levels", std::to_string(levels));
+    }
+    util::SimTime max_lag = 0;
+    for (std::size_t i = 0; i < kr.sampled_peers; ++i) {
+      const std::size_t depth = sample_depth(levels, kr.fanout);
+      util::SimTime lag = 0;
+      for (std::size_t hop = 0; hop < depth; ++hop) {
+        lag += cfg_.peer_net.sample_rtt(key_rng_) / 2 + kr.relay_cost;
+      }
+      key_lag_->record(lag);
+      epochs_delivered_->inc();
+      // The key activates announce_lead after the announcement; a peer
+      // whose delivery path is longer than that holds a stale epoch.
+      const util::SimTime staleness = lag - kr.announce_lead;
+      if (staleness > key_staleness_->value()) key_staleness_->set(staleness);
+      max_lag = std::max(max_lag, lag);
+      if (traced) {
+        const obs::SpanId deliver = tracer_->begin_span(
+            "p2p", "deliver key", 1000000 + i, now_, root);
+        tracer_->tag(deliver, "depth", std::to_string(depth));
+        tracer_->end_span(deliver, now_ + lag, true);
+      }
+    }
+    if (traced) tracer_->end_span(root, now_ + max_lag, true);
+    schedule(now_ + kr.interval, 0, Phase::kKeyRotation);
   }
 
   void on_arrival(const Event& ev) {
@@ -304,6 +449,9 @@ class Engine {
     }
     Session& session = pool_[s];
     session.active = true;
+    const std::uint64_t session_index = session_counter_++;
+    session.traced = tracer_ != nullptr && cfg_.obs.trace_session_every > 0 &&
+                     session_index % cfg_.obs.trace_session_every == 0;
     session.end_time = now_ + cfg_.session.sample_duration(rng_);
     ++result_.sessions;
     change_concurrency(+1);
@@ -312,7 +460,7 @@ class Engine {
 
   void on_login_complete(std::uint32_t s) {
     Session& session = pool_[s];
-    record(ProtocolRound::kLogin2, now_ - session.round_start);
+    record(s, ProtocolRound::kLogin2, now_ - session.round_start);
     session.ut_expiry = now_ + cfg_.user_ticket_lifetime;
     if (session.relogging_in) {
       session.relogging_in = false;
@@ -327,7 +475,7 @@ class Engine {
 
   void on_switch_complete(std::uint32_t s) {
     Session& session = pool_[s];
-    record(ProtocolRound::kSwitch2, now_ - session.round_start);
+    record(s, ProtocolRound::kSwitch2, now_ - session.round_start);
     session.ct_expiry = std::min(now_ + cfg_.channel_ticket_lifetime, session.ut_expiry);
     if (session.renewing_ct) {
       session.renewing_ct = false;
@@ -351,18 +499,35 @@ class Engine {
         static_cast<std::size_t>(session.join_attempts) + 1 < cfg_.max_join_attempts) {
       ++session.join_attempts;
       ++result_.join_retries;
-      schedule(now_ + cfg_.peer_net.sample_rtt(rng_), s, Phase::kJoinArrive);
+      const util::SimTime retry_rtt = cfg_.peer_net.sample_rtt(rng_);
+      if (session.round_span != 0) {
+        const obs::SpanId hop = tracer_->begin_span(
+            "net", "hop join-retry", s + 1, now_, session.round_span);
+        tracer_->tag(hop, "attempt", std::to_string(session.join_attempts));
+        tracer_->end_span(hop, now_ + retry_rtt, false);
+        tracer_->event(session.round_span, now_, "join-refused");
+      }
+      schedule(now_ + retry_rtt, s, Phase::kJoinArrive);
       return;
     }
     // Accepted: peer-side processing (ticket verify + RSA-encrypt session
     // key), then the response travels back.
-    schedule(now_ + service_time(ProtocolRound::kJoin) + session.rtt_half, s,
-             Phase::kJoinResp);
+    const util::SimTime svc = service_time(ProtocolRound::kJoin);
+    if (session.round_span != 0) {
+      // Pseudo-actor 4 = the accepting peer.
+      const obs::SpanId serve = tracer_->begin_span("server", "serve", 4,
+                                                    now_, session.round_span);
+      tracer_->end_span(serve, now_ + svc, true);
+      const obs::SpanId hop = tracer_->begin_span(
+          "net", "hop response", s + 1, now_ + svc, session.round_span);
+      tracer_->end_span(hop, now_ + svc + session.rtt_half, true);
+    }
+    schedule(now_ + svc + session.rtt_half, s, Phase::kJoinResp);
   }
 
   void on_join_complete(std::uint32_t s) {
     Session& session = pool_[s];
-    record(ProtocolRound::kJoin, now_ - session.round_start);
+    record(s, ProtocolRound::kJoin, now_ - session.round_start);
     if (!session.joined_once) {
       session.joined_once = true;
     } else {
@@ -420,6 +585,8 @@ class Engine {
 
   const MacroSimConfig& cfg_;
   crypto::SecureRandom rng_;
+  crypto::SecureRandom key_rng_;
+  obs::Tracer* tracer_;
   workload::ArrivalProcess arrivals_;
   QueueStation um_;
   QueueStation cm_;
@@ -442,6 +609,13 @@ class Engine {
   std::array<obs::LatencyHistogram*, kNumRounds> hist_peak_ = {};
   std::array<obs::LatencyHistogram*, kNumRounds> hist_offpeak_ = {};
   std::array<obs::LatencyHistogram*, kNumRounds> hist_all_ = {};
+
+  std::uint64_t session_counter_ = 0;
+  std::uint64_t rotation_counter_ = 0;
+  obs::Counter* rotations_issued_ = nullptr;
+  obs::Counter* epochs_delivered_ = nullptr;
+  obs::LatencyHistogram* key_lag_ = nullptr;
+  obs::Gauge* key_staleness_ = nullptr;
 };
 
 }  // namespace

@@ -24,6 +24,9 @@
 
 #include "analysis/stats.h"
 #include "obs/registry.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "sim/latency.h"
 #include "util/time.h"
 #include "workload/workload.h"
@@ -66,6 +69,42 @@ struct ClientCosts {
   double dispersion = 0.6;
 };
 
+/// Live observability hooks, all optional and non-owning. The engine
+/// drives them on the simulation clock: sampled sessions emit full span
+/// trees per round (client round span with hop/queue/serve children),
+/// key rotations emit fan-out span trees, and every scrape interval the
+/// registry is snapshotted into the time series and the SLO monitor ticks
+/// with the current concurrency as the load signal. None of the hooks
+/// consume randomness, so enabling them never perturbs the simulation.
+struct MacroObsConfig {
+  obs::Tracer* tracer = nullptr;
+  /// Trace every Nth arriving session (0 = no session tracing).
+  std::uint64_t trace_session_every = 0;
+  /// Trace every Nth key rotation (0 = no rotation tracing).
+  std::uint64_t trace_rotation_every = 1;
+  obs::TimeSeries* timeseries = nullptr;
+  obs::SloMonitor* slo = nullptr;
+  util::SimTime scrape_interval = 5 * util::kMinute;
+};
+
+/// Content-key rotation pipeline model (§IV): every `interval` the channel
+/// server mints a key epoch, announced `announce_lead` ahead of its
+/// activation, and pushes it down a `fanout`-ary overlay tree. Per epoch,
+/// `sampled_peers` delivery paths are sampled (depth weighted by level
+/// population, one peer-net half-RTT plus `relay_cost` per level) into:
+///   macro.key.rotations_issued   counter, epochs minted
+///   macro.key.epochs_delivered   counter, sampled deliveries
+///   macro.key.delivery_lag       histogram, announce -> install lag (us)
+///   macro.key.max_staleness_us   gauge, worst install-after-activation
+struct KeyRotationModel {
+  bool enabled = false;
+  util::SimTime interval = util::kMinute;
+  util::SimTime announce_lead = 10 * util::kSecond;
+  util::SimTime relay_cost = 500 * util::kMicrosecond;
+  std::size_t fanout = 4;
+  std::size_t sampled_peers = 16;
+};
+
 struct MacroSimConfig {
   int days = 7;
   /// Target concurrent viewers at the diurnal peak (the paper observed
@@ -103,6 +142,9 @@ struct MacroSimConfig {
   std::uint64_t seed = 42;
   std::size_t reservoir_per_hour = 3000;
   std::size_t reservoir_cdf = 200000;
+
+  MacroObsConfig obs;
+  KeyRotationModel key_rotation;
 };
 
 struct RoundTrace {

@@ -1,0 +1,134 @@
+// Critical-path analyzer tests on hand-built span trees covering both
+// producers: the macro-sim shape (round -> hop/queue/serve children) and
+// the deployment shape (round -> attempt spans with hops underneath).
+// The cardinal invariant: the five components sum to the measured round
+// latency exactly, so the breakdown cannot leak latency.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/critical_path.h"
+#include "obs/trace.h"
+
+namespace p2pdrm::analysis {
+namespace {
+
+using obs::SpanId;
+using obs::Tracer;
+
+void expect_exact_sum(const RoundBreakdown& b) {
+  EXPECT_EQ(b.total_us, b.network_us + b.queue_us + b.service_us +
+                            b.retrans_us + b.client_us);
+}
+
+TEST(CriticalPathTest, MacroShapeAttributesEveryComponent) {
+  Tracer tracer;
+  const SpanId round = tracer.begin_span("client", "LOGIN1", 1, 0);
+  const SpanId req = tracer.begin_span("net", "hop request", 1, 1000, round);
+  tracer.end_span(req, 21000);                       // network 20000
+  const SpanId queue = tracer.begin_span("server", "queue", 2, 21000, round);
+  tracer.end_span(queue, 26000);                     // queue 5000
+  const SpanId serve = tracer.begin_span("server", "serve", 2, 26000, round);
+  tracer.end_span(serve, 34000);                     // service 8000
+  const SpanId resp = tracer.begin_span("net", "hop response", 2, 34000, round);
+  tracer.end_span(resp, 54000);                      // network 20000
+  const SpanId retry =
+      tracer.begin_span("net", "hop join-retry", 1, 54000, round);
+  tracer.end_span(retry, 60000, /*ok=*/false);       // retrans 6000
+  tracer.end_span(round, 100000);
+
+  const CriticalPathReport report = analyze_critical_path(tracer);
+  ASSERT_EQ(report.rounds.size(), 1u);
+  const RoundBreakdown& b = report.rounds.at("LOGIN1");
+  EXPECT_EQ(b.rounds, 1u);
+  EXPECT_EQ(b.total_us, 100000);
+  EXPECT_EQ(b.network_us, 40000);
+  EXPECT_EQ(b.queue_us, 5000);
+  EXPECT_EQ(b.service_us, 8000);
+  EXPECT_EQ(b.retrans_us, 6000);
+  EXPECT_EQ(b.client_us, 41000);  // the residual: crypto + think time
+  expect_exact_sum(b);
+}
+
+TEST(CriticalPathTest, DeploymentShapeChargesLostAttemptsToRetransmission) {
+  Tracer tracer;
+  const SpanId round = tracer.begin_span("client", "JOIN", 5, 0);
+  // First transmission vanished: the attempt span never completed.
+  const SpanId lost = tracer.begin_span("client", "attempt", 5, 0, round);
+  tracer.end_span(lost, 9000, /*ok=*/false);
+  // Retransmission succeeded.
+  const SpanId win = tracer.begin_span("client", "attempt", 5, 9000, round);
+  const SpanId req = tracer.begin_span("net", "hop request", 5, 9000, win);
+  tracer.end_span(req, 19000);                       // network 10000
+  const SpanId serve = tracer.begin_span("server", "serve join", 7, 19000, win);
+  tracer.end_span(serve, 23000);                     // service 4000
+  const SpanId resp = tracer.begin_span("net", "hop response", 7, 23000, win);
+  tracer.end_span(resp, 33000);                      // network 10000
+  tracer.end_span(win, 33000);
+  tracer.end_span(round, 50000);
+
+  const CriticalPathReport report = analyze_critical_path(tracer);
+  const RoundBreakdown& b = report.rounds.at("JOIN");
+  EXPECT_EQ(b.total_us, 50000);
+  EXPECT_EQ(b.network_us, 20000);
+  EXPECT_EQ(b.service_us, 4000);
+  // Everything before the winning attempt started is retransmission
+  // penalty, regardless of how the losing attempt's children look.
+  EXPECT_EQ(b.retrans_us, 9000);
+  EXPECT_EQ(b.client_us, 17000);
+  expect_exact_sum(b);
+}
+
+TEST(CriticalPathTest, SkipsOpenFailedAndAttemptlessWinnerRounds) {
+  Tracer tracer;
+  // Open round: latency undefined.
+  tracer.begin_span("client", "LOGIN1", 1, 0);
+  // Failed round.
+  const SpanId failed = tracer.begin_span("client", "LOGIN2", 2, 0);
+  tracer.end_span(failed, 5000, /*ok=*/false);
+  // Round marked ok whose only attempt never completed — inconsistent
+  // tree, skipped rather than mis-attributed.
+  const SpanId odd = tracer.begin_span("client", "SWITCH1", 3, 0);
+  const SpanId attempt = tracer.begin_span("client", "attempt", 3, 0, odd);
+  tracer.end_span(attempt, 1000, /*ok=*/false);
+  tracer.end_span(odd, 2000);
+  // Non-client root (a key rotation) is not a round.
+  const SpanId rot = tracer.begin_span("server", "KEY_ROTATION", 0, 0);
+  tracer.end_span(rot, 1000);
+
+  const CriticalPathReport report = analyze_critical_path(tracer);
+  EXPECT_TRUE(report.rounds.empty());
+}
+
+TEST(CriticalPathTest, AggregatesAcrossRoundsAndRendersStableTable) {
+  auto build = [] {
+    Tracer tracer;
+    for (int i = 0; i < 3; ++i) {
+      const util::SimTime base = i * 1000000;
+      const SpanId round = tracer.begin_span("client", "JOIN", 1, base);
+      const SpanId hop =
+          tracer.begin_span("net", "hop request", 1, base, round);
+      tracer.end_span(hop, base + 30000);
+      tracer.end_span(round, base + 40000);
+    }
+    return tracer;
+  };
+  const Tracer tracer = build();
+  const CriticalPathReport report = analyze_critical_path(tracer);
+  const RoundBreakdown& b = report.rounds.at("JOIN");
+  EXPECT_EQ(b.rounds, 3u);
+  EXPECT_EQ(b.total_us, 120000);
+  EXPECT_EQ(b.network_us, 90000);
+  EXPECT_EQ(b.client_us, 30000);
+  expect_exact_sum(b);
+
+  const std::string table = report.to_table();
+  EXPECT_EQ(table, analyze_critical_path(build()).to_table());
+  EXPECT_NE(table.find("round"), std::string::npos);
+  EXPECT_NE(table.find("JOIN"), std::string::npos);
+  EXPECT_NE(table.find("net_ms"), std::string::npos);
+  EXPECT_NE(table.find("client_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2pdrm::analysis

@@ -1,0 +1,148 @@
+// SloMonitor tests: error-budget burn-rate arithmetic, sliding-window
+// expiry, online Pearson correlation (the Fig 5/6 "latency uncorrelated
+// with load" check), budget verdicts, and report byte-stability.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slo.h"
+#include "util/time.h"
+
+namespace p2pdrm::obs {
+namespace {
+
+using p2pdrm::util::SimTime;
+using p2pdrm::util::kSecond;
+
+SloMonitor one_round(SimTime p95, SimTime p99, SimTime window) {
+  return SloMonitor({{"JOIN", p95, p99, window}});
+}
+
+TEST(SloMonitorTest, UnknownRoundIsIgnored) {
+  SloMonitor slo = one_round(kSecond, 2 * kSecond, 60 * kSecond);
+  slo.observe("NOT_A_ROUND", 0, 5 * kSecond);
+  slo.tick(kSecond, 1.0);
+  EXPECT_EQ(slo.status("JOIN").count, 0u);
+  EXPECT_EQ(slo.status("NOT_A_ROUND").count, 0u);
+  EXPECT_TRUE(slo.within_budget());
+}
+
+TEST(SloMonitorTest, BurnRateIsOverFractionDividedByAllowance) {
+  SloMonitor slo = one_round(kSecond, 2 * kSecond, 60 * kSecond);
+  // 90 fast rounds, 10 over the p95 target (but under the p99 target):
+  // burn95 = (10/100) / 0.05 = 2.0 — burning budget twice as fast as allowed.
+  for (int i = 0; i < 90; ++i) slo.observe("JOIN", 0, kSecond / 2);
+  for (int i = 0; i < 10; ++i) slo.observe("JOIN", 0, kSecond + kSecond / 2);
+  slo.tick(kSecond, 1.0);
+  const SloMonitor::RoundStatus s = slo.status("JOIN");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.burn95, 2.0);
+  EXPECT_DOUBLE_EQ(s.burn99, 0.0);
+  EXPECT_DOUBLE_EQ(s.worst_burn95, 2.0);
+}
+
+TEST(SloMonitorTest, WindowExpiryForgetsOldViolations) {
+  const SimTime window = 10 * kSecond;
+  SloMonitor slo = one_round(kSecond, 2 * kSecond, window);
+  // All violations land in the first tick bucket...
+  for (int i = 0; i < 10; ++i) slo.observe("JOIN", 0, 5 * kSecond);
+  slo.tick(kSecond, 1.0);
+  EXPECT_GT(slo.status("JOIN").burn95, 0.0);
+  const double worst = slo.status("JOIN").worst_burn95;
+  // ...then clean ticks march time past the window; the bucket ages out
+  // and the burn rate returns to zero, but the worst burn is remembered.
+  for (int t = 2; t <= 15; ++t) {
+    slo.observe("JOIN", t * kSecond, kSecond / 10);
+    slo.tick(t * kSecond, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(slo.status("JOIN").burn95, 0.0);
+  EXPECT_DOUBLE_EQ(slo.status("JOIN").worst_burn95, worst);
+}
+
+TEST(SloMonitorTest, PearsonDetectsPerfectCorrelation) {
+  SloMonitor slo = one_round(60 * kSecond, 60 * kSecond, 3600 * kSecond);
+  // Latency scales linearly with load: r must be +1.
+  for (int i = 1; i <= 6; ++i) {
+    slo.observe("JOIN", i * kSecond, i * 1000);
+    slo.tick(i * kSecond, static_cast<double>(i));
+  }
+  const SloMonitor::RoundStatus s = slo.status("JOIN");
+  ASSERT_TRUE(s.run_r_valid);
+  EXPECT_NEAR(s.run_r, 1.0, 1e-9);
+  ASSERT_TRUE(s.window_r_valid);
+  EXPECT_NEAR(s.window_r, 1.0, 1e-9);
+  EXPECT_NEAR(s.max_abs_window_r, 1.0, 1e-9);
+}
+
+TEST(SloMonitorTest, PearsonDetectsAnticorrelation) {
+  SloMonitor slo = one_round(60 * kSecond, 60 * kSecond, 3600 * kSecond);
+  for (int i = 1; i <= 6; ++i) {
+    slo.observe("JOIN", i * kSecond, (10 - i) * 1000);
+    slo.tick(i * kSecond, static_cast<double>(i));
+  }
+  const SloMonitor::RoundStatus s = slo.status("JOIN");
+  ASSERT_TRUE(s.run_r_valid);
+  EXPECT_NEAR(s.run_r, -1.0, 1e-9);
+  EXPECT_NEAR(s.max_abs_window_r, 1.0, 1e-9);
+}
+
+TEST(SloMonitorTest, ZeroVarianceMakesCorrelationInvalid) {
+  // The paper's ideal outcome — latency flat while load varies — must
+  // report "no correlation computable", not r = 0 by accident.
+  SloMonitor slo = one_round(60 * kSecond, 60 * kSecond, 3600 * kSecond);
+  for (int i = 1; i <= 6; ++i) {
+    slo.observe("JOIN", i * kSecond, 5000);
+    slo.tick(i * kSecond, static_cast<double>(i));
+  }
+  const SloMonitor::RoundStatus s = slo.status("JOIN");
+  EXPECT_FALSE(s.run_r_valid);
+  EXPECT_FALSE(s.window_r_valid);
+  EXPECT_DOUBLE_EQ(s.run_r, 0.0);
+}
+
+TEST(SloMonitorTest, FewerThanThreeBucketsNeverCorrelate) {
+  // Two points always fit a line exactly; r is meaningless below n = 3.
+  SloMonitor slo = one_round(60 * kSecond, 60 * kSecond, 3600 * kSecond);
+  for (int i = 1; i <= 2; ++i) {
+    slo.observe("JOIN", i * kSecond, i * 1000);
+    slo.tick(i * kSecond, static_cast<double>(i));
+  }
+  const SloMonitor::RoundStatus s = slo.status("JOIN");
+  EXPECT_FALSE(s.run_r_valid);
+  EXPECT_FALSE(s.window_r_valid);
+  EXPECT_DOUBLE_EQ(s.max_abs_window_r, 0.0);
+}
+
+TEST(SloMonitorTest, WithinBudgetTracksWholeRunQuantiles) {
+  SloMonitor good = one_round(kSecond, 2 * kSecond, 60 * kSecond);
+  for (int i = 0; i < 100; ++i) good.observe("JOIN", 0, 10 * 1000);
+  EXPECT_TRUE(good.status("JOIN").p95_ok);
+  EXPECT_TRUE(good.within_budget());
+
+  SloMonitor bad = one_round(kSecond, 2 * kSecond, 60 * kSecond);
+  for (int i = 0; i < 100; ++i) bad.observe("JOIN", 0, 30 * kSecond);
+  EXPECT_FALSE(bad.status("JOIN").p95_ok);
+  EXPECT_FALSE(bad.within_budget());
+}
+
+TEST(SloMonitorTest, ReportIsByteStableAndLabelsVerdicts) {
+  auto build = [] {
+    SloMonitor slo({{"LOGIN1", kSecond, 2 * kSecond, 60 * kSecond},
+                    {"JOIN", kSecond, 2 * kSecond, 60 * kSecond}});
+    for (int i = 1; i <= 4; ++i) {
+      slo.observe("LOGIN1", i * kSecond, 100 * 1000);
+      slo.observe("JOIN", i * kSecond, 10 * kSecond);
+      slo.tick(i * kSecond, static_cast<double>(i % 3));
+    }
+    return slo.report();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  EXPECT_NE(a.find("LOGIN1"), std::string::npos);
+  EXPECT_NE(a.find("PASS"), std::string::npos);
+  EXPECT_NE(a.find("FAIL"), std::string::npos);
+  EXPECT_NE(a.find("r_win"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2pdrm::obs

@@ -1,0 +1,198 @@
+// TimeSeries engine and Prometheus exposition tests: ring eviction, scrape
+// expansion, filter semantics, CSV byte-determinism (including two same-seed
+// macro-sim runs), and the text-format escaping/ordering rules.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "sim/macro_sim.h"
+
+namespace p2pdrm::obs {
+namespace {
+
+TEST(TimeSeriesTest, RecordAppendsInOrder) {
+  TimeSeries ts;
+  ts.record("a", 10, 1.0);
+  ts.record("a", 20, 2.0);
+  ts.record("b", 15, -3.5);
+  const auto* a = ts.series("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_EQ((*a)[0].at, 10);
+  EXPECT_DOUBLE_EQ((*a)[0].value, 1.0);
+  EXPECT_EQ((*a)[1].at, 20);
+  EXPECT_EQ(ts.series("missing"), nullptr);
+  EXPECT_EQ(ts.names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TimeSeriesTest, RingEvictsOldestAndCountsDrops) {
+  TimeSeries ts(3);
+  for (int i = 0; i < 5; ++i) ts.record("s", i, static_cast<double>(i));
+  const auto* s = ts.series("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 3u);
+  EXPECT_EQ(s->front().at, 2);  // 0 and 1 fell off the front
+  EXPECT_EQ(s->back().at, 4);
+  EXPECT_EQ(ts.points_dropped(), 2u);
+}
+
+TEST(TimeSeriesTest, ScrapeExpandsEveryMetricKind) {
+  Registry reg;
+  reg.counter("reqs").inc(7);
+  reg.gauge("depth").set(-4);
+  LatencyHistogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000);
+
+  TimeSeries ts;
+  ts.scrape(reg, 5000);
+  EXPECT_EQ(ts.scrapes(), 1u);
+  ASSERT_NE(ts.series("reqs"), nullptr);
+  EXPECT_DOUBLE_EQ(ts.series("reqs")->front().value, 7.0);
+  ASSERT_NE(ts.series("depth"), nullptr);
+  EXPECT_DOUBLE_EQ(ts.series("depth")->front().value, -4.0);
+  // Histograms expand into sub-series; the histogram's own name is absent.
+  EXPECT_EQ(ts.series("lat"), nullptr);
+  ASSERT_NE(ts.series("lat.count"), nullptr);
+  EXPECT_DOUBLE_EQ(ts.series("lat.count")->front().value, 100.0);
+  ASSERT_NE(ts.series("lat.p50"), nullptr);
+  EXPECT_NEAR(ts.series("lat.p50")->front().value, 50000.0, 50000.0 / 8);
+  ASSERT_NE(ts.series("lat.p95"), nullptr);
+  ASSERT_NE(ts.series("lat.p99"), nullptr);
+}
+
+TEST(TimeSeriesTest, FiltersExactAndPrefix) {
+  Registry reg;
+  reg.counter("keep.exact").inc();
+  reg.counter("keep.prefix.a").inc();
+  reg.counter("keep.prefix.b").inc();
+  reg.counter("drop.me").inc();
+  reg.histogram("drop.hist").record(1);
+
+  TimeSeries ts;
+  ts.set_scrape_filters({"keep.exact", "keep.prefix.*"});
+  ts.scrape(reg, 1);
+  EXPECT_EQ(ts.names(), (std::vector<std::string>{"keep.exact", "keep.prefix.a",
+                                                  "keep.prefix.b"}));
+  // record() bypasses the filter: the caller asked for that series by name.
+  ts.record("drop.me.too", 2, 1.0);
+  EXPECT_NE(ts.series("drop.me.too"), nullptr);
+}
+
+TEST(TimeSeriesTest, CsvIsByteStable) {
+  auto build = [] {
+    TimeSeries ts;
+    Registry reg;
+    reg.counter("c").inc(3);
+    reg.gauge("g").set(9);
+    ts.scrape(reg, 1000);
+    reg.counter("c").inc();
+    ts.scrape(reg, 2000);
+    ts.record("load", 1500, 12.25);
+    return ts.to_csv();
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.compare(0, 19, "series,t_us,value\nc"), 0);
+  EXPECT_NE(a.find("c,1000,3.000\n"), std::string::npos);
+  EXPECT_NE(a.find("c,2000,4.000\n"), std::string::npos);
+  EXPECT_NE(a.find("load,1500,12.250\n"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, SameSeedMacroRunsExportIdenticalCsv) {
+  auto run = [] {
+    sim::MacroSimConfig cfg;
+    cfg.days = 1;
+    cfg.peak_concurrent = 120;
+    cfg.seed = 7;
+    cfg.reservoir_per_hour = 200;
+    cfg.reservoir_cdf = 5000;
+    cfg.key_rotation.enabled = true;
+    TimeSeries ts;
+    ts.set_scrape_filters({"macro.key.*", "macro.round.LOGIN1"});
+    cfg.obs.timeseries = &ts;
+    cfg.obs.scrape_interval = 15 * util::kMinute;
+    sim::run_macro_sim(cfg);
+    EXPECT_GT(ts.scrapes(), 0u);
+    return ts.to_csv();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("macro.key.rotations_issued,"), std::string::npos);
+  EXPECT_NE(a.find("macro.round.LOGIN1.p95,"), std::string::npos);
+}
+
+// --- Prometheus text exposition ---
+
+TEST(PrometheusTest, EscapesLabelValues) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusTest, SanitizesNamesAndOrdersFamilies) {
+  Registry reg;
+  reg.counter("ops.total").inc(5);
+  reg.counter("ops", "access-denied").inc(2);
+  reg.counter("ops", "ok").inc(3);
+  reg.gauge("queue-depth").set(4);
+  const std::string text = registry_to_prometheus(reg);
+
+  // Dots and dashes become underscores; TYPE precedes the first sample.
+  EXPECT_NE(text.find("# TYPE ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ops_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 4"), std::string::npos);
+  // Family members render as labelled samples in registry (name) order.
+  const std::size_t denied = text.find("ops{label=\"access-denied\"} 2");
+  const std::size_t ok = text.find("ops{label=\"ok\"} 3");
+  ASSERT_NE(denied, std::string::npos);
+  ASSERT_NE(ok, std::string::npos);
+  EXPECT_LT(denied, ok);
+}
+
+TEST(PrometheusTest, HistogramsRenderAsOrderedSummaries) {
+  Registry reg;
+  LatencyHistogram& h = reg.histogram("round.lat");
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const std::string text = registry_to_prometheus(reg);
+
+  EXPECT_NE(text.find("# TYPE round_lat summary"), std::string::npos);
+  const std::size_t q50 = text.find("round_lat{quantile=\"0.5\"}");
+  const std::size_t q95 = text.find("round_lat{quantile=\"0.95\"}");
+  const std::size_t q99 = text.find("round_lat{quantile=\"0.99\"}");
+  const std::size_t sum = text.find("round_lat_sum");
+  const std::size_t count = text.find("round_lat_count 100");
+  ASSERT_NE(q50, std::string::npos);
+  ASSERT_NE(q95, std::string::npos);
+  ASSERT_NE(q99, std::string::npos);
+  ASSERT_NE(sum, std::string::npos);
+  ASSERT_NE(count, std::string::npos);
+  EXPECT_LT(q50, q95);
+  EXPECT_LT(q95, q99);
+  EXPECT_LT(q99, sum);
+  EXPECT_LT(sum, count);
+}
+
+TEST(PrometheusTest, OutputIsByteStable) {
+  auto build = [] {
+    Registry reg;
+    reg.counter("a.b").inc(1);
+    reg.counter("fam", "x\"y").inc(2);
+    reg.gauge("g").set(-7);
+    reg.histogram("h").record(123);
+    return registry_to_prometheus(reg);
+  };
+  EXPECT_EQ(build(), build());
+  EXPECT_NE(build().find("fam{label=\"x\\\"y\"} 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2pdrm::obs

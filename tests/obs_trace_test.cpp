@@ -263,6 +263,80 @@ TEST(TracingTest, DropCauseSplitAccountsForEveryLoss) {
             net.packets_dropped_no_destination());
 }
 
+// --- key-rotation pipeline: rotation spans, overlay fan-out, metrics ---
+
+TEST(TracingTest, KeyRotationFansOutAsSpanTreeWithMetrics) {
+  DeploymentConfig cfg = traced_config();
+  cfg.seed = 17;
+  auto dep = std::make_unique<Deployment>(cfg);
+  const geo::RegionId region = dep->geo().region_at(0);
+  dep->add_regional_channel(1, "live", region);
+  dep->start_channel_server(1);  // default: rekey every minute
+  for (int i = 0; i < 4; ++i) {
+    const std::string email = "peer-" + std::to_string(i) + "@example.com";
+    dep->add_user(email, "pw");
+    AsyncClient& client = dep->add_client(email, "pw", region);
+    EXPECT_EQ(wait(*dep, [&](auto cb) { client.login(cb); }), DrmError::kOk);
+    EXPECT_EQ(wait(*dep, [&](auto cb) { client.switch_channel(1, cb); }),
+              DrmError::kOk);
+    dep->announce(client);
+    client.enable_auto_renewal();
+  }
+  dep->run_until(dep->now() + 5 * kMinute);  // several rotation intervals
+
+  // Rotation roots: one closed server-side span per traced epoch.
+  const obs::Tracer& tracer = dep->tracer();
+  std::vector<const obs::Span*> rotations;
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.name == "KEY_ROTATION") {
+      EXPECT_EQ(s.category, "server");
+      EXPECT_EQ(s.parent, 0u);
+      EXPECT_FALSE(s.open);
+      rotations.push_back(&s);
+    }
+  }
+  EXPECT_GE(rotations.size(), 3u);
+
+  // Every key-blob hop and peer relay in the trace must hang (transitively)
+  // under a rotation root: the fan-out is one connected tree per epoch.
+  const auto root_of = [&tracer](const obs::Span& s) -> const obs::Span* {
+    const obs::Span* cur = &s;
+    while (cur->parent != 0) cur = tracer.find(cur->parent);
+    return cur;
+  };
+  std::size_t key_hops = 0, relays = 0;
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.name == "hop key-blob") {
+      ++key_hops;
+      EXPECT_EQ(root_of(s)->name, "KEY_ROTATION");
+    }
+    if (s.name == "relay key") {
+      ++relays;
+      EXPECT_EQ(root_of(s)->name, "KEY_ROTATION");
+    }
+  }
+  EXPECT_GT(key_hops, 0u);
+  EXPECT_GT(relays, 0u);  // the overlay has depth: someone forwarded
+
+  // The metrics split: epochs minted at the server vs delivered at peers,
+  // plus the per-delivery activation margin, all in the shared registry.
+  const obs::Registry& reg = dep->registry();
+  ASSERT_NE(reg.find_counter("keys.rotations_issued"), nullptr);
+  EXPECT_GE(reg.find_counter("keys.rotations_issued")->value(), 3u);
+  ASSERT_NE(reg.find_counter("keys.epochs_delivered"), nullptr);
+  EXPECT_GE(reg.find_counter("keys.epochs_delivered")->value(), 1u);
+  ASSERT_NE(reg.find_histogram("keys.delivery_margin_us"), nullptr);
+  EXPECT_EQ(reg.find_histogram("keys.delivery_margin_us")->count(),
+            reg.find_counter("keys.epochs_delivered")->value());
+
+  // The Channel Manager partition's ops counters carry the same pipeline
+  // for the resilience report.
+  const services::OpsCounters& ops = dep->cm_partition(0).key_stats;
+  EXPECT_GE(ops.rotations_issued(), 3u);
+  EXPECT_GE(ops.epochs_delivered(), 1u);
+  EXPECT_NE(ops.to_string().find("rotations-issued="), std::string::npos);
+}
+
 // --- the headline guarantee: byte-identical traces for the same seed ---
 
 struct TracedRun {

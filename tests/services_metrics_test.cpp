@@ -65,5 +65,66 @@ TEST(OpsCountersTest, ResetZeroesEverything) {
   EXPECT_DOUBLE_EQ(a.success_rate(), 1.0);
 }
 
+TEST(OpsCountersTest, KeyRotationCountersAccumulate) {
+  OpsCounters a;
+  EXPECT_EQ(a.rotations_issued(), 0u);
+  EXPECT_EQ(a.epochs_delivered(), 0u);
+  EXPECT_EQ(a.max_key_staleness_us(), 0);
+  a.record_rotation_issued();
+  a.record_rotation_issued();
+  a.record_epoch_delivered();
+  a.note_key_staleness(500);
+  a.note_key_staleness(200);   // lower: running max unchanged
+  EXPECT_EQ(a.rotations_issued(), 2u);
+  EXPECT_EQ(a.epochs_delivered(), 1u);
+  EXPECT_EQ(a.max_key_staleness_us(), 500);
+  a.note_key_staleness(900);
+  EXPECT_EQ(a.max_key_staleness_us(), 900);
+}
+
+TEST(OpsCountersTest, MergeSumsKeyCountersAndMaxesStaleness) {
+  OpsCounters a;
+  a.record_rotation_issued();
+  a.record_epoch_delivered();
+  a.note_key_staleness(300);
+
+  OpsCounters b;
+  b.record_rotation_issued();
+  b.record_epoch_delivered();
+  b.record_epoch_delivered();
+  b.note_key_staleness(1000);
+
+  a.merge(b);
+  EXPECT_EQ(a.rotations_issued(), 2u);
+  EXPECT_EQ(a.epochs_delivered(), 3u);
+  // Staleness is a worst-case gauge: merge takes the max, not the sum.
+  EXPECT_EQ(a.max_key_staleness_us(), 1000);
+
+  // Merging the worse side into the better one gives the same max.
+  OpsCounters c;
+  c.note_key_staleness(1000);
+  OpsCounters d;
+  d.note_key_staleness(300);
+  c.merge(d);
+  EXPECT_EQ(c.max_key_staleness_us(), 1000);
+}
+
+TEST(OpsCountersTest, ToStringRendersKeyPipeline) {
+  OpsCounters a;
+  EXPECT_EQ(a.to_string(), "(no requests)");
+  a.record(DrmError::kOk);
+  a.record_rotation_issued();
+  a.record_epoch_delivered();
+  a.note_key_staleness(1234);
+  EXPECT_EQ(a.to_string(),
+            "ok=1 rotations-issued=1 epochs-delivered=1 "
+            "max-key-staleness-us=1234");
+  // Zero key counters stay silent: a farm that never rotated renders as
+  // before this subsystem existed.
+  OpsCounters plain;
+  plain.record(DrmError::kOk);
+  EXPECT_EQ(plain.to_string(), "ok=1");
+}
+
 }  // namespace
 }  // namespace p2pdrm::services
