@@ -56,5 +56,49 @@ int main() {
               "within minutes while\nthe manager medians stay within noise — "
               "ticket issuance is cheap and stateless, and\nthe join load lands "
               "on the (self-scaling) peers.\n");
+
+  // --- admission control on an undersized farm ---
+  //
+  // Halve the User Manager farm so the same crowd genuinely saturates it,
+  // then compare letting everyone queue (the legacy model: every login —
+  // fresh or renewal — eats the backlog) against shedding fresh logins with
+  // BUSY once the estimated wait passes 1 s. Shedding is never silent: shed
+  // viewers re-arrive after the retry-after hint, up to 5 times.
+  sim::MacroSimConfig strained = crowded;
+  strained.user_manager_servers = 1;
+  sim::MacroSimConfig admitted = strained;
+  admitted.login_admission_max_wait = 1 * util::kSecond;
+
+  const sim::MacroSimResult queued = sim::run_macro_sim(strained);
+  const sim::MacroSimResult shed = sim::run_macro_sim(admitted);
+  const auto login2_queued = queued.round(sim::ProtocolRound::kLogin2).hourly_median();
+  const auto login2_shed = shed.round(sim::ProtocolRound::kLogin2).hourly_median();
+
+  bench::print_header("Undersized UM farm (1 server): admission control off vs on");
+  std::printf("queued:   ");
+  bench::print_run_summary(queued);
+  std::printf("admitted: ");
+  bench::print_run_summary(shed);
+  std::printf("\n%-6s %12s %12s | %14s %14s\n", "hour", "users(off)",
+              "users(on)", "LOGIN2 off", "LOGIN2 on");
+  for (std::size_t h = 42; h < 47; ++h) {
+    std::printf("d1/%-4zu %12.0f %12.0f | %13.3fs %13.3fs\n", h % 24,
+                queued.hourly_concurrency[h], shed.hourly_concurrency[h],
+                login2_queued[h], login2_shed[h]);
+  }
+  std::printf("\nadmission control: shed=%llu busy-retries=%llu abandoned=%llu "
+              "(baseline run sheds %llu)\n",
+              static_cast<unsigned long long>(shed.logins_shed),
+              static_cast<unsigned long long>(shed.busy_retries),
+              static_cast<unsigned long long>(shed.busy_abandoned),
+              static_cast<unsigned long long>(queued.logins_shed));
+  std::printf("UM utilization: off=%.2f on=%.2f\n", queued.um_utilization,
+              shed.um_utilization);
+  std::printf("expected shape: the crowd's arrival spike transiently outruns "
+              "the halved farm\n(visible as an event-hour LOGIN2 bump with "
+              "admission off and zero sheds elsewhere);\nadmission control "
+              "converts that backlog into counted BUSY deferrals — shed, "
+              "retried,\nor abandoned, never silently dropped — and the "
+              "admitted logins keep the\nwell-provisioned median.\n");
   return 0;
 }

@@ -4,6 +4,12 @@
 //   ./chaos_demo                # built-in schedule
 //   ./chaos_demo my-plan.txt    # your own (see src/fault/fault_plan.h)
 //   ./chaos_demo --baseline     # no faults; exits nonzero on SLO violation
+//   ./chaos_demo --flash-crowd  # overload-protected farm vs a 3x-capacity
+//                               # login stampede; exits nonzero unless the
+//                               # farm sheds with BUSY (never silently),
+//                               # keeps SWITCH/renewal p99 within 2x the
+//                               # unloaded baseline, and returns to
+//                               # SLO-passing steady state after the drain
 //
 // Set P2PDRM_TRACE_OUT=<path> to capture protocol-round spans for the whole
 // run and write them as Chrome trace_event JSON (load in about:tracing or
@@ -15,12 +21,15 @@
 // An SLO monitor rides along in every mode: each client's successful rounds
 // feed per-round p95/p99 objectives and a load/latency correlation, printed
 // at the end. With --baseline the run must stay within budget to exit 0 —
-// that is the CI regression gate for the no-fault deployment.
+// that is the CI regression gate for the no-fault deployment. --flash-crowd
+// is the matching gate for the overload path (bounded queues, priority
+// admission control, retry budgets).
 //
 // The schedule below crashes a User Manager farm instance, partitions the
 // whole client population away from the backend for 30 seconds, skews a
 // Channel Manager clock, and throws a churn storm at the overlay — all
 // deterministic, all survivable with client resilience on.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,6 +58,258 @@ const char* kDefaultSchedule =
     "15m skew 10 2m            # Channel Manager clock runs 2 minutes fast\n"
     "18m churn 1 5 5           # 5 viewers crash, 5 new ones arrive\n";
 
+/// Provision `viewers` watching kChannel: each logged in, joined,
+/// announced, and auto-renewing before the next one starts.
+void provision_viewers(net::Deployment& d, geo::RegionId region,
+                       std::size_t viewers) {
+  for (std::size_t i = 0; i < viewers; ++i) {
+    const std::string email = "viewer-" + std::to_string(i) + "@example.com";
+    d.add_user(email, "pw");
+    net::AsyncClient& client = d.add_client(email, "pw", region);
+    bool done = false;
+    client.login([&](core::DrmError err) {
+      if (err != core::DrmError::kOk) {
+        done = true;
+        return;
+      }
+      client.switch_channel(kChannel, [&](core::DrmError) { done = true; });
+    });
+    const util::SimTime deadline = d.sim().now() + 5 * util::kMinute;
+    while (!done && d.sim().now() < deadline && d.sim().step()) {
+    }
+    d.announce(client);
+    client.enable_auto_renewal();
+  }
+}
+
+/// Count non-departed clients, and how many of them hold a live session
+/// (authenticated with an unexpired channel ticket — a stale ticket object
+/// survives a dead session, so has_value() alone would miss decay).
+struct EndState {
+  std::size_t alive = 0;
+  std::size_t joined = 0;
+};
+EndState end_state(const net::Deployment& d, util::SimTime now) {
+  EndState s;
+  for (const auto& client : d.clients()) {
+    if (client->departed()) continue;
+    ++s.alive;
+    if (client->logged_in() && client->channel_ticket() &&
+        !client->channel_ticket()->ticket.expired_at(now)) {
+      ++s.joined;
+    }
+  }
+  return s;
+}
+
+/// Write whatever artifacts the P2PDRM_*_OUT env vars request. Returns
+/// false on a file-open error.
+bool dump_artifacts(net::Deployment& d, const obs::TimeSeries& timeseries) {
+  if (const char* trace_out = std::getenv("P2PDRM_TRACE_OUT")) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "chaos_demo: cannot write %s\n", trace_out);
+      return false;
+    }
+    out << obs::spans_to_chrome_trace(d.tracer());
+    std::printf("wrote %zu spans (%llu dropped at capacity) to %s\n",
+                d.tracer().spans().size(),
+                static_cast<unsigned long long>(d.tracer().spans_dropped()),
+                trace_out);
+  }
+  if (const char* ts_out = std::getenv("P2PDRM_TS_OUT")) {
+    std::ofstream out(ts_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "chaos_demo: cannot write %s\n", ts_out);
+      return false;
+    }
+    out << timeseries.to_csv();
+    std::printf("wrote %zu time series (%zu scrapes) to %s\n",
+                timeseries.names().size(), timeseries.scrapes(), ts_out);
+  }
+  if (const char* breakdown_out = std::getenv("P2PDRM_BREAKDOWN_OUT")) {
+    if (std::getenv("P2PDRM_TRACE_OUT") != nullptr) {
+      std::ofstream out(breakdown_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "chaos_demo: cannot write %s\n", breakdown_out);
+        return false;
+      }
+      const analysis::CriticalPathReport cp =
+          analysis::analyze_critical_path(d.tracer());
+      out << cp.to_table();
+      std::printf("wrote critical-path breakdown (%zu rounds) to %s\n",
+                  cp.rounds.size(), breakdown_out);
+    } else {
+      std::fprintf(stderr,
+                   "chaos_demo: P2PDRM_BREAKDOWN_OUT needs P2PDRM_TRACE_OUT "
+                   "(tracing) set\n");
+    }
+  }
+  return true;
+}
+
+std::vector<obs::SloObjective> steady_state_objectives() {
+  // A clean round is ~100-200 ms (two 40 ms-median hops + processing). With
+  // 1% packet loss and tens of samples per round, a single 3 s
+  // retransmission timeout IS the p95, so the targets absorb one retransmit
+  // at p95 and two (3 s + 6 s backoff) at p99. Anything beyond that in a
+  // no-fault run is a regression.
+  return {
+      {"LOGIN1", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"LOGIN2", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"SWITCH1", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"SWITCH2", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+      {"JOIN", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
+  };
+}
+
+bool gate(bool ok, const char* what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+/// The flash-crowd survival gate: a stampede of brand-new viewers arrives
+/// at ~3x the User Manager's login capacity. The overload-protected farm
+/// must shed the excess with BUSY (never silently), keep SWITCH/renewal
+/// p99 within 2x the unloaded baseline while the crowd lands, and be back
+/// within the normal steady-state SLOs once the backlog drains.
+int run_flash_crowd() {
+  std::printf("=== flash-crowd survival run ===\n");
+
+  net::DeploymentConfig cfg;
+  cfg.seed = 42;
+  cfg.tracing = std::getenv("P2PDRM_TRACE_OUT") != nullptr;
+  cfg.default_link.latency.floor = 10 * util::kMillisecond;
+  cfg.default_link.latency.median = 40 * util::kMillisecond;
+  cfg.default_link.latency.sigma = 0.4;
+  cfg.default_link.loss = 0.01;
+  // Slow, single-worker servers make capacity concrete: one LOGIN2 costs
+  // 250 ms of the UM worker, so the farm admits ~4 fresh logins/second.
+  cfg.processing.light = 10 * util::kMillisecond;
+  cfg.processing.heavy = 250 * util::kMillisecond;
+  cfg.um_instances = 2;
+  cfg.cm_instances = 2;
+  cfg.tracker_stale_age = 2 * util::kMinute;
+  cfg.client_resilience = true;
+  // The overload layer under test: bounded queue, priority admission
+  // control past the high-water mark, client retry budgets and breakers.
+  cfg.overload.workers = 1;
+  cfg.overload.queue_capacity = 64;
+  cfg.overload.high_water = 4;
+  cfg.overload.busy_retry_after = 500 * util::kMillisecond;
+  cfg.client_retry_budget = 8;
+  cfg.client_retry_budget_refill = 0.5;
+  cfg.client_breaker_threshold = 5;
+  cfg.client_breaker_cooldown = 10 * util::kSecond;
+
+  net::Deployment d(cfg);
+  obs::TimeSeries timeseries;
+  timeseries.set_scrape_filters(
+      {"client.round.*", "keys.*", "load.*", "server.*"});
+  obs::SloMonitor slo_baseline(steady_state_objectives());
+  d.enable_scraping(&timeseries, &slo_baseline, 5 * util::kSecond);
+
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(kChannel, "live", region);
+  d.start_channel_server(kChannel);
+  constexpr std::size_t kViewers = 10;
+  provision_viewers(d, region, kViewers);
+
+  // Phase 1 — unloaded steady state, long enough for a full channel-ticket
+  // renewal cycle. Its SWITCH p99 is the baseline the storm is judged by.
+  d.run_until(12 * util::kMinute);
+  const double base_switch1 = slo_baseline.status("SWITCH1").p99_us;
+  const double base_switch2 = slo_baseline.status("SWITCH2").p99_us;
+  std::printf("unloaded baseline: SWITCH1 p99 = %.0f us, SWITCH2 p99 = %.0f us\n",
+              base_switch1, base_switch2);
+
+  // Phase 2 — the stampede. Judged by a fresh monitor whose p99 budgets are
+  // 2x the just-measured baseline (floored at 1 s so a lucky quiet baseline
+  // cannot make the gate degenerate).
+  const auto storm_budget = [](double baseline_us) {
+    return std::max<std::int64_t>(static_cast<std::int64_t>(2 * baseline_us),
+                                  util::kSecond);
+  };
+  obs::SloMonitor slo_storm({
+      {"SWITCH1", 0, storm_budget(base_switch1), 10 * util::kMinute},
+      {"SWITCH2", 0, storm_budget(base_switch2), 10 * util::kMinute},
+  });
+  d.enable_scraping(&timeseries, &slo_storm, 5 * util::kSecond);
+
+  // 48 arrivals over 4 s = 12 fresh logins/second against ~4/second of UM
+  // capacity: a 3x overload for the duration of the ramp.
+  constexpr std::size_t kCrowd = 48;
+  fault::FaultPlan plan;
+  plan.flash_crowd(d.now() + 10 * util::kSecond, kChannel, kCrowd,
+                   4 * util::kSecond);
+  std::printf("\n=== fault schedule ===\n%s", plan.to_string().c_str());
+  fault::FaultEngineConfig engine_cfg;
+  engine_cfg.arrival_region = region;  // the channel is regional
+  fault::FaultEngine engine(d, plan, engine_cfg);
+  engine.arm();
+  // Ride out the stampede and its BUSY-deferred retries, through the next
+  // renewal cycle (renewals must keep completing while the crowd lands).
+  d.run_for(8 * util::kMinute);
+
+  // Phase 3 — after the drain window the farm must be back inside the
+  // normal steady-state budgets, measured by a third fresh monitor.
+  obs::SloMonitor slo_recovered(steady_state_objectives());
+  d.enable_scraping(&timeseries, &slo_recovered, 5 * util::kSecond);
+  d.run_for(12 * util::kMinute);
+
+  std::printf("\n=== fault log ===\n");
+  for (const std::string& line : engine.log()) std::printf("%s\n", line.c_str());
+
+  // Shed accounting: every shed request must have been answered with a
+  // BUSY envelope — overload is never a silent drop.
+  const obs::Counter* busy_sent = d.registry().find_counter("server.busy_sent");
+  const std::uint64_t busy = busy_sent != nullptr ? busy_sent->value() : 0;
+  std::uint64_t shed = 0;
+  std::printf("\n=== shed accounting ===\n");
+  for (const auto& [label, counter] : d.registry().family("server.shed")) {
+    std::printf("server.shed{%s} = %llu\n", label.c_str(),
+                static_cast<unsigned long long>(counter->value()));
+    shed += counter->value();
+  }
+  std::uint64_t busy_received = 0, budget_dry = 0, fast_fails = 0;
+  for (const auto& client : d.clients()) {
+    busy_received += client->busy_received();
+    budget_dry += client->retry_budget_exhaustions();
+    fast_fails += client->breaker_fast_fails();
+  }
+  std::printf("server.busy_sent = %llu; clients saw busy=%llu "
+              "budget-exhaustions=%llu breaker-fast-fails=%llu\n",
+              static_cast<unsigned long long>(busy),
+              static_cast<unsigned long long>(busy_received),
+              static_cast<unsigned long long>(budget_dry),
+              static_cast<unsigned long long>(fast_fails));
+
+  std::printf("\n=== storm window (budgets = 2x unloaded baseline) ===\n%s",
+              slo_storm.report().c_str());
+  std::printf("\n=== recovery window (steady-state budgets) ===\n%s",
+              slo_recovered.report().c_str());
+
+  const EndState end = end_state(d, d.now());
+  if (!dump_artifacts(d, timeseries)) return 1;
+
+  std::printf("\n=== flash-crowd gates ===\n");
+  bool ok = true;
+  ok &= gate(engine.flash_crowd_arrivals() == kCrowd,
+             "the whole stampede arrived");
+  ok &= gate(busy > 0, "overload actually shed fresh logins (busy_sent > 0)");
+  ok &= gate(shed == busy,
+             "every shed request was answered with BUSY (no silent drops)");
+  ok &= gate(slo_storm.within_budget(),
+             "SWITCH/renewal p99 stayed within 2x baseline during the crowd");
+  ok &= gate(slo_recovered.within_budget(),
+             "steady-state SLOs pass again after the drain window");
+  ok &= gate(end.joined == end.alive && end.alive >= kViewers + kCrowd,
+             "every surviving client is authenticated and joined");
+  std::printf("end state: %zu clients alive, %zu authenticated and joined\n",
+              end.alive, end.joined);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +318,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--baseline") {
       baseline = true;
+    } else if (std::string(argv[i]) == "--flash-crowd") {
+      return run_flash_crowd();
     } else {
       schedule_path = argv[i];
     }
@@ -106,20 +369,11 @@ int main(int argc, char** argv) {
 
   net::Deployment d(cfg);
 
-  // Deployment-scale SLOs: a clean round is ~100-200 ms (two 40 ms-median
-  // hops + processing). With 1% packet loss and tens of samples per round,
-  // a single 3 s retransmission timeout IS the p95, so the targets absorb
-  // one retransmit at p95 and two (3 s + 6 s backoff) at p99. Anything
-  // beyond that in a no-fault run is a regression.
-  obs::SloMonitor slo({
-      {"LOGIN1", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
-      {"LOGIN2", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
-      {"SWITCH1", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
-      {"SWITCH2", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
-      {"JOIN", 4 * util::kSecond, 10 * util::kSecond, 10 * util::kMinute},
-  });
+  // Deployment-scale SLOs (see steady_state_objectives for the rationale).
+  obs::SloMonitor slo(steady_state_objectives());
   obs::TimeSeries timeseries;
-  timeseries.set_scrape_filters({"client.round.*", "keys.*", "load.*"});
+  timeseries.set_scrape_filters(
+      {"client.round.*", "keys.*", "load.*", "server.*"});
   d.enable_scraping(&timeseries, &slo, 5 * util::kSecond);
 
   const geo::RegionId region = d.geo().region_at(0);
@@ -127,24 +381,7 @@ int main(int argc, char** argv) {
   d.start_channel_server(kChannel);
 
   constexpr std::size_t kViewers = 10;
-  for (std::size_t i = 0; i < kViewers; ++i) {
-    const std::string email = "viewer-" + std::to_string(i) + "@example.com";
-    d.add_user(email, "pw");
-    net::AsyncClient& client = d.add_client(email, "pw", region);
-    bool done = false;
-    client.login([&](core::DrmError err) {
-      if (err != core::DrmError::kOk) {
-        done = true;
-        return;
-      }
-      client.switch_channel(kChannel, [&](core::DrmError) { done = true; });
-    });
-    const util::SimTime deadline = d.sim().now() + 5 * util::kMinute;
-    while (!done && d.sim().now() < deadline && d.sim().step()) {
-    }
-    d.announce(client);
-    client.enable_auto_renewal();
-  }
+  provision_viewers(d, region, kViewers);
   std::printf("\n%zu viewers watching channel %u; releasing the chaos...\n",
               kViewers, kChannel);
 
@@ -174,62 +411,13 @@ int main(int argc, char** argv) {
   std::printf("\n=== SLO / load-correlation monitor ===\n%s",
               slo.report().c_str());
 
-  std::size_t alive = 0, joined = 0;
-  for (const auto& client : d.clients()) {
-    if (client->departed()) continue;
-    ++alive;
-    // A stale ticket object survives a dead session; only an unexpired
-    // ticket proves the client is still renewing.
-    if (client->logged_in() && client->channel_ticket() &&
-        !client->channel_ticket()->ticket.expired_at(d.now())) {
-      ++joined;
-    }
-  }
+  const EndState end = end_state(d, d.now());
   std::printf("\nend state: %zu clients alive, %zu authenticated and joined\n",
-              alive, joined);
+              end.alive, end.joined);
 
-  if (trace_out != nullptr) {
-    std::ofstream out(trace_out, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "chaos_demo: cannot write %s\n", trace_out);
-      return 1;
-    }
-    out << obs::spans_to_chrome_trace(d.tracer());
-    std::printf("wrote %zu spans (%llu dropped at capacity) to %s\n",
-                d.tracer().spans().size(),
-                static_cast<unsigned long long>(d.tracer().spans_dropped()),
-                trace_out);
-  }
-  if (const char* ts_out = std::getenv("P2PDRM_TS_OUT")) {
-    std::ofstream out(ts_out, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "chaos_demo: cannot write %s\n", ts_out);
-      return 1;
-    }
-    out << timeseries.to_csv();
-    std::printf("wrote %zu time series (%zu scrapes) to %s\n",
-                timeseries.names().size(), timeseries.scrapes(), ts_out);
-  }
-  if (const char* breakdown_out = std::getenv("P2PDRM_BREAKDOWN_OUT")) {
-    if (trace_out != nullptr) {
-      std::ofstream out(breakdown_out, std::ios::binary);
-      if (!out) {
-        std::fprintf(stderr, "chaos_demo: cannot write %s\n", breakdown_out);
-        return 1;
-      }
-      const analysis::CriticalPathReport cp =
-          analysis::analyze_critical_path(d.tracer());
-      out << cp.to_table();
-      std::printf("wrote critical-path breakdown (%zu rounds) to %s\n",
-                  cp.rounds.size(), breakdown_out);
-    } else {
-      std::fprintf(stderr,
-                   "chaos_demo: P2PDRM_BREAKDOWN_OUT needs P2PDRM_TRACE_OUT "
-                   "(tracing) set\n");
-    }
-  }
+  if (!dump_artifacts(d, timeseries)) return 1;
 
-  bool ok = joined == alive;  // every survivor must have recovered
+  bool ok = end.joined == end.alive;  // every survivor must have recovered
   if (baseline && !slo.within_budget()) {
     std::fprintf(stderr, "chaos_demo: baseline run violated round SLOs\n");
     ok = false;

@@ -85,7 +85,52 @@ void FaultEngine::apply(const FaultEvent& ev) {
       dep_.network().set_clock_skew(ev.node, ev.delay);
       note(ev);
       return;
+    case FaultKind::kFlashCrowd:
+      flash_crowd(ev);
+      return;
   }
+}
+
+bool FaultEngine::spawn_arrival(util::ChannelId channel) {
+  const std::uint64_t serial = churn_serial_++;
+  const std::string email =
+      config_.arrival_email_prefix + std::to_string(serial) + "@fault";
+  const std::string password = "storm-" + std::to_string(serial);
+  if (!dep_.add_user(email, password)) return false;  // duplicate storm serial
+  const geo::RegionId region =
+      config_.arrival_region.value_or(dep_.geo().region_at(static_cast<int>(
+          serial % static_cast<std::uint64_t>(dep_.geo().num_regions()))));
+  net::AsyncClient* cp = &dep_.add_client(email, password, region);
+  net::Deployment* dep = &dep_;
+  const bool announce = config_.arrivals_announce;
+  cp->login([cp, dep, announce, channel](core::DrmError err) {
+    if (err != core::DrmError::kOk) return;
+    cp->switch_channel(channel, [cp, dep, announce](core::DrmError err2) {
+      if (err2 != core::DrmError::kOk) return;
+      if (announce) dep->announce(*cp);
+      cp->enable_auto_renewal();
+    });
+  });
+  return true;
+}
+
+void FaultEngine::flash_crowd(const FaultEvent& ev) {
+  // A stampede of brand-new viewers: each arrival dials in at a uniformly
+  // random offset inside the ramp (deterministic — the engine's own DRBG),
+  // so the login wave hits the farm as a sustained burst rather than one
+  // synchronized packet storm.
+  for (std::size_t i = 0; i < ev.arrivals; ++i) {
+    const util::SimTime offset =
+        ev.duration > 0
+            ? static_cast<util::SimTime>(rng_.uniform_real() *
+                                         static_cast<double>(ev.duration))
+            : 0;
+    dep_.sim().schedule(offset, [this, channel = ev.channel] {
+      if (spawn_arrival(channel)) ++flash_crowd_arrivals_;
+    });
+  }
+  note(ev, "  # spawning=" + std::to_string(ev.arrivals) + " over " +
+               format_duration(ev.duration));
 }
 
 void FaultEngine::churn(const FaultEvent& ev) {
@@ -105,28 +150,7 @@ void FaultEngine::churn(const FaultEvent& ev) {
   // plan's regions. With client_resilience on they weather whatever other
   // faults are active when they first dial in.
   for (std::size_t i = 0; i < ev.arrivals; ++i) {
-    const std::uint64_t serial = churn_serial_++;
-    const std::string email =
-        config_.arrival_email_prefix + std::to_string(serial) + "@fault";
-    const std::string password = "storm-" + std::to_string(serial);
-    if (!dep_.add_user(email, password)) continue;  // duplicate storm serial
-    const geo::RegionId region =
-        config_.arrival_region.value_or(dep_.geo().region_at(static_cast<int>(
-            serial % static_cast<std::uint64_t>(dep_.geo().num_regions()))));
-    net::AsyncClient& client = dep_.add_client(email, password, region);
-    ++churn_arrivals_;
-    net::AsyncClient* cp = &client;
-    net::Deployment* dep = &dep_;
-    const bool announce = config_.arrivals_announce;
-    const util::ChannelId channel = ev.channel;
-    cp->login([cp, dep, announce, channel](core::DrmError err) {
-      if (err != core::DrmError::kOk) return;
-      cp->switch_channel(channel, [cp, dep, announce](core::DrmError err2) {
-        if (err2 != core::DrmError::kOk) return;
-        if (announce) dep->announce(*cp);
-        cp->enable_auto_renewal();
-      });
-    });
+    if (spawn_arrival(ev.channel)) ++churn_arrivals_;
   }
   note(ev, "  # killed=" + std::to_string(killed) +
                " spawned=" + std::to_string(ev.arrivals));

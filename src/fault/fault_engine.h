@@ -61,6 +61,8 @@ class FaultEngine final : public net::SendInterceptor {
   /// Clients crashed / spawned by churn storms so far.
   std::uint64_t churn_departures() const { return churn_departures_; }
   std::uint64_t churn_arrivals() const { return churn_arrivals_; }
+  /// Clients spawned by flash crowds so far (subset of the clients() list).
+  std::uint64_t flash_crowd_arrivals() const { return flash_crowd_arrivals_; }
 
  private:
   struct PartitionRule {
@@ -80,6 +82,11 @@ class FaultEngine final : public net::SendInterceptor {
 
   void apply(const FaultEvent& ev);
   void churn(const FaultEvent& ev);
+  void flash_crowd(const FaultEvent& ev);
+  /// Provision + log in + switch one storm viewer onto `channel` (shared by
+  /// churn arrivals and flash crowds). Returns false when the account
+  /// already existed (duplicate serial).
+  bool spawn_arrival(util::ChannelId channel);
   void note(const FaultEvent& ev, const std::string& detail = {});
 
   net::Deployment& dep_;
@@ -97,6 +104,7 @@ class FaultEngine final : public net::SendInterceptor {
   std::uint64_t delayed_ = 0;
   std::uint64_t churn_departures_ = 0;
   std::uint64_t churn_arrivals_ = 0;
+  std::uint64_t flash_crowd_arrivals_ = 0;
   std::uint64_t churn_serial_ = 0;
 };
 

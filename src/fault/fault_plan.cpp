@@ -102,6 +102,7 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::kLatencySpike: return "delay";
     case FaultKind::kChurnStorm: return "churn";
     case FaultKind::kClockSkew: return "skew";
+    case FaultKind::kFlashCrowd: return "flash-crowd";
   }
   return "?";
 }
@@ -134,6 +135,9 @@ std::string FaultEvent::to_string() const {
       break;
     case FaultKind::kClockSkew:
       out << " " << node << " " << format_duration(delay);
+      break;
+    case FaultKind::kFlashCrowd:
+      out << " " << channel << " " << arrivals << " " << format_duration(duration);
       break;
   }
   return out.str();
@@ -240,6 +244,17 @@ FaultPlan& FaultPlan::clock_skew(util::SimTime at, util::NodeId node,
   return push(ev);
 }
 
+FaultPlan& FaultPlan::flash_crowd(util::SimTime at, util::ChannelId channel,
+                                  std::size_t arrivals, util::SimTime ramp) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kFlashCrowd;
+  ev.channel = channel;
+  ev.arrivals = arrivals;
+  ev.duration = ramp;
+  return push(ev);
+}
+
 FaultPlan FaultPlan::parse(std::string_view text) {
   FaultPlan plan;
   std::size_t line_no = 0;
@@ -310,6 +325,11 @@ FaultPlan FaultPlan::parse(std::string_view text) {
         want(2);
         plan.clock_skew(at, static_cast<util::NodeId>(parse_uint(tok[2], "node")),
                         parse_duration(tok[3]));
+      } else if (verb == "flash-crowd") {
+        want(3);
+        plan.flash_crowd(at,
+                         static_cast<util::ChannelId>(parse_uint(tok[2], "channel")),
+                         parse_uint(tok[3], "arrivals"), parse_duration(tok[4]));
       } else {
         bad("unknown verb '" + std::string(verb) + "'");
       }

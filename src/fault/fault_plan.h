@@ -12,6 +12,7 @@
 //   26m     delay       10.1.0.0/16 250ms 30s
 //   30m     churn       1 40 25        # channel departures arrivals
 //   35m     skew        2 90s          # node skew
+//   40m     flash-crowd 1 120 30s      # channel arrivals ramp
 //
 // Times are durations since the simulation epoch: "500ms", "90s", "10m",
 // "2h" (or a bare integer, meaning microseconds). Blank lines and #
@@ -61,6 +62,7 @@ enum class FaultKind : std::uint8_t {
   kLatencySpike,  // scope a, delay, duration
   kChurnStorm,    // channel, departures, arrivals
   kClockSkew,     // node, delay (the skew; 0 heals)
+  kFlashCrowd,    // channel, arrivals, duration (the ramp)
 };
 
 std::string_view to_string(FaultKind k);
@@ -100,6 +102,11 @@ class FaultPlan {
   FaultPlan& churn_storm(util::SimTime at, util::ChannelId channel,
                          std::size_t departures, std::size_t arrivals);
   FaultPlan& clock_skew(util::SimTime at, util::NodeId node, util::SimTime skew);
+  /// A viewing stampede: `arrivals` brand-new viewers pile onto `channel`,
+  /// spread uniformly over `ramp` (the overload scenario admission control
+  /// exists for — nobody departs first).
+  FaultPlan& flash_crowd(util::SimTime at, util::ChannelId channel,
+                         std::size_t arrivals, util::SimTime ramp);
 
   /// Events sorted by time (stable: same-time events keep insertion order).
   const std::vector<FaultEvent>& events() const { return events_; }

@@ -12,7 +12,34 @@ using core::DrmError;
 AsyncClient::AsyncClient(Config config, Network& network, crypto::SecureRandom rng)
     : config_(std::move(config)), network_(network), rng_(std::move(rng)),
       keys_(crypto::generate_rsa_keypair(rng_, config_.key_bits)) {
+  if (config_.retry_budget > 0) {
+    for (auto& bucket : retry_budgets_) {
+      bucket = TokenBucket(config_.retry_budget,
+                           config_.retry_budget_refill_per_second);
+    }
+  }
   network_.attach(config_.node, config_.addr, this);
+}
+
+bool AsyncClient::spend_retry_token(Round round) {
+  return retry_budgets_[static_cast<std::size_t>(round)].try_take(
+      network_.sim().now());
+}
+
+CircuitBreaker& AsyncClient::breaker_for(util::NodeId node) {
+  const auto it = breakers_.find(node);
+  if (it != breakers_.end()) return it->second;
+  CircuitBreaker::Policy policy;
+  policy.failure_threshold = config_.breaker_failure_threshold;
+  policy.cooldown = config_.breaker_cooldown;
+  return breakers_.emplace(node, CircuitBreaker(policy)).first->second;
+}
+
+void AsyncClient::fail_pending(std::uint64_t request_id, Pending pending,
+                               const char* outcome, DrmError err) {
+  close_request_spans(request_id, pending, /*ok=*/false, outcome);
+  record(pending.round, pending.started, false);
+  if (pending.on_fail) pending.on_fail(err);
 }
 
 AsyncClient::~AsyncClient() {
@@ -170,6 +197,22 @@ void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payloa
                                MsgKind expect, Round round,
                                std::function<void(const Envelope&)> on_response,
                                Callback on_fail) {
+  if (config_.breaker_failure_threshold > 0 &&
+      !breaker_for(to).allow(network_.sim().now())) {
+    // The breaker is open: this destination keeps timing out, so fail fast
+    // instead of burning a full timeout ladder. The resilience layer treats
+    // it like any other failed round (failover to an alternate instance).
+    ++breaker_fast_fails_;
+    if (registry_ != nullptr) {
+      registry_->counter("client.breaker.fast_fail").inc();
+    }
+    const util::SimTime started = network_.sim().now();
+    schedule(0, [this, round, started, on_fail = std::move(on_fail)] {
+      record(round, started, false);
+      if (on_fail) on_fail(DrmError::kNoCapacity);
+    });
+    return;
+  }
   const std::uint64_t request_id = next_request_id_++;
   Envelope env;
   env.kind = kind;
@@ -222,6 +265,22 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
     const auto p = pending_.find(request_id);
     if (p == pending_.end() || p->second.attempt != attempt) return;  // resolved
     if (p->second.retries_left > 0) {
+      if (!spend_retry_token(p->second.round)) {
+        // Retries remain but the round's budget is dry: a fleet-wide outage
+        // must not multiply the offered load. Fail the operation instead.
+        ++retry_budget_exhaustions_;
+        if (registry_ != nullptr) {
+          registry_->counter("client.retry_budget.exhausted").inc();
+        }
+        Pending failed = std::move(p->second);
+        pending_.erase(p);
+        if (config_.breaker_failure_threshold > 0) {
+          breaker_for(failed.to).record_failure(network_.sim().now());
+        }
+        fail_pending(request_id, std::move(failed), "budget",
+                     DrmError::kNoCapacity);
+        return;
+      }
       --p->second.retries_left;
       ++p->second.attempt;
       ++retransmits_;
@@ -244,9 +303,10 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
     ++timeout_exhaustions_;
     Pending failed = std::move(p->second);
     pending_.erase(p);
-    close_request_spans(request_id, failed, /*ok=*/false, "timeout");
-    record(failed.round, failed.started, false);
-    if (failed.on_fail) failed.on_fail(DrmError::kNoCapacity);
+    if (config_.breaker_failure_threshold > 0) {
+      breaker_for(failed.to).record_failure(network_.sim().now());
+    }
+    fail_pending(request_id, std::move(failed), "timeout", DrmError::kNoCapacity);
   });
 }
 
@@ -266,14 +326,86 @@ void AsyncClient::on_packet(const Packet& packet) {
       break;
   }
 
+  if (env->kind == MsgKind::kBusy) {
+    handle_busy(*env);
+    return;
+  }
+
   const auto it = pending_.find(env->request_id);
   if (it == pending_.end()) return;           // stale duplicate
   if (it->second.expect != env->kind) return; // mismatched response kind
   Pending pending = std::move(it->second);
   pending_.erase(it);
+  if (config_.breaker_failure_threshold > 0) {
+    breaker_for(pending.to).record_success();
+  }
   close_request_spans(env->request_id, pending, /*ok=*/true, "ok");
   record(pending.round, pending.started, true);
   pending.on_response(*env);
+}
+
+void AsyncClient::handle_busy(const Envelope& env) {
+  const auto it = pending_.find(env.request_id);
+  if (it == pending_.end()) return;  // stale (the retransmit already won)
+  BusyPayload busy;
+  try {
+    busy = BusyPayload::decode(env.payload);
+  } catch (const util::WireError&) {
+    return;  // corrupt BUSY; let the timeout machinery handle the request
+  }
+  Pending& pending = it->second;
+  ++busy_received_;
+  ++pending.attempt;  // the armed timeout is for a dead attempt now
+  ++pending.busy_defers;
+  if (registry_ != nullptr) registry_->counter("client.busy.received").inc();
+  // A BUSY proves the destination is alive — it answered — so the breaker
+  // sees a success even though the operation has not completed yet.
+  if (config_.breaker_failure_threshold > 0) {
+    breaker_for(pending.to).record_success();
+  }
+  if (pending.busy_defers > config_.busy_max_defers ||
+      !spend_retry_token(pending.round)) {
+    const bool budget_dry = pending.busy_defers <= config_.busy_max_defers;
+    if (budget_dry) {
+      ++retry_budget_exhaustions_;
+      if (registry_ != nullptr) {
+        registry_->counter("client.retry_budget.exhausted").inc();
+      }
+    }
+    Pending failed = std::move(pending);
+    pending_.erase(it);
+    fail_pending(env.request_id, std::move(failed),
+                 budget_dry ? "budget" : "busy", DrmError::kNoCapacity);
+    return;
+  }
+  ++busy_deferred_resends_;
+  if (registry_ != nullptr) registry_->counter("client.busy.deferred").inc();
+  // Honor the server's hint, stretched by jitter so the shed cohort does
+  // not re-arrive as one synchronized wave.
+  double delay = static_cast<double>(std::max<util::SimTime>(
+      busy.retry_after, config_.request_timeout / 4));
+  if (config_.jitter > 0) delay *= 1.0 + config_.jitter * rng_.uniform_real();
+  const std::uint64_t attempt = pending.attempt;
+  const std::uint64_t request_id = env.request_id;
+  if (tracer_ != nullptr) {
+    const util::SimTime now = network_.sim().now();
+    tracer_->end_span(pending.attempt_span, now, /*ok=*/false);
+    tracer_->event(pending.span, now, "busy",
+                   "retry-after " + std::to_string(busy.retry_after) +
+                       " depth " + std::to_string(busy.queue_depth));
+  }
+  schedule(static_cast<util::SimTime>(delay), [this, request_id, attempt] {
+    const auto p = pending_.find(request_id);
+    if (p == pending_.end() || p->second.attempt != attempt) return;
+    if (tracer_ != nullptr) {
+      const util::SimTime now = network_.sim().now();
+      p->second.attempt_span = tracer_->begin_span(
+          "client", "attempt", config_.node, now, p->second.span);
+      tracer_->bind_request(config_.node, request_id, p->second.attempt_span);
+    }
+    network_.send(config_.node, p->second.to, p->second.wire);
+    arm_timeout(request_id);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -287,7 +419,12 @@ util::SimTime AsyncClient::recovery_backoff(int attempt) {
   double delay = static_cast<double>(config_.recovery_delay);
   for (int i = 0; i < attempt; ++i) delay *= 2.0;
   delay = std::min(delay, static_cast<double>(config_.max_recovery_delay));
-  if (config_.jitter > 0) delay *= 1.0 + config_.jitter * rng_.uniform_real();
+  if (config_.jitter > 0) {
+    // Equal-jitter: spread the wait over [delay/2, delay*(1 + jitter)) with
+    // a single draw, so a cohort recovering from the same outage fans out
+    // across half the backoff window instead of clustering near its top.
+    delay = delay * 0.5 + delay * (0.5 + config_.jitter) * rng_.uniform_real();
+  }
   return static_cast<util::SimTime>(delay);
 }
 
@@ -678,6 +815,7 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
                   std::make_unique<p2p::Peer>(pc, keys_, cm_key, rng_.fork()),
                   network_);
               if (tracer_ != nullptr) peer_node_->set_tracer(tracer_);
+              if (registry_ != nullptr) peer_node_->set_registry(registry_);
               peer_node_->peer().set_install_listener(
                   [this](const core::ContentKey& key) { on_key_installed(key); });
               reassembly_ = std::make_unique<p2p::SubstreamBuffer>(1024);

@@ -56,6 +56,20 @@ class AsyncClient final : public Node {
     util::SimTime max_recovery_delay = 30 * util::kSecond;
     /// Well-known bootstrap (baked into the client binary, §V).
     util::NodeId redirection_node = util::kInvalidNode;
+    /// Per-operation retry budget (token bucket, one bucket per protocol
+    /// round). Both timeout retransmissions and BUSY-deferred resends spend
+    /// a token; an empty bucket fails the request instead of retrying, so a
+    /// saturated server cannot turn the client fleet into a retry storm.
+    /// 0 = unlimited (legacy behavior).
+    double retry_budget = 0;
+    double retry_budget_refill_per_second = 0.5;
+    /// How many BUSY responses one request tolerates before giving up.
+    int busy_max_defers = 8;
+    /// Per-destination circuit breaker: after this many consecutive
+    /// timeout exhaustions to one node, requests to it fast-fail for
+    /// `breaker_cooldown`, then a single probe decides. 0 = disabled.
+    int breaker_failure_threshold = 0;
+    util::SimTime breaker_cooldown = 10 * util::kSecond;
   };
 
   using Callback = std::function<void(core::DrmError)>;
@@ -109,6 +123,21 @@ class AsyncClient final : public Node {
   std::uint64_t retransmits() const { return retransmits_; }
   /// Requests whose whole retry budget drained without a response.
   std::uint64_t timeout_exhaustions() const { return timeout_exhaustions_; }
+  /// BUSY responses received from admission-controlled servers.
+  std::uint64_t busy_received() const { return busy_received_; }
+  /// Resends scheduled after a BUSY (honoring its retry-after hint).
+  std::uint64_t busy_deferred_resends() const { return busy_deferred_resends_; }
+  /// Requests failed because the per-round retry budget ran dry.
+  std::uint64_t retry_budget_exhaustions() const {
+    return retry_budget_exhaustions_;
+  }
+  /// Requests fast-failed by an open per-destination circuit breaker.
+  std::uint64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  /// The breaker guarding `node` (null when none exists yet / disabled).
+  const CircuitBreaker* breaker(util::NodeId node) const {
+    const auto it = breakers_.find(node);
+    return it == breakers_.end() ? nullptr : &it->second;
+  }
   /// Operation-level failovers (fresh redirect / channel-list refetch after
   /// a failed round).
   std::uint64_t failovers() const { return failovers_; }
@@ -167,6 +196,7 @@ class AsyncClient final : public Node {
     util::NodeId to = util::kInvalidNode;
     util::Bytes wire;  // full envelope for retransmission
     int retries_left = 0;
+    int busy_defers = 0;        // BUSY responses absorbed so far
     std::uint64_t attempt = 0;  // invalidates stale timeout events
     client::Round round;
     util::SimTime started = 0;
@@ -185,6 +215,15 @@ class AsyncClient final : public Node {
                     std::function<void(const Envelope&)> on_response,
                     Callback on_fail);
   void arm_timeout(std::uint64_t request_id);
+  /// A kBusy envelope answered one of our pending requests: defer and
+  /// resend after its retry-after hint, or fail when the request is out of
+  /// defers / the round's retry budget is dry.
+  void handle_busy(const Envelope& env);
+  /// Spend one retry token for `round`; false = budget dry.
+  bool spend_retry_token(client::Round round);
+  CircuitBreaker& breaker_for(util::NodeId node);
+  void fail_pending(std::uint64_t request_id, Pending pending,
+                    const char* outcome, core::DrmError err);
   void record(client::Round round, util::SimTime started, bool success);
   /// Overlay fan-out delivered a rotated key epoch to our embedded peer.
   void on_key_installed(const core::ContentKey& key);
@@ -250,6 +289,11 @@ class AsyncClient final : public Node {
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_request_id_ = 1;
 
+  /// One retry budget per protocol round (indexed by client::Round).
+  TokenBucket retry_budgets_[5];
+  /// One breaker per destination we have sent to (created on first send).
+  std::map<util::NodeId, CircuitBreaker> breakers_;
+
   std::optional<services::RedirectResponse> redirect_;
   std::optional<core::SignedUserTicket> user_ticket_;
   std::optional<core::SignedUserTicket> previous_user_ticket_;
@@ -285,6 +329,10 @@ class AsyncClient final : public Node {
   bool session_recovery_active_ = false;  // one recovery loop at a time
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeout_exhaustions_ = 0;
+  std::uint64_t busy_received_ = 0;
+  std::uint64_t busy_deferred_resends_ = 0;
+  std::uint64_t retry_budget_exhaustions_ = 0;
+  std::uint64_t breaker_fast_fails_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t relogins_ = 0;
   std::uint64_t rejoins_ = 0;

@@ -49,16 +49,22 @@ Deployment::Deployment(DeploymentConfig config)
 
   redirection_node_ = std::make_unique<RedirectionNode>(
       redirection_, *network_, kRedirectionNode, config_.processing);
+  redirection_node_->set_registry(&registry_);
+  redirection_node_->set_overload_policy(config_.overload);
   network_->attach(kRedirectionNode, redirection_addr, redirection_node_.get());
 
   for (UmInstance& inst : um_instances_) {
     inst.node = std::make_unique<UserManagerNode>(*inst.um, *network_, inst.id,
                                                   config_.processing);
+    inst.node->set_registry(&registry_);
+    inst.node->set_overload_policy(config_.overload);
     network_->attach(inst.id, inst.addr, inst.node.get());
   }
 
   cpm_node_ = std::make_unique<ChannelPolicyNode>(*cpm_, *network_, kChannelPolicyNode,
                                                   config_.processing);
+  cpm_node_->set_registry(&registry_);
+  cpm_node_->set_overload_policy(config_.overload);
   network_->attach(kChannelPolicyNode, cpm_addr, cpm_node_.get());
 
   for (std::size_t p = 0; p < config_.partitions; ++p) {
@@ -84,6 +90,8 @@ Deployment::Deployment(DeploymentConfig config)
           : util::NetAddr{0x0afe0300u + static_cast<std::uint32_t>(p * 16 + i)};
       inst.node = std::make_unique<ChannelManagerNode>(*inst.cm, *network_, inst.id,
                                                        config_.processing);
+      inst.node->set_registry(&registry_);
+      inst.node->set_overload_policy(config_.overload);
       network_->attach(inst.id, inst.addr, inst.node.get());
       cm_instances_.back().push_back(std::move(inst));
     }
@@ -223,6 +231,7 @@ void Deployment::start_channel_server(util::ChannelId id,
         tracker_->update_load(id, node, children, sim_.now());
       });
   if (tracing_) source.root->set_tracer(&tracer_);
+  source.root->set_registry(&registry_);
   network_->attach(pc.node, pc.addr, source.root.get());
   tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity,
                           sim_.now());
@@ -370,6 +379,10 @@ AsyncClient::Config Deployment::make_client_config(const std::string& email,
   cc.request_timeout = config_.request_timeout;
   cc.max_retries = config_.max_retries;
   cc.resilience = config_.client_resilience;
+  cc.retry_budget = config_.client_retry_budget;
+  cc.retry_budget_refill_per_second = config_.client_retry_budget_refill;
+  cc.breaker_failure_threshold = config_.client_breaker_threshold;
+  cc.breaker_cooldown = config_.client_breaker_cooldown;
   cc.redirection_node = kRedirectionNode;
   return cc;
 }

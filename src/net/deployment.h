@@ -47,6 +47,16 @@ struct DeploymentConfig {
   /// Forwarded to every client config: operation-level failover and
   /// automatic re-login/re-join (see AsyncClient::Config::resilience).
   bool client_resilience = false;
+  /// Server-side overload protection for every service node (redirection,
+  /// UM farm, CPM, CM farms): bounded worker queue + admission control.
+  /// Disabled by default (workers == 0 keeps the instantaneous model).
+  OverloadPolicy overload;
+  /// Forwarded to every client config: per-round retry budgets and the
+  /// per-destination circuit breaker (0 values = disabled, the default).
+  double client_retry_budget = 0;
+  double client_retry_budget_refill = 0.5;
+  int client_breaker_threshold = 0;
+  util::SimTime client_breaker_cooldown = 10 * util::kSecond;
   /// Capture protocol-round spans from construction on (equivalent to
   /// calling enable_tracing() immediately). Metrics are always on.
   bool tracing = false;

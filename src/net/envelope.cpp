@@ -22,8 +22,28 @@ std::string_view to_string(MsgKind kind) {
     case MsgKind::kRenewalAck: return "renewal-ack";
     case MsgKind::kKeyBlob: return "key-blob";
     case MsgKind::kContent: return "content";
+    case MsgKind::kBusy: return "busy";
   }
   return "?";
+}
+
+util::Bytes BusyPayload::encode() const {
+  util::WireWriter w;
+  w.i64(retry_after);
+  w.u32(queue_depth);
+  return w.take();
+}
+
+BusyPayload BusyPayload::decode(util::BytesView data) {
+  util::WireReader r(data);
+  BusyPayload p;
+  p.retry_after = r.i64();
+  p.queue_depth = r.u32();
+  if (!r.at_end()) throw util::WireError("BusyPayload: trailing bytes");
+  if (p.retry_after < 0 || p.retry_after > kMaxRetryAfter) {
+    throw util::WireError("BusyPayload: retry-after out of range");
+  }
+  return p;
 }
 
 util::Bytes Envelope::encode() const {
@@ -39,7 +59,7 @@ std::optional<Envelope> Envelope::decode(util::BytesView data) {
     util::WireReader r(data);
     Envelope e;
     const std::uint8_t raw = r.u8();
-    if (raw < 1 || raw > static_cast<std::uint8_t>(MsgKind::kContent)) {
+    if (raw < 1 || raw > static_cast<std::uint8_t>(MsgKind::kBusy)) {
       return std::nullopt;
     }
     e.kind = static_cast<MsgKind>(raw);

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "util/bytes.h"
+#include "util/time.h"
 #include "util/wire.h"
 
 namespace p2pdrm::net {
@@ -34,9 +35,30 @@ enum class MsgKind : std::uint8_t {
   kRenewalAck = 16,
   kKeyBlob = 17,       // content key, wrapped for one link (one-way)
   kContent = 18,       // content packet (one-way)
+  kBusy = 19,          // admission control shed the request; payload is a
+                       // BusyPayload with a retry-after hint
 };
 
 std::string_view to_string(MsgKind kind);
+
+/// Payload of a kBusy envelope: the server shed this request at admission
+/// (queue past its bound or past the high-water mark for sheddable kinds)
+/// and tells the client when a retransmission has a chance of being
+/// admitted. Never silent: every shed request gets one of these.
+struct BusyPayload {
+  /// Ceiling on the hint a well-formed server may send; decode rejects
+  /// anything above it (a corrupt or hostile hint must not park a client
+  /// forever).
+  static constexpr util::SimTime kMaxRetryAfter = 10 * util::kMinute;
+
+  util::SimTime retry_after = 0;   // earliest useful retransmit, relative
+  std::uint32_t queue_depth = 0;   // server backlog when it shed (diagnostic)
+
+  util::Bytes encode() const;
+  /// Throws util::WireError on truncation, trailing bytes, a negative
+  /// retry-after, or one above kMaxRetryAfter.
+  static BusyPayload decode(util::BytesView data);
+};
 
 struct Envelope {
   MsgKind kind = MsgKind::kRedirectRequest;

@@ -43,58 +43,163 @@ void trace_serve(obs::Tracer* tracer, Network& network, util::NodeId self,
   tracer->end_span(span, now + processing, ok || outcome.empty());
 }
 
+/// One packet the node could not parse. These used to vanish without a
+/// trace; now every service node counts them under a cause label.
+void count_malformed(obs::Registry* registry) {
+  if (registry != nullptr) registry->counter("server.drops", "malformed").inc();
+}
+
+/// Fresh admissions are the sheddable tier: a shed LOGIN costs one viewer a
+/// delayed start, a shed renewal/SWITCH costs an existing viewer their
+/// session (§II — session continuity beats new admissions).
+bool sheddable_kind(MsgKind kind) {
+  return kind == MsgKind::kLogin1Request || kind == MsgKind::kLogin2Request;
+}
+
+/// Route one decoded request through the node's admission queue. Without a
+/// queue this is a plain call to `serve` (the legacy instantaneous model).
+/// With one, the request either waits for a worker — `serve` runs at
+/// service start, after an observable "queue" span — or is shed with a
+/// kBusy response carrying a retry-after hint. Shedding is never silent.
+void admit_or_shed(ServiceQueue* queue, obs::Registry* registry,
+                   obs::Tracer* tracer, Network& network, util::NodeId self,
+                   const Packet& packet, const Envelope& env,
+                   util::SimTime service, std::function<void()> serve) {
+  if (queue == nullptr) {
+    serve();
+    return;
+  }
+  const util::SimTime now = network.sim().now();
+  const ServiceQueue::Decision d =
+      queue->admit(now, service, sheddable_kind(env.kind));
+  if (registry != nullptr) {
+    registry->gauge("server.queue.depth." + std::to_string(self))
+        .set(static_cast<std::int64_t>(queue->depth(now)));
+  }
+  if (!d.accepted) {
+    if (registry != nullptr) {
+      registry->counter("server.shed", std::string(to_string(env.kind))).inc();
+      registry->counter("server.busy_sent").inc();
+    }
+    if (tracer != nullptr) {
+      const obs::SpanId parent = tracer->bound_request(packet.from, env.request_id);
+      const obs::SpanId span = tracer->begin_span(
+          "server", "shed " + std::string(to_string(env.kind)), self, now, parent);
+      tracer->tag(span, "retry_after", std::to_string(d.retry_after));
+      tracer->tag(span, "depth", std::to_string(d.depth));
+      tracer->end_span(span, now, false);
+    }
+    BusyPayload busy;
+    busy.retry_after = std::min(d.retry_after, BusyPayload::kMaxRetryAfter);
+    busy.queue_depth = static_cast<std::uint32_t>(d.depth);
+    Envelope reply;
+    reply.kind = MsgKind::kBusy;
+    reply.request_id = env.request_id;
+    reply.payload = busy.encode();
+    // Rejection is cheap (no worker consumed): the BUSY leaves immediately.
+    network.send(self, packet.from, reply.encode());
+    return;
+  }
+  if (d.wait <= 0) {
+    serve();
+    return;
+  }
+  if (tracer != nullptr) {
+    const obs::SpanId parent = tracer->bound_request(packet.from, env.request_id);
+    const obs::SpanId span =
+        tracer->begin_span("server", "queue", self, now, parent);
+    tracer->tag(span, "depth", std::to_string(d.depth));
+    tracer->end_span(span, now + d.wait, true);
+  }
+  network.sim().schedule(d.wait, [&network, self, serve = std::move(serve)] {
+    // An instance that crashed while the request was queued loses it; the
+    // client's retransmission machinery takes over.
+    if (!network.attached(self)) return;
+    serve();
+  });
+}
+
 }  // namespace
 
 RedirectionNode::RedirectionNode(services::RedirectionManager& rm, Network& network,
                                  util::NodeId self, ProcessingModel processing)
     : rm_(rm), network_(network), self_(self), processing_(processing) {}
 
+void RedirectionNode::set_overload_policy(const OverloadPolicy& policy) {
+  queue_ = policy.enabled() ? std::make_unique<ServiceQueue>(policy) : nullptr;
+}
+
 void RedirectionNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
-  if (!env || env->kind != MsgKind::kRedirectRequest) return;
-  try {
-    const auto req = services::RedirectRequest::decode(env->payload);
-    const auto resp = rm_.handle_lookup(req);
-    trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
-                resp.found ? "ok" : "unknown-user");
-    respond_after(network_, self_, packet.from, MsgKind::kRedirectResponse,
-                  env->request_id, resp.encode(), processing_.light);
-  } catch (const util::WireError&) {
+  if (!env) {
+    count_malformed(registry_);
+    return;
   }
+  if (env->kind != MsgKind::kRedirectRequest) return;
+  admit_or_shed(queue_.get(), registry_, tracer_, network_, self_, packet, *env,
+                processing_.light, [this, packet, env = *env] {
+    try {
+      const auto req = services::RedirectRequest::decode(env.payload);
+      const auto resp = rm_.handle_lookup(req);
+      trace_serve(tracer_, network_, self_, packet, env, processing_.light,
+                  resp.found ? "ok" : "unknown-user");
+      respond_after(network_, self_, packet.from, MsgKind::kRedirectResponse,
+                    env.request_id, resp.encode(), processing_.light);
+    } catch (const util::WireError&) {
+      count_malformed(registry_);
+    }
+  });
 }
 
 UserManagerNode::UserManagerNode(services::UserManager& um, Network& network,
                                  util::NodeId self, ProcessingModel processing)
     : um_(um), network_(network), self_(self), processing_(processing) {}
 
+void UserManagerNode::set_overload_policy(const OverloadPolicy& policy) {
+  queue_ = policy.enabled() ? std::make_unique<ServiceQueue>(policy) : nullptr;
+}
+
 void UserManagerNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
-  if (!env) return;
-  const util::SimTime now = network_.local_time(self_);
-  try {
-    switch (env->kind) {
-      case MsgKind::kLogin1Request: {
-        const auto req = core::Login1Request::decode(env->payload);
-        const auto resp = um_.handle_login1(req, packet.from_addr, now);
-        trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
-                    core::to_string(resp.error));
-        respond_after(network_, self_, packet.from, MsgKind::kLogin1Response,
-                      env->request_id, resp.encode(), processing_.light);
-        return;
-      }
-      case MsgKind::kLogin2Request: {
-        const auto req = core::Login2Request::decode(env->payload);
-        const auto resp = um_.handle_login2(req, packet.from_addr, now);
-        trace_serve(tracer_, network_, self_, packet, *env, processing_.heavy,
-                    core::to_string(resp.error));
-        respond_after(network_, self_, packet.from, MsgKind::kLogin2Response,
-                      env->request_id, resp.encode(), processing_.heavy);
-        return;
-      }
-      default:
-        return;  // not for this node
-    }
-  } catch (const util::WireError&) {
+  if (!env) {
+    count_malformed(registry_);
+    return;
+  }
+  switch (env->kind) {
+    case MsgKind::kLogin1Request:
+      admit_or_shed(queue_.get(), registry_, tracer_, network_, self_, packet,
+                    *env, processing_.light, [this, packet, env = *env] {
+        try {
+          const auto req = core::Login1Request::decode(env.payload);
+          const auto resp =
+              um_.handle_login1(req, packet.from_addr, network_.local_time(self_));
+          trace_serve(tracer_, network_, self_, packet, env, processing_.light,
+                      core::to_string(resp.error));
+          respond_after(network_, self_, packet.from, MsgKind::kLogin1Response,
+                        env.request_id, resp.encode(), processing_.light);
+        } catch (const util::WireError&) {
+          count_malformed(registry_);
+        }
+      });
+      return;
+    case MsgKind::kLogin2Request:
+      admit_or_shed(queue_.get(), registry_, tracer_, network_, self_, packet,
+                    *env, processing_.heavy, [this, packet, env = *env] {
+        try {
+          const auto req = core::Login2Request::decode(env.payload);
+          const auto resp =
+              um_.handle_login2(req, packet.from_addr, network_.local_time(self_));
+          trace_serve(tracer_, network_, self_, packet, env, processing_.heavy,
+                      core::to_string(resp.error));
+          respond_after(network_, self_, packet.from, MsgKind::kLogin2Response,
+                        env.request_id, resp.encode(), processing_.heavy);
+        } catch (const util::WireError&) {
+          count_malformed(registry_);
+        }
+      });
+      return;
+    default:
+      return;  // not for this node
   }
 }
 
@@ -103,52 +208,81 @@ ChannelPolicyNode::ChannelPolicyNode(services::ChannelPolicyManager& cpm,
                                      ProcessingModel processing)
     : cpm_(cpm), network_(network), self_(self), processing_(processing) {}
 
+void ChannelPolicyNode::set_overload_policy(const OverloadPolicy& policy) {
+  queue_ = policy.enabled() ? std::make_unique<ServiceQueue>(policy) : nullptr;
+}
+
 void ChannelPolicyNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
-  if (!env || env->kind != MsgKind::kChannelListRequest) return;
-  try {
-    const auto req = core::ChannelListRequest::decode(env->payload);
-    const auto resp = cpm_.handle_channel_list(req, network_.local_time(self_));
-    trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
-                core::to_string(resp.error));
-    respond_after(network_, self_, packet.from, MsgKind::kChannelListResponse,
-                  env->request_id, resp.encode(), processing_.light);
-  } catch (const util::WireError&) {
+  if (!env) {
+    count_malformed(registry_);
+    return;
   }
+  if (env->kind != MsgKind::kChannelListRequest) return;
+  admit_or_shed(queue_.get(), registry_, tracer_, network_, self_, packet, *env,
+                processing_.light, [this, packet, env = *env] {
+    try {
+      const auto req = core::ChannelListRequest::decode(env.payload);
+      const auto resp = cpm_.handle_channel_list(req, network_.local_time(self_));
+      trace_serve(tracer_, network_, self_, packet, env, processing_.light,
+                  core::to_string(resp.error));
+      respond_after(network_, self_, packet.from, MsgKind::kChannelListResponse,
+                    env.request_id, resp.encode(), processing_.light);
+    } catch (const util::WireError&) {
+      count_malformed(registry_);
+    }
+  });
 }
 
 ChannelManagerNode::ChannelManagerNode(services::ChannelManager& cm, Network& network,
                                        util::NodeId self, ProcessingModel processing)
     : cm_(cm), network_(network), self_(self), processing_(processing) {}
 
+void ChannelManagerNode::set_overload_policy(const OverloadPolicy& policy) {
+  queue_ = policy.enabled() ? std::make_unique<ServiceQueue>(policy) : nullptr;
+}
+
 void ChannelManagerNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
-  if (!env) return;
-  const util::SimTime now = network_.local_time(self_);
-  try {
-    switch (env->kind) {
-      case MsgKind::kSwitch1Request: {
-        const auto req = core::Switch1Request::decode(env->payload);
-        const auto resp = cm_.handle_switch1(req, packet.from_addr, now);
-        trace_serve(tracer_, network_, self_, packet, *env, processing_.light,
-                    core::to_string(resp.error));
-        respond_after(network_, self_, packet.from, MsgKind::kSwitch1Response,
-                      env->request_id, resp.encode(), processing_.light);
-        return;
-      }
-      case MsgKind::kSwitch2Request: {
-        const auto req = core::Switch2Request::decode(env->payload);
-        const auto resp = cm_.handle_switch2(req, packet.from_addr, now);
-        trace_serve(tracer_, network_, self_, packet, *env, processing_.heavy,
-                    core::to_string(resp.error));
-        respond_after(network_, self_, packet.from, MsgKind::kSwitch2Response,
-                      env->request_id, resp.encode(), processing_.heavy);
-        return;
-      }
-      default:
-        return;
-    }
-  } catch (const util::WireError&) {
+  if (!env) {
+    count_malformed(registry_);
+    return;
+  }
+  switch (env->kind) {
+    case MsgKind::kSwitch1Request:
+      admit_or_shed(queue_.get(), registry_, tracer_, network_, self_, packet,
+                    *env, processing_.light, [this, packet, env = *env] {
+        try {
+          const auto req = core::Switch1Request::decode(env.payload);
+          const auto resp =
+              cm_.handle_switch1(req, packet.from_addr, network_.local_time(self_));
+          trace_serve(tracer_, network_, self_, packet, env, processing_.light,
+                      core::to_string(resp.error));
+          respond_after(network_, self_, packet.from, MsgKind::kSwitch1Response,
+                        env.request_id, resp.encode(), processing_.light);
+        } catch (const util::WireError&) {
+          count_malformed(registry_);
+        }
+      });
+      return;
+    case MsgKind::kSwitch2Request:
+      admit_or_shed(queue_.get(), registry_, tracer_, network_, self_, packet,
+                    *env, processing_.heavy, [this, packet, env = *env] {
+        try {
+          const auto req = core::Switch2Request::decode(env.payload);
+          const auto resp =
+              cm_.handle_switch2(req, packet.from_addr, network_.local_time(self_));
+          trace_serve(tracer_, network_, self_, packet, env, processing_.heavy,
+                      core::to_string(resp.error));
+          respond_after(network_, self_, packet.from, MsgKind::kSwitch2Response,
+                        env.request_id, resp.encode(), processing_.heavy);
+        } catch (const util::WireError&) {
+          count_malformed(registry_);
+        }
+      });
+      return;
+    default:
+      return;
   }
 }
 
@@ -158,7 +292,10 @@ PeerNode::PeerNode(std::unique_ptr<p2p::Peer> peer, Network& network,
 
 void PeerNode::on_packet(const Packet& packet) {
   const auto env = Envelope::decode(packet.data);
-  if (!env) return;
+  if (!env) {
+    count_malformed(registry_);
+    return;
+  }
   const util::SimTime now = network_.local_time(id());
   switch (env->kind) {
     case MsgKind::kJoinRequest: {
@@ -174,6 +311,7 @@ void PeerNode::on_packet(const Packet& packet) {
           join_observer_(packet.from, peer_->child_count());
         }
       } catch (const util::WireError&) {
+        count_malformed(registry_);
       }
       return;
     }
@@ -218,6 +356,7 @@ void PeerNode::on_packet(const Packet& packet) {
       try {
         content = core::ContentPacket::decode(env->payload);
       } catch (const util::WireError&) {
+        count_malformed(registry_);
         return;
       }
       ++content_received_;

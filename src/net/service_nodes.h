@@ -1,17 +1,23 @@
 // Network frontends for the backend services: each node owns (or shares)
 // a service object, parses request envelopes off the wire, runs the
 // handler, and sends the response envelope back. Malformed packets are
-// dropped silently — retries are the client's job.
+// dropped (and counted under "server.drops{malformed}" when a registry is
+// bound) — retries are the client's job.
 //
 // Handler processing time is modeled per request (the service objects
 // compute instantly in-process; a real server would not), so end-to-end
 // latencies over this network include both propagation and service time.
+// With an OverloadPolicy set (set_overload_policy), requests additionally
+// wait in a bounded c-worker queue before service, and admission control
+// sheds excess load with kBusy responses — see net/overload.h.
 #pragma once
 
 #include <memory>
 
 #include "net/envelope.h"
 #include "net/network.h"
+#include "net/overload.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "p2p/peer.h"
 #include "services/channel_manager.h"
@@ -36,9 +42,17 @@ class RedirectionNode final : public Node {
   void on_packet(const Packet& packet) override;
   /// Record a serve span per handled request (null to disable).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Count drops/sheds and export queue depth (null to disable).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+  /// Install a bounded worker queue + admission control. A disabled policy
+  /// (workers == 0) restores the legacy instantaneous model.
+  void set_overload_policy(const OverloadPolicy& policy);
+  const ServiceQueue* queue() const { return queue_.get(); }
 
  private:
   obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<ServiceQueue> queue_;
   services::RedirectionManager& rm_;
   Network& network_;
   util::NodeId self_;
@@ -52,9 +66,17 @@ class UserManagerNode final : public Node {
   void on_packet(const Packet& packet) override;
   /// Record a serve span per handled request (null to disable).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Count drops/sheds and export queue depth (null to disable).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+  /// Install a bounded worker queue + admission control. A disabled policy
+  /// (workers == 0) restores the legacy instantaneous model.
+  void set_overload_policy(const OverloadPolicy& policy);
+  const ServiceQueue* queue() const { return queue_.get(); }
 
  private:
   obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<ServiceQueue> queue_;
   services::UserManager& um_;
   Network& network_;
   util::NodeId self_;
@@ -68,9 +90,17 @@ class ChannelPolicyNode final : public Node {
   void on_packet(const Packet& packet) override;
   /// Record a serve span per handled request (null to disable).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Count drops/sheds and export queue depth (null to disable).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+  /// Install a bounded worker queue + admission control. A disabled policy
+  /// (workers == 0) restores the legacy instantaneous model.
+  void set_overload_policy(const OverloadPolicy& policy);
+  const ServiceQueue* queue() const { return queue_.get(); }
 
  private:
   obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<ServiceQueue> queue_;
   services::ChannelPolicyManager& cpm_;
   Network& network_;
   util::NodeId self_;
@@ -84,9 +114,17 @@ class ChannelManagerNode final : public Node {
   void on_packet(const Packet& packet) override;
   /// Record a serve span per handled request (null to disable).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Count drops/sheds and export queue depth (null to disable).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
+  /// Install a bounded worker queue + admission control. A disabled policy
+  /// (workers == 0) restores the legacy instantaneous model.
+  void set_overload_policy(const OverloadPolicy& policy);
+  const ServiceQueue* queue() const { return queue_.get(); }
 
  private:
   obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<ServiceQueue> queue_;
   services::ChannelManager& cm_;
   Network& network_;
   util::NodeId self_;
@@ -116,6 +154,8 @@ class PeerNode : public Node {
   void set_content_sink(ContentSink sink) { content_sink_ = std::move(sink); }
   /// Record a serve span per handled join/renewal (null to disable).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Count malformed-packet drops (null to disable).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
   void set_join_observer(JoinObserver observer) { join_observer_ = std::move(observer); }
 
   /// Push a key blob to every child (root use; relays do it on receipt).
@@ -136,6 +176,7 @@ class PeerNode : public Node {
   std::unique_ptr<p2p::Peer> peer_;
   Network& network_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
   ProcessingModel processing_;
   ContentSink content_sink_;
   JoinObserver join_observer_;

@@ -37,6 +37,12 @@ class QueueStation {
   util::SimTime submit(util::SimTime arrival, util::SimTime service,
                        util::SimTime* queue_wait = nullptr);
 
+  /// How long a request arriving at `now` would wait for a free server —
+  /// the admission-control load signal, read without mutating the queue.
+  util::SimTime estimated_wait(util::SimTime now) const {
+    return free_at_.top() > now ? free_at_.top() - now : 0;
+  }
+
   std::uint64_t processed() const { return processed_; }
   /// Total busy time accumulated across all servers.
   util::SimTime busy_time() const { return busy_; }

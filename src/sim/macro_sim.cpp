@@ -65,6 +65,7 @@ struct Session {
   util::SimTime next_switch = 0;
   obs::SpanId round_span = 0;  // open round span of a traced session
   std::uint8_t join_attempts = 0;
+  std::uint8_t busy_retries = 0;  // admission-control BUSYs absorbed
   bool renewing_ct = false;
   bool relogging_in = false;
   bool joined_once = false;
@@ -315,10 +316,43 @@ class Engine {
 
   // --- the session state machine ---
 
+  /// Admission control at the User Manager farm: a *fresh* login arrival
+  /// (never a UT renewal — those keep an existing viewer alive) is shed
+  /// with a modeled BUSY when the farm's backlog implies more than the
+  /// configured wait. Shed viewers re-arrive after the retry-after hint,
+  /// up to max_busy_retries, then give up for good. Returns true when the
+  /// arrival was shed (the caller must not submit it to the farm).
+  bool shed_login(std::uint32_t s, Phase arrive_phase) {
+    if (cfg_.login_admission_max_wait <= 0) return false;
+    Session& session = pool_[s];
+    if (session.relogging_in) return false;  // protected tier
+    if (um_.estimated_wait(now_) <= cfg_.login_admission_max_wait) return false;
+    ++result_.logins_shed;
+    if (session.busy_retries >= cfg_.max_busy_retries) {
+      // Out of patience: the viewer walks away (the honest cost of
+      // shedding — counted, never silent).
+      ++result_.busy_abandoned;
+      if (session.round_span != 0) {
+        tracer_->end_span(session.round_span, now_, false);
+        session.round_span = 0;
+      }
+      session.active = false;
+      change_concurrency(-1);
+      free_list_.push_back(s);
+      return true;
+    }
+    ++session.busy_retries;
+    ++result_.busy_retries;
+    if (session.round_span != 0) tracer_->event(session.round_span, now_, "busy");
+    schedule(now_ + cfg_.busy_retry_after, s, arrive_phase);
+    return true;
+  }
+
   void dispatch(const Event& ev) {
     switch (ev.phase) {
       case Phase::kArrival: on_arrival(ev); return;
       case Phase::kLogin1Arrive:
+        if (shed_login(ev.session, Phase::kLogin1Arrive)) return;
         serve_and_respond(ev.session, ProtocolRound::kLogin1, um_, Phase::kLogin1Resp);
         return;
       case Phase::kLogin1Resp: {
@@ -329,6 +363,7 @@ class Engine {
         return;
       }
       case Phase::kLogin2Arrive:
+        if (shed_login(ev.session, Phase::kLogin2Arrive)) return;
         serve_and_respond(ev.session, ProtocolRound::kLogin2, um_, Phase::kLogin2Resp);
         return;
       case Phase::kLogin2Resp: on_login_complete(ev.session); return;

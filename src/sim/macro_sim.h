@@ -139,6 +139,17 @@ struct MacroSimConfig {
 
   std::vector<workload::FlashCrowd> flash_crowds;
 
+  /// Login admission control at the User Manager farm: when a fresh
+  /// LOGIN1/LOGIN2 arrival would wait longer than this for a free server,
+  /// it is shed with a BUSY (renewals and switches are never shed — session
+  /// continuity beats new admissions). 0 = disabled (legacy: everyone
+  /// queues, and a flash crowd drags every round's latency down with it).
+  util::SimTime login_admission_max_wait = 0;
+  /// Shed viewers re-arrive after this long (the BUSY retry-after hint)...
+  util::SimTime busy_retry_after = 2 * util::kSecond;
+  /// ...up to this many times before giving up for good.
+  std::size_t max_busy_retries = 5;
+
   std::uint64_t seed = 42;
   std::size_t reservoir_per_hour = 3000;
   std::size_t reservoir_cdf = 200000;
@@ -180,6 +191,12 @@ struct MacroSimResult {
   std::uint64_t ct_renewals = 0;
   std::uint64_t ut_renewals = 0;
   std::uint64_t join_retries = 0;
+  /// Admission control (login_admission_max_wait > 0): fresh logins shed
+  /// with a BUSY, their deferred re-arrivals, and the viewers who gave up
+  /// after max_busy_retries BUSYs.
+  std::uint64_t logins_shed = 0;
+  std::uint64_t busy_retries = 0;
+  std::uint64_t busy_abandoned = 0;
   double peak_observed_concurrency = 0;
   double um_utilization = 0;
   double cm_utilization = 0;

@@ -61,8 +61,9 @@ TEST(FaultPlanTest, ParsesScheduleText) {
       "25m loss 0.0.0.0/0 0.9 20s\n"
       "26m delay 10.1.0.0/16 250ms 30s\n"
       "30m churn 1 40 25\n"
-      "35m skew 2 90s\n");
-  ASSERT_EQ(plan.size(), 8u);
+      "35m skew 2 90s\n"
+      "40m flash-crowd 1 120 30s\n");
+  ASSERT_EQ(plan.size(), 9u);
   EXPECT_EQ(plan.events()[0].kind, FaultKind::kCrashUm);
   EXPECT_EQ(plan.events()[0].at, 10 * kMinute);
   EXPECT_EQ(plan.events()[0].instance, 1u);
@@ -74,6 +75,10 @@ TEST(FaultPlanTest, ParsesScheduleText) {
   EXPECT_EQ(plan.events()[6].arrivals, 25u);
   EXPECT_EQ(plan.events()[7].kind, FaultKind::kClockSkew);
   EXPECT_EQ(plan.events()[7].node, 2u);
+  EXPECT_EQ(plan.events()[8].kind, FaultKind::kFlashCrowd);
+  EXPECT_EQ(plan.events()[8].channel, 1u);
+  EXPECT_EQ(plan.events()[8].arrivals, 120u);
+  EXPECT_EQ(plan.events()[8].duration, 30 * kSecond);
 }
 
 TEST(FaultPlanTest, ToStringParsesBack) {
@@ -82,7 +87,8 @@ TEST(FaultPlanTest, ToStringParsesBack) {
       .partition(20 * kMinute, 30 * kSecond, AddrBlock{}, AddrBlock::parse("10.254.0.0/16"))
       .loss_burst(25 * kMinute, 20 * kSecond, AddrBlock{}, 0.5)
       .churn_storm(30 * kMinute, 1, 4, 2)
-      .clock_skew(35 * kMinute, 2, 90 * kSecond);
+      .clock_skew(35 * kMinute, 2, 90 * kSecond)
+      .flash_crowd(40 * kMinute, 1, 120, 30 * kSecond);
   const FaultPlan reparsed = FaultPlan::parse(plan.to_string());
   EXPECT_EQ(reparsed.to_string(), plan.to_string());
   EXPECT_EQ(reparsed.size(), plan.size());
@@ -312,6 +318,31 @@ TEST_F(FaultScenarioTest, SamplingNeverReturnsCrashedPeersAfterSweep) {
   const double utilization = dep->tracker().utilization(kChannel);
   EXPECT_GE(utilization, 0.0);
   EXPECT_LE(utilization, 1.0);
+}
+
+// --- satellite: flash crowds (deployment-level) ---
+
+TEST_F(FaultScenarioTest, FlashCrowdSpawnsViewersThatAllJoin) {
+  net::DeploymentConfig cfg = chaos_config();
+  auto dep = make_deployment(cfg, 1);
+
+  FaultPlan plan;
+  plan.flash_crowd(dep->sim().now() + kSecond, kChannel, 6, 2 * kSecond);
+  FaultEngineConfig engine_cfg;
+  engine_cfg.arrival_region = dep->geo().region_at(0);  // the channel is regional
+  FaultEngine engine(*dep, plan, engine_cfg);
+  engine.arm();
+
+  const std::size_t before = dep->clients().size();
+  dep->run_for(2 * kMinute);
+  EXPECT_EQ(engine.flash_crowd_arrivals(), 6u);
+  ASSERT_EQ(dep->clients().size(), before + 6);
+  // With no overload protection configured and a healthy farm, every
+  // arrival completes the full login -> switch -> join sequence.
+  for (const auto& client : dep->clients()) {
+    EXPECT_TRUE(client->logged_in()) << client->config().email;
+    EXPECT_TRUE(client->channel_ticket().has_value()) << client->config().email;
+  }
 }
 
 // --- the headline determinism guarantee ---

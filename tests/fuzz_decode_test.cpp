@@ -12,6 +12,7 @@
 #include "core/secure_channel.h"
 #include "core/ticket.h"
 #include "crypto/chacha20.h"
+#include "net/envelope.h"
 #include "services/catalog.h"
 #include "services/channel_manager.h"
 #include "services/redirection_manager.h"
@@ -69,6 +70,7 @@ std::vector<Decoder> all_decoders() {
          util::WireReader r(b);
          core::Challenge::decode(r);
        }},
+      {"BusyPayload", [](util::BytesView b) { net::BusyPayload::decode(b); }},
   };
 }
 
@@ -204,6 +206,68 @@ TEST(FuzzDecodeTest, ViewingLogDecodeGraceful) {
     } catch (const util::WireError&) {
     }
   }
+}
+
+TEST(FuzzDecodeTest, BusyPayloadRoundTrip) {
+  net::BusyPayload busy;
+  busy.retry_after = 1500 * util::kMillisecond;
+  busy.queue_depth = 42;
+  const net::BusyPayload back = net::BusyPayload::decode(busy.encode());
+  EXPECT_EQ(back.retry_after, busy.retry_after);
+  EXPECT_EQ(back.queue_depth, busy.queue_depth);
+}
+
+TEST(FuzzDecodeTest, BusyPayloadTruncationsRejected) {
+  net::BusyPayload busy;
+  busy.retry_after = 2 * util::kSecond;
+  busy.queue_depth = 7;
+  const Bytes valid = busy.encode();
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_THROW(net::BusyPayload::decode(Bytes(
+                     valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len))),
+                 util::WireError)
+        << "truncated to " << len << " bytes";
+  }
+  Bytes trailing = valid;
+  trailing.push_back(0);
+  EXPECT_THROW(net::BusyPayload::decode(trailing), util::WireError);
+}
+
+TEST(FuzzDecodeTest, BusyPayloadRetryAfterRangeChecked) {
+  // A malicious/corrupt BUSY must not park a client forever (or travel back
+  // in time): retry-after is bounded to [0, kMaxRetryAfter] at decode.
+  for (const util::SimTime bad : {static_cast<util::SimTime>(-1),
+                                  net::BusyPayload::kMaxRetryAfter + 1,
+                                  std::numeric_limits<util::SimTime>::max(),
+                                  std::numeric_limits<util::SimTime>::min()}) {
+    util::WireWriter w;
+    w.i64(bad);
+    w.u32(1);
+    EXPECT_THROW(net::BusyPayload::decode(w.take()), util::WireError)
+        << "retry_after " << bad;
+  }
+  // The boundary itself is legal.
+  util::WireWriter w;
+  w.i64(net::BusyPayload::kMaxRetryAfter);
+  w.u32(0);
+  EXPECT_EQ(net::BusyPayload::decode(w.take()).retry_after,
+            net::BusyPayload::kMaxRetryAfter);
+}
+
+TEST(FuzzDecodeTest, EnvelopeRejectsKindsPastBusy) {
+  // kBusy widened the envelope's kind range; anything beyond it must still
+  // be rejected (forward compatibility stays an explicit decision).
+  net::Envelope env;
+  env.kind = net::MsgKind::kBusy;
+  env.request_id = 9;
+  env.payload = net::BusyPayload{}.encode();
+  const Bytes wire = env.encode();
+  ASSERT_TRUE(net::Envelope::decode(wire).has_value());
+  Bytes bumped = wire;
+  bumped[0] = static_cast<std::uint8_t>(net::MsgKind::kBusy) + 1;
+  EXPECT_FALSE(net::Envelope::decode(bumped).has_value());
+  bumped[0] = 0;
+  EXPECT_FALSE(net::Envelope::decode(bumped).has_value());
 }
 
 TEST(FuzzDecodeTest, RoundTripAfterSuccessfulFuzzDecode) {
