@@ -10,6 +10,16 @@
 //                               # keeps SWITCH/renewal p99 within 2x the
 //                               # unloaded baseline, and returns to
 //                               # SLO-passing steady state after the drain
+//   ./chaos_demo --crash-recovery
+//                               # durable farm state vs crash-at-worst-moment
+//                               # schedules (torn journal tails, wiped media,
+//                               # stretched replication); exits nonzero unless
+//                               # a device migration admitted by a surviving
+//                               # sibling is never dual-admitted after the
+//                               # crashed instance recovers, renewals keep
+//                               # succeeding against survivors, the torn tail
+//                               # is rejected on replay, and permanent audit
+//                               # loss stays bounded by the replication lag
 //
 // Set P2PDRM_TRACE_OUT=<path> to capture protocol-round spans for the whole
 // run and write them as Chrome trace_event JSON (load in about:tracing or
@@ -310,6 +320,253 @@ int run_flash_crowd() {
   return ok ? 0 : 1;
 }
 
+/// Step the simulation until `done` flips or `budget` sim-time elapses.
+bool pump_until(net::Deployment& d, const bool& done, util::SimTime budget) {
+  const util::SimTime deadline = d.sim().now() + budget;
+  while (!done && d.sim().now() < deadline && d.sim().step()) {
+  }
+  return done;
+}
+
+/// Log in `client` and switch it onto kChannel; true iff both succeeded.
+bool join_channel(net::Deployment& d, net::AsyncClient& client,
+                  util::SimTime budget) {
+  bool done = false;
+  bool ok = false;
+  client.login([&](core::DrmError err) {
+    if (err != core::DrmError::kOk) {
+      done = true;
+      return;
+    }
+    client.switch_channel(kChannel, [&](core::DrmError err2) {
+      ok = err2 == core::DrmError::kOk;
+      done = true;
+    });
+  });
+  pump_until(d, done, budget);
+  return ok;
+}
+
+/// One synchronous renewal; true iff it completed with kOk.
+bool renew(net::Deployment& d, net::AsyncClient& client, util::SimTime budget) {
+  bool done = false;
+  bool ok = false;
+  client.renew_channel_ticket([&](core::DrmError err) {
+    ok = err == core::DrmError::kOk;
+    done = true;
+  });
+  pump_until(d, done, budget);
+  return ok;
+}
+
+/// The crash-recovery durability gate (journaled farm state, src/store).
+///
+/// The scenario is the paper's one-account-one-session rule under the worst
+/// crash schedule we can write: a viewer migrates to a second device, and
+/// the Channel Manager instance that admitted the *first* device dies with a
+/// torn journal tail the moment the migration would be most confusable.
+/// The surviving sibling must admit the new device (fresh issues are written
+/// through and eagerly replicated), renewals must keep succeeding against
+/// survivors during the outage, and once the crashed instance recovers via
+/// snapshot + replay + anti-entropy it must refuse the stale device — never
+/// dual-admit. A second schedule wipes an instance's durable media entirely
+/// (anti-entropy full-state transfer is all it has) while the replication
+/// interval is stretched by fault verb, and a third crashes a User Manager
+/// instance and provisions a brand-new account against the survivor.
+int run_crash_recovery() {
+  std::printf("=== crash-recovery durability run ===\n");
+
+  net::DeploymentConfig cfg;
+  cfg.seed = 42;
+  cfg.tracing = std::getenv("P2PDRM_TRACE_OUT") != nullptr;
+  cfg.default_link.latency.floor = 10 * util::kMillisecond;
+  cfg.default_link.latency.median = 40 * util::kMillisecond;
+  cfg.default_link.latency.sigma = 0.4;
+  cfg.default_link.loss = 0.01;
+  cfg.processing.light = 1 * util::kMillisecond;
+  cfg.processing.heavy = 8 * util::kMillisecond;
+  cfg.um_instances = 2;
+  cfg.cm_instances = 2;
+  cfg.tracker_stale_age = 2 * util::kMinute;
+  cfg.client_resilience = true;
+  cfg.durability.enabled = true;
+  cfg.durability.replication_interval = 500 * util::kMillisecond;
+  cfg.durability.sync_fresh_issues = true;
+  // Aggressive compaction: snapshots (and op-cache trims) happen well within
+  // the run, so a wiped instance genuinely needs the full-state-transfer
+  // path — its siblings no longer hold the ops its journal lost.
+  cfg.durability.snapshot_every = 16;
+  cfg.durability.viewing_audit_cap = 4096;
+  cfg.durability.replay_cost_per_record = 200;  // 200 us per replayed record
+
+  net::Deployment d(cfg);
+  obs::TimeSeries timeseries;
+  timeseries.set_scrape_filters({"client.round.*", "store.*", "server.*"});
+  obs::SloMonitor slo(steady_state_objectives());
+  d.enable_scraping(&timeseries, &slo, 5 * util::kSecond);
+
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(kChannel, "live", region);
+  d.start_channel_server(kChannel);
+  constexpr std::size_t kViewers = 8;
+  provision_viewers(d, region, kViewers);
+  d.run_until(3 * util::kMinute);  // steady state, renewal cycles underway
+
+  bool ok = true;
+
+  // --- Phase 1: device migration under a crash at the worst moment ---
+  // The migrating devices are deliberately NON-resilient clients: with
+  // resilience on, a refused renewal escalates into a full re-login +
+  // re-switch (a fresh issue) and would mask the enforcement signal this
+  // gate exists to observe.
+  std::printf("\n=== phase 1: torn-tail crash during a device migration ===\n");
+  d.add_user("migrator@example.com", "pw");
+  net::AsyncClient::Config mig_cfg =
+      d.make_client_config("migrator@example.com", "pw", region);
+  mig_cfg.resilience = false;
+  auto dev_a = std::make_unique<net::AsyncClient>(mig_cfg, d.network(),
+                                                  crypto::SecureRandom(0xa11ce));
+  ok &= gate(join_channel(d, *dev_a, 2 * util::kMinute),
+             "device A logged in and joined");
+  const util::UserIN mig_user = dev_a->user_ticket()->ticket.user_in;
+
+  // Ride until device A's renewal window opens (§IV-D: renewal only near
+  // expiry), then renew: the renewal is an asynchronous audit-only record,
+  // journaled on the advertised instance but not yet fsynced.
+  d.run_until(dev_a->channel_ticket()->ticket.expiry_time - 2 * util::kMinute);
+  ok &= gate(renew(d, *dev_a, util::kMinute),
+             "in-window renewal accepted before the crash");
+  // A replication tick can race the renewal response and fsync the record;
+  // in that case wait for the next viewer auto-renewal to stage one.
+  const util::SimTime poll_deadline = d.now() + 10 * util::kMinute;
+  while (d.cm_store(0, 0)->unsynced_ops() == 0 && d.now() < poll_deadline &&
+         d.sim().step()) {
+  }
+  const std::uint64_t staged = d.cm_store(0, 0)->unsynced_ops();
+  std::printf("staged (unsynced) audit records on cm[0][0]: %llu\n",
+              static_cast<unsigned long long>(staged));
+  ok &= gate(staged > 0, "async audit records staged ahead of the crash");
+
+  // Worst moment: the instance that admitted device A dies right now, with
+  // a torn partial write of the staged tail. Fresh issues were written
+  // through, so only audit records can be lost.
+  d.crash_cm_unsynced(0, 0);
+
+  net::AsyncClient::Config mig_cfg_b =
+      d.make_client_config("migrator@example.com", "pw", region);
+  mig_cfg_b.resilience = false;
+  auto dev_b = std::make_unique<net::AsyncClient>(mig_cfg_b, d.network(),
+                                                  crypto::SecureRandom(0xb0b));
+  ok &= gate(join_channel(d, *dev_b, 3 * util::kMinute),
+             "device migration admitted by the surviving sibling");
+
+  // Outage continues until device B's own renewal window opens: a pure
+  // renewal against the survivor must succeed (its fresh issue was written
+  // through there).
+  d.run_until(dev_b->channel_ticket()->ticket.expiry_time - 2 * util::kMinute);
+  ok &= gate(renew(d, *dev_b, util::kMinute),
+             "renewal succeeded against the survivor during the outage");
+
+  d.restart_cm_instance(0, 0);  // snapshot + replay + anti-entropy
+  d.run_for(10 * util::kSecond);
+
+  // The stale device renews inside its own (renewal-extended) window,
+  // against the recovered instance its cached channel list still points at.
+  // Recovery pulled the migration via anti-entropy, so it must refuse.
+  d.run_until(dev_a->channel_ticket()->ticket.expiry_time - 2 * util::kMinute);
+  const bool a_renews = renew(d, *dev_a, util::kMinute);
+  std::printf("post-recovery renewal: stale device A %s\n",
+              a_renews ? "ADMITTED" : "refused");
+  ok &= gate(!a_renews,
+             "zero dual admissions: the recovered instance refuses the stale device");
+
+  const obs::Counter* corrupt = d.registry().find_counter("store.replay.corrupt");
+  ok &= gate(corrupt != nullptr && corrupt->value() > 0,
+             "torn journal tail rejected on replay (store.replay.corrupt > 0)");
+  const obs::Gauge* window =
+      d.registry().find_gauge("store.audit.max_loss_window_us");
+  const std::int64_t window_us = window != nullptr ? window->value() : 0;
+  std::printf("permanent audit loss window: %lld us (replication interval %lld us)\n",
+              static_cast<long long>(window_us),
+              static_cast<long long>(cfg.durability.replication_interval));
+  ok &= gate(window_us <= cfg.durability.replication_interval,
+             "permanent audit loss bounded by the replication interval");
+
+  // --- Phase 2: wiped media + stretched replication, via fault verbs ---
+  std::printf("\n=== phase 2: wipe-state under replication-lag (fault verbs) ===\n");
+  fault::FaultPlan plan;
+  const util::SimTime t0 = d.now();
+  plan.replication_lag(t0 + 5 * util::kSecond, 2 * util::kSecond);
+  plan.wipe_state_cm(t0 + 10 * util::kSecond, 0, 1);
+  plan.restart_cm(t0 + 30 * util::kSecond, 0, 1);
+  plan.replication_lag(t0 + 40 * util::kSecond, 500 * util::kMillisecond);
+  std::printf("%s", plan.to_string().c_str());
+  fault::FaultEngine engine(d, plan, {});
+  engine.arm();
+  d.run_for(2 * util::kMinute);
+  std::printf("\n=== fault log ===\n");
+  for (const std::string& line : engine.log()) std::printf("%s\n", line.c_str());
+
+  const obs::Counter* full_xfer =
+      d.registry().find_counter("store.recovery.full_transfers");
+  ok &= gate(full_xfer != nullptr && full_xfer->value() >= 1,
+             "wiped instance rebuilt via anti-entropy full-state transfer");
+  d.replicate_now();
+  const services::ViewingLog* log0 = d.cm_viewing_log(0, 0);
+  const services::ViewingLog* log1 = d.cm_viewing_log(0, 1);
+  const services::ViewingLog::Entry* latest0 = log0->latest(mig_user, kChannel);
+  const services::ViewingLog::Entry* latest1 = log1->latest(mig_user, kChannel);
+  ok &= gate(latest0 != nullptr && latest1 != nullptr &&
+                 latest0->addr == latest1->addr && latest0->time == latest1->time &&
+                 latest0->addr == dev_b->config().addr,
+             "replicas converged on the migrated device as the single session");
+
+  // --- Phase 3: User Manager crash; signup served by the survivor ---
+  std::printf("\n=== phase 3: UM instance crash + outage-era signup ===\n");
+  d.crash_um_unsynced(0);
+  d.add_user("late@example.com", "pw");  // provisioned against the survivor
+  net::AsyncClient& late = d.add_client("late@example.com", "pw", region);
+  ok &= gate(join_channel(d, late, 3 * util::kMinute),
+             "outage-era signup logged in via the surviving UM instance");
+  d.restart_um_instance(0);
+  d.run_for(10 * util::kSecond);
+  const services::UserDirectory* dir0 = d.um_directory(0);
+  ok &= gate(dir0 != nullptr && dir0->users.count("late@example.com") == 1,
+             "restarted UM pulled the outage-era signup via anti-entropy");
+
+  // --- Phase 4: back to steady state, fresh SLO monitor ---
+  obs::SloMonitor slo_recovered(steady_state_objectives());
+  d.enable_scraping(&timeseries, &slo_recovered, 5 * util::kSecond);
+  d.run_for(10 * util::kMinute);
+  std::printf("\n=== recovery window (steady-state budgets) ===\n%s",
+              slo_recovered.report().c_str());
+  ok &= gate(slo_recovered.within_budget(),
+             "steady-state SLOs pass again after the crash schedule");
+
+  std::printf("\n=== store metrics ===\n");
+  for (const auto& [name, counter] : d.registry().counters()) {
+    if (name.rfind("store.", 0) == 0) {
+      std::printf("%s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    }
+  }
+  for (const auto& [name, gauge] : d.registry().gauges()) {
+    if (name.rfind("store.", 0) == 0) {
+      std::printf("%s = %lld\n", name.c_str(),
+                  static_cast<long long>(gauge.value()));
+    }
+  }
+
+  const EndState end = end_state(d, d.now());
+  std::printf("\nend state: %zu clients alive, %zu authenticated and joined\n",
+              end.alive, end.joined);
+  ok &= gate(end.joined >= kViewers,
+             "every resilient viewer rode out the whole crash schedule");
+  if (!dump_artifacts(d, timeseries)) return 1;
+  std::printf("\n=== crash-recovery verdict: %s ===\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,6 +577,8 @@ int main(int argc, char** argv) {
       baseline = true;
     } else if (std::string(argv[i]) == "--flash-crowd") {
       return run_flash_crowd();
+    } else if (std::string(argv[i]) == "--crash-recovery") {
+      return run_crash_recovery();
     } else {
       schedule_path = argv[i];
     }

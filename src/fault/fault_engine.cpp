@@ -88,6 +88,35 @@ void FaultEngine::apply(const FaultEvent& ev) {
     case FaultKind::kFlashCrowd:
       flash_crowd(ev);
       return;
+    case FaultKind::kWipeState:
+    case FaultKind::kCrashUnsynced: {
+      const bool wipe = ev.kind == FaultKind::kWipeState;
+      if (ev.farm == FarmKind::kUm) {
+        if (ev.instance >= dep_.um_instance_count()) {
+          note(ev, "  # ignored: no such instance");
+          return;
+        }
+        wipe ? dep_.wipe_um_state(ev.instance) : dep_.crash_um_unsynced(ev.instance);
+      } else {
+        if (ev.partition >= dep_.partition_count() ||
+            ev.instance >= dep_.cm_instance_count(ev.partition)) {
+          note(ev, "  # ignored: no such instance");
+          return;
+        }
+        wipe ? dep_.wipe_cm_state(ev.partition, ev.instance)
+             : dep_.crash_cm_unsynced(ev.partition, ev.instance);
+      }
+      note(ev);
+      return;
+    }
+    case FaultKind::kReplicationLag:
+      if (!dep_.durable()) {
+        note(ev, "  # ignored: durability off");
+        return;
+      }
+      dep_.set_replication_interval(ev.delay);
+      note(ev);
+      return;
   }
 }
 

@@ -103,8 +103,15 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::kChurnStorm: return "churn";
     case FaultKind::kClockSkew: return "skew";
     case FaultKind::kFlashCrowd: return "flash-crowd";
+    case FaultKind::kWipeState: return "wipe-state";
+    case FaultKind::kCrashUnsynced: return "crash-unsynced";
+    case FaultKind::kReplicationLag: return "replication-lag";
   }
   return "?";
+}
+
+std::string_view to_string(FarmKind f) {
+  return f == FarmKind::kUm ? "um" : "cm";
 }
 
 std::string FaultEvent::to_string() const {
@@ -138,6 +145,15 @@ std::string FaultEvent::to_string() const {
       break;
     case FaultKind::kFlashCrowd:
       out << " " << channel << " " << arrivals << " " << format_duration(duration);
+      break;
+    case FaultKind::kWipeState:
+    case FaultKind::kCrashUnsynced:
+      out << " " << fault::to_string(farm);
+      if (farm == FarmKind::kCm) out << " " << partition;
+      out << " " << instance;
+      break;
+    case FaultKind::kReplicationLag:
+      out << " " << format_duration(delay);
       break;
   }
   return out.str();
@@ -255,6 +271,54 @@ FaultPlan& FaultPlan::flash_crowd(util::SimTime at, util::ChannelId channel,
   return push(ev);
 }
 
+FaultPlan& FaultPlan::wipe_state_um(util::SimTime at, std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kWipeState;
+  ev.farm = FarmKind::kUm;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::wipe_state_cm(util::SimTime at, std::uint32_t partition,
+                                    std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kWipeState;
+  ev.farm = FarmKind::kCm;
+  ev.partition = partition;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::crash_unsynced_um(util::SimTime at, std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kCrashUnsynced;
+  ev.farm = FarmKind::kUm;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::crash_unsynced_cm(util::SimTime at, std::uint32_t partition,
+                                        std::size_t instance) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kCrashUnsynced;
+  ev.farm = FarmKind::kCm;
+  ev.partition = partition;
+  ev.instance = instance;
+  return push(ev);
+}
+
+FaultPlan& FaultPlan::replication_lag(util::SimTime at, util::SimTime interval) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kReplicationLag;
+  ev.delay = interval;
+  return push(ev);
+}
+
 FaultPlan FaultPlan::parse(std::string_view text) {
   FaultPlan plan;
   std::size_t line_no = 0;
@@ -330,6 +394,27 @@ FaultPlan FaultPlan::parse(std::string_view text) {
         plan.flash_crowd(at,
                          static_cast<util::ChannelId>(parse_uint(tok[2], "channel")),
                          parse_uint(tok[3], "arrivals"), parse_duration(tok[4]));
+      } else if (verb == "wipe-state" || verb == "crash-unsynced") {
+        // Variable arity: 'um <instance>' or 'cm <partition> <instance>'.
+        if (tok.size() < 3) bad("verb '" + std::string(verb) + "' needs a farm");
+        const std::string_view farm = tok[2];
+        const bool wipe = verb == "wipe-state";
+        if (farm == "um") {
+          want(2);
+          const std::size_t inst = parse_uint(tok[3], "instance");
+          wipe ? plan.wipe_state_um(at, inst) : plan.crash_unsynced_um(at, inst);
+        } else if (farm == "cm") {
+          want(3);
+          const auto part = static_cast<std::uint32_t>(parse_uint(tok[3], "partition"));
+          const std::size_t inst = parse_uint(tok[4], "instance");
+          wipe ? plan.wipe_state_cm(at, part, inst)
+               : plan.crash_unsynced_cm(at, part, inst);
+        } else {
+          bad("unknown farm '" + std::string(farm) + "' (want um|cm)");
+        }
+      } else if (verb == "replication-lag") {
+        want(1);
+        plan.replication_lag(at, parse_duration(tok[2]));
       } else {
         bad("unknown verb '" + std::string(verb) + "'");
       }

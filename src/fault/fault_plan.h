@@ -13,6 +13,9 @@
 //   30m     churn       1 40 25        # channel departures arrivals
 //   35m     skew        2 90s          # node skew
 //   40m     flash-crowd 1 120 30s      # channel arrivals ramp
+//   45m     wipe-state  cm 0 1         # durable media gone too
+//   50m     crash-unsynced um 1        # torn tail: half the staged bytes land
+//   55m     replication-lag 5s         # stretch the farm gossip interval
 //
 // Times are durations since the simulation epoch: "500ms", "90s", "10m",
 // "2h" (or a bare integer, meaning microseconds). Blank lines and #
@@ -61,15 +64,24 @@ enum class FaultKind : std::uint8_t {
   kLossBurst,     // scope a, rate, duration
   kLatencySpike,  // scope a, delay, duration
   kChurnStorm,    // channel, departures, arrivals
-  kClockSkew,     // node, delay (the skew; 0 heals)
-  kFlashCrowd,    // channel, arrivals, duration (the ramp)
+  kClockSkew,       // node, delay (the skew; 0 heals)
+  kFlashCrowd,      // channel, arrivals, duration (the ramp)
+  kWipeState,       // farm, [partition,] instance — crash + durable media loss
+  kCrashUnsynced,   // farm, [partition,] instance — crash with a torn WAL tail
+  kReplicationLag,  // delay (the new farm replication interval; 0 disables)
 };
 
 std::string_view to_string(FaultKind k);
 
+/// Which farm a state fault targets (wipe-state / crash-unsynced).
+enum class FarmKind : std::uint8_t { kUm, kCm };
+
+std::string_view to_string(FarmKind f);
+
 struct FaultEvent {
   util::SimTime at = 0;
   FaultKind kind = FaultKind::kCrashUm;
+  FarmKind farm = FarmKind::kUm;    // wipe-state / crash-unsynced target
   std::size_t instance = 0;
   std::uint32_t partition = 0;
   AddrBlock a;                      // partition side A / loss / delay scope
@@ -107,6 +119,19 @@ class FaultPlan {
   /// exists for — nobody departs first).
   FaultPlan& flash_crowd(util::SimTime at, util::ChannelId channel,
                          std::size_t arrivals, util::SimTime ramp);
+  /// Crash an instance AND destroy its durable media (journal + snapshot):
+  /// on restart it has nothing local and must full-sync from siblings.
+  FaultPlan& wipe_state_um(util::SimTime at, std::size_t instance);
+  FaultPlan& wipe_state_cm(util::SimTime at, std::uint32_t partition,
+                           std::size_t instance);
+  /// Crash an instance mid-write: half the staged (unsynced) journal bytes
+  /// land as a torn tail, the rest are lost. Replay must stop cleanly.
+  FaultPlan& crash_unsynced_um(util::SimTime at, std::size_t instance);
+  FaultPlan& crash_unsynced_cm(util::SimTime at, std::uint32_t partition,
+                               std::size_t instance);
+  /// Reset the farm replication interval (0 stops the ticker entirely,
+  /// freezing async audit shipping until a later event restores it).
+  FaultPlan& replication_lag(util::SimTime at, util::SimTime interval);
 
   /// Events sorted by time (stable: same-time events keep insertion order).
   const std::vector<FaultEvent>& events() const { return events_; }

@@ -58,6 +58,16 @@ void AsyncClient::leave() {
   if (departed_) return;
   departed_ = true;
   ++renew_epoch_;  // cancel outstanding renewal timers
+  auto_renew_ = false;
+  starvation_recovery_ = false;
+  // Drop every in-flight request: the retransmit-timeout and BUSY-deferred
+  // resend closures key off pending_, so clearing it here guarantees no
+  // timer can fire a send from (or re-arm for) a dead session. on_fail is
+  // deliberately not invoked — the session is over, nobody is listening.
+  for (auto& [request_id, pending] : pending_) {
+    close_request_spans(request_id, pending, /*ok=*/false, "departed");
+  }
+  pending_.clear();
   if (network_.attached(config_.node)) network_.detach(config_.node);
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "services/durable_ops.h"
+
 namespace p2pdrm::net {
 
 Deployment::Deployment(DeploymentConfig config)
@@ -34,7 +36,7 @@ Deployment::Deployment(DeploymentConfig config)
   services::UserManager* um0 = um_instances_[0].um.get();
 
   accounts_ = std::make_unique<services::AccountManager>(
-      [um0](const services::UserProvisioning& p) { um0->provision(p); });
+      [this](const services::UserProvisioning& p) { provision_user(p); });
 
   cpm_ = std::make_unique<services::ChannelPolicyManager>(um_domain_->keys.pub);
   cpm_->add_attribute_list_sink(
@@ -111,8 +113,164 @@ Deployment::Deployment(DeploymentConfig config)
   }
   redirection_.set_channel_policy_manager(services::ManagerCoordinates{cpm_addr, {}});
 
+  if (config_.durability.enabled) {
+    init_durable_state();
+    replication_interval_ = config_.durability.replication_interval;
+    schedule_replication();
+  }
+
   if (config_.tracker_stale_age > 0) schedule_stale_sweep();
   if (config_.tracing) enable_tracing();
+}
+
+void Deployment::init_durable_state() {
+  store::FarmStore::Config sc;
+  sc.snapshot_every = config_.durability.snapshot_every;
+
+  for (std::size_t i = 0; i < um_instances_.size(); ++i) {
+    UmInstance& inst = um_instances_[i];
+    inst.dir = std::make_unique<services::UserDirectory>();
+    inst.st = std::make_unique<store::FarmStore>(
+        1000 + static_cast<std::uint32_t>(i), sc);
+    inst.st->bind_registry(&registry_);
+    inst.um->use_local_directory(inst.dir.get());
+    services::UserManager* um = inst.um.get();
+    services::UserDirectory* dir = inst.dir.get();
+    inst.st->set_state_machine(
+        [um](util::BytesView payload) {
+          um->apply_provision(services::decode_user_record(payload));
+        },
+        [dir] { return services::encode_user_directory(*dir); },
+        [dir](util::BytesView state) {
+          *dir = state.empty() ? services::UserDirectory{}
+                               : services::decode_user_directory(state);
+        });
+  }
+
+  for (std::size_t p = 0; p < cm_instances_.size(); ++p) {
+    for (std::size_t i = 0; i < cm_instances_[p].size(); ++i) {
+      CmInstance& inst = cm_instances_[p][i];
+      inst.log = std::make_unique<services::ViewingLog>();
+      inst.log->set_audit_cap(config_.durability.viewing_audit_cap);
+      inst.st = std::make_unique<store::FarmStore>(
+          2000 + static_cast<std::uint32_t>(p * 16 + i), sc);
+      inst.st->bind_registry(&registry_);
+      inst.cm->use_local_log(inst.log.get());
+      services::ViewingLog* log = inst.log.get();
+      const std::size_t cap = config_.durability.viewing_audit_cap;
+      inst.st->set_state_machine(
+          [log](util::BytesView payload) {
+            log->record(services::decode_viewing_entry(payload));
+          },
+          [log] { return log->encode(); },
+          [log, cap](util::BytesView state) {
+            *log = state.empty() ? services::ViewingLog()
+                                 : services::ViewingLog::decode(state);
+            log->set_audit_cap(cap);
+          });
+      // Every viewing entry this instance writes is journaled; fresh issues
+      // (the single-session witness) are additionally fsynced and shipped
+      // to live siblings before the Switch2 response leaves the handler, so
+      // a crash immediately after the reply cannot forget the admission.
+      const std::uint32_t part = static_cast<std::uint32_t>(p);
+      inst.cm->set_viewing_sink(
+          [this, part, i](const services::ViewingLog::Entry& entry) {
+            CmInstance& self = cm_instances_[part][i];
+            const store::ReplicatedOp op =
+                self.st->submit(services::encode_viewing_entry(entry));
+            if (entry.renewal || !config_.durability.sync_fresh_issues) return;
+            self.st->sync();
+            self.last_sync = sim_.now();
+            for (CmInstance& other : cm_instances_[part]) {
+              if (&other == &self || !other.up) continue;
+              if (other.st->ingest(op) == store::FarmStore::IngestResult::kGap) {
+                other.st->catch_up_from(*self.st);
+              }
+              other.st->sync();
+              other.last_sync = sim_.now();
+            }
+          });
+    }
+  }
+}
+
+void Deployment::provision_user(const services::UserProvisioning& p) {
+  if (!config_.durability.enabled) {
+    um_instances_[0].um->provision(p);
+    return;
+  }
+  // Control-plane write lands on the first live instance and — like fresh
+  // issues — is written through: provisioning loss would strand an account.
+  UmInstance* primary = nullptr;
+  for (UmInstance& inst : um_instances_) {
+    if (inst.up) { primary = &inst; break; }
+  }
+  if (primary == nullptr) primary = &um_instances_[0];
+  const services::UserRecord& rec = primary->um->provision(p);
+  const store::ReplicatedOp op =
+      primary->st->submit(services::encode_user_record(rec));
+  if (!config_.durability.sync_fresh_issues) return;
+  primary->st->sync();
+  primary->last_sync = sim_.now();
+  for (UmInstance& other : um_instances_) {
+    if (&other == primary || !other.up) continue;
+    if (other.st->ingest(op) == store::FarmStore::IngestResult::kGap) {
+      other.st->catch_up_from(*primary->st);
+    }
+    other.st->sync();
+    other.last_sync = sim_.now();
+  }
+}
+
+void Deployment::schedule_replication() {
+  if (!config_.durability.enabled || replication_interval_ <= 0) {
+    replication_armed_ = false;
+    return;
+  }
+  replication_armed_ = true;
+  sim_.schedule(replication_interval_, [this] {
+    if (replication_interval_ <= 0) {
+      replication_armed_ = false;
+      return;
+    }
+    replication_tick();
+    schedule_replication();
+  });
+}
+
+void Deployment::replication_tick() {
+  const util::SimTime now = sim_.now();
+  for (UmInstance& dst : um_instances_) {
+    if (!dst.up) continue;
+    for (UmInstance& src : um_instances_) {
+      if (&src == &dst || !src.up) continue;
+      dst.st->catch_up_from(*src.st);
+    }
+    dst.st->sync();
+    dst.last_sync = now;
+  }
+  for (std::vector<CmInstance>& farm : cm_instances_) {
+    for (CmInstance& dst : farm) {
+      if (!dst.up) continue;
+      for (CmInstance& src : farm) {
+        if (&src == &dst || !src.up) continue;
+        dst.st->catch_up_from(*src.st);
+      }
+      dst.st->sync();
+      dst.last_sync = now;
+    }
+  }
+  registry_.counter("store.replication.rounds").inc();
+}
+
+void Deployment::set_replication_interval(util::SimTime interval) {
+  replication_interval_ = interval;
+  registry_.gauge("store.replication.interval_us").set(interval);
+  if (interval > 0 && !replication_armed_) schedule_replication();
+}
+
+void Deployment::replicate_now() {
+  if (config_.durability.enabled) replication_tick();
 }
 
 void Deployment::enable_tracing() {
@@ -314,40 +472,164 @@ void Deployment::schedule_rotation(util::ChannelId id) {
   });
 }
 
-void Deployment::crash_um_instance(std::size_t instance) {
+void Deployment::crash_um_impl(std::size_t instance, std::size_t torn_bytes,
+                               bool wipe_media) {
   UmInstance& inst = um_instances_.at(instance);
-  if (!inst.up) return;
-  network_->detach(inst.id);  // in-flight responses die with the box
-  inst.up = false;
-  redirection_.set_instance_health(config_.um.domain, inst.addr, false);
+  if (inst.up) {
+    if (network_->attached(inst.id)) network_->detach(inst.id);
+    inst.up = false;
+    redirection_.set_instance_health(config_.um.domain, inst.addr, false);
+    if (config_.durability.enabled) {
+      const std::uint64_t lost = inst.st->unsynced_ops();
+      if (lost > 0) {
+        registry_.counter("store.lost_records").inc(lost);
+        obs::Gauge& window = registry_.gauge("store.audit.max_loss_window_us");
+        if (sim_.now() - inst.last_sync > window.value()) {
+          window.set(sim_.now() - inst.last_sync);
+        }
+      }
+      inst.st->crash(torn_bytes);
+      *inst.dir = services::UserDirectory{};  // RAM is gone
+    }
+  }
+  if (wipe_media && config_.durability.enabled) inst.st->wipe();
+}
+
+void Deployment::crash_um_instance(std::size_t instance) {
+  crash_um_impl(instance, 0, false);
+}
+
+void Deployment::crash_um_unsynced(std::size_t instance) {
+  // Tear the crash mid-write: half the staged tail reaches the media as a
+  // partial record; replay must stop at the last whole one.
+  const UmInstance& inst = um_instances_.at(instance);
+  const std::size_t torn =
+      config_.durability.enabled ? inst.st->journal().staged_bytes() / 2 : 0;
+  crash_um_impl(instance, torn, false);
+}
+
+void Deployment::wipe_um_state(std::size_t instance) {
+  crash_um_impl(instance, 0, true);
 }
 
 void Deployment::restart_um_instance(std::size_t instance) {
   UmInstance& inst = um_instances_.at(instance);
   if (inst.up) return;
-  network_->attach(inst.id, inst.addr, inst.node.get());
   inst.up = true;
-  redirection_.set_instance_health(config_.um.domain, inst.addr, true);
+
+  if (!config_.durability.enabled) {
+    network_->attach(inst.id, inst.addr, inst.node.get());
+    redirection_.set_instance_health(config_.um.domain, inst.addr, true);
+    return;
+  }
+
+  // Local recovery: snapshot restore + journal replay, then anti-entropy
+  // from live siblings (also pulls our own unsynced-but-shipped ops home,
+  // which keeps the local sequence counter from reusing numbers).
+  const std::size_t replayed = inst.st->recover();
+  std::size_t pulled = 0;
+  for (UmInstance& other : um_instances_) {
+    if (&other == &inst || !other.up) continue;
+    pulled += inst.st->catch_up_from(*other.st);
+  }
+  inst.st->sync();
+  inst.last_sync = sim_.now();
+
+  const util::SimTime cost = config_.durability.replay_cost_per_record *
+      static_cast<util::SimTime>(replayed + pulled);
+  registry_.counter("store.recovery.count").inc();
+  registry_.histogram("store.recovery.time_us").record(cost);
+  const auto finish = [this, instance] {
+    UmInstance& i = um_instances_.at(instance);
+    if (!i.up) return;  // crashed again during the replay window
+    if (!network_->attached(i.id)) network_->attach(i.id, i.addr, i.node.get());
+    redirection_.set_instance_health(config_.um.domain, i.addr, true);
+  };
+  if (cost > 0) {
+    sim_.schedule(cost, finish);
+  } else {
+    finish();
+  }
 }
 
 bool Deployment::um_instance_up(std::size_t instance) const {
   return um_instances_.at(instance).up;
 }
 
-void Deployment::crash_cm_instance(std::uint32_t partition, std::size_t instance) {
+void Deployment::crash_cm_impl(std::uint32_t partition, std::size_t instance,
+                               std::size_t torn_bytes, bool wipe_media) {
   CmInstance& inst = cm_instances_.at(partition).at(instance);
-  if (!inst.up) return;
-  network_->detach(inst.id);
-  inst.up = false;
-  readvertise_partition(partition);
+  if (inst.up) {
+    if (network_->attached(inst.id)) network_->detach(inst.id);
+    inst.up = false;
+    readvertise_partition(partition);
+    if (config_.durability.enabled) {
+      const std::uint64_t lost = inst.st->unsynced_ops();
+      if (lost > 0) {
+        registry_.counter("store.lost_records").inc(lost);
+        obs::Gauge& window = registry_.gauge("store.audit.max_loss_window_us");
+        if (sim_.now() - inst.last_sync > window.value()) {
+          window.set(sim_.now() - inst.last_sync);
+        }
+      }
+      inst.st->crash(torn_bytes);
+      *inst.log = services::ViewingLog();  // RAM is gone
+      inst.log->set_audit_cap(config_.durability.viewing_audit_cap);
+    }
+  }
+  if (wipe_media && config_.durability.enabled) inst.st->wipe();
+}
+
+void Deployment::crash_cm_instance(std::uint32_t partition, std::size_t instance) {
+  crash_cm_impl(partition, instance, 0, false);
+}
+
+void Deployment::crash_cm_unsynced(std::uint32_t partition, std::size_t instance) {
+  const CmInstance& inst = cm_instances_.at(partition).at(instance);
+  const std::size_t torn =
+      config_.durability.enabled ? inst.st->journal().staged_bytes() / 2 : 0;
+  crash_cm_impl(partition, instance, torn, false);
+}
+
+void Deployment::wipe_cm_state(std::uint32_t partition, std::size_t instance) {
+  crash_cm_impl(partition, instance, 0, true);
 }
 
 void Deployment::restart_cm_instance(std::uint32_t partition, std::size_t instance) {
   CmInstance& inst = cm_instances_.at(partition).at(instance);
   if (inst.up) return;
-  network_->attach(inst.id, inst.addr, inst.node.get());
   inst.up = true;
-  readvertise_partition(partition);
+
+  if (!config_.durability.enabled) {
+    network_->attach(inst.id, inst.addr, inst.node.get());
+    readvertise_partition(partition);
+    return;
+  }
+
+  const std::size_t replayed = inst.st->recover();
+  std::size_t pulled = 0;
+  for (CmInstance& other : cm_instances_.at(partition)) {
+    if (&other == &inst || !other.up) continue;
+    pulled += inst.st->catch_up_from(*other.st);
+  }
+  inst.st->sync();
+  inst.last_sync = sim_.now();
+
+  const util::SimTime cost = config_.durability.replay_cost_per_record *
+      static_cast<util::SimTime>(replayed + pulled);
+  registry_.counter("store.recovery.count").inc();
+  registry_.histogram("store.recovery.time_us").record(cost);
+  const auto finish = [this, partition, instance] {
+    CmInstance& i = cm_instances_.at(partition).at(instance);
+    if (!i.up) return;
+    if (!network_->attached(i.id)) network_->attach(i.id, i.addr, i.node.get());
+    readvertise_partition(partition);
+  };
+  if (cost > 0) {
+    sim_.schedule(cost, finish);
+  } else {
+    finish();
+  }
 }
 
 bool Deployment::cm_instance_up(std::uint32_t partition, std::size_t instance) const {
@@ -445,6 +727,24 @@ void Deployment::broadcast(util::ChannelId channel, util::BytesView payload) {
 PeerNode* Deployment::root_node(util::ChannelId channel) {
   const auto it = sources_.find(channel);
   return it == sources_.end() ? nullptr : it->second.root.get();
+}
+
+const services::UserDirectory* Deployment::um_directory(std::size_t instance) const {
+  return um_instances_.at(instance).dir.get();
+}
+
+const services::ViewingLog* Deployment::cm_viewing_log(std::uint32_t partition,
+                                                       std::size_t instance) const {
+  return cm_instances_.at(partition).at(instance).log.get();
+}
+
+store::FarmStore* Deployment::um_store(std::size_t instance) {
+  return um_instances_.at(instance).st.get();
+}
+
+store::FarmStore* Deployment::cm_store(std::uint32_t partition,
+                                       std::size_t instance) {
+  return cm_instances_.at(partition).at(instance).st.get();
 }
 
 }  // namespace p2pdrm::net

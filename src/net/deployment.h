@@ -17,8 +17,36 @@
 #include "services/account_manager.h"
 #include "services/catalog.h"
 #include "services/redirection_manager.h"
+#include "store/farm_store.h"
 
 namespace p2pdrm::net {
+
+/// Durable farm state (src/store). When enabled, every UM/CM farm instance
+/// owns its *own* replica of the mutable domain state (user directory,
+/// viewing log) backed by a journaled store, instead of the shared
+/// in-memory object: crashes lose the unsynced journal tail, restarts
+/// recover via snapshot + replay + anti-entropy from surviving siblings.
+struct DurabilityConfig {
+  bool enabled = false;
+  /// Gossip cadence: live instances fsync and pairwise catch up this often.
+  /// Bounds permanent audit loss (async ops staged longer than this never
+  /// exist). 0 disables the ticker (tests drive replication by hand).
+  util::SimTime replication_interval = 500 * util::kMillisecond;
+  /// Write critical ops through before the response leaves the handler:
+  /// fresh-issue viewing entries (the single-session witness) and user
+  /// provisions are fsynced and eagerly shipped to live siblings, so a
+  /// crash immediately after the reply can never dual-admit. Renewal /
+  /// audit-only entries stay asynchronous (loss ≤ replication_interval).
+  bool sync_fresh_issues = true;
+  /// Journal ops between automatic snapshots (store compaction).
+  std::uint64_t snapshot_every = 256;
+  /// ViewingLog in-memory audit cap (0 = unbounded); evicted entries fold
+  /// into exact per-channel aggregates.
+  std::size_t viewing_audit_cap = 0;
+  /// Simulated recovery cost: restart stays off the network for this long
+  /// per replayed/pulled record (models replay I/O). 0 = instant.
+  util::SimTime replay_cost_per_record = 0;
+};
 
 struct DeploymentConfig {
   std::uint64_t seed = 1;
@@ -60,6 +88,9 @@ struct DeploymentConfig {
   /// Capture protocol-round spans from construction on (equivalent to
   /// calling enable_tracing() immediately). Metrics are always on.
   bool tracing = false;
+  /// Per-instance durable state + farm replication (off = the legacy
+  /// shared-state model where crashes lose nothing).
+  DurabilityConfig durability;
 };
 
 class Deployment {
@@ -124,6 +155,28 @@ class Deployment {
   /// unregistered from the tracker (what a crash or power loss looks like
   /// from the outside — the stale-peer sweep eventually cleans up).
   void crash_client(AsyncClient& client);
+
+  // --- durable-state chaos plane (no-ops unless durability.enabled) ---
+
+  /// Crash leaving a torn partial write of the unsynced journal tail on the
+  /// media — the worst-moment variant; replay must reject the torn record.
+  void crash_um_unsynced(std::size_t instance);
+  void crash_cm_unsynced(std::uint32_t partition, std::size_t instance);
+  /// Crash AND destroy the instance's journal + snapshot media entirely;
+  /// recovery then has only anti-entropy. Works on an already-down box.
+  void wipe_um_state(std::size_t instance);
+  void wipe_cm_state(std::uint32_t partition, std::size_t instance);
+  /// Change the farm gossip cadence at runtime (0 stops the ticker).
+  void set_replication_interval(util::SimTime interval);
+  /// Force one replication round immediately (tests and fault verbs).
+  void replicate_now();
+
+  bool durable() const { return config_.durability.enabled; }
+  const services::UserDirectory* um_directory(std::size_t instance) const;
+  const services::ViewingLog* cm_viewing_log(std::uint32_t partition,
+                                             std::size_t instance) const;
+  store::FarmStore* um_store(std::size_t instance);
+  store::FarmStore* cm_store(std::uint32_t partition, std::size_t instance);
 
   // --- simulation control ---
 
@@ -205,6 +258,10 @@ class Deployment {
     util::NodeId id = util::kInvalidNode;
     util::NetAddr addr;
     bool up = true;
+    // Durable mode only: this instance's replica of the user DB + its store.
+    std::unique_ptr<services::UserDirectory> dir;
+    std::unique_ptr<store::FarmStore> st;
+    util::SimTime last_sync = 0;
   };
   struct CmInstance {
     std::unique_ptr<services::ChannelManager> cm;
@@ -212,6 +269,10 @@ class Deployment {
     util::NodeId id = util::kInvalidNode;
     util::NetAddr addr;
     bool up = true;
+    // Durable mode only: this instance's replica of the viewing log + store.
+    std::unique_ptr<services::ViewingLog> log;
+    std::unique_ptr<store::FarmStore> st;
+    util::SimTime last_sync = 0;
   };
 
   void schedule_rotation(util::ChannelId id);
@@ -220,6 +281,15 @@ class Deployment {
   void schedule_scrape();
   /// Point the CPM's partition info at the first live instance.
   void readvertise_partition(std::uint32_t partition);
+
+  // Durable-state internals.
+  void init_durable_state();
+  void provision_user(const services::UserProvisioning& p);
+  void schedule_replication();
+  void replication_tick();
+  void crash_um_impl(std::size_t instance, std::size_t torn_bytes, bool wipe_media);
+  void crash_cm_impl(std::uint32_t partition, std::size_t instance,
+                     std::size_t torn_bytes, bool wipe_media);
 
   DeploymentConfig config_;
   crypto::SecureRandom rng_;
@@ -253,6 +323,8 @@ class Deployment {
   std::unique_ptr<ChannelPolicyNode> cpm_node_;
   std::vector<UmInstance> um_instances_;
   std::vector<std::vector<CmInstance>> cm_instances_;  // [partition][instance]
+  util::SimTime replication_interval_ = 0;
+  bool replication_armed_ = false;
   std::map<util::ChannelId, ChannelSource> sources_;
   std::vector<std::unique_ptr<AsyncClient>> clients_;
   util::NodeId next_client_node_ = kClientBase;

@@ -9,8 +9,17 @@ using core::DrmError;
 void ViewingLog::record(const Entry& entry) {
   audit_.push_back(entry);
   if (!entry.renewal) {
-    latest_[{entry.user_in, entry.channel}] = entry;
+    // Move-forward-only merge: replicas may apply the same entries in
+    // different cross-origin interleavings; taking the max entry time (ties
+    // to the later arrival, preserving single-stream last-writer-wins)
+    // makes the renewal index converge regardless of order.
+    const auto key = std::make_pair(entry.user_in, entry.channel);
+    const auto it = latest_.find(key);
+    if (it == latest_.end() || entry.time >= it->second.time) {
+      latest_[key] = entry;
+    }
   }
+  maybe_rotate();
 }
 
 const ViewingLog::Entry* ViewingLog::latest(util::UserIN user,
@@ -19,8 +28,42 @@ const ViewingLog::Entry* ViewingLog::latest(util::UserIN user,
   return it == latest_.end() ? nullptr : &it->second;
 }
 
+void ViewingLog::set_audit_cap(std::size_t cap) {
+  audit_cap_ = cap;
+  maybe_rotate();
+}
+
+bool ViewingLog::is_live_latest(const Entry& e) const {
+  if (e.renewal) return false;
+  const auto it = latest_.find({e.user_in, e.channel});
+  return it != latest_.end() && it->second.time == e.time &&
+         it->second.addr == e.addr;
+}
+
+void ViewingLog::maybe_rotate() {
+  if (audit_cap_ == 0 || audit_.size() <= audit_cap_) return;
+  // Hysteresis: shrink to half the cap so rotation is amortized, never
+  // evicting an entry the renewal index still points at.
+  std::size_t to_evict = audit_.size() - audit_cap_ / 2;
+  std::vector<Entry> kept;
+  kept.reserve(audit_cap_);
+  for (const Entry& e : audit_) {
+    if (to_evict > 0 && !is_live_latest(e)) {
+      ++rotated_count_;
+      if (!e.renewal) ++rotated_views_[e.channel];
+      --to_evict;
+    } else {
+      kept.push_back(e);
+    }
+  }
+  audit_.swap(kept);
+}
+
 std::map<util::ChannelId, std::size_t> ViewingLog::views_per_channel() const {
   std::map<util::ChannelId, std::size_t> out;
+  for (const auto& [channel, count] : rotated_views_) {
+    out[channel] += static_cast<std::size_t>(count);
+  }
   for (const Entry& e : audit_) {
     if (!e.renewal) ++out[e.channel];
   }
@@ -36,6 +79,12 @@ util::Bytes ViewingLog::encode() const {
     w.u32(e.addr.ip);
     w.i64(e.time);
     w.u8(e.renewal ? 1 : 0);
+  }
+  w.u64(rotated_count_);
+  w.u32(static_cast<std::uint32_t>(rotated_views_.size()));
+  for (const auto& [channel, count] : rotated_views_) {
+    w.u32(channel);
+    w.u64(count);
   }
   return w.take();
 }
@@ -57,13 +106,37 @@ ViewingLog ViewingLog::decode(util::BytesView data) {
     e.renewal = renewal == 1;
     log.record(e);  // rebuilds the latest-entry index as a side effect
   }
+  log.rotated_count_ = r.u64();
+  const std::uint32_t agg_count = r.u32();
+  // 12 bytes per aggregate: same implausible-length guard as for entries.
+  if (agg_count > r.remaining() / 12) {
+    throw util::WireError("ViewingLog: implausible aggregate count");
+  }
+  std::uint64_t agg_sum = 0;
+  for (std::uint32_t i = 0; i < agg_count; ++i) {
+    const util::ChannelId channel = r.u32();
+    const std::uint64_t views = r.u64();
+    if (views == 0) throw util::WireError("ViewingLog: empty aggregate");
+    if (!log.rotated_views_.emplace(channel, views).second) {
+      throw util::WireError("ViewingLog: duplicate aggregate channel");
+    }
+    agg_sum += views;
+  }
+  if (agg_sum > log.rotated_count_) {
+    throw util::WireError("ViewingLog: aggregates exceed rotated count");
+  }
   if (!r.at_end()) throw util::WireError("ViewingLog: trailing bytes");
   return log;
 }
 
 ChannelManager::ChannelManager(std::shared_ptr<ChannelManagerPartition> partition,
                                PeerDirectory* peers, crypto::SecureRandom rng)
-    : partition_(std::move(partition)), peers_(peers), rng_(std::move(rng)) {}
+    : partition_(std::move(partition)), log_(&partition_->log), peers_(peers),
+      rng_(std::move(rng)) {}
+
+void ChannelManager::use_local_log(ViewingLog* log) {
+  log_ = log != nullptr ? log : &partition_->log;
+}
 
 void ChannelManager::update_channel_list(const std::vector<core::ChannelRecord>& list) {
   partition_->channels.clear();
@@ -201,7 +274,7 @@ core::Switch2Response ChannelManager::do_switch2(const core::Switch2Request& req
     // One-session rule: the latest fresh-issue log entry for (user, channel)
     // must carry this same address; if the account moved to a new machine,
     // the newer entry wins and this renewal is refused.
-    const ViewingLog::Entry* latest = partition_->log.latest(user_in, old_ticket.channel_id);
+    const ViewingLog::Entry* latest = log_->latest(user_in, old_ticket.channel_id);
     if (latest == nullptr || latest->addr != conn_addr ||
         latest->addr != old_ticket.net_addr) {
       resp.error = DrmError::kRenewalRefused;
@@ -227,8 +300,10 @@ core::Switch2Response ChannelManager::do_switch2(const core::Switch2Request& req
   }
 
   resp.ticket = core::SignedChannelTicket::sign(ticket, partition_->keys.priv);
-  partition_->log.record(
-      {user_in, ticket.channel_id, conn_addr, now, ticket.renewal});
+  const ViewingLog::Entry entry{user_in, ticket.channel_id, conn_addr, now,
+                                ticket.renewal};
+  log_->record(entry);
+  if (viewing_sink_) viewing_sink_(entry);
 
   if (peers_ != nullptr) {
     resp.peers = peers_->sample_peers(ticket.channel_id,

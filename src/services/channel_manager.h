@@ -7,6 +7,7 @@
 // Partition shares the signing keys, farm secret, and the viewing log.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,10 +23,21 @@
 
 namespace p2pdrm::services {
 
-/// Viewing-activity log (§IV-C purpose 3, §IV-D). Shared by every Channel
-/// Manager instance in a partition's farm. Keeps both the latest entry per
-/// (user, channel) — what renewal checks consult — and a full audit trail
-/// for license payment, royalty payment, and billing.
+/// Viewing-activity log (§IV-C purpose 3, §IV-D). One per Channel Manager
+/// farm replica. Keeps both the latest entry per (user, channel) — what
+/// renewal checks consult — and a full audit trail for license payment,
+/// royalty payment, and billing.
+///
+/// Entries merge commutatively across replicas: `latest_` only moves
+/// forward in entry time (last-writer-wins on equal timestamps), so two
+/// replicas applying the same entries in different interleavings converge.
+///
+/// Week-scale runs bound memory with set_audit_cap(): once the audit trail
+/// exceeds the cap it rotates down to half the cap, folding evicted entries
+/// into per-channel aggregates so size() and views_per_channel() stay
+/// exact. Rotation never evicts an entry that is the live latest fresh
+/// issue for its (user, channel) — the renewal index stays derivable from
+/// the retained audit trail alone.
 class ViewingLog {
  public:
   struct Entry {
@@ -42,23 +54,38 @@ class ViewingLog {
   /// it (§IV-D: renewal matches against the latest new-ticket entry).
   const Entry* latest(util::UserIN user, util::ChannelId channel) const;
 
-  std::size_t size() const { return audit_.size(); }
+  /// Total entries ever recorded (retained + rotated).
+  std::size_t size() const { return audit_.size() + rotated_count_; }
+  /// Entries still held verbatim (≤ size() once rotation kicks in).
   const std::vector<Entry>& audit_trail() const { return audit_; }
+  std::uint64_t rotated_count() const { return rotated_count_; }
 
-  /// Fresh-issue view counts per channel (royalty/advertising reporting).
+  /// 0 = unbounded (default).
+  void set_audit_cap(std::size_t cap);
+  std::size_t audit_cap() const { return audit_cap_; }
+
+  /// Fresh-issue view counts per channel (royalty/advertising reporting);
+  /// exact even after rotation, via the retained aggregates.
   std::map<util::ChannelId, std::size_t> views_per_channel() const;
 
   /// Durable form: billing and royalty data must survive manager restarts
-  /// (the farm shares one log, so this is also the hand-off format when a
-  /// partition's store moves).
+  /// (this is also what a farm replica snapshots). Deterministic: equal
+  /// logs encode to identical bytes.
   util::Bytes encode() const;
   /// Rebuild from encode()'s output (the latest-entry index is rederived).
-  /// Throws util::WireError on corrupted input.
+  /// Throws util::WireError on corrupted input. The audit cap is not part
+  /// of the durable form; the caller re-applies it.
   static ViewingLog decode(util::BytesView data);
 
  private:
+  bool is_live_latest(const Entry& e) const;
+  void maybe_rotate();
+
   std::vector<Entry> audit_;
   std::map<std::pair<util::UserIN, util::ChannelId>, Entry> latest_;
+  std::size_t audit_cap_ = 0;
+  std::uint64_t rotated_count_ = 0;
+  std::map<util::ChannelId, std::uint64_t> rotated_views_;
 };
 
 /// Where the Channel Manager gets candidate peers for a channel. The P2P
@@ -111,6 +138,10 @@ struct ChannelManagerPartition {
 
 class ChannelManager {
  public:
+  /// Notified after every viewing-log append this manager performs; the
+  /// durable deployment journals + replicates the entry from here.
+  using ViewingSink = std::function<void(const ViewingLog::Entry&)>;
+
   ChannelManager(std::shared_ptr<ChannelManagerPartition> partition,
                  PeerDirectory* peers, crypto::SecureRandom rng);
 
@@ -118,13 +149,19 @@ class ChannelManager {
   /// channels assigned to this partition.
   void update_channel_list(const std::vector<core::ChannelRecord>& list);
 
+  /// Re-home the viewing log onto an instance-owned replica instead of the
+  /// partition-shared one (durable deployments). `log` must outlive this
+  /// manager; pass nullptr to revert to the shared log.
+  void use_local_log(ViewingLog* log);
+  void set_viewing_sink(ViewingSink sink) { viewing_sink_ = std::move(sink); }
+
   core::Switch1Response handle_switch1(const core::Switch1Request& req,
                                        util::NetAddr conn_addr, util::SimTime now);
   core::Switch2Response handle_switch2(const core::Switch2Request& req,
                                        util::NetAddr conn_addr, util::SimTime now);
 
   const crypto::RsaPublicKey& public_key() const { return partition_->keys.pub; }
-  const ViewingLog& log() const { return partition_->log; }
+  const ViewingLog& log() const { return *log_; }
   const ChannelManagerPartition& partition() const { return *partition_; }
 
  private:
@@ -152,6 +189,8 @@ class ChannelManager {
                              const util::Bytes& expiring_bytes) const;
 
   std::shared_ptr<ChannelManagerPartition> partition_;
+  ViewingLog* log_;  // partition_->log by default; instance replica when durable
+  ViewingSink viewing_sink_;
   PeerDirectory* peers_;
   mutable crypto::SecureRandom rng_;
 };

@@ -1,0 +1,124 @@
+#include "services/durable_ops.h"
+
+#include <algorithm>
+
+#include "util/wire.h"
+
+namespace p2pdrm::services {
+namespace {
+
+void encode_account(util::WireWriter& w, const AccountRecord& a) {
+  w.str(a.email);
+  w.raw(util::BytesView(a.shp.data(), a.shp.size()));
+  w.u32(static_cast<std::uint32_t>(a.subscriptions.size()));
+  for (const SubscriptionGrant& g : a.subscriptions) {
+    w.str(g.package);
+    w.i64(g.stime);
+    w.i64(g.etime);
+  }
+  w.i64(a.created_at);
+  w.u8(a.suspended ? 1 : 0);
+}
+
+AccountRecord decode_account(util::WireReader& r) {
+  AccountRecord a;
+  a.email = r.str();
+  const util::Bytes shp = r.raw(a.shp.size());
+  std::copy(shp.begin(), shp.end(), a.shp.begin());
+  const std::uint32_t grants = r.u32();
+  // 17 bytes minimum per grant (4-byte package prefix + two times + flag
+  // margin); reject counts the input cannot back.
+  if (grants > r.remaining() / 17) {
+    throw util::WireError("account: implausible grant count");
+  }
+  for (std::uint32_t i = 0; i < grants; ++i) {
+    SubscriptionGrant g;
+    g.package = r.str();
+    g.stime = r.i64();
+    g.etime = r.i64();
+    a.subscriptions.push_back(std::move(g));
+  }
+  a.created_at = r.i64();
+  const std::uint8_t suspended = r.u8();
+  if (suspended > 1) throw util::WireError("account: bad suspended flag");
+  a.suspended = suspended == 1;
+  return a;
+}
+
+}  // namespace
+
+util::Bytes encode_viewing_entry(const ViewingLog::Entry& entry) {
+  util::WireWriter w;
+  w.u64(entry.user_in);
+  w.u32(entry.channel);
+  w.u32(entry.addr.ip);
+  w.i64(entry.time);
+  w.u8(entry.renewal ? 1 : 0);
+  return w.take();
+}
+
+ViewingLog::Entry decode_viewing_entry(util::BytesView data) {
+  util::WireReader r(data);
+  ViewingLog::Entry e;
+  e.user_in = r.u64();
+  e.channel = r.u32();
+  e.addr.ip = r.u32();
+  e.time = r.i64();
+  const std::uint8_t renewal = r.u8();
+  if (renewal > 1) throw util::WireError("viewing entry: bad renewal flag");
+  e.renewal = renewal == 1;
+  if (!r.at_end()) throw util::WireError("viewing entry: trailing bytes");
+  return e;
+}
+
+util::Bytes encode_user_record(const UserRecord& rec) {
+  util::WireWriter w;
+  w.u64(rec.user_in);
+  encode_account(w, rec.account);
+  return w.take();
+}
+
+UserRecord decode_user_record(util::BytesView data) {
+  util::WireReader r(data);
+  UserRecord rec;
+  rec.user_in = r.u64();
+  rec.account = decode_account(r);
+  if (!r.at_end()) throw util::WireError("user record: trailing bytes");
+  return rec;
+}
+
+util::Bytes encode_user_directory(const UserDirectory& dir) {
+  util::WireWriter w;
+  w.u64(dir.next_user_in);
+  w.u32(static_cast<std::uint32_t>(dir.users.size()));
+  for (const auto& [email, rec] : dir.users) {
+    w.u64(rec.user_in);
+    encode_account(w, rec.account);
+  }
+  return w.take();
+}
+
+UserDirectory decode_user_directory(util::BytesView data) {
+  util::WireReader r(data);
+  UserDirectory dir;
+  dir.next_user_in = r.u64();
+  const std::uint32_t count = r.u32();
+  // ≥ 50 bytes per record (user_in + email prefix + 32-byte shp + times);
+  // reject counts the input cannot back.
+  if (count > r.remaining() / 50) {
+    throw util::WireError("user directory: implausible record count");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    UserRecord rec;
+    rec.user_in = r.u64();
+    rec.account = decode_account(r);
+    if (dir.users.count(rec.account.email) > 0) {
+      throw util::WireError("user directory: duplicate email");
+    }
+    dir.users[rec.account.email] = std::move(rec);
+  }
+  if (!r.at_end()) throw util::WireError("user directory: trailing bytes");
+  return dir;
+}
+
+}  // namespace p2pdrm::services

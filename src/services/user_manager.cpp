@@ -8,12 +8,23 @@ using core::DrmError;
 
 UserManager::UserManager(std::shared_ptr<UserManagerDomain> domain,
                          const geo::GeoDatabase* geo, crypto::SecureRandom rng)
-    : domain_(std::move(domain)), geo_(geo), rng_(std::move(rng)) {}
+    : domain_(std::move(domain)), dir_(&domain_->directory), geo_(geo),
+      rng_(std::move(rng)) {}
 
-void UserManager::provision(const UserProvisioning& p) {
-  auto [it, inserted] = domain_->users.try_emplace(p.account.email);
-  if (inserted) it->second.user_in = domain_->next_user_in++;
+void UserManager::use_local_directory(UserDirectory* dir) {
+  dir_ = dir != nullptr ? dir : &domain_->directory;
+}
+
+const UserRecord& UserManager::provision(const UserProvisioning& p) {
+  auto [it, inserted] = dir_->users.try_emplace(p.account.email);
+  if (inserted) it->second.user_in = dir_->next_user_in++;
   it->second.account = p.account;
+  return it->second;
+}
+
+void UserManager::apply_provision(const UserRecord& rec) {
+  dir_->users[rec.account.email] = rec;
+  if (rec.user_in >= dir_->next_user_in) dir_->next_user_in = rec.user_in + 1;
 }
 
 void UserManager::update_channel_attributes(core::AttributeSet list) {
@@ -21,8 +32,8 @@ void UserManager::update_channel_attributes(core::AttributeSet list) {
 }
 
 util::UserIN UserManager::user_in_of(const std::string& email) const {
-  const auto it = domain_->users.find(email);
-  return it == domain_->users.end() ? 0 : it->second.user_in;
+  const auto it = dir_->users.find(email);
+  return it == dir_->users.end() ? 0 : it->second.user_in;
 }
 
 util::Bytes UserManager::login_binding(const std::string& email,
@@ -46,8 +57,8 @@ core::Login1Response UserManager::do_login1(const core::Login1Request& req,
     resp.error = DrmError::kVersionTooOld;
     return resp;
   }
-  const auto user_it = domain_->users.find(req.email);
-  if (user_it == domain_->users.end() || user_it->second.account.suspended) {
+  const auto user_it = dir_->users.find(req.email);
+  if (user_it == dir_->users.end() || user_it->second.account.suspended) {
     resp.error = DrmError::kUnknownUser;
     return resp;
   }
@@ -100,8 +111,8 @@ core::Login2Response UserManager::do_login2(const core::Login2Request& req,
     resp.error = DrmError::kVersionTooOld;
     return resp;
   }
-  const auto user_it = domain_->users.find(req.email);
-  if (user_it == domain_->users.end() || user_it->second.account.suspended) {
+  const auto user_it = dir_->users.find(req.email);
+  if (user_it == dir_->users.end() || user_it->second.account.suspended) {
     resp.error = DrmError::kUnknownUser;
     return resp;
   }

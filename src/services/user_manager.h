@@ -41,6 +41,19 @@ struct UserManagerConfig {
   std::uint32_t max_checksum_window = 64 * 1024;
 };
 
+struct UserRecord {
+  util::UserIN user_in = 0;
+  AccountRecord account;
+};
+
+/// The user DB proper — the *mutable* half of a User Manager's state.
+/// Durable deployments give each farm instance its own replica (backed by a
+/// journaled store); the shared-state default keeps one per domain.
+struct UserDirectory {
+  std::map<std::string, UserRecord> users;  // keyed by email
+  util::UserIN next_user_in = 1;
+};
+
 /// Shared state of a User Manager *farm*: every instance serving one
 /// Authentication Domain shares the signing key, farm secret, and user DB
 /// so that the farm presents the logical view of a single User Manager.
@@ -53,12 +66,10 @@ struct UserManagerDomain {
   crypto::RsaKeyPair keys;
   util::Bytes farm_secret;
 
-  struct UserRecord {
-    util::UserIN user_in = 0;
-    AccountRecord account;
-  };
-  std::map<std::string, UserRecord> users;  // keyed by email
-  util::UserIN next_user_in = 1;
+  /// Legacy alias so callers can keep saying `UserManagerDomain::UserRecord`.
+  using UserRecord = services::UserRecord;
+
+  UserDirectory directory;
 
   /// Reference client binaries by version, used to verify attestation
   /// checksums. In production these are the released builds.
@@ -80,8 +91,19 @@ class UserManager {
   UserManager(std::shared_ptr<UserManagerDomain> domain,
               const geo::GeoDatabase* geo, crypto::SecureRandom rng);
 
-  /// Ingest hook for Account Manager provisioning pushes.
-  void provision(const UserProvisioning& p);
+  /// Re-home the user DB onto an instance-owned replica instead of the
+  /// domain-shared one (durable deployments). `dir` must outlive this
+  /// manager; pass nullptr to revert to the shared directory.
+  void use_local_directory(UserDirectory* dir);
+
+  /// Ingest hook for Account Manager provisioning pushes. Returns the
+  /// resulting record (with its assigned UserIN) so a durable deployment
+  /// can journal + replicate it.
+  const UserRecord& provision(const UserProvisioning& p);
+
+  /// Apply an already-assigned record replicated from a sibling instance:
+  /// upserts by email, keeping next_user_in past the record's UserIN.
+  void apply_provision(const UserRecord& rec);
 
   /// Ingest hook for Channel Policy Manager attribute-list pushes.
   void update_channel_attributes(core::AttributeSet list);
@@ -116,6 +138,7 @@ class UserManager {
                             const core::ChecksumParams& params) const;
 
   std::shared_ptr<UserManagerDomain> domain_;
+  UserDirectory* dir_;  // domain_->directory by default; replica when durable
   const geo::GeoDatabase* geo_;
   mutable crypto::SecureRandom rng_;
 };

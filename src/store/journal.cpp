@@ -1,0 +1,156 @@
+#include "store/journal.h"
+
+#include <array>
+#include <cstring>
+
+namespace p2pdrm::store {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void append_le32(util::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void append_le64(util::Bytes& out, std::uint64_t v) {
+  append_le32(out, static_cast<std::uint32_t>(v));
+  append_le32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_le32(p)) |
+         static_cast<std::uint64_t>(read_le32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::uint32_t crc32(util::BytesView data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+namespace {
+
+// Record CRC covers seq | len | payload, not just the payload: a bit flip
+// in the sequence field would otherwise decode cleanly and silently shift
+// replication watermarks.
+std::uint32_t record_crc(std::uint64_t seq, util::BytesView payload) {
+  util::Bytes buf;
+  buf.reserve(12 + payload.size());
+  append_le64(buf, seq);
+  append_le32(buf, static_cast<std::uint32_t>(payload.size()));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return crc32(buf);
+}
+
+}  // namespace
+
+std::uint64_t Journal::append(util::BytesView payload) {
+  const std::uint64_t seq = next_seq_++;
+  append_le32(staged_, kRecordMagic);
+  append_le64(staged_, seq);
+  append_le32(staged_, static_cast<std::uint32_t>(payload.size()));
+  append_le32(staged_, record_crc(seq, payload));
+  staged_.insert(staged_.end(), payload.begin(), payload.end());
+  ++staged_records_;
+  return seq;
+}
+
+void Journal::sync() {
+  durable_.insert(durable_.end(), staged_.begin(), staged_.end());
+  staged_.clear();
+  staged_records_ = 0;
+  synced_next_seq_ = next_seq_;
+}
+
+void Journal::crash(std::size_t torn_bytes) {
+  if (torn_bytes > staged_.size()) torn_bytes = staged_.size();
+  durable_.insert(durable_.end(), staged_.begin(),
+                  staged_.begin() + static_cast<std::ptrdiff_t>(torn_bytes));
+  staged_.clear();
+  staged_records_ = 0;
+  // next_seq_ rolls back to what the media can actually prove; recover()
+  // re-derives it from the surviving records.
+  next_seq_ = synced_next_seq_;
+}
+
+void Journal::wipe() {
+  durable_.clear();
+  staged_.clear();
+  staged_records_ = 0;
+  synced_next_seq_ = next_seq_;
+}
+
+void Journal::compact() {
+  durable_.clear();
+  staged_.clear();
+  staged_records_ = 0;
+  synced_next_seq_ = next_seq_;
+}
+
+Journal::ReplayResult Journal::replay(util::BytesView image,
+                                      obs::Registry* registry) {
+  ReplayResult result;
+  std::size_t pos = 0;
+  while (pos < image.size()) {
+    if (image.size() - pos < kHeaderSize) break;
+    const std::uint8_t* p = image.data() + pos;
+    if (read_le32(p) != kRecordMagic) break;
+    const std::uint64_t seq = read_le64(p + 4);
+    const std::uint32_t len = read_le32(p + 12);
+    const std::uint32_t crc = read_le32(p + 16);
+    if (image.size() - pos - kHeaderSize < len) break;
+    util::BytesView payload = image.subspan(pos + kHeaderSize, len);
+    if (record_crc(seq, payload) != crc) break;
+    Record rec;
+    rec.seq = seq;
+    rec.payload.assign(payload.begin(), payload.end());
+    result.records.push_back(std::move(rec));
+    pos += kHeaderSize + len;
+  }
+  result.valid_bytes = pos;
+  result.corrupt_bytes = image.size() - pos;
+  result.clean = result.corrupt_bytes == 0;
+  if (!result.clean && registry != nullptr) {
+    registry->counter("store.replay.corrupt").inc();
+    registry->counter("store.replay.corrupt_bytes").inc(result.corrupt_bytes);
+  }
+  return result;
+}
+
+Journal::ReplayResult Journal::recover(obs::Registry* registry) {
+  ReplayResult result = replay(durable_, registry);
+  durable_.resize(result.valid_bytes);
+  staged_.clear();
+  staged_records_ = 0;
+  next_seq_ = result.records.empty() ? next_seq_ : result.records.back().seq + 1;
+  if (next_seq_ < 1) next_seq_ = 1;
+  synced_next_seq_ = next_seq_;
+  return result;
+}
+
+}  // namespace p2pdrm::store

@@ -1,0 +1,57 @@
+#include "store/snapshot.h"
+
+#include "store/journal.h"
+#include "util/wire.h"
+
+namespace p2pdrm::store {
+
+namespace {
+
+// The CRC covers last_seq | state: a corrupted last_seq would otherwise
+// decode cleanly and make recovery skip (or re-apply) journal records.
+std::uint32_t snapshot_crc(std::uint64_t last_seq, util::BytesView state) {
+  util::WireWriter w;
+  w.u64(last_seq);
+  w.raw(state);
+  const util::Bytes buf = w.take();
+  return crc32(buf);
+}
+
+}  // namespace
+
+util::Bytes Snapshot::encode() const {
+  util::WireWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u64(last_seq);
+  w.u32(static_cast<std::uint32_t>(state.size()));
+  w.u32(snapshot_crc(last_seq, state));
+  w.raw(state);
+  return w.take();
+}
+
+Snapshot Snapshot::decode(util::BytesView data) {
+  util::WireReader r(data);
+  if (r.u32() != kMagic) throw util::WireError("snapshot: bad magic");
+  if (r.u8() != kVersion) throw util::WireError("snapshot: bad version");
+  Snapshot snap;
+  snap.last_seq = r.u64();
+  const std::uint32_t len = r.u32();
+  const std::uint32_t crc = r.u32();
+  if (len != r.remaining()) throw util::WireError("snapshot: bad length");
+  snap.state = r.raw(len);
+  if (snapshot_crc(snap.last_seq, snap.state) != crc) {
+    throw util::WireError("snapshot: bad crc");
+  }
+  return snap;
+}
+
+std::optional<Snapshot> Snapshot::try_decode(util::BytesView data) {
+  try {
+    return decode(data);
+  } catch (const util::WireError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace p2pdrm::store

@@ -1,0 +1,33 @@
+// Point-in-time snapshot of a state machine, paired with the journal
+// sequence number it covers: recovery restores the snapshot then replays
+// only journal records with seq > last_seq.
+//
+// Layout: magic "SNP1" u32 | version u8 | last_seq u64 | len u32 |
+//         crc u32 | state bytes
+// where crc = crc32(last_seq | state), so the sequence watermark is
+// integrity-checked along with the state it describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace p2pdrm::store {
+
+struct Snapshot {
+  static constexpr std::uint32_t kMagic = 0x31504e53u;  // "SNP1"
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4 + 4;
+
+  std::uint64_t last_seq = 0;  // highest journal seq folded into `state`
+  util::Bytes state;
+
+  util::Bytes encode() const;
+  /// Throws util::WireError on bad magic/version/length/CRC (fuzz contract).
+  static Snapshot decode(util::BytesView data);
+  /// Non-throwing variant for recovery paths: nullopt on any corruption.
+  static std::optional<Snapshot> try_decode(util::BytesView data);
+};
+
+}  // namespace p2pdrm::store

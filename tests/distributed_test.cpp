@@ -491,5 +491,65 @@ TEST_F(DistributedTest, RenewalOverTheWireKeepsPeering) {
   EXPECT_EQ(alice.content_decrypted(), 1u);
 }
 
+TEST_F(DistributedTest, KeyEpochGapAfterParentCrashIsBoundedByWatchdog) {
+  // A subtree parent crashing between rotations opens a key-epoch gap for
+  // its children: the root keeps issuing rotations nobody delivers. The
+  // gap window is bounded by the starvation watchdog — once it fires, the
+  // child re-switches and epoch delivery resumes.
+  services::ChannelServerConfig fast;
+  fast.rekey_interval = 10 * kSecond;
+  fast.announce_lead = 2 * kSecond;
+  d_.add_regional_channel(2, "sports", region_);
+  d_.start_channel_server(2, fast);
+
+  AsyncClient& alice = d_.add_client("alice@example.com", "pw-a", region_);
+  ASSERT_EQ(wait([&](auto cb) { alice.login(cb); }), DrmError::kOk);
+  ASSERT_EQ(wait([&](auto cb) { alice.switch_channel(2, cb); }), DrmError::kOk);
+  d_.announce(alice);
+
+  PeerNode* root = d_.root_node(2);
+  d_.tracker().unregister_peer(2, root->id());  // force Bob under Alice
+
+  AsyncClient& bob = d_.add_client("bob@example.com", "pw-b", region_);
+  bob.enable_starvation_recovery(12 * kSecond);
+  ASSERT_EQ(wait([&](auto cb) { bob.login(cb); }), DrmError::kOk);
+  ASSERT_EQ(wait([&](auto cb) { bob.switch_channel(2, cb); }), DrmError::kOk);
+  ASSERT_EQ(bob.parent(), alice.config().node);
+  d_.tracker().register_peer(
+      2, core::PeerInfo{root->id(), *d_.network().addr_of(root->id())}, 64);
+
+  // Crash the parent between rotations; the tracker still lists the corpse,
+  // so model the stale sweep that would eventually retire it.
+  d_.crash_client(alice);
+  d_.tracker().unregister_peer(2, alice.config().node);
+  const std::uint64_t rotations_at_crash =
+      d_.registry().counter("keys.rotations_issued").value();
+  const std::uint64_t epochs_at_crash =
+      d_.registry().counter("keys.epochs_delivered").value();
+  const std::uint64_t decrypted_at_crash = bob.content_decrypted();
+
+  // Inside the gap window (one rotation passes, watchdog not yet due):
+  // rotations are issued but none reach the orphaned child.
+  d_.run_for(11 * kSecond);
+  EXPECT_GT(d_.registry().counter("keys.rotations_issued").value(),
+            rotations_at_crash);
+  EXPECT_EQ(d_.registry().counter("keys.epochs_delivered").value(),
+            epochs_at_crash);
+  d_.broadcast(2, util::bytes_of("into the gap"));
+  d_.run_for(2 * kSecond);
+  EXPECT_EQ(bob.content_decrypted(), decrypted_at_crash);  // dark window
+
+  // Past the watchdog: Bob re-switches onto the root and the gap closes.
+  d_.run_for(20 * kSecond);
+  EXPECT_GE(bob.starvation_recoveries(), 1u);
+  ASSERT_TRUE(bob.parent().has_value());
+  EXPECT_NE(*bob.parent(), alice.config().node);
+  d_.broadcast(2, util::bytes_of("after recovery"));
+  d_.run_for(5 * kSecond);
+  EXPECT_GT(bob.content_decrypted(), decrypted_at_crash);
+  EXPECT_GT(d_.registry().counter("keys.epochs_delivered").value(),
+            epochs_at_crash);
+}
+
 }  // namespace
 }  // namespace p2pdrm::net

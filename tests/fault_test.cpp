@@ -81,6 +81,45 @@ TEST(FaultPlanTest, ParsesScheduleText) {
   EXPECT_EQ(plan.events()[8].duration, 30 * kSecond);
 }
 
+TEST(FaultPlanTest, ParsesDurableStateVerbs) {
+  const FaultPlan plan = FaultPlan::parse(
+      "45m wipe-state cm 0 1   # durable media gone too\n"
+      "48m wipe-state um 1\n"
+      "50m crash-unsynced um 1\n"
+      "52m crash-unsynced cm 2 3\n"
+      "55m replication-lag 5s\n"
+      "58m replication-lag 0\n");
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kWipeState);
+  EXPECT_EQ(plan.events()[0].farm, FarmKind::kCm);
+  EXPECT_EQ(plan.events()[0].partition, 0u);
+  EXPECT_EQ(plan.events()[0].instance, 1u);
+  EXPECT_EQ(plan.events()[1].farm, FarmKind::kUm);
+  EXPECT_EQ(plan.events()[1].instance, 1u);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kCrashUnsynced);
+  EXPECT_EQ(plan.events()[2].farm, FarmKind::kUm);
+  EXPECT_EQ(plan.events()[3].farm, FarmKind::kCm);
+  EXPECT_EQ(plan.events()[3].partition, 2u);
+  EXPECT_EQ(plan.events()[3].instance, 3u);
+  EXPECT_EQ(plan.events()[4].kind, FaultKind::kReplicationLag);
+  EXPECT_EQ(plan.events()[4].delay, 5 * kSecond);
+  EXPECT_EQ(plan.events()[5].delay, 0);  // 0 = freeze the ticker
+}
+
+TEST(FaultPlanTest, DurableStateVerbErrors) {
+  // Unknown farm, missing instance, missing partition, missing interval.
+  EXPECT_THROW(FaultPlan::parse("10m wipe-state tracker 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("10m wipe-state um\n"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("10m wipe-state cm 0\n"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("10m crash-unsynced\n"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("10m crash-unsynced cm 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("10m replication-lag\n"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("10m replication-lag soon\n"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlanTest, ToStringParsesBack) {
   FaultPlan plan;
   plan.crash_um(10 * kMinute, 0)
@@ -88,7 +127,12 @@ TEST(FaultPlanTest, ToStringParsesBack) {
       .loss_burst(25 * kMinute, 20 * kSecond, AddrBlock{}, 0.5)
       .churn_storm(30 * kMinute, 1, 4, 2)
       .clock_skew(35 * kMinute, 2, 90 * kSecond)
-      .flash_crowd(40 * kMinute, 1, 120, 30 * kSecond);
+      .flash_crowd(40 * kMinute, 1, 120, 30 * kSecond)
+      .wipe_state_um(45 * kMinute, 1)
+      .wipe_state_cm(46 * kMinute, 0, 1)
+      .crash_unsynced_um(50 * kMinute, 0)
+      .crash_unsynced_cm(51 * kMinute, 2, 3)
+      .replication_lag(55 * kMinute, 5 * kSecond);
   const FaultPlan reparsed = FaultPlan::parse(plan.to_string());
   EXPECT_EQ(reparsed.to_string(), plan.to_string());
   EXPECT_EQ(reparsed.size(), plan.size());

@@ -15,7 +15,11 @@
 #include "net/envelope.h"
 #include "services/catalog.h"
 #include "services/channel_manager.h"
+#include "services/durable_ops.h"
 #include "services/redirection_manager.h"
+#include "store/farm_store.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
 
 namespace p2pdrm {
 namespace {
@@ -71,6 +75,13 @@ std::vector<Decoder> all_decoders() {
          core::Challenge::decode(r);
        }},
       {"BusyPayload", [](util::BytesView b) { net::BusyPayload::decode(b); }},
+      {"Snapshot", [](util::BytesView b) { store::Snapshot::decode(b); }},
+      {"ReplicatedOp", [](util::BytesView b) { store::ReplicatedOp::decode(b); }},
+      {"ViewingEntry",
+       [](util::BytesView b) { services::decode_viewing_entry(b); }},
+      {"UserRecord", [](util::BytesView b) { services::decode_user_record(b); }},
+      {"UserDirectory",
+       [](util::BytesView b) { services::decode_user_directory(b); }},
   };
 }
 
@@ -268,6 +279,80 @@ TEST(FuzzDecodeTest, EnvelopeRejectsKindsPastBusy) {
   EXPECT_FALSE(net::Envelope::decode(bumped).has_value());
   bumped[0] = 0;
   EXPECT_FALSE(net::Envelope::decode(bumped).has_value());
+}
+
+TEST(FuzzDecodeTest, JournalReplayNeverThrowsOnArbitraryImages) {
+  // Replay is the one "decoder" that must not even throw: recovery calls
+  // it on whatever survived the crash. Any input yields a valid prefix.
+  crypto::SecureRandom rng(0x17a1);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Bytes image = rng.bytes(rng.uniform(600));
+    const store::Journal::ReplayResult r = store::Journal::replay(image);
+    EXPECT_EQ(r.valid_bytes + r.corrupt_bytes, image.size());
+  }
+  for (std::size_t len : {0u, 1u, 19u, 20u, 21u, 64u}) {
+    (void)store::Journal::replay(Bytes(len, 0x00));
+    (void)store::Journal::replay(Bytes(len, 0xff));
+  }
+}
+
+TEST(FuzzDecodeTest, JournalReplayMutationsKeepValidPrefix) {
+  // Flip bytes in a valid journal image: replay stops at the first record
+  // the mutation invalidates and every surviving record is intact.
+  store::Journal j;
+  for (int i = 0; i < 8; ++i) {
+    j.append(util::bytes_of("record payload " + std::to_string(i)));
+  }
+  j.sync();
+  const Bytes valid = j.durable();
+  crypto::SecureRandom rng(0x17a2);
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes mutated = valid;
+    mutated[rng.uniform(mutated.size())] ^= static_cast<std::uint8_t>(
+        1 + rng.uniform(255));
+    const store::Journal::ReplayResult r = store::Journal::replay(mutated);
+    EXPECT_LE(r.records.size(), 8u);
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      EXPECT_EQ(r.records[i].seq, i + 1);  // prefix, in order, no gaps
+    }
+  }
+}
+
+TEST(FuzzDecodeTest, JournalReplayCountsCorruptTails) {
+  store::Journal j;
+  j.append(util::bytes_of("good"));
+  j.sync();
+  Bytes image = j.durable();
+  const Bytes junk = {0xde, 0xad, 0xbe, 0xef};
+  image.insert(image.end(), junk.begin(), junk.end());
+
+  obs::Registry reg;
+  const store::Journal::ReplayResult r = store::Journal::replay(image, &reg);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_FALSE(r.clean);
+  ASSERT_NE(reg.find_counter("store.replay.corrupt"), nullptr);
+  EXPECT_EQ(reg.find_counter("store.replay.corrupt")->value(), 1u);
+  EXPECT_EQ(reg.find_counter("store.replay.corrupt_bytes")->value(), junk.size());
+}
+
+TEST(FuzzDecodeTest, ViewingEntryRoundTripAfterFuzzDecode) {
+  services::ViewingLog::Entry e;
+  e.user_in = 7;
+  e.channel = 3;
+  e.addr = util::parse_netaddr("10.0.0.7");
+  e.time = 123456;
+  e.renewal = true;
+  const Bytes wire = services::encode_viewing_entry(e);
+  const services::ViewingLog::Entry back = services::decode_viewing_entry(wire);
+  EXPECT_EQ(back.user_in, e.user_in);
+  EXPECT_EQ(back.channel, e.channel);
+  EXPECT_EQ(back.addr, e.addr);
+  EXPECT_EQ(back.time, e.time);
+  EXPECT_EQ(back.renewal, e.renewal);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW(services::decode_viewing_entry({wire.data(), len}),
+                 util::WireError);
+  }
 }
 
 TEST(FuzzDecodeTest, RoundTripAfterSuccessfulFuzzDecode) {

@@ -1,6 +1,9 @@
 // Network substrate: envelope codec, delivery/latency/loss semantics.
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "net/deployment.h"
 #include "net/envelope.h"
 #include "net/network.h"
 #include "net/service_nodes.h"
@@ -234,6 +237,62 @@ TEST(NetworkTest, LatencyCanReorderDatagrams) {
     if (b.received[i].data[0] < b.received[i - 1].data[0]) reordered = true;
   }
   EXPECT_TRUE(reordered);
+}
+
+// --- client timer lifetimes across ungraceful departure ---
+
+DeploymentConfig lifetime_config() {
+  DeploymentConfig cfg;
+  cfg.seed = 99;
+  cfg.default_link.latency.floor = 10 * kMillisecond;
+  cfg.default_link.latency.median = 40 * kMillisecond;
+  cfg.default_link.latency.sigma = 0.4;
+  cfg.processing.light = 1 * kMillisecond;
+  cfg.processing.heavy = 8 * kMillisecond;
+  return cfg;
+}
+
+TEST(ClientLifetimeTest, CrashMidLoginFiresNoRetransmitTimers) {
+  // Regression: a client crashed with a request in flight must not keep
+  // retransmitting from beyond the grave. The retransmit-timeout closure
+  // keys off pending_, which leave() clears — so the timer finds nothing.
+  Deployment d(lifetime_config());
+  d.add_user("a@example.com", "pw");
+  AsyncClient& c = d.add_client("a@example.com", "pw", d.geo().region_at(0));
+  c.login([](core::DrmError) { FAIL() << "callback fired for a dead session"; });
+  d.crash_client(c);  // the login-1 request is still pending
+
+  d.run_for(60 * util::kSecond);  // far past every timeout and retry backoff
+  EXPECT_EQ(c.retransmits(), 0u);
+}
+
+TEST(ClientLifetimeTest, DestroyedClientTimersAreInert) {
+  // Harsher variant: the AsyncClient object itself is destroyed while its
+  // auto-renewal timer is armed in the simulation queue. The alive-flag
+  // guard must make the orphaned closure a no-op, not a use-after-free.
+  Deployment d(lifetime_config());
+  d.add_user("a@example.com", "pw");
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(1, "news", region);
+  d.start_channel_server(1);
+
+  AsyncClient& c = d.add_client("a@example.com", "pw", region);
+  std::optional<core::DrmError> joined;
+  c.login([&](core::DrmError err) {
+    if (err != core::DrmError::kOk) {
+      joined = err;
+      return;
+    }
+    c.switch_channel(1, [&](core::DrmError err2) { joined = err2; });
+  });
+  const util::SimTime deadline = d.sim().now() + 10 * util::kMinute;
+  while (!joined && d.sim().now() < deadline && d.sim().step()) {
+  }
+  ASSERT_EQ(joined.value_or(core::DrmError::kNoCapacity), core::DrmError::kOk);
+  c.enable_auto_renewal();  // arms a timer minutes in the future
+
+  d.remove_client(c);                // destroys the client object
+  d.run_for(30 * util::kMinute);     // the orphaned timers come due: no UAF
 }
 
 }  // namespace
