@@ -4,6 +4,13 @@
 //   ./chaos_demo                # built-in schedule
 //   ./chaos_demo my-plan.txt    # your own (see src/fault/fault_plan.h)
 //   ./chaos_demo --baseline     # no faults; exits nonzero on SLO violation
+//   ./chaos_demo --transport=thread
+//                               # packet-level chaos (latency spike + loss
+//                               # burst) against the multithreaded live
+//                               # transport: real event loops, wall-clock
+//                               # timers, protocol rounds driven through
+//                               # the storm; exits nonzero unless every
+//                               # round rides it out
 //   ./chaos_demo --flash-crowd  # overload-protected farm vs a 3x-capacity
 //                               # login stampede; exits nonzero unless the
 //                               # farm sheds with BUSY (never silently),
@@ -43,6 +50,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <sstream>
 
 #include "analysis/critical_path.h"
@@ -567,18 +575,177 @@ int run_crash_recovery() {
   return ok ? 0 : 1;
 }
 
+/// Post a full login + switch (+ announce) chain onto `c`'s own event loop
+/// and return a future for its outcome. On the live transport every
+/// protocol call must run loop-confined; the caller only waits.
+std::future<core::DrmError> post_join(net::Deployment& d, net::AsyncClient& c,
+                                      bool announce) {
+  auto done = std::make_shared<std::promise<core::DrmError>>();
+  std::future<core::DrmError> fut = done->get_future();
+  net::AsyncClient* cp = &c;
+  net::Deployment* dp = &d;
+  d.network().post(c.config().node, 0, [cp, dp, announce, done] {
+    cp->login([cp, dp, announce, done](core::DrmError err) {
+      if (err != core::DrmError::kOk) {
+        done->set_value(err);
+        return;
+      }
+      cp->switch_channel(kChannel, [cp, dp, announce, done](core::DrmError err2) {
+        if (err2 == core::DrmError::kOk && announce) dp->announce(*cp);
+        done->set_value(err2);
+      });
+    });
+  });
+  return fut;
+}
+
+/// One channel re-switch on `c`'s loop (the storm-driving round).
+std::future<core::DrmError> post_switch(net::Deployment& d, net::AsyncClient& c) {
+  auto done = std::make_shared<std::promise<core::DrmError>>();
+  std::future<core::DrmError> fut = done->get_future();
+  net::AsyncClient* cp = &c;
+  d.network().post(c.config().node, 0, [cp, done] {
+    cp->switch_channel(kChannel,
+                       [done](core::DrmError err) { done->set_value(err); });
+  });
+  return fut;
+}
+
+/// Packet-level chaos against the multithreaded live transport: a latency
+/// spike and a loss burst hit the whole data plane (the fault engine's
+/// interceptor now runs concurrently on every event loop) while protocol
+/// rounds are continuously driven through the storm. Crash/restart verbs
+/// stay sim-only — they are control-plane surgery; the live data plane is
+/// what this mode exercises.
+int run_live_chaos() {
+  std::printf("=== live chaos: packet faults on the threaded transport ===\n");
+
+  net::DeploymentConfig cfg;
+  cfg.seed = 42;
+  cfg.transport = net::TransportKind::kThread;
+  cfg.transport_threads = 4;
+  // Tight links and a short retransmission timeout: the storm is measured
+  // in wall-clock seconds, so recovery must be too.
+  cfg.default_link.latency.floor = 1 * util::kMillisecond;
+  cfg.default_link.latency.median = 4 * util::kMillisecond;
+  cfg.default_link.latency.sigma = 0.3;
+  cfg.default_link.loss = 0.0;
+  cfg.request_timeout = 400 * util::kMillisecond;
+  cfg.max_retries = 6;
+  cfg.client_resilience = true;
+  cfg.root_peer_capacity = 32;
+  net::Deployment d(cfg);
+
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(kChannel, "live", region);
+  d.start_channel_server(kChannel);
+
+  constexpr std::size_t kViewers = 8;
+  std::vector<net::AsyncClient*> viewers;
+  for (std::size_t i = 0; i < kViewers; ++i) {
+    const std::string email = "viewer-" + std::to_string(i) + "@example.com";
+    d.add_user(email, "pw");
+    viewers.push_back(&d.add_client(email, "pw", region));
+  }
+  std::size_t provisioned = 0;
+  {
+    std::vector<std::future<core::DrmError>> joins;
+    for (net::AsyncClient* c : viewers) joins.push_back(post_join(d, *c, true));
+    for (std::future<core::DrmError>& f : joins) {
+      if (f.get() == core::DrmError::kOk) ++provisioned;
+    }
+  }
+  std::printf("%zu/%zu viewers joined on the live transport\n", provisioned,
+              kViewers);
+
+  const fault::AddrBlock everywhere = fault::AddrBlock::parse("*");
+  fault::FaultPlan plan;
+  plan.latency_spike(d.now() + 1 * util::kSecond, 2 * util::kSecond, everywhere,
+                     50 * util::kMillisecond);
+  plan.loss_burst(d.now() + 4 * util::kSecond, 2 * util::kSecond, everywhere,
+                  0.25);
+  std::printf("\n=== fault schedule ===\n%s", plan.to_string().c_str());
+  fault::FaultEngine engine(d, plan, {});
+  engine.arm();
+
+  // Drive re-switches continuously through the storm window; resilience
+  // plus retransmission must carry every round across the spike and the
+  // burst (real timers, real concurrent loops).
+  const util::SimTime storm_end = d.now() + 6500 * util::kMillisecond;
+  std::uint64_t storm_rounds = 0, storm_failures = 0;
+  while (d.now() < storm_end) {
+    std::vector<std::future<core::DrmError>> wave;
+    wave.reserve(viewers.size());
+    for (net::AsyncClient* c : viewers) wave.push_back(post_switch(d, *c));
+    for (std::future<core::DrmError>& f : wave) {
+      ++storm_rounds;
+      if (f.get() != core::DrmError::kOk) ++storm_failures;
+    }
+  }
+
+  // Calm weather again: one final wave after the rules expired.
+  std::size_t recovered = 0;
+  {
+    std::vector<std::future<core::DrmError>> wave;
+    for (net::AsyncClient* c : viewers) wave.push_back(post_switch(d, *c));
+    for (std::future<core::DrmError>& f : wave) {
+      if (f.get() == core::DrmError::kOk) ++recovered;
+    }
+  }
+
+  d.transport().shutdown();  // quiesce before reading loop-confined state
+
+  std::printf("\n=== fault log ===\n");
+  for (const std::string& line : engine.log()) std::printf("%s\n", line.c_str());
+  const net::Network& net = d.network();
+  std::printf("storm: %llu rounds driven, %llu failed\n",
+              static_cast<unsigned long long>(storm_rounds),
+              static_cast<unsigned long long>(storm_failures));
+  std::printf("fault verdicts: dropped=%llu delayed=%llu\n",
+              static_cast<unsigned long long>(engine.packets_dropped()),
+              static_cast<unsigned long long>(engine.packets_delayed()));
+  std::printf("packet fates: sent=%llu delivered=%llu "
+              "dropped: injected=%llu link=%llu no-destination=%llu\n",
+              static_cast<unsigned long long>(net.packets_sent()),
+              static_cast<unsigned long long>(net.packets_delivered()),
+              static_cast<unsigned long long>(net.packets_dropped_injected()),
+              static_cast<unsigned long long>(net.packets_dropped_link()),
+              static_cast<unsigned long long>(
+                  net.packets_dropped_no_destination()));
+
+  std::printf("\n=== live chaos gates ===\n");
+  bool ok = true;
+  ok &= gate(provisioned == kViewers, "every viewer joined before the storm");
+  ok &= gate(engine.packets_dropped() + engine.packets_delayed() > 0,
+             "the fault rules really touched the live data plane");
+  ok &= gate(storm_failures == 0,
+             "every protocol round rode out the storm (resilience + retries)");
+  ok &= gate(recovered == kViewers, "post-storm wave completed cleanly");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool baseline = false;
   const char* schedule_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--baseline") {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
       baseline = true;
-    } else if (std::string(argv[i]) == "--flash-crowd") {
+    } else if (arg == "--flash-crowd") {
       return run_flash_crowd();
-    } else if (std::string(argv[i]) == "--crash-recovery") {
+    } else if (arg == "--crash-recovery") {
       return run_crash_recovery();
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      const std::string transport = arg.substr(std::string("--transport=").size());
+      if (transport == "thread") return run_live_chaos();
+      if (transport != "sim") {
+        std::fprintf(stderr, "chaos_demo: unknown --transport=%s (want sim|thread)\n",
+                     transport.c_str());
+        return 1;
+      }
+      // sim is the default; fall through to the schedule-driven run
     } else {
       schedule_path = argv[i];
     }

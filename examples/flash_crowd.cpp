@@ -8,25 +8,151 @@
 // ever do cheap stateless ticket work, and every viewer ends up decrypting
 // the stream.
 //
-//   ./flash_crowd [viewers]   (default 120)
+//   ./flash_crowd [viewers]                    (default 120, virtual clock)
+//   ./flash_crowd --transport=thread [viewers] (default 64; the stampede
+//       arrives from real driver threads against an overload-protected
+//       deployment on the multithreaded transport — joins are admitted or
+//       shed with BUSY, and the kickoff packet crosses the overlay live)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "client/testbed.h"
+#include "net/deployment.h"
 
 using namespace p2pdrm;
 
-int main(int argc, char** argv) {
-  const std::size_t viewers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+namespace {
 
+constexpr util::ChannelId kChannel = 1;
+
+/// The stampede on the live transport: `viewers` brand-new sessions arrive
+/// from 8 driver threads at once. The farm runs with bounded worker queues
+/// and admission control, so the burst is either absorbed or shed with
+/// BUSY (never silently); BUSY-deferred resends land the stragglers.
+int run_live(std::size_t viewers) {
+  std::printf("flash crowd (threaded transport): %zu viewers stampeding\n",
+              viewers);
+
+  net::DeploymentConfig cfg;
+  cfg.seed = 23;
+  cfg.transport = net::TransportKind::kThread;
+  cfg.transport_threads = 4;
+  cfg.default_link.latency.floor = 1 * util::kMillisecond;
+  cfg.default_link.latency.median = 3 * util::kMillisecond;
+  cfg.default_link.latency.sigma = 0.3;
+  cfg.default_link.loss = 0.0;
+  cfg.request_timeout = 500 * util::kMillisecond;
+  cfg.cm.peer_list_size = 12;
+  // Finite manager capacity makes the burst mean something: one worker,
+  // 10 ms per heavy round, shedding past a shallow queue high-water mark.
+  cfg.processing.light = 1 * util::kMillisecond;
+  cfg.processing.heavy = 10 * util::kMillisecond;
+  cfg.overload.workers = 1;
+  cfg.overload.queue_capacity = 64;
+  cfg.overload.high_water = 4;
+  cfg.overload.busy_retry_after = 100 * util::kMillisecond;
+  cfg.root_peer_capacity = viewers + 8;
+  net::Deployment d(cfg);
+
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(kChannel, "the-big-game", region);
+  d.start_channel_server(kChannel);
+
+  // Accounts and clients exist before the event (control plane, main
+  // thread only); the stampede is purely protocol traffic.
+  std::vector<net::AsyncClient*> crowd;
+  crowd.reserve(viewers);
+  for (std::size_t i = 0; i < viewers; ++i) {
+    const std::string email = "fan" + std::to_string(i) + "@example.com";
+    d.add_user(email, "pw");
+    crowd.push_back(&d.add_client(email, "pw", region));
+  }
+
+  std::atomic<std::size_t> joined{0}, denied{0};
+  const std::size_t drivers = 8;
+  const auto stampede = [&](std::size_t start) {
+    for (std::size_t i = start; i < viewers; i += drivers) {
+      net::AsyncClient* c = crowd[i];
+      auto done = std::make_shared<std::promise<core::DrmError>>();
+      std::future<core::DrmError> fut = done->get_future();
+      net::Deployment* dp = &d;
+      d.network().post(c->config().node, 0, [c, dp, done] {
+        c->login([c, dp, done](core::DrmError err) {
+          if (err != core::DrmError::kOk) {
+            done->set_value(err);
+            return;
+          }
+          c->switch_channel(kChannel, [c, dp, done](core::DrmError err2) {
+            if (err2 == core::DrmError::kOk) dp->announce(*c);
+            done->set_value(err2);
+          });
+        });
+      });
+      if (fut.get() == core::DrmError::kOk) {
+        joined.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        denied.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < drivers; ++t) pool.emplace_back(stampede, t);
+  for (std::thread& t : pool) t.join();
+
+  // Kickoff: one content packet, produced on the root's own loop (the
+  // channel server's rotation state lives there) and fanned out live.
+  d.network().post(net::Deployment::kChannelRootBase + kChannel, 0,
+                   [&d] { d.broadcast(kChannel, util::bytes_of("KICKOFF!")); });
+  d.run_for(500 * util::kMillisecond);  // let the packet cross the tree
+  d.transport().shutdown();             // quiesce before reading client state
+
+  std::printf("flash crowd: %zu joined, %zu failed out of %zu\n",
+              joined.load(), denied.load(), viewers);
+  std::printf("tracker now lists %zu peers on the channel (utilization %.2f)\n",
+              d.tracker().peer_count(kChannel), d.tracker().utilization(kChannel));
+
+  std::uint64_t busy_received = 0, busy_resends = 0;
+  std::size_t reached = 0;
+  for (const auto& c : d.clients()) {
+    busy_received += c->busy_received();
+    busy_resends += c->busy_deferred_resends();
+    if (c->content_decrypted() > 0) ++reached;
+  }
+  const obs::Counter* busy_sent = d.registry().find_counter("server.busy_sent");
+  std::printf("overload: server sent %llu BUSY; clients absorbed %llu "
+              "(%llu deferred resends)\n",
+              static_cast<unsigned long long>(
+                  busy_sent != nullptr ? busy_sent->value() : 0),
+              static_cast<unsigned long long>(busy_received),
+              static_cast<unsigned long long>(busy_resends));
+  std::printf("content reached %zu/%zu viewers through the live overlay\n",
+              reached, joined.load());
+  std::printf("\nkeys and content flowed peer-to-peer; the managers only "
+              "issued %zu tickets'\nworth of stateless signing work.\n",
+              joined.load() * 2);
+
+  if (joined.load() == 0 || reached == 0) {
+    std::fprintf(stderr, "FAIL: the stampede never landed\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// The original virtual-clock stampede on the synchronous Testbed.
+int run_sim(std::size_t viewers) {
   client::TestbedConfig config;
   config.seed = 23;
   config.cm.peer_list_size = 12;
   client::Testbed provider(config);
   const geo::RegionId region = provider.geo().region_at(0);
-  provider.add_regional_channel(1, "the-big-game", region);
-  provider.start_channel_server(1);
+  provider.add_regional_channel(kChannel, "the-big-game", region);
+  provider.start_channel_server(kChannel);
 
   // Pre-register the audience (accounts exist before the event).
   std::vector<client::Client*> crowd;
@@ -44,7 +170,7 @@ int main(int argc, char** argv) {
       ++denied;
       continue;
     }
-    if (fan->switch_channel(1) == core::DrmError::kOk) {
+    if (fan->switch_channel(kChannel) == core::DrmError::kOk) {
       ++joined;
       provider.announce(*fan);  // becomes a parent candidate immediately
     } else {
@@ -54,10 +180,11 @@ int main(int argc, char** argv) {
   std::printf("flash crowd: %zu joined, %zu failed out of %zu\n", joined, denied,
               viewers);
   std::printf("tracker now lists %zu peers on the channel (utilization %.2f)\n",
-              provider.tracker().peer_count(1), provider.tracker().utilization(1));
+              provider.tracker().peer_count(kChannel),
+              provider.tracker().utilization(kChannel));
 
   // The whole tree really decrypts the stream.
-  const auto received = provider.broadcast(1, util::bytes_of("KICKOFF!"));
+  const auto received = provider.broadcast(kChannel, util::bytes_of("KICKOFF!"));
   std::printf("content reached %zu/%zu viewers through the overlay\n",
               received.size(), joined);
 
@@ -91,4 +218,26 @@ int main(int argc, char** argv) {
               "issued %zu tickets'\nworth of stateless signing work.\n",
               joined * 2);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string transport = "sim";
+  std::size_t viewers = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--transport=", 0) == 0) {
+      transport = arg.substr(std::string("--transport=").size());
+    } else {
+      viewers = std::strtoul(arg.c_str(), nullptr, 10);
+    }
+  }
+  if (transport == "thread") return run_live(viewers != 0 ? viewers : 64);
+  if (transport != "sim") {
+    std::fprintf(stderr, "flash_crowd: unknown --transport=%s (want sim|thread)\n",
+                 transport.c_str());
+    return 1;
+  }
+  return run_sim(viewers != 0 ? viewers : 120);
 }

@@ -17,16 +17,17 @@ void FaultEngine::arm() {
   if (armed_) return;
   armed_ = true;
   dep_.network().add_interceptor(this);
-  const util::SimTime now = dep_.sim().now();
+  const util::SimTime now = dep_.now();
   for (const FaultEvent& ev : plan_.events()) {
     // Absolute plan times; anything already in the past fires immediately.
     const util::SimTime delay = ev.at > now ? ev.at - now : 0;
-    dep_.sim().schedule(delay, [this, ev] { apply(ev); });
+    dep_.post(delay, [this, ev] { apply(ev); });
   }
 }
 
 void FaultEngine::note(const FaultEvent& ev, const std::string& detail) {
-  log_.push_back("t=" + util::format_time(dep_.sim().now()) + " " + ev.to_string() +
+  std::lock_guard<std::mutex> lk(mu_);
+  log_.push_back("t=" + util::format_time(dep_.now()) + " " + ev.to_string() +
                  detail);
 }
 
@@ -66,18 +67,27 @@ void FaultEngine::apply(const FaultEvent& ev) {
       dep_.restart_cm_instance(ev.partition, ev.instance);
       note(ev);
       return;
-    case FaultKind::kPartition:
-      partitions_.push_back({ev.a, ev.b, dep_.sim().now() + ev.duration});
+    case FaultKind::kPartition: {
+      std::unique_lock<std::mutex> lk(mu_);
+      partitions_.push_back({ev.a, ev.b, dep_.now() + ev.duration});
+      lk.unlock();
       note(ev);
       return;
-    case FaultKind::kLossBurst:
-      losses_.push_back({ev.a, ev.rate, dep_.sim().now() + ev.duration});
+    }
+    case FaultKind::kLossBurst: {
+      std::unique_lock<std::mutex> lk(mu_);
+      losses_.push_back({ev.a, ev.rate, dep_.now() + ev.duration});
+      lk.unlock();
       note(ev);
       return;
-    case FaultKind::kLatencySpike:
-      delays_.push_back({ev.a, ev.delay, dep_.sim().now() + ev.duration});
+    }
+    case FaultKind::kLatencySpike: {
+      std::unique_lock<std::mutex> lk(mu_);
+      delays_.push_back({ev.a, ev.delay, dep_.now() + ev.duration});
+      lk.unlock();
       note(ev);
       return;
+    }
     case FaultKind::kChurnStorm:
       churn(ev);
       return;
@@ -149,12 +159,13 @@ void FaultEngine::flash_crowd(const FaultEvent& ev) {
   // so the login wave hits the farm as a sustained burst rather than one
   // synchronized packet storm.
   for (std::size_t i = 0; i < ev.arrivals; ++i) {
-    const util::SimTime offset =
-        ev.duration > 0
-            ? static_cast<util::SimTime>(rng_.uniform_real() *
-                                         static_cast<double>(ev.duration))
-            : 0;
-    dep_.sim().schedule(offset, [this, channel = ev.channel] {
+    util::SimTime offset = 0;
+    if (ev.duration > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      offset = static_cast<util::SimTime>(rng_.uniform_real() *
+                                          static_cast<double>(ev.duration));
+    }
+    dep_.post(offset, [this, channel = ev.channel] {
       if (spawn_arrival(channel)) ++flash_crowd_arrivals_;
     });
   }
@@ -190,6 +201,7 @@ net::SendInterceptor::Verdict FaultEngine::on_send(const net::SendContext& ctx) 
   const util::NetAddr to_addr = ctx.to_addr;
   const util::SimTime now = ctx.now;
   Verdict verdict;
+  std::lock_guard<std::mutex> lk(mu_);
   const auto expired = [now](const auto& rule) { return rule.until <= now; };
   std::erase_if(partitions_, expired);
   std::erase_if(losses_, expired);
@@ -199,7 +211,7 @@ net::SendInterceptor::Verdict FaultEngine::on_send(const net::SendContext& ctx) 
     const bool ab = rule.a.contains(from_addr) && rule.b.contains(to_addr);
     const bool ba = rule.b.contains(from_addr) && rule.a.contains(to_addr);
     if (ab || ba) {
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       verdict.drop = true;
       return verdict;
     }
@@ -207,7 +219,7 @@ net::SendInterceptor::Verdict FaultEngine::on_send(const net::SendContext& ctx) 
   for (const LossRule& rule : losses_) {
     if (!rule.scope.contains(from_addr) && !rule.scope.contains(to_addr)) continue;
     if (rng_.chance(rule.rate)) {
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       verdict.drop = true;
       return verdict;
     }
@@ -217,7 +229,7 @@ net::SendInterceptor::Verdict FaultEngine::on_send(const net::SendContext& ctx) 
       verdict.extra_delay += rule.extra;
     }
   }
-  if (verdict.extra_delay > 0) ++delayed_;
+  if (verdict.extra_delay > 0) delayed_.fetch_add(1, std::memory_order_relaxed);
   return verdict;
 }
 

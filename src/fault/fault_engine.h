@@ -7,6 +7,8 @@
 // replays the exact same packet fates and the exact same report.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,14 +52,19 @@ class FaultEngine final : public net::SendInterceptor {
   Verdict on_send(const net::SendContext& ctx) override;
 
   /// Human-readable record of every injected fault ("t=d0 00:10:00.000
-  /// crash-um 1" style), in injection order. Deterministic.
+  /// crash-um 1" style), in injection order. Deterministic on the sim
+  /// backend; read only after the run on a live one.
   const std::vector<std::string>& log() const { return log_; }
 
   /// Packets dropped by partitions and loss bursts (this engine's verdicts
   /// only, not the links' own background loss).
-  std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t packets_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   /// Packets held back by an active latency spike.
-  std::uint64_t packets_delayed() const { return delayed_; }
+  std::uint64_t packets_delayed() const {
+    return delayed_.load(std::memory_order_relaxed);
+  }
   /// Clients crashed / spawned by churn storms so far.
   std::uint64_t churn_departures() const { return churn_departures_; }
   std::uint64_t churn_arrivals() const { return churn_arrivals_; }
@@ -92,16 +99,20 @@ class FaultEngine final : public net::SendInterceptor {
   net::Deployment& dep_;
   FaultPlan plan_;
   FaultEngineConfig config_;
-  crypto::SecureRandom rng_;
   bool armed_ = false;
 
+  /// Guards the active rule tables, the engine's DRBG, and the log:
+  /// on_send runs concurrently from every sender loop on a live transport
+  /// while apply() installs and expires rules from the control loop.
+  mutable std::mutex mu_;
+  crypto::SecureRandom rng_;
   std::vector<PartitionRule> partitions_;
   std::vector<LossRule> losses_;
   std::vector<DelayRule> delays_;
-
   std::vector<std::string> log_;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t delayed_ = 0;
+
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delayed_{0};
   std::uint64_t churn_departures_ = 0;
   std::uint64_t churn_arrivals_ = 0;
   std::uint64_t flash_crowd_arrivals_ = 0;

@@ -23,7 +23,7 @@ AsyncClient::AsyncClient(Config config, Network& network, crypto::SecureRandom r
 
 bool AsyncClient::spend_retry_token(Round round) {
   return retry_budgets_[static_cast<std::size_t>(round)].try_take(
-      network_.sim().now());
+      network_.now());
 }
 
 CircuitBreaker& AsyncClient::breaker_for(util::NodeId node) {
@@ -48,8 +48,10 @@ AsyncClient::~AsyncClient() {
 }
 
 void AsyncClient::schedule(util::SimTime delay, std::function<void()> action) {
-  network_.sim().schedule(delay,
-                          [alive = alive_, action = std::move(action)] {
+  // Timers post to this client's own transport group, so they are
+  // serialized with the client's packet deliveries on both backends.
+  network_.post(config_.node, delay,
+                [alive = alive_, action = std::move(action)] {
     if (*alive) action();
   });
 }
@@ -74,7 +76,7 @@ void AsyncClient::leave() {
 void AsyncClient::enable_starvation_recovery(util::SimTime gap) {
   starvation_recovery_ = true;
   starvation_gap_ = gap;
-  last_content_ = network_.sim().now();
+  last_content_ = network_.now();
   if (channel_ticket_) arm_starvation_watchdog();
 }
 
@@ -88,7 +90,7 @@ void AsyncClient::arm_starvation_watchdog() {
       arm_starvation_watchdog();
       return;
     }
-    if (network_.sim().now() - last_content_ >= starvation_gap_) {
+    if (network_.now() - last_content_ >= starvation_gap_) {
       // Starved: the parent is gone or the subtree died. Re-switch for a
       // fresh ticket and peer list (the paper's client does exactly this on
       // a dead parent; the Channel Manager logs it as a fresh view).
@@ -97,7 +99,7 @@ void AsyncClient::arm_starvation_watchdog() {
       const util::ChannelId channel = channel_ticket_->ticket.channel_id;
       switch_channel(channel, [this](DrmError) {
         recovering_ = false;
-        last_content_ = network_.sim().now();
+        last_content_ = network_.now();
       });
     }
     arm_starvation_watchdog();
@@ -114,8 +116,8 @@ void AsyncClient::schedule_auto_renewal() {
   if (!auto_renew_ || !channel_ticket_ || departed_) return;
   const std::uint64_t epoch = ++renew_epoch_;
   const util::SimTime due = std::max(
-      channel_ticket_->ticket.expiry_time - renew_margin_, network_.sim().now() + 1);
-  schedule(due - network_.sim().now(), [this, epoch] {
+      channel_ticket_->ticket.expiry_time - renew_margin_, network_.now() + 1);
+  schedule(due - network_.now(), [this, epoch] {
     if (departed_ || epoch != renew_epoch_ || !channel_ticket_) return;
     // Keep the User Ticket ahead of the Channel Ticket: re-login first when
     // it would expire before the renewed Channel Ticket needs it.
@@ -137,7 +139,7 @@ void AsyncClient::schedule_auto_renewal() {
       });
     };
     if (user_ticket_ &&
-        user_ticket_->ticket.expiry_time - network_.sim().now() < 2 * renew_margin_) {
+        user_ticket_->ticket.expiry_time - network_.now() < 2 * renew_margin_) {
       login(renew);
     } else {
       renew(DrmError::kOk);
@@ -169,18 +171,18 @@ void AsyncClient::bind_observability(obs::Registry* registry,
 }
 
 void AsyncClient::record(Round round, util::SimTime started, bool success) {
-  const util::SimTime latency = network_.sim().now() - started;
+  const util::SimTime latency = network_.now() - started;
   feedback_.push_back({round, started, latency, success});
   if (success && round_hist_[static_cast<std::size_t>(round)] != nullptr) {
     round_hist_[static_cast<std::size_t>(round)]->record(latency);
   }
   if (success && slo_ != nullptr) {
-    slo_->observe(client::to_string(round), network_.sim().now(), latency);
+    slo_->observe(client::to_string(round), network_.now(), latency);
   }
 }
 
 void AsyncClient::on_key_installed(const core::ContentKey& key) {
-  const util::SimTime now = network_.sim().now();
+  const util::SimTime now = network_.now();
   if (keys_delivered_ != nullptr) {
     keys_delivered_->inc();
     // Margin: how far ahead of activation the epoch landed (0 = late).
@@ -196,7 +198,7 @@ void AsyncClient::on_key_installed(const core::ContentKey& key) {
 void AsyncClient::close_request_spans(std::uint64_t request_id, Pending& pending,
                                       bool ok, const char* outcome) {
   if (tracer_ == nullptr) return;
-  const util::SimTime now = network_.sim().now();
+  const util::SimTime now = network_.now();
   tracer_->end_span(pending.attempt_span, now, ok);
   tracer_->tag(pending.span, "outcome", outcome);
   tracer_->end_span(pending.span, now, ok);
@@ -208,7 +210,7 @@ void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payloa
                                std::function<void(const Envelope&)> on_response,
                                Callback on_fail) {
   if (config_.breaker_failure_threshold > 0 &&
-      !breaker_for(to).allow(network_.sim().now())) {
+      !breaker_for(to).allow(network_.now())) {
     // The breaker is open: this destination keeps timing out, so fail fast
     // instead of burning a full timeout ladder. The resilience layer treats
     // it like any other failed round (failover to an alternate instance).
@@ -216,7 +218,7 @@ void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payloa
     if (registry_ != nullptr) {
       registry_->counter("client.breaker.fast_fail").inc();
     }
-    const util::SimTime started = network_.sim().now();
+    const util::SimTime started = network_.now();
     schedule(0, [this, round, started, on_fail = std::move(on_fail)] {
       record(round, started, false);
       if (on_fail) on_fail(DrmError::kNoCapacity);
@@ -235,7 +237,7 @@ void AsyncClient::send_request(util::NodeId to, MsgKind kind, util::Bytes payloa
   pending.wire = env.encode();
   pending.retries_left = config_.max_retries;
   pending.round = round;
-  pending.started = network_.sim().now();
+  pending.started = network_.now();
   pending.on_response = std::move(on_response);
   pending.on_fail = std::move(on_fail);
   if (tracer_ != nullptr) {
@@ -285,7 +287,7 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
         Pending failed = std::move(p->second);
         pending_.erase(p);
         if (config_.breaker_failure_threshold > 0) {
-          breaker_for(failed.to).record_failure(network_.sim().now());
+          breaker_for(failed.to).record_failure(network_.now());
         }
         fail_pending(request_id, std::move(failed), "budget",
                      DrmError::kNoCapacity);
@@ -297,7 +299,7 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
       if (tracer_ != nullptr) {
         // The old attempt timed out; open a fresh child span and rebind the
         // request id to it so later hops/serves parent under the right one.
-        const util::SimTime now = network_.sim().now();
+        const util::SimTime now = network_.now();
         tracer_->end_span(p->second.attempt_span, now, /*ok=*/false);
         tracer_->event(p->second.span, now, "retransmit",
                        "attempt " + std::to_string(p->second.attempt));
@@ -314,7 +316,7 @@ void AsyncClient::arm_timeout(std::uint64_t request_id) {
     Pending failed = std::move(p->second);
     pending_.erase(p);
     if (config_.breaker_failure_threshold > 0) {
-      breaker_for(failed.to).record_failure(network_.sim().now());
+      breaker_for(failed.to).record_failure(network_.now());
     }
     fail_pending(request_id, std::move(failed), "timeout", DrmError::kNoCapacity);
   });
@@ -398,7 +400,7 @@ void AsyncClient::handle_busy(const Envelope& env) {
   const std::uint64_t attempt = pending.attempt;
   const std::uint64_t request_id = env.request_id;
   if (tracer_ != nullptr) {
-    const util::SimTime now = network_.sim().now();
+    const util::SimTime now = network_.now();
     tracer_->end_span(pending.attempt_span, now, /*ok=*/false);
     tracer_->event(pending.span, now, "busy",
                    "retry-after " + std::to_string(busy.retry_after) +
@@ -408,7 +410,7 @@ void AsyncClient::handle_busy(const Envelope& env) {
     const auto p = pending_.find(request_id);
     if (p == pending_.end() || p->second.attempt != attempt) return;
     if (tracer_ != nullptr) {
-      const util::SimTime now = network_.sim().now();
+      const util::SimTime now = network_.now();
       p->second.attempt_span = tracer_->begin_span(
           "client", "attempt", config_.node, now, p->second.span);
       tracer_->bind_request(config_.node, request_id, p->second.attempt_span);
@@ -471,7 +473,7 @@ void AsyncClient::recover_session(Callback done) {
     return;
   }
   session_recovery_active_ = true;
-  recover_session_attempt(network_.sim().now(), 0, std::move(done));
+  recover_session_attempt(network_.now(), 0, std::move(done));
 }
 
 void AsyncClient::recover_session_attempt(util::SimTime started, int attempt,
@@ -505,7 +507,7 @@ void AsyncClient::recover_session_attempt(util::SimTime started, int attempt,
     if (channel == 0) {  // never watched anything: logged in again is enough
       session_recovery_active_ = false;
       ++rejoins_;
-      rejoin_latencies_.push_back(network_.sim().now() - started);
+      rejoin_latencies_.push_back(network_.now() - started);
       done(DrmError::kOk);
       return;
     }
@@ -516,7 +518,7 @@ void AsyncClient::recover_session_attempt(util::SimTime started, int attempt,
       }
       session_recovery_active_ = false;
       ++rejoins_;
-      rejoin_latencies_.push_back(network_.sim().now() - started);
+      rejoin_latencies_.push_back(network_.now() - started);
       done(DrmError::kOk);
     });
   });
@@ -636,7 +638,7 @@ void AsyncClient::start_login1(Callback done) {
         const core::Login2Request req2 =
             core::build_login2_request(*opened, config_.email, keys_,
                                        config_.client_version, config_.client_binary);
-        const util::SimTime started = network_.sim().now();
+        const util::SimTime started = network_.now();
         send_request(
             *um_node, MsgKind::kLogin2Request, req2.encode(),
             MsgKind::kLogin2Response, Round::kLogin2,
@@ -833,7 +835,7 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
               peer_node_->set_content_sink(
                   [this](const core::ContentPacket& packet,
                          const std::optional<util::Bytes>& plain) {
-                    last_content_ = network_.sim().now();
+                    last_content_ = network_.now();
                     if (plain) {
                       ++content_decrypted_;
                       content_in_order_ +=
@@ -845,7 +847,7 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
               if (config_.substreams > 1) {
                 auto state = std::make_shared<StripedJoin>();
                 state->peers = std::move(resp2.peers);
-                state->started = network_.sim().now();
+                state->started = network_.now();
                 // One join group per parent slot: group g carries the mask
                 // of sub-streams g, g+k, g+2k, ... for k parent slots.
                 const std::size_t slots =
@@ -857,7 +859,7 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
                 }
                 join_striped(std::move(state), done);
               } else {
-                try_join(std::move(resp2.peers), 0, network_.sim().now(), done);
+                try_join(std::move(resp2.peers), 0, network_.now(), done);
               }
             },
             done);
@@ -894,7 +896,7 @@ void AsyncClient::try_join(std::vector<core::PeerInfo> peers, std::size_t index,
         parent_ = target.node;
         if (auto_renew_) schedule_auto_renewal();
         if (starvation_recovery_) {
-          last_content_ = network_.sim().now();
+          last_content_ = network_.now();
           arm_starvation_watchdog();
         }
         done(DrmError::kOk);
@@ -911,7 +913,7 @@ void AsyncClient::finish_join(util::SimTime /*started*/, Callback done) {
   // Per-attempt JOIN rounds were already recorded by send_request.
   if (auto_renew_) schedule_auto_renewal();
   if (starvation_recovery_) {
-    last_content_ = network_.sim().now();
+    last_content_ = network_.now();
     arm_starvation_watchdog();
   }
   done(DrmError::kOk);

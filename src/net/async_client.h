@@ -9,6 +9,7 @@
 // PeerNode, so a fleet of AsyncClients forms a real working overlay.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -312,7 +313,9 @@ class AsyncClient final : public Node {
   bool auto_renew_ = false;
   util::SimTime renew_margin_ = 2 * util::kMinute;
   std::uint64_t renew_epoch_ = 0;  // invalidates stale renewal timers
-  bool departed_ = false;
+  /// Atomic so a live-bench driver thread can poll departed() while the
+  /// client's loop runs; all writes happen on the client's own loop.
+  std::atomic<bool> departed_{false};
 
   bool starvation_recovery_ = false;
   bool watchdog_armed_ = false;

@@ -1,8 +1,12 @@
 #include "net/deployment.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "services/durable_ops.h"
+#include "transport/sim_transport.h"
+#include "transport/thread_transport.h"
 
 namespace p2pdrm::net {
 
@@ -11,7 +15,15 @@ Deployment::Deployment(DeploymentConfig config)
   if (config_.um_instances == 0) config_.um_instances = 1;
   if (config_.cm_instances == 0) config_.cm_instances = 1;
 
-  network_ = std::make_unique<Network>(sim_, config_.default_link, rng_.fork());
+  if (config_.transport == TransportKind::kThread) {
+    transport::ThreadTransport::Config tc;
+    tc.loops = config_.transport_threads;
+    transport_ = std::make_unique<transport::ThreadTransport>(tc);
+  } else {
+    transport_ = std::make_unique<transport::SimTransport>(sim_);
+  }
+  network_ = std::make_unique<Network>(*transport_, config_.default_link,
+                                       rng_.fork());
   network_->bind_registry(&registry_);
   geo_ = std::make_unique<geo::SyntheticGeo>(rng_, config_.geo_plan);
 
@@ -123,6 +135,22 @@ Deployment::Deployment(DeploymentConfig config)
   if (config_.tracing) enable_tracing();
 }
 
+Deployment::~Deployment() {
+  // Stop the loops before any member is torn down: a live delivery or timer
+  // must never run against a half-destroyed node or client.
+  transport_->shutdown();
+}
+
+sim::Simulation& Deployment::sim() {
+  if (config_.transport != TransportKind::kSim) {
+    std::fprintf(stderr,
+                 "Deployment::sim() called on a live transport backend; "
+                 "use now()/post()/run_until instead\n");
+    std::abort();
+  }
+  return sim_;
+}
+
 void Deployment::init_durable_state() {
   store::FarmStore::Config sc;
   sc.snapshot_every = config_.durability.snapshot_every;
@@ -180,14 +208,14 @@ void Deployment::init_durable_state() {
                 self.st->submit(services::encode_viewing_entry(entry));
             if (entry.renewal || !config_.durability.sync_fresh_issues) return;
             self.st->sync();
-            self.last_sync = sim_.now();
+            self.last_sync = now();
             for (CmInstance& other : cm_instances_[part]) {
               if (&other == &self || !other.up) continue;
               if (other.st->ingest(op) == store::FarmStore::IngestResult::kGap) {
                 other.st->catch_up_from(*self.st);
               }
               other.st->sync();
-              other.last_sync = sim_.now();
+              other.last_sync = now();
             }
           });
     }
@@ -211,14 +239,14 @@ void Deployment::provision_user(const services::UserProvisioning& p) {
       primary->st->submit(services::encode_user_record(rec));
   if (!config_.durability.sync_fresh_issues) return;
   primary->st->sync();
-  primary->last_sync = sim_.now();
+  primary->last_sync = now();
   for (UmInstance& other : um_instances_) {
     if (&other == primary || !other.up) continue;
     if (other.st->ingest(op) == store::FarmStore::IngestResult::kGap) {
       other.st->catch_up_from(*primary->st);
     }
     other.st->sync();
-    other.last_sync = sim_.now();
+    other.last_sync = now();
   }
 }
 
@@ -228,7 +256,7 @@ void Deployment::schedule_replication() {
     return;
   }
   replication_armed_ = true;
-  sim_.schedule(replication_interval_, [this] {
+  post(replication_interval_, [this] {
     if (replication_interval_ <= 0) {
       replication_armed_ = false;
       return;
@@ -239,7 +267,7 @@ void Deployment::schedule_replication() {
 }
 
 void Deployment::replication_tick() {
-  const util::SimTime now = sim_.now();
+  const util::SimTime t = now();
   for (UmInstance& dst : um_instances_) {
     if (!dst.up) continue;
     for (UmInstance& src : um_instances_) {
@@ -247,7 +275,7 @@ void Deployment::replication_tick() {
       dst.st->catch_up_from(*src.st);
     }
     dst.st->sync();
-    dst.last_sync = now;
+    dst.last_sync = t;
   }
   for (std::vector<CmInstance>& farm : cm_instances_) {
     for (CmInstance& dst : farm) {
@@ -257,7 +285,7 @@ void Deployment::replication_tick() {
         dst.st->catch_up_from(*src.st);
       }
       dst.st->sync();
-      dst.last_sync = now;
+      dst.last_sync = t;
     }
   }
   registry_.counter("store.replication.rounds").inc();
@@ -305,16 +333,16 @@ void Deployment::enable_scraping(obs::TimeSeries* timeseries, obs::SloMonitor* s
 }
 
 void Deployment::schedule_scrape() {
-  sim_.schedule(scrape_interval_, [this] {
+  post(scrape_interval_, [this] {
     std::size_t live = 0;
     for (const std::unique_ptr<AsyncClient>& client : clients_) {
       if (!client->departed()) ++live;
     }
-    const util::SimTime now = sim_.now();
-    if (slo_ != nullptr) slo_->tick(now, static_cast<double>(live));
+    const util::SimTime t = now();
+    if (slo_ != nullptr) slo_->tick(t, static_cast<double>(live));
     if (timeseries_ != nullptr) {
-      timeseries_->record("load.clients", now, static_cast<double>(live));
-      timeseries_->scrape(registry_, now);
+      timeseries_->record("load.clients", t, static_cast<double>(live));
+      timeseries_->scrape(registry_, t);
     }
     schedule_scrape();
   });
@@ -342,7 +370,7 @@ services::ChannelManager& Deployment::channel_manager(std::uint32_t partition) {
 }
 
 bool Deployment::add_user(const std::string& email, const std::string& password) {
-  if (!accounts_->create_account(email, password, sim_.now())) return false;
+  if (!accounts_->create_account(email, password, now())) return false;
   redirection_.assign_user(email, config_.um.domain);
   return true;
 }
@@ -350,7 +378,7 @@ bool Deployment::add_user(const std::string& email, const std::string& password)
 void Deployment::add_regional_channel(util::ChannelId id, const std::string& name,
                                       geo::RegionId region, std::uint32_t partition) {
   cpm_->add_channel(services::make_regional_channel(id, name, region, partition),
-                    sim_.now());
+                    now());
 }
 
 void Deployment::add_subscription_channel(util::ChannelId id, const std::string& name,
@@ -359,7 +387,7 @@ void Deployment::add_subscription_channel(util::ChannelId id, const std::string&
                                           std::uint32_t partition) {
   cpm_->add_channel(
       services::make_subscription_channel(id, name, region, package, partition),
-      sim_.now());
+      now());
 }
 
 void Deployment::start_channel_server(util::ChannelId id,
@@ -369,14 +397,14 @@ void Deployment::start_channel_server(util::ChannelId id,
   if (record == nullptr) throw std::invalid_argument("Deployment: unknown channel");
 
   ChannelSource source;
-  source.server = std::make_unique<services::ChannelServer>(cfg, rng_.fork(), sim_.now());
+  source.server = std::make_unique<services::ChannelServer>(cfg, rng_.fork(), now());
   source.partition = record->partition;
 
   p2p::PeerConfig pc;
   pc.node = kChannelRootBase + id;
   pc.addr = util::NetAddr{0x0ac00000u + id};
   pc.channel = id;
-  pc.capacity = 64;
+  pc.capacity = config_.root_peer_capacity;
   pc.substreams = config_.substreams;
   source.root = std::make_unique<PeerNode>(
       std::make_unique<p2p::Peer>(
@@ -386,13 +414,13 @@ void Deployment::start_channel_server(util::ChannelId id,
   source.root->peer().install_key(source.server->latest_key());
   source.root->set_join_observer(
       [this, id, node = pc.node](util::NodeId, std::size_t children) {
-        tracker_->update_load(id, node, children, sim_.now());
+        tracker_->update_load(id, node, children, now());
       });
   if (tracing_) source.root->set_tracer(&tracer_);
   source.root->set_registry(&registry_);
   network_->attach(pc.node, pc.addr, source.root.get());
   tracker_->register_peer(id, core::PeerInfo{pc.node, pc.addr}, pc.capacity,
-                          sim_.now());
+                          now());
 
   sources_.insert_or_assign(id, std::move(source));
   schedule_rotation(id);
@@ -401,13 +429,13 @@ void Deployment::start_channel_server(util::ChannelId id,
 
 void Deployment::schedule_eviction(util::ChannelId id) {
   // Peers sever children whose Channel Tickets lapsed unrenewed (§IV-D);
-  // the root sweeps once a minute.
-  sim_.schedule(util::kMinute, [this, id] {
+  // the root sweeps once a minute, on the root's own loop.
+  network_->post(kChannelRootBase + id, util::kMinute, [this, id] {
     const auto source = sources_.find(id);
     if (source == sources_.end()) return;
-    if (!source->second.root->peer().evict_expired(sim_.now()).empty()) {
+    if (!source->second.root->peer().evict_expired(now()).empty()) {
       tracker_->update_load(id, source->second.root->id(),
-                            source->second.root->peer().child_count(), sim_.now());
+                            source->second.root->peer().child_count(), now());
     }
     schedule_eviction(id);
   });
@@ -418,20 +446,20 @@ void Deployment::schedule_stale_sweep() {
   // peer still on the network refreshes its tracker entry, then everything
   // not heard from within the stale age is evicted. A crashed client never
   // refreshes, so the tracker stops advertising it within one age window.
-  sim_.schedule(util::kMinute, [this] {
+  post(util::kMinute, [this] {
     for (const auto& [id, source] : sources_) {
       tracker_->update_load(id, source.root->id(),
-                            source.root->peer().child_count(), sim_.now());
+                            source.root->peer().child_count(), now());
     }
     for (const std::unique_ptr<AsyncClient>& client : clients_) {
       if (client->departed() || !client->channel_ticket()) continue;
       if (client->peer_node() == nullptr) continue;
       tracker_->update_load(client->channel_ticket()->ticket.channel_id,
                             client->config().node,
-                            client->peer_node()->peer().child_count(), sim_.now());
+                            client->peer_node()->peer().child_count(), now());
     }
-    if (sim_.now() > config_.tracker_stale_age) {
-      tracker_->evict_stale(sim_.now() - config_.tracker_stale_age);
+    if (now() > config_.tracker_stale_age) {
+      tracker_->evict_stale(now() - config_.tracker_stale_age);
     }
     schedule_stale_sweep();
   });
@@ -441,11 +469,13 @@ void Deployment::schedule_rotation(util::ChannelId id) {
   const auto it = sources_.find(id);
   if (it == sources_.end()) return;
   const util::SimTime interval = it->second.server->config().rekey_interval;
-  sim_.schedule(interval, [this, id] {
+  // Rotation advances the channel server and fans keys out through the
+  // root: it runs on the root's loop, like every other touch of that peer.
+  network_->post(kChannelRootBase + id, interval, [this, id] {
     const auto it2 = sources_.find(id);
     if (it2 == sources_.end()) return;
     ChannelSource& source = it2->second;
-    for (const core::ContentKey& key : source.server->advance(sim_.now())) {
+    for (const core::ContentKey& key : source.server->advance(now())) {
       registry_.counter("keys.rotations_issued").inc();
       cm_partitions_[source.partition]->key_stats.record_rotation_issued();
       if (!tracing_) {
@@ -456,7 +486,7 @@ void Deployment::schedule_rotation(util::ChannelId id) {
       // fan-out so relay spans and key-blob hops hang under it.
       const std::uint64_t epoch_id = (1ull << 48) + ++next_epoch_;
       const obs::SpanId span = tracer_.begin_span("server", "KEY_ROTATION",
-                                                  source.root->id(), sim_.now());
+                                                  source.root->id(), now());
       tracer_.tag(span, "channel", std::to_string(id));
       tracer_.tag(span, "serial", std::to_string(key.serial));
       tracer_.tag(span, "activation", std::to_string(key.activation));
@@ -466,7 +496,7 @@ void Deployment::schedule_rotation(util::ChannelId id) {
       tracer_.bind_request(source.root->id(), epoch_id, span);
       source.bound_epoch = epoch_id;
       source.root->announce_key(key, epoch_id);
-      tracer_.end_span(span, sim_.now());
+      tracer_.end_span(span, now());
     }
     schedule_rotation(id);
   });
@@ -483,10 +513,8 @@ void Deployment::crash_um_impl(std::size_t instance, std::size_t torn_bytes,
       const std::uint64_t lost = inst.st->unsynced_ops();
       if (lost > 0) {
         registry_.counter("store.lost_records").inc(lost);
-        obs::Gauge& window = registry_.gauge("store.audit.max_loss_window_us");
-        if (sim_.now() - inst.last_sync > window.value()) {
-          window.set(sim_.now() - inst.last_sync);
-        }
+        registry_.gauge("store.audit.max_loss_window_us")
+            .set_max(now() - inst.last_sync);
       }
       inst.st->crash(torn_bytes);
       *inst.dir = services::UserDirectory{};  // RAM is gone
@@ -533,7 +561,7 @@ void Deployment::restart_um_instance(std::size_t instance) {
     pulled += inst.st->catch_up_from(*other.st);
   }
   inst.st->sync();
-  inst.last_sync = sim_.now();
+  inst.last_sync = now();
 
   const util::SimTime cost = config_.durability.replay_cost_per_record *
       static_cast<util::SimTime>(replayed + pulled);
@@ -546,7 +574,7 @@ void Deployment::restart_um_instance(std::size_t instance) {
     redirection_.set_instance_health(config_.um.domain, i.addr, true);
   };
   if (cost > 0) {
-    sim_.schedule(cost, finish);
+    post(cost, finish);
   } else {
     finish();
   }
@@ -567,10 +595,8 @@ void Deployment::crash_cm_impl(std::uint32_t partition, std::size_t instance,
       const std::uint64_t lost = inst.st->unsynced_ops();
       if (lost > 0) {
         registry_.counter("store.lost_records").inc(lost);
-        obs::Gauge& window = registry_.gauge("store.audit.max_loss_window_us");
-        if (sim_.now() - inst.last_sync > window.value()) {
-          window.set(sim_.now() - inst.last_sync);
-        }
+        registry_.gauge("store.audit.max_loss_window_us")
+            .set_max(now() - inst.last_sync);
       }
       inst.st->crash(torn_bytes);
       *inst.log = services::ViewingLog();  // RAM is gone
@@ -613,7 +639,7 @@ void Deployment::restart_cm_instance(std::uint32_t partition, std::size_t instan
     pulled += inst.st->catch_up_from(*other.st);
   }
   inst.st->sync();
-  inst.last_sync = sim_.now();
+  inst.last_sync = now();
 
   const util::SimTime cost = config_.durability.replay_cost_per_record *
       static_cast<util::SimTime>(replayed + pulled);
@@ -626,7 +652,7 @@ void Deployment::restart_cm_instance(std::uint32_t partition, std::size_t instan
     readvertise_partition(partition);
   };
   if (cost > 0) {
-    sim_.schedule(cost, finish);
+    post(cost, finish);
   } else {
     finish();
   }
@@ -699,10 +725,10 @@ void Deployment::announce(AsyncClient& client) {
   const util::ChannelId channel = client.channel_ticket()->ticket.channel_id;
   const util::NodeId node = client.config().node;
   tracker_->register_peer(channel, core::PeerInfo{node, client.config().addr},
-                          client.config().peer_capacity, sim_.now());
+                          client.config().peer_capacity, now());
   client.peer_node()->set_join_observer(
       [this, channel, node](util::NodeId, std::size_t children) {
-        tracker_->update_load(channel, node, children, sim_.now());
+        tracker_->update_load(channel, node, children, now());
       });
 }
 
@@ -720,7 +746,7 @@ void Deployment::remove_client(AsyncClient& client) {
 void Deployment::broadcast(util::ChannelId channel, util::BytesView payload) {
   const auto it = sources_.find(channel);
   if (it == sources_.end()) throw std::invalid_argument("Deployment: no channel server");
-  const core::ContentPacket packet = it->second.server->produce(payload, sim_.now());
+  const core::ContentPacket packet = it->second.server->produce(payload, now());
   it->second.root->forward_content(packet);
 }
 

@@ -1,9 +1,17 @@
-// Full networked deployment over the discrete-event simulator: every
-// manager is a network node, every client is an AsyncClient, all protocol
-// bytes cross the lossy simulated wire with latency. The message-passing
-// sibling of client::Testbed.
+// Full networked deployment over a swappable transport: every manager is a
+// network node, every client is an AsyncClient, all protocol bytes cross
+// the lossy wire with latency. The message-passing sibling of
+// client::Testbed.
+//
+// The default backend is the discrete-event simulator (deterministic,
+// virtual time). With DeploymentConfig::transport = TransportKind::kThread
+// the same deployment runs on real event-loop threads and monotonic-clock
+// timers; protocol code is identical, but control-plane calls (add_user,
+// add_client, crash/restart, enable_*) must then come from one thread —
+// they are the operator's console, not the data plane.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,8 +26,15 @@
 #include "services/catalog.h"
 #include "services/redirection_manager.h"
 #include "store/farm_store.h"
+#include "transport/transport.h"
 
 namespace p2pdrm::net {
+
+/// Which Transport backend a Deployment schedules on.
+enum class TransportKind {
+  kSim,     // discrete-event simulation: virtual time, byte-identical runs
+  kThread,  // real threads: one event loop per node group, wall-clock time
+};
 
 /// Durable farm state (src/store). When enabled, every UM/CM farm instance
 /// owns its *own* replica of the mutable domain state (user directory,
@@ -91,11 +106,26 @@ struct DeploymentConfig {
   /// Per-instance durable state + farm replication (off = the legacy
   /// shared-state model where crashes lose nothing).
   DurabilityConfig durability;
+  /// Transport backend. kSim (default) reproduces the historical engine
+  /// byte-for-byte; kThread runs the same deployment on transport_threads
+  /// real event loops (see DESIGN.md §10 for what stays deterministic).
+  TransportKind transport = TransportKind::kSim;
+  std::size_t transport_threads = 4;
+  /// Fan-out capacity of each channel's root peer. The historical hardcoded
+  /// value was 64; live benches that admit hundreds of sessions into one
+  /// channel raise it so JOINs don't exhaust the root.
+  std::size_t root_peer_capacity = 64;
 };
 
 class Deployment {
  public:
   explicit Deployment(DeploymentConfig config = {});
+  /// Shuts the transport down first (live loops stop delivering before any
+  /// node or client is destroyed), then tears members down as usual.
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
 
   // --- provisioning (instant; control plane is out of band) ---
 
@@ -178,10 +208,22 @@ class Deployment {
   store::FarmStore* um_store(std::size_t instance);
   store::FarmStore* cm_store(std::uint32_t partition, std::size_t instance);
 
-  // --- simulation control ---
+  // --- time & scheduling control ---
 
-  sim::Simulation& sim() { return sim_; }
-  util::SimTime now() const { return sim_.now(); }
+  /// The simulation under a sim-backed deployment. Aborts on the thread
+  /// backend — callers that can run on either must use now()/post()/
+  /// run_until instead.
+  sim::Simulation& sim();
+  util::SimTime now() const { return transport_->now(); }
+  /// True on the real-threaded backend (timing is wall-clock, not virtual).
+  bool live() const { return transport_->live(); }
+  transport::Transport& transport() { return *transport_; }
+  /// Run `fn` on the control group's loop (group 0) after `delay` — the
+  /// scheduling primitive for deployment-level chaos/ops tasks that works
+  /// on both backends.
+  void post(util::SimTime delay, transport::Task fn) {
+    transport_->post(0, delay, std::move(fn));
+  }
   Network& network() { return *network_; }
 
   // --- observability ---
@@ -205,10 +247,10 @@ class Deployment {
   /// outlive the deployment. Idempotent (later calls swap the sinks).
   void enable_scraping(obs::TimeSeries* timeseries, obs::SloMonitor* slo,
                        util::SimTime interval = 10 * util::kSecond);
-  void run_until(util::SimTime t) { sim_.run_until(t); }
-  /// Drain all scheduled events (careful with self-rescheduling servers:
-  /// prefer run_until).
-  void run_for(util::SimTime dt) { sim_.run_until(sim_.now() + dt); }
+  /// Advance to transport time t: drains events up to t on the sim backend,
+  /// sleeps until the monotonic clock passes t on the thread backend.
+  void run_until(util::SimTime t) { transport_->run_until(t); }
+  void run_for(util::SimTime dt) { transport_->run_until(now() + dt); }
 
   // --- component access ---
 
@@ -293,7 +335,11 @@ class Deployment {
 
   DeploymentConfig config_;
   crypto::SecureRandom rng_;
+  /// Always constructed (cheap); the transport only drives it on kSim.
   sim::Simulation sim_;
+  /// The scheduling backend. Declared before everything that posts to it
+  /// and destroyed after; the destructor shuts it down first.
+  std::unique_ptr<transport::Transport> transport_;
   /// Declared before network_ and the nodes/clients: they all hold pointers
   /// into the registry/tracer, so these must be destroyed last.
   obs::Registry registry_;
@@ -306,8 +352,9 @@ class Deployment {
   bool scraping_ = false;
   /// Rotation epoch ids live far above client request-id counters: client
   /// nodes double as relay peers, and both share the tracer's
-  /// (actor, request_id) binding keyspace.
-  std::uint64_t next_epoch_ = 0;
+  /// (actor, request_id) binding keyspace. Atomic: each channel's rotation
+  /// task runs on its root's loop.
+  std::atomic<std::uint64_t> next_epoch_{0};
   std::unique_ptr<Network> network_;
 
   std::unique_ptr<geo::SyntheticGeo> geo_;

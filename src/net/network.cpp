@@ -1,14 +1,45 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "transport/sim_transport.h"
 
 namespace p2pdrm::net {
 
 Network::Network(sim::Simulation& sim, LinkConfig default_link,
                  crypto::SecureRandom rng)
-    : sim_(sim), default_link_(default_link), rng_(std::move(rng)) {}
+    : owned_transport_(std::make_unique<transport::SimTransport>(sim)),
+      transport_(owned_transport_.get()),
+      sim_(&sim),
+      default_link_(default_link),
+      rng_(std::move(rng)) {}
+
+Network::Network(transport::Transport& transport, LinkConfig default_link,
+                 crypto::SecureRandom rng)
+    : transport_(&transport),
+      default_link_(default_link),
+      rng_(std::move(rng)) {
+  if (auto* sim_backend = dynamic_cast<transport::SimTransport*>(&transport)) {
+    sim_ = &sim_backend->sim();
+  }
+}
+
+Network::~Network() = default;
+
+sim::Simulation& Network::sim() const {
+  if (sim_ == nullptr) {
+    std::fprintf(stderr,
+                 "Network::sim() called on a live transport backend; "
+                 "use now()/post() instead\n");
+    std::abort();
+  }
+  return *sim_;
+}
 
 void Network::attach(util::NodeId id, util::NetAddr addr, Node* node) {
+  std::unique_lock<std::shared_mutex> lk(tables_mu_);
   const auto old = nodes_.find(id);
   if (old != nodes_.end()) by_addr_.erase(old->second.addr.ip);
   nodes_[id] = Binding{addr, node, std::nullopt};
@@ -16,36 +47,61 @@ void Network::attach(util::NodeId id, util::NetAddr addr, Node* node) {
 }
 
 void Network::detach(util::NodeId id) {
+  std::unique_lock<std::shared_mutex> lk(tables_mu_);
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) return;
   by_addr_.erase(it->second.addr.ip);
   nodes_.erase(it);
 }
 
+bool Network::attached(util::NodeId id) const {
+  std::shared_lock<std::shared_mutex> lk(tables_mu_);
+  return nodes_.contains(id);
+}
+
 void Network::set_link(util::NodeId id, LinkConfig link) {
+  std::unique_lock<std::shared_mutex> lk(tables_mu_);
   const auto it = nodes_.find(id);
   if (it != nodes_.end()) it->second.link = link;
 }
 
-const LinkConfig& Network::link_of(util::NodeId id) const {
+LinkConfig Network::link_of_locked(util::NodeId id) const {
   const auto it = nodes_.find(id);
   if (it != nodes_.end() && it->second.link) return *it->second.link;
   return default_link_;
 }
 
+std::shared_ptr<const Network::Chain> Network::chain_snapshot() const {
+  std::lock_guard<std::mutex> lk(chain_mu_);
+  return interceptors_;
+}
+
 void Network::add_interceptor(SendInterceptor* interceptor) {
   if (interceptor == nullptr) return;
-  if (std::find(interceptors_.begin(), interceptors_.end(), interceptor) !=
-      interceptors_.end()) {
+  std::lock_guard<std::mutex> lk(chain_mu_);
+  if (std::find(interceptors_->begin(), interceptors_->end(), interceptor) !=
+      interceptors_->end()) {
     return;
   }
-  interceptors_.push_back(interceptor);
+  auto next = std::make_shared<Chain>(*interceptors_);
+  next->push_back(interceptor);
+  interceptors_ = std::move(next);
 }
 
 void Network::remove_interceptor(SendInterceptor* interceptor) {
-  interceptors_.erase(
-      std::remove(interceptors_.begin(), interceptors_.end(), interceptor),
-      interceptors_.end());
+  std::lock_guard<std::mutex> lk(chain_mu_);
+  if (std::find(interceptors_->begin(), interceptors_->end(), interceptor) ==
+      interceptors_->end()) {
+    return;
+  }
+  auto next = std::make_shared<Chain>(*interceptors_);
+  next->erase(std::remove(next->begin(), next->end(), interceptor),
+              next->end());
+  interceptors_ = std::move(next);
+}
+
+std::vector<SendInterceptor*> Network::interceptors() const {
+  return *chain_snapshot();
 }
 
 void Network::bind_registry(obs::Registry* registry) {
@@ -61,21 +117,25 @@ void Network::bind_registry(obs::Registry* registry) {
       &registry->counter("net.packets.dropped.no_destination");
   m_delivered_ = &registry->counter("net.packets.delivered");
   // Catch the registry up with counts accumulated before binding.
-  m_sent_->inc(sent_ - m_sent_->value());
-  m_dropped_injected_->inc(dropped_injected_ - m_dropped_injected_->value());
-  m_dropped_link_->inc(dropped_link_ - m_dropped_link_->value());
-  m_dropped_no_dest_->inc(dropped_no_dest_ - m_dropped_no_dest_->value());
-  m_delivered_->inc(delivered_ - m_delivered_->value());
+  m_sent_->inc(packets_sent() - m_sent_->value());
+  m_dropped_injected_->inc(packets_dropped_injected() -
+                           m_dropped_injected_->value());
+  m_dropped_link_->inc(packets_dropped_link() - m_dropped_link_->value());
+  m_dropped_no_dest_->inc(packets_dropped_no_destination() -
+                          m_dropped_no_dest_->value());
+  m_delivered_->inc(packets_delivered() - m_delivered_->value());
 }
 
-void Network::notify_fate(const SendContext& ctx, PacketFate fate,
+void Network::notify_fate(const std::shared_ptr<const Chain>& chain,
+                          const SendContext& ctx, PacketFate fate,
                           util::SimTime delay) {
-  for (SendInterceptor* interceptor : interceptors_) {
+  for (SendInterceptor* interceptor : *chain) {
     interceptor->on_packet_fate(ctx, fate, delay);
   }
 }
 
 void Network::set_clock_skew(util::NodeId id, util::SimTime skew) {
+  std::unique_lock<std::shared_mutex> lk(tables_mu_);
   if (skew == 0) {
     clock_skew_.erase(id);
   } else {
@@ -84,81 +144,116 @@ void Network::set_clock_skew(util::NodeId id, util::SimTime skew) {
 }
 
 util::SimTime Network::local_time(util::NodeId id) const {
+  std::shared_lock<std::shared_mutex> lk(tables_mu_);
   const auto it = clock_skew_.find(id);
-  return sim_.now() + (it == clock_skew_.end() ? 0 : it->second);
+  return transport_->now() + (it == clock_skew_.end() ? 0 : it->second);
 }
 
 void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
-  ++sent_;
+  sent_.fetch_add(1, std::memory_order_relaxed);
   if (m_sent_ != nullptr) m_sent_->inc();
-  const auto sender = nodes_.find(from);
-  const util::NetAddr from_addr =
-      sender != nodes_.end() ? sender->second.addr : util::NetAddr{};
-  const auto receiver = nodes_.find(to);
-  const util::NetAddr to_addr =
-      receiver != nodes_.end() ? receiver->second.addr : util::NetAddr{};
+
+  util::NetAddr from_addr;
+  util::NetAddr to_addr;
+  LinkConfig out_link;
+  LinkConfig in_link;
+  {
+    std::shared_lock<std::shared_mutex> lk(tables_mu_);
+    const auto sender = nodes_.find(from);
+    if (sender != nodes_.end()) from_addr = sender->second.addr;
+    const auto receiver = nodes_.find(to);
+    if (receiver != nodes_.end()) to_addr = receiver->second.addr;
+    out_link = link_of_locked(from);
+    in_link = link_of_locked(to);
+  }
 
   SendContext ctx{from, from_addr, to,          to_addr,
-                  sim_.now(),      &data,       data.size()};
+                  transport_->now(), &data,     data.size()};
 
   // The interceptor chain sees the packet before the link's own loss model,
   // so partition drops are counted separately from ambient loss. Every
   // interceptor is consulted even after one votes to drop — trace capture
-  // must see the packet regardless of the fault engine's verdict.
+  // must see the packet regardless of the fault engine's verdict. The chain
+  // is a snapshot: concurrent add/remove swaps a new chain in, and this
+  // send finishes on the one it started with.
+  const std::shared_ptr<const Chain> chain = chain_snapshot();
   SendInterceptor::Verdict combined;
-  for (SendInterceptor* interceptor : interceptors_) {
+  for (SendInterceptor* interceptor : *chain) {
     const SendInterceptor::Verdict v = interceptor->on_send(ctx);
     combined.drop = combined.drop || v.drop;
     combined.extra_delay += v.extra_delay;
   }
   if (combined.drop) {
-    ++dropped_injected_;
+    dropped_injected_.fetch_add(1, std::memory_order_relaxed);
     if (m_dropped_injected_ != nullptr) m_dropped_injected_->inc();
-    notify_fate(ctx, PacketFate::kInterceptorDropped, combined.extra_delay);
+    notify_fate(chain, ctx, PacketFate::kInterceptorDropped,
+                combined.extra_delay);
     return;
   }
 
-  // Path properties combine both endpoints' access links.
-  const LinkConfig& out_link = link_of(from);
-  const LinkConfig& in_link = link_of(to);
+  // Path properties combine both endpoints' access links. The rng draws —
+  // loss first, then the two half-RTTs — happen in the historical order so
+  // sim-backed runs stay byte-identical with the pre-seam engine.
   const double loss = 1.0 - (1.0 - out_link.loss) * (1.0 - in_link.loss);
-  if (loss > 0 && rng_.chance(loss)) {
-    ++dropped_link_;
+  bool link_dropped = false;
+  util::SimTime delay = 0;
+  {
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    if (loss > 0 && rng_.chance(loss)) {
+      link_dropped = true;
+    } else {
+      delay = combined.extra_delay + out_link.latency.sample_rtt(rng_) / 2 +
+              in_link.latency.sample_rtt(rng_) / 2;
+    }
+  }
+  if (link_dropped) {
+    dropped_link_.fetch_add(1, std::memory_order_relaxed);
     if (m_dropped_link_ != nullptr) m_dropped_link_->inc();
-    notify_fate(ctx, PacketFate::kLinkDropped, combined.extra_delay);
+    notify_fate(chain, ctx, PacketFate::kLinkDropped, combined.extra_delay);
     return;
   }
-  const util::SimTime delay = combined.extra_delay +
-      out_link.latency.sample_rtt(rng_) / 2 + in_link.latency.sample_rtt(rng_) / 2;
-  notify_fate(ctx, PacketFate::kInFlight, delay);
+  notify_fate(chain, ctx, PacketFate::kInFlight, delay);
 
+  // Delivery runs on the destination's group loop, serialized with every
+  // other delivery and timer of that node.
   Packet packet{from, from_addr, to, std::move(data)};
-  sim_.schedule(delay, [this, to_addr, delay,
-                        packet = std::move(packet)]() mutable {
+  transport_->post(group_of(to), delay, [this, to_addr, delay,
+                                         packet = std::move(packet)]() mutable {
     SendContext arrival{packet.from, packet.from_addr, packet.to,
-                        to_addr,     sim_.now(),       &packet.data,
+                        to_addr,     transport_->now(), &packet.data,
                         packet.data.size()};
-    const auto it = nodes_.find(packet.to);
-    if (it == nodes_.end() || it->second.node == nullptr) {
-      ++dropped_no_dest_;  // destination gone by arrival time
+    const std::shared_ptr<const Chain> arrival_chain = chain_snapshot();
+    Node* node = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lk(tables_mu_);
+      const auto it = nodes_.find(packet.to);
+      if (it != nodes_.end()) node = it->second.node;
+    }
+    if (node == nullptr) {
+      dropped_no_dest_.fetch_add(1, std::memory_order_relaxed);
       if (m_dropped_no_dest_ != nullptr) m_dropped_no_dest_->inc();
-      notify_fate(arrival, PacketFate::kNoDestination, delay);
+      notify_fate(arrival_chain, arrival, PacketFate::kNoDestination, delay);
       return;
     }
-    ++delivered_;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     if (m_delivered_ != nullptr) m_delivered_->inc();
-    notify_fate(arrival, PacketFate::kDelivered, delay);
-    it->second.node->on_packet(packet);
+    notify_fate(arrival_chain, arrival, PacketFate::kDelivered, delay);
+    // Outside the table lock: on_packet may send(), attach(), detach().
+    // Safe against detach-then-delete because a node is only detached from
+    // its own group loop, which is where this delivery runs.
+    node->on_packet(packet);
   });
 }
 
 std::optional<util::NetAddr> Network::addr_of(util::NodeId id) const {
+  std::shared_lock<std::shared_mutex> lk(tables_mu_);
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) return std::nullopt;
   return it->second.addr;
 }
 
 std::optional<util::NodeId> Network::node_at(util::NetAddr addr) const {
+  std::shared_lock<std::shared_mutex> lk(tables_mu_);
   const auto it = by_addr_.find(addr.ip);
   if (it == by_addr_.end()) return std::nullopt;
   return it->second;

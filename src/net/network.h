@@ -1,21 +1,41 @@
-// Simulated datagram network: unreliable, latency-injected, deterministic.
+// Datagram network: unreliable, latency-injected, transport-backed.
 //
 // Nodes attach with an id and an address; send() schedules delivery through
-// the discrete-event simulation with a sampled one-way delay, or drops the
-// packet with the configured loss probability (independently per packet —
-// the client's retry logic is what makes the protocols robust, exactly as
-// over UDP). Per-node access links can override the default latency/loss.
+// a Transport backend with a sampled one-way delay, or drops the packet with
+// the configured loss probability (independently per packet — the client's
+// retry logic is what makes the protocols robust, exactly as over UDP).
+// Per-node access links can override the default latency/loss.
+//
+// The backend is swappable (the Transport seam): SimTransport replays the
+// historical discrete-event behaviour byte-for-byte — same rng call order,
+// same schedule order — while ThreadTransport delivers over real event-loop
+// threads with monotonic-clock timers. Protocol code above this class is
+// identical on both.
+//
+// Thread safety (live backend): the attach/detach/link/skew tables sit
+// behind a shared mutex, packet counters are atomics, the rng is mutexed
+// (loss and latency sampling), and the interceptor chain is copy-on-write —
+// add/remove swap a new snapshot in while in-flight send() calls keep
+// iterating the old one (the historical add-vs-send race). Delivery for
+// node X is posted to X's transport group, so a node's on_packet calls are
+// serialized; detach/attach of X must likewise run on X's group loop when
+// the transport is live.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "crypto/chacha20.h"
 #include "obs/registry.h"
 #include "sim/latency.h"
 #include "sim/simulation.h"
+#include "transport/transport.h"
 #include "util/ids.h"
 
 namespace p2pdrm::net {
@@ -67,7 +87,9 @@ enum class PacketFate {
 /// subsystem implements it to trace packet hops. Every interceptor sees
 /// every packet — verdicts combine across the chain (drop = any, delay =
 /// sum) — and every interceptor hears the packet's final fate, including
-/// drops decided by *other* interceptors.
+/// drops decided by *other* interceptors. On a live transport, on_send and
+/// on_packet_fate are called concurrently from many loops: implementations
+/// must synchronize their own state.
 class SendInterceptor {
  public:
   struct Verdict {
@@ -90,13 +112,22 @@ class SendInterceptor {
 
 class Network {
  public:
+  /// Sim-backed: owns a SimTransport over `sim`; behaviour (event order,
+  /// rng draws, traces) is byte-identical with the pre-seam engine.
   Network(sim::Simulation& sim, LinkConfig default_link, crypto::SecureRandom rng);
+  /// Explicit backend (not owned; must outlive the network).
+  Network(transport::Transport& transport, LinkConfig default_link,
+          crypto::SecureRandom rng);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Attach a node (replaces any previous binding of the id).
   void attach(util::NodeId id, util::NetAddr addr, Node* node);
   /// Detach: in-flight packets to this node are dropped on arrival.
   void detach(util::NodeId id);
-  bool attached(util::NodeId id) const { return nodes_.contains(id); }
+  bool attached(util::NodeId id) const;
 
   /// Override the access link of one node (both directions use the worse
   /// half of each endpoint's link: delay adds, loss combines).
@@ -112,38 +143,72 @@ class Network {
 
   /// Append an interceptor to the chain (not owned). Consulted in
   /// installation order on every send. No-op if already installed.
+  /// Safe against concurrent send() calls: in-flight sends finish on the
+  /// chain they snapshotted.
   void add_interceptor(SendInterceptor* interceptor);
-  /// Remove from the chain; safe to call for an absent interceptor.
+  /// Remove from the chain; safe to call for an absent interceptor. The
+  /// interceptor may still hear callbacks from sends already in flight —
+  /// keep it alive until the transport quiesces.
   void remove_interceptor(SendInterceptor* interceptor);
-  const std::vector<SendInterceptor*>& interceptors() const {
-    return interceptors_;
-  }
+  /// Snapshot of the current chain, in installation order.
+  std::vector<SendInterceptor*> interceptors() const;
 
   /// Mirror packet counters into `registry` (net.packets.*). Pass nullptr
   /// to stop mirroring. Counts accumulated before binding are copied in.
   void bind_registry(obs::Registry* registry);
 
-  /// Clock skew: a node's local clock reads sim.now() + skew. Servers stamp
+  /// Clock skew: a node's local clock reads now() + skew. Servers stamp
   /// and validate tickets against their *local* clock, so a skewed manager
   /// misjudges expiry times — a classic production fault.
   void set_clock_skew(util::NodeId id, util::SimTime skew);
-  /// The node's local wall clock (sim time for nodes without skew).
+  /// The node's local wall clock (transport time for nodes without skew).
   util::SimTime local_time(util::NodeId id) const;
 
-  sim::Simulation& sim() { return sim_; }
+  // --- transport surface -------------------------------------------------
 
-  std::uint64_t packets_sent() const { return sent_; }
-  std::uint64_t packets_dropped() const {
-    return dropped_injected_ + dropped_link_ + dropped_no_dest_;
+  transport::Transport& transport() { return *transport_; }
+  const transport::Transport& transport() const { return *transport_; }
+  /// Current transport time (virtual µs on sim, monotonic µs live).
+  util::SimTime now() const { return transport_->now(); }
+  /// True on a real-threaded backend (timing is wall-clock, not virtual).
+  bool live() const { return transport_->live(); }
+  /// The transport group (event loop) that owns a node's deliveries and
+  /// timers. All state of node `id` is confined to this group.
+  std::size_t group_of(util::NodeId id) const {
+    return static_cast<std::size_t>(id) % transport_->groups();
   }
-  std::uint64_t packets_delivered() const { return delivered_; }
+  /// Run `fn` on `owner`'s group loop after `delay` — the one scheduling
+  /// primitive protocol code should use for timers, so the callback is
+  /// serialized with the node's packet deliveries on both backends.
+  void post(util::NodeId owner, util::SimTime delay, transport::Task fn) {
+    transport_->post(group_of(owner), delay, std::move(fn));
+  }
+
+  /// The simulation under a sim-backed network. Aborts on a live backend —
+  /// callers that can run on either must use now()/post() instead.
+  sim::Simulation& sim() const;
+
+  std::uint64_t packets_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_dropped() const {
+    return packets_dropped_injected() + packets_dropped_link() +
+           packets_dropped_no_destination();
+  }
+  std::uint64_t packets_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
   // Drop-cause split: interceptor-injected vs the links' own loss model vs
   // destination gone by arrival time.
-  std::uint64_t packets_dropped_injected() const { return dropped_injected_; }
-  std::uint64_t packets_dropped_link() const { return dropped_link_; }
+  std::uint64_t packets_dropped_injected() const {
+    return dropped_injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_dropped_link() const {
+    return dropped_link_.load(std::memory_order_relaxed);
+  }
   std::uint64_t packets_dropped_no_destination() const {
-    return dropped_no_dest_;
+    return dropped_no_dest_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -153,28 +218,47 @@ class Network {
     std::optional<LinkConfig> link;
   };
 
-  void notify_fate(const SendContext& ctx, PacketFate fate,
+  using Chain = std::vector<SendInterceptor*>;
+
+  std::shared_ptr<const Chain> chain_snapshot() const;
+  void notify_fate(const std::shared_ptr<const Chain>& chain,
+                   const SendContext& ctx, PacketFate fate,
                    util::SimTime delay);
+  LinkConfig link_of_locked(util::NodeId id) const;
 
-  /// Skews live outside the bindings: a crashed (detached) node keeps its
-  /// wrong clock across a restart, exactly like real broken hardware.
-  std::map<util::NodeId, util::SimTime> clock_skew_;
-  std::vector<SendInterceptor*> interceptors_;
+  // Backend: either owned (sim ctor) or borrowed (transport ctor). sim_ is
+  // null on a live backend.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport* transport_ = nullptr;
+  sim::Simulation* sim_ = nullptr;
 
-  const LinkConfig& link_of(util::NodeId id) const;
-
-  sim::Simulation& sim_;
   LinkConfig default_link_;
+
+  mutable std::mutex rng_mu_;
   crypto::SecureRandom rng_;
+
+  /// Guards nodes_, by_addr_, clock_skew_. Skews live outside the bindings:
+  /// a crashed (detached) node keeps its wrong clock across a restart,
+  /// exactly like real broken hardware.
+  mutable std::shared_mutex tables_mu_;
   std::map<util::NodeId, Binding> nodes_;
   std::map<std::uint32_t, util::NodeId> by_addr_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_injected_ = 0;
-  std::uint64_t dropped_link_ = 0;
-  std::uint64_t dropped_no_dest_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::map<util::NodeId, util::SimTime> clock_skew_;
 
-  // Registry mirrors (null until bind_registry).
+  /// Copy-on-write interceptor chain: mutators build a new vector and swap
+  /// the pointer under chain_mu_; readers take a shared_ptr snapshot.
+  mutable std::mutex chain_mu_;
+  std::shared_ptr<const Chain> interceptors_ = std::make_shared<Chain>();
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_injected_{0};
+  std::atomic<std::uint64_t> dropped_link_{0};
+  std::atomic<std::uint64_t> dropped_no_dest_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+
+  // Registry mirrors (null until bind_registry). Counters are atomic, so
+  // bumping through these pointers is thread-safe; the pointers themselves
+  // are set during single-threaded wiring.
   obs::Counter* m_sent_ = nullptr;
   obs::Counter* m_dropped_injected_ = nullptr;
   obs::Counter* m_dropped_link_ = nullptr;

@@ -17,7 +17,7 @@ void respond_after(Network& network, util::NodeId self, util::NodeId to,
     network.send(self, to, std::move(wire));
     return;
   }
-  network.sim().schedule(processing, [&network, self, to, wire = std::move(wire)]() mutable {
+  network.post(self, processing, [&network, self, to, wire = std::move(wire)]() mutable {
     // An instance that crashed while the request was in service loses its
     // in-flight state: the half-finished response never leaves the box.
     if (!network.attached(self)) return;
@@ -32,7 +32,7 @@ void trace_serve(obs::Tracer* tracer, Network& network, util::NodeId self,
                  const Packet& packet, const Envelope& env,
                  util::SimTime processing, std::string_view outcome) {
   if (tracer == nullptr) return;
-  const util::SimTime now = network.sim().now();
+  const util::SimTime now = network.now();
   const obs::SpanId parent = tracer->bound_request(packet.from, env.request_id);
   const obs::SpanId span =
       tracer->begin_span("server", "serve " + std::string(to_string(env.kind)),
@@ -69,7 +69,7 @@ void admit_or_shed(ServiceQueue* queue, obs::Registry* registry,
     serve();
     return;
   }
-  const util::SimTime now = network.sim().now();
+  const util::SimTime now = network.now();
   const ServiceQueue::Decision d =
       queue->admit(now, service, sheddable_kind(env.kind));
   if (registry != nullptr) {
@@ -111,7 +111,7 @@ void admit_or_shed(ServiceQueue* queue, obs::Registry* registry,
     tracer->tag(span, "depth", std::to_string(d.depth));
     tracer->end_span(span, now + d.wait, true);
   }
-  network.sim().schedule(d.wait, [&network, self, serve = std::move(serve)] {
+  network.post(self, d.wait, [&network, self, serve = std::move(serve)] {
     // An instance that crashed while the request was queued loses it; the
     // client's retransmission machinery takes over.
     if (!network.attached(self)) return;

@@ -30,9 +30,36 @@ std::int64_t LatencyHistogram::bucket_upper(std::size_t index) {
   return bucket_lower(index + 1);
 }
 
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other) {
+  const Snapshot s = other.snapshot();
+  buckets_ = s.buckets;
+  count_ = s.count;
+  sum_ = s.sum;
+  min_ = s.min;
+  max_ = s.max;
+}
+
+LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
+  if (this == &other) return *this;
+  const Snapshot s = other.snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  buckets_ = s.buckets;
+  count_ = s.count;
+  sum_ = s.sum;
+  min_ = s.min;
+  max_ = s.max;
+  return *this;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return Snapshot{buckets_, count_, sum_, min_, max_};
+}
+
 void LatencyHistogram::record(std::int64_t value) {
   const std::int64_t clamped = std::max<std::int64_t>(value, 0);
   const std::size_t index = bucket_index(clamped);
+  std::lock_guard<std::mutex> lk(mu_);
   if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
   ++buckets_[index];
   if (count_ == 0) {
@@ -46,6 +73,7 @@ void LatencyHistogram::record(std::int64_t value) {
 }
 
 double LatencyHistogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (count_ == 0) return 0.0;
   const double clamped_q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank: the smallest bucket whose cumulative count reaches rank.
@@ -66,22 +94,21 @@ double LatencyHistogram::quantile(double q) const {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) return;
-  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
-  // Snapshot bounds first so self-merge stays correct.
-  const std::int64_t other_min = other.min_;
-  const std::int64_t other_max = other.max_;
-  const std::uint64_t other_count = other.count_;
-  const double other_sum = other.sum_;
-  const std::size_t n = other.buckets_.size();
-  for (std::size_t i = 0; i < n; ++i) buckets_[i] += other.buckets_[i];
-  min_ = count_ == 0 ? other_min : std::min(min_, other_min);
-  max_ = count_ == 0 ? other_max : std::max(max_, other_max);
-  count_ += other_count;
-  sum_ += other_sum;
+  // Snapshot first (other's lock only), then fold under ours: no lock-order
+  // cycle between two histograms, and self-merge stays correct.
+  const Snapshot s = other.snapshot();
+  if (s.count == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (s.buckets.size() > buckets_.size()) buckets_.resize(s.buckets.size(), 0);
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) buckets_[i] += s.buckets[i];
+  min_ = count_ == 0 ? s.min : std::min(min_, s.min);
+  max_ = count_ == 0 ? s.max : std::max(max_, s.max);
+  count_ += s.count;
+  sum_ += s.sum;
 }
 
 void LatencyHistogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
   buckets_.clear();
   count_ = 0;
   sum_ = 0.0;

@@ -9,9 +9,16 @@
 // for values >= 2^kPrecisionBits. Everything is integer arithmetic:
 // identical record() sequences produce identical buckets, counts, and
 // quantiles on every platform.
+//
+// Thread safety: every operation takes the histogram's own mutex, so
+// concurrent recorders on the live transport (many client loops feeding one
+// "client.round.LOGIN1" histogram) are safe. The only exception is
+// buckets(), which returns a reference into the bucket store — call it only
+// when no recorder is running (exports and tests do).
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace p2pdrm::obs {
@@ -21,6 +28,10 @@ class LatencyHistogram {
   /// Linear sub-buckets per octave = 2^kPrecisionBits.
   static constexpr std::uint32_t kPrecisionBits = 3;
   static constexpr std::uint32_t kSubBuckets = 1u << kPrecisionBits;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram& other);
+  LatencyHistogram& operator=(const LatencyHistogram& other);
 
   /// Bucket index for a value (values < 1 clamp into bucket 0; the first
   /// kSubBuckets buckets hold one integer value each, exactly).
@@ -32,12 +43,15 @@ class LatencyHistogram {
 
   void record(std::int64_t value);
 
-  std::uint64_t count() const { return count_; }
-  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
-  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
-  bool empty() const { return count_ == 0; }
+  std::uint64_t count() const { std::lock_guard<std::mutex> lk(mu_); return count_; }
+  std::int64_t min() const { std::lock_guard<std::mutex> lk(mu_); return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { std::lock_guard<std::mutex> lk(mu_); return count_ == 0 ? 0 : max_; }
+  double sum() const { std::lock_guard<std::mutex> lk(mu_); return sum_; }
+  double mean() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  bool empty() const { return count() == 0; }
 
   /// Quantile estimate (q in [0,1]; nearest-rank bucket, midpoint value),
   /// clamped into [min, max] so tail quantiles never overshoot the data.
@@ -47,14 +61,25 @@ class LatencyHistogram {
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
 
-  /// Fold another histogram's buckets into this one.
+  /// Fold another histogram's buckets into this one (self-merge doubles).
   void merge(const LatencyHistogram& other);
   void reset();
 
-  /// Raw buckets (index -> count); trailing buckets may be absent.
+  /// Raw buckets (index -> count); trailing buckets may be absent. Not
+  /// synchronized — for quiescent export/test use only.
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
  private:
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+  Snapshot snapshot() const;
+
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

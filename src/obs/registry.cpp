@@ -4,35 +4,73 @@
 
 namespace p2pdrm::obs {
 
-Counter& Registry::counter(const std::string& name) { return counters_[name]; }
-
-Counter& Registry::counter(const std::string& family, const std::string& label) {
-  return counters_[family + "{" + label + "}"];
+Registry::Registry(const Registry& other) {
+  std::lock_guard<std::mutex> lk(other.mu_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
 }
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+Registry& Registry::operator=(const Registry& other) {
+  if (this == &other) return *this;
+  // Copy under other's lock first, then swap in under ours: no lock-order
+  // cycle between two registries.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, LatencyHistogram> histograms;
+  {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_ = std::move(counters);
+  gauges_ = std::move(gauges);
+  histograms_ = std::move(histograms);
+  return *this;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_[name];
+}
+
+Counter& Registry::counter(const std::string& family, const std::string& label) {
+  return counter(family + "{" + label + "}");
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_[name];
+}
 
 LatencyHistogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   return histograms_[name];
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const LatencyHistogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::pair<std::string, const Counter*>> Registry::family(
     const std::string& family) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::pair<std::string, const Counter*>> out;
   const std::string prefix = family + "{";
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
@@ -46,12 +84,14 @@ std::vector<std::pair<std::string, const Counter*>> Registry::family(
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
 }
 
 std::string Registry::to_string() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::string out;
   char buf[160];
   for (const auto& [name, c] : counters_) {

@@ -8,10 +8,21 @@
 // "family{label}" ("um.login1{ok}", "um.login1{access-denied}") — the shape
 // per-DrmError operational counters use. Iteration order is the map's
 // lexicographic name order, so every rendering is deterministic.
+//
+// Thread safety: Counter and Gauge are atomics (relaxed — they are
+// statistics, not synchronization), LatencyHistogram has its own mutex, and
+// the registry's find-or-create/lookup/dump paths take the registry mutex.
+// References handed out stay valid (node-based map storage), so the hot
+// path never touches the registry lock. The raw counters()/gauges()/
+// histograms() map accessors are the one exception: they expose the map
+// itself and must only be iterated when no thread is *creating* metrics
+// (scrapes after a run, or steady-state where all names already exist).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,27 +32,56 @@ namespace p2pdrm::obs {
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t delta) { value_ += delta; }
-  std::int64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  Gauge() = default;
+  Gauge(const Gauge& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raise the gauge to v if v is larger (atomic high-water mark).
+  void set_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 class Registry {
  public:
+  Registry() = default;
+  Registry(const Registry& other);
+  Registry& operator=(const Registry& other);
+
   /// Find-or-create. References stay valid for the registry's lifetime
   /// (node-based map storage).
   Counter& counter(const std::string& name);
@@ -59,6 +99,7 @@ class Registry {
   std::vector<std::pair<std::string, const Counter*>> family(
       const std::string& family) const;
 
+  /// Raw map access — iterate only when no thread is creating metrics.
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, LatencyHistogram>& histograms() const {
@@ -73,6 +114,7 @@ class Registry {
   std::string to_string() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;

@@ -2,8 +2,27 @@
 
 namespace p2pdrm::obs {
 
+Tracer::Tracer(Tracer&& other) noexcept {
+  std::lock_guard<std::mutex> lk(other.mu_);
+  spans_ = std::move(other.spans_);
+  inflight_ = std::move(other.inflight_);
+  capacity_ = other.capacity_;
+  dropped_ = other.dropped_;
+}
+
+Tracer& Tracer::operator=(Tracer&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lk(mu_, other.mu_);
+  spans_ = std::move(other.spans_);
+  inflight_ = std::move(other.inflight_);
+  capacity_ = other.capacity_;
+  dropped_ = other.dropped_;
+  return *this;
+}
+
 SpanId Tracer::begin_span(std::string category, std::string name,
                           std::uint64_t actor, util::SimTime now, SpanId parent) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (spans_.size() >= capacity_) {
     ++dropped_;
     return 0;
@@ -26,6 +45,7 @@ Span* Tracer::mutable_span(SpanId span) {
 }
 
 void Tracer::tag(SpanId span, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (Span* s = mutable_span(span)) {
     s->tags.emplace_back(std::move(key), std::move(value));
   }
@@ -33,12 +53,14 @@ void Tracer::tag(SpanId span, std::string key, std::string value) {
 
 void Tracer::event(SpanId span, util::SimTime now, std::string name,
                    std::string detail) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (Span* s = mutable_span(span)) {
     s->events.push_back(SpanEvent{now, std::move(name), std::move(detail)});
   }
 }
 
 void Tracer::end_span(SpanId span, util::SimTime now, bool ok) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (Span* s = mutable_span(span)) {
     s->end = now;
     s->open = false;
@@ -48,24 +70,29 @@ void Tracer::end_span(SpanId span, util::SimTime now, bool ok) {
 
 void Tracer::bind_request(std::uint64_t actor, std::uint64_t request_id,
                           SpanId span) {
+  std::lock_guard<std::mutex> lk(mu_);
   inflight_[{actor, request_id}] = span;
 }
 
 SpanId Tracer::bound_request(std::uint64_t actor, std::uint64_t request_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = inflight_.find({actor, request_id});
   return it == inflight_.end() ? 0 : it->second;
 }
 
 void Tracer::unbind_request(std::uint64_t actor, std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lk(mu_);
   inflight_.erase({actor, request_id});
 }
 
 const Span* Tracer::find(SpanId span) const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (span == 0 || span > spans_.size()) return nullptr;
   return &spans_[span - 1];
 }
 
 std::size_t Tracer::open_spans() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t open = 0;
   for (const Span& s : spans_) {
     if (s.open) ++open;
@@ -73,7 +100,23 @@ std::size_t Tracer::open_spans() const {
   return open;
 }
 
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = capacity;
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return capacity_;
+}
+
+std::uint64_t Tracer::spans_dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   spans_.clear();
   inflight_.clear();
   dropped_ = 0;

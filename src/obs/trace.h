@@ -11,6 +11,12 @@
 // creation order, and tags/events keep insertion order, so two runs of the
 // same seed export byte-identical traces (asserted by test).
 //
+// Thread safety: every operation takes the tracer's mutex, so spans opened
+// from different transport loops interleave safely (their *order* is then
+// scheduling-dependent — byte-identical traces are a SimTransport property).
+// spans() and find() hand out references into the span log and are for
+// quiescent use only (exports and assertions after the run).
+//
 // The request-binding table is how spans link up across components without
 // touching the wire format: the client binds its in-flight attempt span
 // under (node, request id); the network and the serving node look the
@@ -19,6 +25,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +60,10 @@ struct Span {
 
 class Tracer {
  public:
+  Tracer() = default;
+  Tracer(Tracer&& other) noexcept;
+  Tracer& operator=(Tracer&& other) noexcept;
+
   SpanId begin_span(std::string category, std::string name, std::uint64_t actor,
                     util::SimTime now, SpanId parent = 0);
   void tag(SpanId span, std::string key, std::string value);
@@ -67,7 +78,7 @@ class Tracer {
   SpanId bound_request(std::uint64_t actor, std::uint64_t request_id) const;
   void unbind_request(std::uint64_t actor, std::uint64_t request_id);
 
-  // --- inspection / export ---
+  // --- inspection / export (quiescent use only) ---
 
   const std::vector<Span>& spans() const { return spans_; }
   const Span* find(SpanId span) const;
@@ -75,15 +86,16 @@ class Tracer {
 
   /// Hard cap on retained spans; begin_span beyond it returns 0 and counts
   /// the drop (long content-heavy runs stay bounded in memory).
-  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
-  std::size_t capacity() const { return capacity_; }
-  std::uint64_t spans_dropped() const { return dropped_; }
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+  std::uint64_t spans_dropped() const;
 
   void clear();
 
  private:
   Span* mutable_span(SpanId span);
 
+  mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, SpanId> inflight_;
   std::size_t capacity_ = 1u << 20;

@@ -7,6 +7,7 @@ namespace p2pdrm::p2p {
 Tracker::Tracker(crypto::SecureRandom rng) : rng_(std::move(rng)) {}
 
 void Tracker::bind_registry(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (registry == nullptr) {
     m_announcements_ = m_load_updates_ = m_unregisters_ = m_evictions_ =
         m_samples_ = nullptr;
@@ -26,6 +27,7 @@ void Tracker::bind_registry(obs::Registry* registry) {
 
 void Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
                             std::size_t capacity, util::SimTime now) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& members = channels_[channel];
   const bool fresh = !members.contains(info.node);
   members[info.node] = PeerState{info, capacity, 0, now};
@@ -35,6 +37,7 @@ void Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
 
 void Tracker::update_load(util::ChannelId channel, util::NodeId node,
                           std::size_t children, util::SimTime now) {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto ch_it = channels_.find(channel);
   if (ch_it == channels_.end()) return;
   const auto it = ch_it->second.find(node);
@@ -45,6 +48,7 @@ void Tracker::update_load(util::ChannelId channel, util::NodeId node,
 }
 
 void Tracker::unregister_peer(util::ChannelId channel, util::NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto ch_it = channels_.find(channel);
   if (ch_it == channels_.end()) return;
   const std::size_t erased = ch_it->second.erase(node);
@@ -58,6 +62,7 @@ void Tracker::unregister_peer(util::ChannelId channel, util::NodeId node) {
 std::vector<core::PeerInfo> Tracker::sample_peers(util::ChannelId channel,
                                                   std::size_t max_peers,
                                                   util::NetAddr requester) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<core::PeerInfo> out;
   if (m_samples_ != nullptr) m_samples_->inc();
   const auto ch_it = channels_.find(channel);
@@ -83,6 +88,7 @@ std::vector<core::PeerInfo> Tracker::sample_peers(util::ChannelId channel,
 }
 
 std::size_t Tracker::evict_stale(util::SimTime cutoff) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t evicted = 0;
   for (auto ch_it = channels_.begin(); ch_it != channels_.end();) {
     evicted += std::erase_if(ch_it->second, [cutoff](const auto& entry) {
@@ -98,11 +104,13 @@ std::size_t Tracker::evict_stale(util::SimTime cutoff) {
 }
 
 std::size_t Tracker::peer_count(util::ChannelId channel) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = channels_.find(channel);
   return it == channels_.end() ? 0 : it->second.size();
 }
 
 double Tracker::utilization(util::ChannelId channel) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return 0.0;
   std::size_t used = 0, total = 0;

@@ -5,9 +5,15 @@
 // membership of every channel overlay with a coarse load signal (current
 // child count vs capacity) and samples candidate parents, preferring peers
 // with spare capacity. Sampling is randomized so the tree keeps spreading.
+//
+// Thread safety: every public method takes the tracker's mutex. On a live
+// transport the tracker is genuinely shared — Channel Manager handler loops
+// sample peers while root join-observers push load updates and the control
+// loop sweeps stale entries.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/messages.h"
@@ -62,6 +68,7 @@ class Tracker : public services::PeerDirectory {
     util::SimTime last_seen = 0;
   };
 
+  mutable std::mutex mu_;
   std::map<util::ChannelId, std::map<util::NodeId, PeerState>> channels_;
   crypto::SecureRandom rng_;
 

@@ -37,10 +37,10 @@ class OpsCounters {
   /// A peer installed a rotated epoch it received over the overlay.
   void record_epoch_delivered() { registry_.counter("keys.epochs_delivered").inc(); }
   /// A peer installed an epoch `staleness_us` after its activation — it was
-  /// decrypting with the previous key until then. Keeps the running max.
+  /// decrypting with the previous key until then. Keeps the running max
+  /// (atomically: concurrent deliveries race for the high-water mark).
   void note_key_staleness(std::int64_t staleness_us) {
-    obs::Gauge& g = registry_.gauge("keys.max_staleness_us");
-    if (staleness_us > g.value()) g.set(staleness_us);
+    registry_.gauge("keys.max_staleness_us").set_max(staleness_us);
   }
 
   std::uint64_t rotations_issued() const {

@@ -1,0 +1,121 @@
+#include "transport/thread_transport.h"
+
+#include <algorithm>
+
+namespace p2pdrm::transport {
+
+namespace {
+
+std::size_t default_loops() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hw == 0 ? 2 : hw, 8);
+}
+
+}  // namespace
+
+ThreadTransport::ThreadTransport() : ThreadTransport(Config{}) {}
+
+ThreadTransport::ThreadTransport(Config config)
+    : start_(std::chrono::steady_clock::now()) {
+  const std::size_t n = config.loops == 0 ? default_loops() : config.loops;
+  loops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<Loop>());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Loop* loop = loops_[i].get();
+    loop->thread = std::thread([this, loop] { run_loop(*loop); });
+  }
+}
+
+ThreadTransport::~ThreadTransport() { shutdown(); }
+
+util::SimTime ThreadTransport::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void ThreadTransport::post(std::size_t group, util::SimTime delay, Task task) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Loop& loop = *loops_[group % loops_.size()];
+  {
+    std::lock_guard<std::mutex> lk(loop.mu);
+    if (loop.stopping) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (delay <= 0) {
+      loop.ready.push_back(std::move(task));
+    } else {
+      loop.timers.push_back(Timer{now() + delay, loop.next_seq++, std::move(task)});
+      std::push_heap(loop.timers.begin(), loop.timers.end(), TimerLater{});
+    }
+  }
+  loop.cv.notify_one();
+}
+
+void ThreadTransport::run_loop(Loop& loop) {
+  std::unique_lock<std::mutex> lk(loop.mu);
+  for (;;) {
+    // Promote due timers into the ready queue (FIFO by due time, then seq).
+    const util::SimTime t = now();
+    while (!loop.timers.empty() && loop.timers.front().when <= t) {
+      std::pop_heap(loop.timers.begin(), loop.timers.end(), TimerLater{});
+      loop.ready.push_back(std::move(loop.timers.back().task));
+      loop.timers.pop_back();
+    }
+    if (!loop.ready.empty()) {
+      Task task = std::move(loop.ready.front());
+      loop.ready.pop_front();
+      lk.unlock();
+      task();
+      task = nullptr;  // destroy captures outside the lock
+      lk.lock();
+      ++loop.executed;
+      continue;
+    }
+    if (loop.stopping) return;  // ready drained; undue timers are discarded
+    if (loop.timers.empty()) {
+      loop.cv.wait(lk);
+    } else {
+      loop.cv.wait_until(
+          lk, start_ + std::chrono::microseconds(loop.timers.front().when));
+    }
+  }
+}
+
+void ThreadTransport::run_until(util::SimTime t) {
+  // The loops make progress on their own threads; this caller just waits
+  // for the monotonic clock to pass t.
+  std::this_thread::sleep_until(start_ + std::chrono::microseconds(t));
+}
+
+void ThreadTransport::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  stopping_.store(true, std::memory_order_release);
+  for (std::unique_ptr<Loop>& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lk(loop->mu);
+      loop->stopping = true;
+    }
+    loop->cv.notify_all();
+  }
+  for (std::unique_ptr<Loop>& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+}
+
+std::uint64_t ThreadTransport::tasks_executed() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Loop>& loop : loops_) {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    total += loop->executed;
+  }
+  return total;
+}
+
+}  // namespace p2pdrm::transport

@@ -1,0 +1,59 @@
+// Transport: the seam beneath net::Network's send/delivery scheduling.
+//
+// The protocol state machines (managers, clients, peers) never talk to a
+// backend directly — they schedule work and deliveries through the Network,
+// which delegates to one of two Transport implementations:
+//
+//  * SimTransport wraps the discrete-event sim::Simulation. Single event
+//    loop, virtual time, byte-identical with the pre-transport engine
+//    (asserted by the same-seed golden-trace test).
+//  * ThreadTransport runs one real event loop per node group on its own
+//    thread, with MPSC delivery queues and monotonic-clock timers — the
+//    live backend for genuine requests-per-second measurement.
+//
+// The confinement contract both backends honor: every task posted to the
+// same group runs serialized, in post order for equal due times. Node state
+// is therefore loop-confined (a node's deliveries and timers all land on
+// its group) and needs no locking of its own; everything shared *across*
+// groups (registries, tracers, the Network's own tables) is locked.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "util/time.h"
+
+namespace p2pdrm::transport {
+
+using Task = std::function<void()>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Current time in microseconds: virtual simulation time for the sim
+  /// backend, monotonic time since construction for the live backend.
+  virtual util::SimTime now() const = 0;
+
+  /// Run `task` on the event loop owning `group`, `delay` microseconds from
+  /// now (delay <= 0 means "as soon as the loop gets to it"). Safe to call
+  /// from any thread; tasks for one group never run concurrently.
+  virtual void post(std::size_t group, util::SimTime delay, Task task) = 0;
+
+  /// Number of event loops. Group indices are taken modulo this.
+  virtual std::size_t groups() const = 0;
+
+  /// True when tasks run on real threads against the monotonic clock (and
+  /// therefore only outcomes — not event interleavings — are deterministic).
+  virtual bool live() const = 0;
+
+  /// Block until now() >= t: the sim backend drains due events, the live
+  /// backend sleeps while its loops work.
+  virtual void run_until(util::SimTime t) = 0;
+
+  /// Graceful stop: finish the tasks already queued, discard future timers,
+  /// join every loop. After shutdown, post() drops tasks. Idempotent.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace p2pdrm::transport
