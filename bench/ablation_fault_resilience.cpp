@@ -13,6 +13,7 @@
 #include "fault/fault_engine.h"
 #include "fault/report.h"
 #include "net/deployment.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
@@ -80,7 +81,8 @@ void print_arm(const char* label, const fault::ResilienceReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SimRun run("ablation_fault_resilience", argc, argv);
   std::printf("\n=== Ablation — fault resilience: failover on vs off ===\n");
   std::printf("scenario: UM+CM instance crash @10m, 30s backend partition @20m,\n"
               "          50%% loss burst @25m, churn storm (4 out / 4 in) @30m\n");
@@ -108,5 +110,27 @@ int main() {
   std::printf("sessions still valid at end: off=%zu/%zu on=%zu/%zu\n",
               off.clients_current, off.clients_total - off.clients_departed,
               on.clients_current, on.clients_total - on.clients_departed);
+
+  run.begin_artifact();
+  bench::JsonWriter& j = run.json();
+  j.begin_object();
+  const auto emit_arm = [&j](const char* name, const fault::ResilienceReport& r) {
+    j.key(name).begin_object();
+    j.key("availability").begin_object();
+    for (const client::Round round : kRounds) {
+      j.kv(std::string(client::to_string(round)),
+           r.round(round).availability());
+    }
+    j.end_object();
+    j.kv("rejoins", static_cast<std::uint64_t>(r.rejoins));
+    j.kv("clients_current", static_cast<std::uint64_t>(r.clients_current));
+    j.end_object();
+  };
+  emit_arm("failover_off", off);
+  emit_arm("failover_on", on);
+  j.kv("rejoin_p50_seconds", util::to_seconds(on.rejoin_p50()));
+  j.kv("rejoin_p99_seconds", util::to_seconds(on.rejoin_p99()));
+  j.end_object();
+  run.finish_artifact();
   return 0;
 }

@@ -9,15 +9,17 @@
 // movement. Compare each hour's medians with and without the crowd.
 #include <cstdio>
 
-#include "bench_common.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SimRun run("ablation_flash_crowd", argc, argv);
   bench::print_header("Ablation — flash crowd at event start (day 1, 20:00)");
 
   sim::MacroSimConfig base = bench::paper_config();
   base.days = 2;
+  base = run.finalize(base);
 
   sim::MacroSimConfig crowded = base;
   workload::FlashCrowd crowd;
@@ -100,5 +102,22 @@ int main() {
               "converts that backlog into counted BUSY deferrals — shed, "
               "retried,\nor abandoned, never silently dropped — and the "
               "admitted logins keep the\nwell-provisioned median.\n");
+
+  run.begin_artifact(crowded);
+  bench::JsonWriter& j = run.json();
+  j.begin_object();
+  j.kv("extra_users_at_event_hour", extra_at_peak);
+  j.kv("login2_median_shift_ms", login2_shift * 1000);
+  j.kv("baseline_peak_concurrency", without.peak_observed_concurrency);
+  j.kv("crowded_peak_concurrency", with.peak_observed_concurrency);
+  j.key("undersized_admission").begin_object();
+  j.kv("logins_shed", shed.logins_shed);
+  j.kv("busy_retries", shed.busy_retries);
+  j.kv("busy_abandoned", shed.busy_abandoned);
+  j.kv("queued_um_utilization", queued.um_utilization);
+  j.kv("admitted_um_utilization", shed.um_utilization);
+  j.end_object();
+  j.end_object();
+  run.finish_artifact();
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "net/service_nodes.h"
 #include "p2p/peer.h"
 #include "sim/simulation.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
@@ -76,7 +77,8 @@ Tree build_tree(net::Network& network, std::size_t n, std::size_t fanout,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SimRun run("ablation_key_lead_time", argc, argv);
   std::printf("\n=== Ablation — key delivery under loss: lead time and "
               "multi-parent redundancy ===\n");
   std::printf("(341-peer 4-ary tree, per-hop RTT median 80ms, lead 3s)\n\n");
@@ -85,6 +87,9 @@ int main() {
   const std::size_t n = 341;
   const util::SimTime lead = 3 * util::kSecond;
 
+  run.begin_artifact();
+  bench::JsonWriter& j = run.json();
+  j.begin_array();
   for (const double loss : {0.0, 0.02, 0.05, 0.15}) {
     for (const int parents : {1, 2}) {
       sim::Simulation sim;
@@ -109,8 +114,17 @@ int main() {
       std::printf("%6.0f%% %-10d %11.1f%% %10zu peers\n", loss * 100, parents,
                   100.0 * static_cast<double>(have) / static_cast<double>(n),
                   n - have);
+      j.begin_object();
+      j.kv("loss", loss);
+      j.kv("parents", parents);
+      j.kv("on_time_fraction",
+           static_cast<double>(have) / static_cast<double>(n));
+      j.kv("stranded_peers", static_cast<std::uint64_t>(n - have));
+      j.end_object();
     }
   }
+  j.end_array();
+  run.finish_artifact();
 
   std::printf("\nexpected shape: with one parent, a single lost blob strands an "
               "entire subtree\n(loss amplifies with depth); with two parents the "

@@ -13,10 +13,10 @@
 #include <memory>
 #include <vector>
 
-#include "bench_common.h"
 #include "core/content.h"
 #include "crypto/rsa.h"
 #include "p2p/peer.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
@@ -71,12 +71,13 @@ Tree build_tree(std::size_t n, std::size_t fanout, crypto::SecureRandom& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SimRun run("ablation_key_rotation", argc, argv);
   bench::print_header("Ablation — content-key rotation interval (real crypto)");
   const double scale = bench::scale_factor();
   const std::size_t n = std::max<std::size_t>(50, static_cast<std::size_t>(1000 * scale));
   const std::size_t fanout = 4;
-  crypto::SecureRandom rng(7);
+  crypto::SecureRandom rng(run.u64_flag("seed", 7));
   Tree tree = build_tree(n, fanout, rng);
   std::printf("# tree: %zu peers, fanout %zu, %zu encrypted links\n", n, fanout,
               tree.link_count);
@@ -84,6 +85,9 @@ int main() {
   std::printf("\n%-12s %10s %12s %14s %12s %16s\n", "interval", "rotations/h",
               "blobs/h", "key bytes/h", "relay CPU", "exposure window");
 
+  run.begin_artifact();
+  bench::JsonWriter& j = run.json();
+  j.begin_array();
   for (const util::SimTime interval :
        {10 * util::kSecond, 30 * util::kSecond, util::kMinute, 5 * util::kMinute,
         15 * util::kMinute}) {
@@ -120,7 +124,17 @@ int main() {
     std::printf("%-12s %10zu %12zu %14zu %10lldms %15llds\n", label, rotations,
                 blobs, bytes, static_cast<long long>(elapsed.count()),
                 static_cast<long long>(interval / util::kSecond));
+
+    j.begin_object();
+    j.kv("interval_seconds", static_cast<std::int64_t>(interval / util::kSecond));
+    j.kv("rotations_per_hour", static_cast<std::uint64_t>(rotations));
+    j.kv("blobs_per_hour", static_cast<std::uint64_t>(blobs));
+    j.kv("key_bytes_per_hour", static_cast<std::uint64_t>(bytes));
+    j.kv("relay_cpu_ms", static_cast<std::int64_t>(elapsed.count()));
+    j.end_object();
   }
+  j.end_array();
+  run.finish_artifact();
 
   std::printf("\ntradeoff: halving the interval doubles key traffic and per-hop "
               "crypto work\nwhile halving how long a leaked content key stays "

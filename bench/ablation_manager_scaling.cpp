@@ -9,22 +9,27 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_common.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SimRun run("ablation_manager_scaling", argc, argv);
   bench::print_header("Ablation — User Manager farm size under peak load");
 
   std::printf("%-6s %12s %12s %12s %12s %10s %12s\n", "farm", "p50 LOGIN2",
               "p95 LOGIN2", "p99 LOGIN2", "mean util", "corr(r)", "verdict");
 
+  run.begin_artifact();
+  bench::JsonWriter& j = run.json();
+  j.begin_array();
   for (const std::size_t farm : {1u, 2u, 4u, 8u}) {
     sim::MacroSimConfig cfg = bench::paper_config();
     cfg.days = 3;  // enough diurnal cycles for the correlation
     cfg.user_manager_servers = farm;
     // 2048-bit-class signing plus DB work: one server cannot clear the peak.
     cfg.costs.login2 = 60 * util::kMillisecond;
+    cfg = run.finalize(cfg);
 
     const sim::MacroSimResult result = sim::run_macro_sim(cfg);
     const auto& trace = result.round(sim::ProtocolRound::kLogin2);
@@ -35,7 +40,19 @@ int main() {
                 trace.peak.quantile(0.5), trace.peak.quantile(0.95),
                 trace.peak.quantile(0.99), result.um_utilization, r,
                 std::abs(r) < 0.3 ? "flat" : "load-bound");
+
+    j.begin_object();
+    j.kv("farm", static_cast<std::uint64_t>(farm));
+    j.kv("p50_login2_seconds", trace.peak.quantile(0.5));
+    j.kv("p95_login2_seconds", trace.peak.quantile(0.95));
+    j.kv("p99_login2_seconds", trace.peak.quantile(0.99));
+    j.kv("um_utilization", result.um_utilization);
+    j.kv("pearson_r", r);
+    j.kv("verdict", std::abs(r) < 0.3 ? "flat" : "load-bound");
+    j.end_object();
   }
+  j.end_array();
+  run.finish_artifact();
 
   std::printf("\nexpected shape: undersized farms queue at the evening peak "
               "(latency tracks load,\nlarge r); once the farm clears peak "

@@ -17,8 +17,8 @@
 #include <vector>
 
 #include "analysis/stats.h"
-#include "bench_common.h"
 #include "sim/latency.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
@@ -56,18 +56,20 @@ ArmResult run_arm(const std::vector<util::SimTime>& arrivals, util::SimTime serv
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::SimRun run("ablation_traditional_drm", argc, argv);
   bench::print_header("Ablation — traditional per-file DRM vs ticket DRM");
 
   const double scale = bench::scale_factor();
-  const std::size_t viewers = static_cast<std::size_t>(25000 * scale);
+  const std::size_t viewers =
+      static_cast<std::size_t>(run.num_flag("peak", 25000 * scale));
   const int hours = 3;
   const util::SimTime program_len = 30 * util::kMinute;   // program boundary
   const util::SimTime prefetch_window = 30 * util::kSecond;
   const util::SimTime ct_lifetime = 10 * util::kMinute;   // our renewal period
   const util::SimTime service = 8 * util::kMillisecond;   // license/ticket issue
   const std::size_t servers = 4;
-  crypto::SecureRandom rng(99);
+  crypto::SecureRandom rng(run.u64_flag("seed", 99));
 
   std::printf("# %zu concurrent viewers, %dh of a linear channel, programs every "
               "%lld min\n# identical farm both arms: %zu servers, %.0fms per "
@@ -113,6 +115,23 @@ int main() {
 
   std::printf("\np99 ratio traditional/ticket: %.1fx\n",
               tick.p99 > 0 ? trad.p99 / tick.p99 : 0.0);
+
+  run.begin_artifact();
+  bench::JsonWriter& j = run.json();
+  const auto emit_arm = [&j](const char* name, const ArmResult& a,
+                             std::size_t requests) {
+    j.key(name).begin_object();
+    j.kv("requests", static_cast<std::uint64_t>(requests));
+    j.kv("p50_seconds", a.p50).kv("p95_seconds", a.p95);
+    j.kv("p99_seconds", a.p99).kv("max_seconds", a.max);
+    j.end_object();
+  };
+  j.begin_object();
+  emit_arm("traditional", trad, traditional.size());
+  emit_arm("ticket_drm", tick, ticketed.size());
+  j.kv("p99_ratio", tick.p99 > 0 ? trad.p99 / tick.p99 : 0.0);
+  j.end_object();
+  run.finish_artifact();
   std::printf("expected shape: traditional p99 explodes at every program "
               "boundary;\nticket DRM stays near the bare service time because "
               "renewals are phase-staggered\nand content keys never touch the "

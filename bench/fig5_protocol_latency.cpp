@@ -11,7 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_common.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
@@ -49,8 +49,8 @@ void print_series(const sim::MacroSimResult& result, sim::ProtocolRound a,
   }
 }
 
-void print_correlation(const sim::MacroSimResult& result, sim::ProtocolRound r,
-                       double paper_lo, double paper_hi) {
+double print_correlation(const sim::MacroSimResult& result, sim::ProtocolRound r,
+                         double paper_lo, double paper_hi) {
   const auto corr =
       analysis::pearson(hourly_median(result, r), result.hourly_concurrency);
   std::printf("%-8s  r = %+.3f   (paper: %+0.2f .. %+0.2f)  %s\n",
@@ -58,30 +58,30 @@ void print_correlation(const sim::MacroSimResult& result, sim::ProtocolRound r,
               (corr && *corr >= paper_lo - 0.15 && *corr <= paper_hi + 0.15)
                   ? "within band"
                   : "OUT OF BAND");
+  return corr.value_or(0.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::SimRun run("fig5_protocol_latency", argc, argv);
   bench::print_header(
       "Fig. 5 — median protocol latency vs. concurrent users (1 week)");
-  sim::MacroSimConfig cfg = bench::paper_config();
-  std::printf("# days=%d peak_concurrent=%.0f UMs=%zu CMs=%zu seed=%llu\n", cfg.days,
-              cfg.peak_concurrent, cfg.user_manager_servers,
-              cfg.channel_manager_servers,
-              static_cast<unsigned long long>(cfg.seed));
 
+  sim::MacroSimConfig cfg = bench::paper_config();
   // Observability riders: SLO/load-correlation monitor and time-series
   // scraping always; span capture only when a trace sink is requested
   // (Fig 5's latency numbers are identical either way — the hooks draw no
   // randomness).
-  const std::string trace_out =
-      bench::out_path(argc, argv, "--trace-out", "P2PDRM_TRACE_OUT");
-  const std::string ts_out =
-      bench::out_path(argc, argv, "--timeseries-out", "P2PDRM_TS_OUT");
   bench::MacroObs obs;
-  obs.attach(cfg, /*trace=*/!trace_out.empty());
+  obs.attach(cfg, /*trace=*/!run.trace_out().empty());
   cfg.key_rotation.enabled = true;
+  cfg = run.finalize(cfg);
+  std::printf("# days=%d peak_concurrent=%.0f UMs=%zu CMs=%zu seed=%llu "
+              "shards=%zu threads=%zu\n",
+              cfg.days, cfg.peak_concurrent, cfg.user_manager_servers,
+              cfg.channel_manager_servers,
+              static_cast<unsigned long long>(cfg.seed), cfg.shards, cfg.threads);
 
   const sim::MacroSimResult result = sim::run_macro_sim(cfg);
   bench::print_run_summary(result);
@@ -94,11 +94,16 @@ int main(int argc, char** argv) {
                "(c) join");
 
   std::printf("\n--- In-text: Pearson correlation, median latency vs #users ---\n");
-  print_correlation(result, sim::ProtocolRound::kLogin1, -0.03, 0.08);
-  print_correlation(result, sim::ProtocolRound::kLogin2, -0.03, 0.08);
-  print_correlation(result, sim::ProtocolRound::kSwitch1, -0.03, 0.08);
-  print_correlation(result, sim::ProtocolRound::kSwitch2, -0.03, 0.08);
-  print_correlation(result, sim::ProtocolRound::kJoin, 0.13, 0.13);
+  const double r_login1 =
+      print_correlation(result, sim::ProtocolRound::kLogin1, -0.03, 0.08);
+  const double r_login2 =
+      print_correlation(result, sim::ProtocolRound::kLogin2, -0.03, 0.08);
+  const double r_switch1 =
+      print_correlation(result, sim::ProtocolRound::kSwitch1, -0.03, 0.08);
+  const double r_switch2 =
+      print_correlation(result, sim::ProtocolRound::kSwitch2, -0.03, 0.08);
+  const double r_join =
+      print_correlation(result, sim::ProtocolRound::kJoin, 0.13, 0.13);
 
   // Headline check: latency flat while concurrency swings.
   const double max_c = *std::max_element(result.hourly_concurrency.begin(),
@@ -108,6 +113,25 @@ int main(int argc, char** argv) {
   std::printf("\nconcurrency swing: %.0fx (%.0f .. %.0f)\n",
               min_c > 0 ? max_c / min_c : 0.0, min_c, max_c);
 
-  bench::print_obs_reports(obs, !trace_out.empty(), trace_out, ts_out);
+  bench::print_obs_reports(obs, !run.trace_out().empty(), run.trace_out(),
+                           run.timeseries_out());
+
+  run.begin_artifact(cfg);
+  bench::JsonWriter& j = run.json();
+  j.begin_object();
+  j.kv("sessions", result.sessions);
+  j.kv("channel_switches", result.channel_switches);
+  j.kv("events", result.events);
+  j.kv("peak_observed_concurrency", result.peak_observed_concurrency);
+  j.kv("um_utilization", result.um_utilization);
+  j.kv("cm_utilization", result.cm_utilization);
+  j.kv("concurrency_swing", min_c > 0 ? max_c / min_c : 0.0);
+  j.key("pearson_r").begin_object();
+  j.kv("LOGIN1", r_login1).kv("LOGIN2", r_login2);
+  j.kv("SWITCH1", r_switch1).kv("SWITCH2", r_switch2);
+  j.kv("JOIN", r_join);
+  j.end_object();
+  j.end_object();
+  run.finish_artifact();
   return 0;
 }

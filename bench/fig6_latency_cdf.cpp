@@ -8,13 +8,13 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_common.h"
+#include "sim_run.h"
 
 using namespace p2pdrm;
 
 namespace {
 
-void print_cdf_pair(const sim::MacroSimResult& result, sim::ProtocolRound r) {
+double print_cdf_pair(const sim::MacroSimResult& result, sim::ProtocolRound r) {
   // Read the paper's split from the run's metrics registry: bucketed
   // histograms over every recorded round, not a sampling reservoir.
   const obs::LatencyHistogram* peak_hist =
@@ -36,34 +36,46 @@ void print_cdf_pair(const sim::MacroSimResult& result, sim::ProtocolRound r) {
   std::printf("samples: peak=%llu off-peak=%llu\n",
               static_cast<unsigned long long>(peak_hist->count()),
               static_cast<unsigned long long>(off_hist->count()));
+  return max_gap;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::SimRun run("fig6_latency_cdf", argc, argv);
   bench::print_header("Fig. 6 — latency CDFs, peak vs off-peak (1 week)");
   sim::MacroSimConfig cfg = bench::paper_config();
 
-  const std::string trace_out =
-      bench::out_path(argc, argv, "--trace-out", "P2PDRM_TRACE_OUT");
-  const std::string ts_out =
-      bench::out_path(argc, argv, "--timeseries-out", "P2PDRM_TS_OUT");
   bench::MacroObs obs;
-  obs.attach(cfg, /*trace=*/!trace_out.empty());
+  obs.attach(cfg, /*trace=*/!run.trace_out().empty());
   cfg.key_rotation.enabled = true;
+  cfg = run.finalize(cfg);
 
   const sim::MacroSimResult result = sim::run_macro_sim(cfg);
   bench::print_run_summary(result);
 
-  // Fig. 6(a): login protocol (both rounds).
-  print_cdf_pair(result, sim::ProtocolRound::kLogin1);
-  print_cdf_pair(result, sim::ProtocolRound::kLogin2);
-  // Fig. 6(b): channel switching protocol.
-  print_cdf_pair(result, sim::ProtocolRound::kSwitch1);
-  print_cdf_pair(result, sim::ProtocolRound::kSwitch2);
-  // Fig. 6(c): join protocol.
-  print_cdf_pair(result, sim::ProtocolRound::kJoin);
+  static constexpr sim::ProtocolRound kRounds[] = {
+      sim::ProtocolRound::kLogin1,  sim::ProtocolRound::kLogin2,
+      sim::ProtocolRound::kSwitch1, sim::ProtocolRound::kSwitch2,
+      sim::ProtocolRound::kJoin};
+  double gaps[5] = {};
+  // Fig. 6(a): login, (b): channel switching, (c): join.
+  for (std::size_t i = 0; i < 5; ++i) gaps[i] = print_cdf_pair(result, kRounds[i]);
 
-  bench::print_obs_reports(obs, !trace_out.empty(), trace_out, ts_out);
+  bench::print_obs_reports(obs, !run.trace_out().empty(), run.trace_out(),
+                           run.timeseries_out());
+
+  run.begin_artifact(cfg);
+  bench::JsonWriter& j = run.json();
+  j.begin_object();
+  j.kv("sessions", result.sessions);
+  j.kv("events", result.events);
+  j.key("max_peak_offpeak_gap_seconds").begin_object();
+  for (std::size_t i = 0; i < 5; ++i) {
+    j.kv(std::string(to_string(kRounds[i])), gaps[i]);
+  }
+  j.end_object();
+  j.end_object();
+  run.finish_artifact();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace p2pdrm::analysis {
 
@@ -57,6 +58,56 @@ void Reservoir::add(double value) {
 
 double Reservoir::quantile(double q) const {
   return analysis::quantile(samples_, q);
+}
+
+Reservoir Reservoir::merged(std::size_t capacity, std::uint64_t seed,
+                            const std::vector<const Reservoir*>& parts) {
+  Reservoir out(capacity, seed);
+  std::uint64_t total_seen = 0;
+  std::size_t total_samples = 0;
+  for (const Reservoir* p : parts) {
+    if (p == nullptr) continue;
+    total_seen += p->seen_;
+    total_samples += p->samples_.size();
+  }
+  out.seen_ = total_seen;
+  if (total_samples <= capacity) {
+    // Everything retained fits: concatenation in parts order is exact.
+    for (const Reservoir* p : parts) {
+      if (p == nullptr) continue;
+      out.samples_.insert(out.samples_.end(), p->samples_.begin(),
+                          p->samples_.end());
+    }
+    return out;
+  }
+  // Efraimidis–Spirakis weighted sampling without replacement: a retained
+  // sample from a reservoir that saw N items but kept k stands for N/k
+  // stream items, so its key is log(u)/ (N/k) (the log form of u^(1/w));
+  // the `capacity` largest keys survive. Keys come from one generator
+  // walking parts in order, so the merge is scheduling-independent.
+  struct Keyed {
+    double key;
+    double value;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(total_samples);
+  crypto::SecureRandom key_rng(seed);
+  for (const Reservoir* p : parts) {
+    if (p == nullptr || p->samples_.empty()) continue;
+    const double weight = static_cast<double>(p->seen_) /
+                          static_cast<double>(p->samples_.size());
+    for (double v : p->samples_) {
+      double u = key_rng.uniform_real();
+      if (u <= 0.0) u = std::numeric_limits<double>::min();
+      keyed.push_back({std::log(u) / weight, v});
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.key > b.key; });
+  const std::size_t take = std::min(capacity, keyed.size());
+  out.samples_.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.samples_.push_back(keyed[i].value);
+  return out;
 }
 
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values,

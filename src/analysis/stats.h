@@ -37,6 +37,16 @@ class Reservoir {
   double median() const { return quantile(0.5); }
   bool empty() const { return samples_.empty(); }
 
+  /// Deterministic merge of per-shard reservoirs into one reservoir that is
+  /// a valid uniform sample of the concatenated streams. When the retained
+  /// samples all fit, the merge is exact concatenation (in `parts` order);
+  /// otherwise each retained sample is weighted by the stream count it
+  /// represents (seen/kept for its source) and `capacity` survivors are
+  /// drawn without replacement, seeded by `seed` — so the result depends
+  /// only on (parts order, seed), never on thread scheduling.
+  static Reservoir merged(std::size_t capacity, std::uint64_t seed,
+                          const std::vector<const Reservoir*>& parts);
+
  private:
   std::size_t capacity_;
   std::vector<double> samples_;

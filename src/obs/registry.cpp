@@ -90,6 +90,24 @@ void Registry::reset() {
   for (auto& [name, h] : histograms_) h.reset();
 }
 
+void Registry::merge_from(const Registry& other) {
+  // Copy under other's lock first, then fold in under ours: no lock-order
+  // cycle between two registries (same discipline as operator=).
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, LatencyHistogram> histograms;
+  {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters) counters_[name].inc(c.value());
+  for (const auto& [name, g] : gauges) gauges_[name].set_max(g.value());
+  for (const auto& [name, h] : histograms) histograms_[name].merge(h);
+}
+
 std::string Registry::to_string() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::string out;

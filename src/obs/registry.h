@@ -109,6 +109,13 @@ class Registry {
   /// Zero every metric; names stay registered (references stay valid).
   void reset();
 
+  /// Fold another registry into this one: counters add, gauges take the
+  /// maximum (every gauge the sim publishes is a high-water mark), and
+  /// histograms bucket-add. Metrics only present in `other` are created
+  /// here. Merging the per-shard registries in shard-index order gives the
+  /// same bytes regardless of how shards were scheduled onto threads.
+  void merge_from(const Registry& other);
+
   /// Deterministic "name=value" dump, one metric per line; histograms
   /// render count/p50/p95/p99.
   std::string to_string() const;

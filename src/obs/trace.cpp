@@ -115,6 +115,31 @@ std::uint64_t Tracer::spans_dropped() const {
   return dropped_;
 }
 
+void Tracer::absorb(Tracer&& other) {
+  std::vector<Span> incoming;
+  std::uint64_t incoming_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    incoming = std::move(other.spans_);
+    incoming_dropped = other.dropped_;
+    other.spans_.clear();
+    other.inflight_.clear();
+    other.dropped_ = 0;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  dropped_ += incoming_dropped;
+  const SpanId base = static_cast<SpanId>(spans_.size());
+  for (Span& s : incoming) {
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      continue;
+    }
+    s.id += base;
+    if (s.parent != 0) s.parent += base;
+    spans_.push_back(std::move(s));
+  }
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   spans_.clear();

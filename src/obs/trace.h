@@ -92,6 +92,14 @@ class Tracer {
 
   void clear();
 
+  /// Append every span of `other` (consumed) to this tracer, remapping span
+  /// ids and parent links past the spans already held, so a coordinator can
+  /// stitch per-shard tracers into one log in shard-index order. Spans past
+  /// this tracer's capacity are dropped and counted, same as begin_span;
+  /// `other`'s drop count carries over. Quiescent use only — callers merge
+  /// after the shards have stopped, so request bindings are not carried.
+  void absorb(Tracer&& other);
+
  private:
   Span* mutable_span(SpanId span);
 

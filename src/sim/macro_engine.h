@@ -1,0 +1,79 @@
+// Sharded macro-sim engine: shard fan-out, barrier loop, coordinator.
+//
+// MacroEngine partitions the simulated week across MacroShards (one per
+// channel partition) and advances them in lockstep windows of
+// shard_sync_interval. Inside a window every shard is fully independent;
+// at each barrier the coordinator — always running on the calling thread,
+// in shard-index order — does the cross-shard work:
+//
+//   - sums shard concurrencies and pushes the aggregate back to every
+//     shard (the JOIN load-coupling signal);
+//   - replays the shards' buffered SLO observations in deterministic
+//     merged order, interleaved with scrape ticks;
+//   - mints key-rotation epochs (global by nature: the fan-out tree spans
+//     the whole population) from a dedicated seed lane;
+//   - scrapes a freshly merged registry into the time series.
+//
+// Because shards only exchange data at barriers and every coordinator
+// step is ordered by shard index, the run's output is a pure function of
+// (config, seed, shards): running with 1, 2, or 8 worker threads produces
+// byte-identical results (asserted by test). threads therefore only buys
+// wall-clock, never changes answers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sim/macro_sim.h"
+#include "workload/workload.h"
+
+namespace p2pdrm::sim {
+
+class MacroShard;
+
+class MacroEngine {
+ public:
+  /// Validates the config (throws std::invalid_argument on nonsense).
+  explicit MacroEngine(const MacroSimConfig& config);
+  ~MacroEngine();
+
+  MacroSimResult run();
+
+ private:
+  class Pool;
+
+  void run_windows();
+  /// Coordinator work for the window [t0, t1): SLO replay, scrape ticks,
+  /// key rotations. `load` is the global concurrency at the window start.
+  void coordinate(util::SimTime t0, util::SimTime t1, double load);
+  void do_scrape(util::SimTime at, double load);
+  void on_key_rotation(util::SimTime at, double population);
+  std::size_t sample_depth(std::size_t levels, std::size_t fanout);
+  MacroSimResult merge_results();
+
+  MacroSimConfig cfg_;
+  workload::ChannelPartition partition_;
+  std::vector<std::unique_ptr<MacroShard>> shards_;
+  std::size_t threads_used_;
+  util::SimTime horizon_;
+
+  crypto::SecureRandom key_rng_;
+  obs::Tracer coord_tracer_;
+  obs::Registry coord_registry_;
+  obs::Registry scrape_registry_;
+  obs::Counter* rotations_issued_ = nullptr;
+  obs::Counter* epochs_delivered_ = nullptr;
+  obs::LatencyHistogram* key_lag_ = nullptr;
+  obs::Gauge* key_staleness_ = nullptr;
+
+  util::SimTime next_rotation_ = 0;
+  util::SimTime next_scrape_ = 0;
+  std::uint64_t rotation_counter_ = 0;
+  std::uint64_t coordinator_events_ = 0;
+  double barrier_peak_ = 0;
+};
+
+}  // namespace p2pdrm::sim

@@ -1,9 +1,9 @@
 #include "sim/macro_sim.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <queue>
+#include <stdexcept>
+
+#include "sim/macro_engine.h"
 
 namespace p2pdrm::sim {
 
@@ -42,621 +42,123 @@ std::vector<double> RoundTrace::hourly_median() const {
   return out;
 }
 
-namespace {
+std::vector<std::string> MacroSimConfig::validate() const {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](const char* field, const char* why) {
+    errors.push_back(std::string(field) + ": " + why);
+  };
 
-enum class Phase : std::uint8_t {
-  kArrival,       // create a session, begin login
-  kLogin1Arrive, kLogin1Resp,
-  kLogin2Arrive, kLogin2Resp,
-  kSwitch1Arrive, kSwitch1Resp,
-  kSwitch2Arrive, kSwitch2Resp,
-  kJoinArrive, kJoinResp,
-  kAction,        // watching; decide what happens next
-  kKeyRotation,   // channel server mints the next key epoch
-  kScrape,        // time-series scrape + SLO tick
-};
+  if (days <= 0) fail("days", "must be positive");
+  if (peak_concurrent <= 0) fail("peak_concurrent", "must be positive");
+  if (num_channels == 0) fail("num_channels", "must be nonzero");
+  if (zipf_exponent < 0) fail("zipf_exponent", "must be nonnegative");
 
-struct Session {
-  util::SimTime end_time = 0;
-  util::SimTime round_start = 0;
-  util::SimTime rtt_half = 0;
-  util::SimTime ut_expiry = 0;
-  util::SimTime ct_expiry = 0;
-  util::SimTime next_switch = 0;
-  obs::SpanId round_span = 0;  // open round span of a traced session
-  std::uint8_t join_attempts = 0;
-  std::uint8_t busy_retries = 0;  // admission-control BUSYs absorbed
-  bool renewing_ct = false;
-  bool relogging_in = false;
-  bool joined_once = false;
-  bool active = false;
-  bool traced = false;
-};
-
-struct Event {
-  util::SimTime when;
-  std::uint64_t seq;
-  std::uint32_t session;  // index into pool; unused for kArrival
-  Phase phase;
-};
-struct LaterEvent {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.when != b.when) return a.when > b.when;
-    return a.seq > b.seq;
+  if (session.median_duration <= 0) {
+    fail("session.median_duration", "must be positive");
   }
-};
+  if (session.duration_sigma < 0) {
+    fail("session.duration_sigma", "must be nonnegative");
+  }
+  if (session.mean_switch_interval <= 0) {
+    fail("session.mean_switch_interval", "must be positive");
+  }
+  if (session.min_duration < 0) {
+    fail("session.min_duration", "must be nonnegative");
+  }
 
-class Engine {
- public:
-  explicit Engine(const MacroSimConfig& config)
-      : cfg_(config), rng_(config.seed),
-        // The rotation pipeline draws from its own stream so enabling it
-        // never perturbs the session latencies (Fig. 5/6 stay bit-stable).
-        key_rng_(config.seed ^ 0x6b65792d726f7461ull),
-        tracer_(config.obs.tracer),
-        arrivals_(config.profile, peak_rate()),
-        um_(config.user_manager_servers), cm_(config.channel_manager_servers),
-        horizon_(static_cast<util::SimTime>(config.days) * util::kDay) {
-    const std::size_t hours = static_cast<std::size_t>(cfg_.days) * 24;
-    result_.registry = std::make_shared<obs::Registry>();
-    for (std::size_t r = 0; r < kNumRounds; ++r) {
-      RoundTrace& trace = result_.rounds[r];
-      trace.hourly.reserve(hours);
-      for (std::size_t h = 0; h < hours; ++h) {
-        trace.hourly.emplace_back(cfg_.reservoir_per_hour, cfg_.seed + 1000 * r + h);
-      }
-      trace.peak = analysis::Reservoir(cfg_.reservoir_cdf, cfg_.seed + 77 + r);
-      trace.offpeak = analysis::Reservoir(cfg_.reservoir_cdf, cfg_.seed + 177 + r);
+  if (user_manager_servers == 0) {
+    fail("user_manager_servers", "farm needs at least one server");
+  }
+  if (channel_manager_servers == 0) {
+    fail("channel_manager_servers", "farm needs at least one server");
+  }
+  if (user_ticket_lifetime <= 0) {
+    fail("user_ticket_lifetime", "must be positive");
+  }
+  if (channel_ticket_lifetime <= 0) {
+    fail("channel_ticket_lifetime", "must be positive");
+  }
 
-      // Histogram twins, with the pointers cached: record() runs ~80M times
-      // at paper scale, far too hot for name lookups.
-      const ProtocolRound round = static_cast<ProtocolRound>(r);
-      hist_hourly_[r].reserve(hours);
-      for (std::size_t h = 0; h < hours; ++h) {
-        hist_hourly_[r].push_back(
-            &result_.registry->histogram(hourly_histogram_name(round, h)));
-      }
-      hist_peak_[r] =
-          &result_.registry->histogram(split_histogram_name(round, true));
-      hist_offpeak_[r] =
-          &result_.registry->histogram(split_histogram_name(round, false));
-      hist_all_[r] =
-          &result_.registry->histogram(round_histogram_name(round));
+  if (costs.dispersion < 0) {
+    fail("costs.dispersion", "negative dispersion is meaningless");
+  }
+  if (client_costs.dispersion < 0) {
+    fail("client_costs.dispersion", "negative dispersion is meaningless");
+  }
+
+  if (join_base_reject < 0 || join_base_reject > 1) {
+    fail("join_base_reject", "must be a probability in [0, 1]");
+  }
+  if (join_load_sensitivity < 0) {
+    fail("join_load_sensitivity", "must be nonnegative");
+  }
+  if (max_join_attempts == 0) fail("max_join_attempts", "must be nonzero");
+
+  if (login_admission_max_wait < 0) {
+    fail("login_admission_max_wait", "must be nonnegative (0 disables)");
+  }
+  if (login_admission_max_wait > 0 && busy_retry_after <= 0) {
+    fail("busy_retry_after", "must be positive when admission control is on");
+  }
+
+  if (reservoir_per_hour == 0) fail("reservoir_per_hour", "must be nonzero");
+  if (reservoir_cdf == 0) fail("reservoir_cdf", "must be nonzero");
+
+  if ((obs.timeseries != nullptr || obs.slo != nullptr) &&
+      obs.scrape_interval <= 0) {
+    fail("obs.scrape_interval", "must be positive when a consumer is attached");
+  }
+
+  if (key_rotation.enabled) {
+    if (key_rotation.interval <= 0) {
+      fail("key_rotation.interval", "must be positive");
     }
-    concurrency_integral_.assign(hours, 0.0);
-    if (cfg_.key_rotation.enabled) {
-      rotations_issued_ =
-          &result_.registry->counter("macro.key.rotations_issued");
-      epochs_delivered_ =
-          &result_.registry->counter("macro.key.epochs_delivered");
-      key_lag_ = &result_.registry->histogram("macro.key.delivery_lag");
-      key_staleness_ = &result_.registry->gauge("macro.key.max_staleness_us");
+    if (key_rotation.fanout == 0) {
+      fail("key_rotation.fanout", "zero fanout cannot deliver keys");
+    }
+    if (key_rotation.sampled_peers == 0) {
+      fail("key_rotation.sampled_peers", "must sample at least one peer");
+    }
+    if (key_rotation.relay_cost < 0) {
+      fail("key_rotation.relay_cost", "must be nonnegative");
+    }
+    if (key_rotation.announce_lead < 0) {
+      fail("key_rotation.announce_lead", "must be nonnegative");
     }
   }
 
-  MacroSimResult run() {
-    // Background arrivals chain themselves (session field 1); flash-crowd
-    // arrivals are pre-scheduled one-shots (session field 0).
-    schedule(arrivals_.next(0, rng_), 1, Phase::kArrival);
-    for (const workload::FlashCrowd& crowd : cfg_.flash_crowds) {
-      for (util::SimTime t : crowd.arrivals(rng_)) {
-        if (t < horizon_) schedule(t, 0, Phase::kArrival);
-      }
+  for (std::size_t i = 0; i < flash_crowds.size(); ++i) {
+    if (flash_crowds[i].channel >= num_channels) {
+      fail("flash_crowds.channel", "must name an existing channel");
     }
-    if (cfg_.key_rotation.enabled) {
-      schedule(cfg_.key_rotation.interval, 0, Phase::kKeyRotation);
-    }
-    if (cfg_.obs.timeseries != nullptr || cfg_.obs.slo != nullptr) {
-      schedule(cfg_.obs.scrape_interval, 0, Phase::kScrape);
-    }
-
-    while (!queue_.empty() && queue_.top().when < horizon_) {
-      const Event ev = queue_.top();
-      queue_.pop();
-      now_ = ev.when;
-      dispatch(ev);
-    }
-    flush_concurrency(horizon_);
-    // Sessions still mid-round at the horizon never completed: close their
-    // spans as failed so every exported tree is complete.
-    if (tracer_ != nullptr) {
-      for (Session& session : pool_) {
-        if (session.round_span != 0) {
-          tracer_->end_span(session.round_span, horizon_, false);
-          session.round_span = 0;
-        }
-      }
-    }
-
-    const std::size_t hours = concurrency_integral_.size();
-    result_.hourly_concurrency.resize(hours);
-    for (std::size_t h = 0; h < hours; ++h) {
-      result_.hourly_concurrency[h] =
-          concurrency_integral_[h] / static_cast<double>(util::kHour);
-    }
-    result_.um_utilization = um_.utilization(horizon_);
-    result_.cm_utilization = cm_.utilization(horizon_);
-    return std::move(result_);
-  }
-
- private:
-  double peak_rate() const {
-    // Little's law: peak concurrency = peak arrival rate * mean duration.
-    const double mean_duration_s =
-        util::to_seconds(cfg_.session.median_duration) *
-        std::exp(cfg_.session.duration_sigma * cfg_.session.duration_sigma / 2.0);
-    return cfg_.peak_concurrent / mean_duration_s;
-  }
-
-  void schedule(util::SimTime when, std::uint32_t session, Phase phase) {
-    queue_.push(Event{when, next_seq_++, session, phase});
-  }
-
-  // --- concurrency accounting (time-weighted per-hour integral) ---
-
-  void flush_concurrency(util::SimTime upto) {
-    util::SimTime t = last_change_;
-    while (t < upto) {
-      const std::size_t hour = static_cast<std::size_t>(t / util::kHour);
-      const util::SimTime hour_end = static_cast<util::SimTime>(hour + 1) * util::kHour;
-      const util::SimTime span = std::min(upto, hour_end) - t;
-      if (hour < concurrency_integral_.size()) {
-        concurrency_integral_[hour] +=
-            static_cast<double>(concurrency_) * static_cast<double>(span);
-      }
-      t += span;
-    }
-    last_change_ = upto;
-  }
-
-  void change_concurrency(int delta) {
-    flush_concurrency(now_);
-    concurrency_ += delta;
-    result_.peak_observed_concurrency =
-        std::max(result_.peak_observed_concurrency, static_cast<double>(concurrency_));
-  }
-
-  // --- sampling helpers ---
-
-  util::SimTime lognormal_around(util::SimTime median, double sigma) {
-    const double draw = rng_.lognormal(std::log(static_cast<double>(median)), sigma);
-    return std::max<util::SimTime>(1, static_cast<util::SimTime>(draw));
-  }
-
-  util::SimTime service_time(ProtocolRound r) {
-    const ServiceCosts& c = cfg_.costs;
-    util::SimTime base = 0;
-    switch (r) {
-      case ProtocolRound::kLogin1: base = c.login1; break;
-      case ProtocolRound::kLogin2: base = c.login2; break;
-      case ProtocolRound::kSwitch1: base = c.switch1; break;
-      case ProtocolRound::kSwitch2: base = c.switch2; break;
-      case ProtocolRound::kJoin: base = c.join; break;
-    }
-    return lognormal_around(base, c.dispersion);
-  }
-
-  util::SimTime client_time(ProtocolRound r) {
-    const ClientCosts& c = cfg_.client_costs;
-    util::SimTime base = 0;
-    switch (r) {
-      case ProtocolRound::kLogin1: base = c.login1; break;
-      case ProtocolRound::kLogin2: base = c.login2; break;
-      case ProtocolRound::kSwitch1: base = c.switch1; break;
-      case ProtocolRound::kSwitch2: base = c.switch2; break;
-      case ProtocolRound::kJoin: base = c.join; break;
-    }
-    return lognormal_around(base, c.dispersion);
-  }
-
-  void record(std::uint32_t s, ProtocolRound r, util::SimTime latency) {
-    const std::size_t ri = static_cast<std::size_t>(r);
-    RoundTrace& trace = result_.rounds[ri];
-    const double seconds = util::to_seconds(latency);
-    const std::size_t hour = static_cast<std::size_t>(now_ / util::kHour);
-    const bool peak = util::hour_of_day(now_) >= 18;
-    if (hour < trace.hourly.size()) trace.hourly[hour].add(seconds);
-    (peak ? trace.peak : trace.offpeak).add(seconds);
-    ++trace.count;
-    if (hour < hist_hourly_[ri].size()) hist_hourly_[ri][hour]->record(latency);
-    (peak ? hist_peak_[ri] : hist_offpeak_[ri])->record(latency);
-    hist_all_[ri]->record(latency);
-    if (cfg_.obs.slo != nullptr) cfg_.obs.slo->observe(to_string(r), now_, latency);
-    Session& session = pool_[s];
-    if (session.round_span != 0) {
-      tracer_->end_span(session.round_span, now_, true);
-      session.round_span = 0;
+    if (flash_crowds[i].ramp <= 0) {
+      fail("flash_crowds.ramp", "must be positive");
     }
   }
 
-  // --- round plumbing ---
-
-  void start_round(std::uint32_t s, ProtocolRound r, Phase arrive_phase,
-                   const LatencyModel& net) {
-    Session& session = pool_[s];
-    session.round_start = now_;
-    const util::SimTime rtt = net.sample_rtt(rng_);
-    session.rtt_half = rtt / 2;
-    const util::SimTime think = client_time(r);
-    const util::SimTime arrive = now_ + think + session.rtt_half;
-    if (session.traced) {
-      session.round_span = tracer_->begin_span(
-          "client", std::string(to_string(r)), s + 1, now_);
-      // The request flight; client think time stays the round's residual.
-      const obs::SpanId hop = tracer_->begin_span("net", "hop request", s + 1,
-                                                  now_ + think,
-                                                  session.round_span);
-      tracer_->end_span(hop, arrive, true);
-    }
-    schedule(arrive, s, arrive_phase);
+  if (shards == 0) fail("shards", "must be nonzero");
+  if (shards > num_channels) {
+    fail("shards", "cannot exceed num_channels (a shard needs channels)");
+  }
+  if (shard_sync_interval <= 0) {
+    fail("shard_sync_interval", "must be positive");
   }
 
-  void serve_and_respond(std::uint32_t s, ProtocolRound r, QueueStation& station,
-                         Phase resp_phase) {
-    Session& session = pool_[s];
-    util::SimTime wait = 0;
-    const util::SimTime depart = station.submit(now_, service_time(r), &wait);
-    if (session.round_span != 0) {
-      // Farm pseudo-actors: 2 = User Manager farm, 3 = Channel Manager farm.
-      const std::uint64_t farm = &station == &um_ ? 2 : 3;
-      if (wait > 0) {
-        const obs::SpanId q = tracer_->begin_span("server", "queue", farm,
-                                                  now_, session.round_span);
-        tracer_->end_span(q, now_ + wait, true);
-      }
-      const obs::SpanId serve = tracer_->begin_span(
-          "server", "serve", farm, now_ + wait, session.round_span);
-      tracer_->end_span(serve, depart, true);
-      const obs::SpanId hop = tracer_->begin_span("net", "hop response", s + 1,
-                                                  depart, session.round_span);
-      tracer_->end_span(hop, depart + session.rtt_half, true);
-    }
-    schedule(depart + session.rtt_half, s, resp_phase);
+  return errors;
+}
+
+MacroSimConfig MacroSimConfig::validated() const {
+  const std::vector<std::string> errors = validate();
+  if (!errors.empty()) {
+    std::string message = "MacroSimConfig";
+    for (const std::string& e : errors) message += ": " + e;
+    throw std::invalid_argument(message);
   }
-
-  // --- the session state machine ---
-
-  /// Admission control at the User Manager farm: a *fresh* login arrival
-  /// (never a UT renewal — those keep an existing viewer alive) is shed
-  /// with a modeled BUSY when the farm's backlog implies more than the
-  /// configured wait. Shed viewers re-arrive after the retry-after hint,
-  /// up to max_busy_retries, then give up for good. Returns true when the
-  /// arrival was shed (the caller must not submit it to the farm).
-  bool shed_login(std::uint32_t s, Phase arrive_phase) {
-    if (cfg_.login_admission_max_wait <= 0) return false;
-    Session& session = pool_[s];
-    if (session.relogging_in) return false;  // protected tier
-    if (um_.estimated_wait(now_) <= cfg_.login_admission_max_wait) return false;
-    ++result_.logins_shed;
-    if (session.busy_retries >= cfg_.max_busy_retries) {
-      // Out of patience: the viewer walks away (the honest cost of
-      // shedding — counted, never silent).
-      ++result_.busy_abandoned;
-      if (session.round_span != 0) {
-        tracer_->end_span(session.round_span, now_, false);
-        session.round_span = 0;
-      }
-      session.active = false;
-      change_concurrency(-1);
-      free_list_.push_back(s);
-      return true;
-    }
-    ++session.busy_retries;
-    ++result_.busy_retries;
-    if (session.round_span != 0) tracer_->event(session.round_span, now_, "busy");
-    schedule(now_ + cfg_.busy_retry_after, s, arrive_phase);
-    return true;
-  }
-
-  void dispatch(const Event& ev) {
-    switch (ev.phase) {
-      case Phase::kArrival: on_arrival(ev); return;
-      case Phase::kLogin1Arrive:
-        if (shed_login(ev.session, Phase::kLogin1Arrive)) return;
-        serve_and_respond(ev.session, ProtocolRound::kLogin1, um_, Phase::kLogin1Resp);
-        return;
-      case Phase::kLogin1Resp: {
-        record(ev.session, ProtocolRound::kLogin1,
-               now_ - pool_[ev.session].round_start);
-        start_round(ev.session, ProtocolRound::kLogin2, Phase::kLogin2Arrive,
-                    cfg_.manager_net);
-        return;
-      }
-      case Phase::kLogin2Arrive:
-        if (shed_login(ev.session, Phase::kLogin2Arrive)) return;
-        serve_and_respond(ev.session, ProtocolRound::kLogin2, um_, Phase::kLogin2Resp);
-        return;
-      case Phase::kLogin2Resp: on_login_complete(ev.session); return;
-      case Phase::kSwitch1Arrive:
-        serve_and_respond(ev.session, ProtocolRound::kSwitch1, cm_, Phase::kSwitch1Resp);
-        return;
-      case Phase::kSwitch1Resp: {
-        record(ev.session, ProtocolRound::kSwitch1,
-               now_ - pool_[ev.session].round_start);
-        start_round(ev.session, ProtocolRound::kSwitch2, Phase::kSwitch2Arrive,
-                    cfg_.manager_net);
-        return;
-      }
-      case Phase::kSwitch2Arrive:
-        serve_and_respond(ev.session, ProtocolRound::kSwitch2, cm_, Phase::kSwitch2Resp);
-        return;
-      case Phase::kSwitch2Resp: on_switch_complete(ev.session); return;
-      case Phase::kJoinArrive: on_join_arrive(ev.session); return;
-      case Phase::kJoinResp: on_join_complete(ev.session); return;
-      case Phase::kAction: on_action(ev.session); return;
-      case Phase::kKeyRotation: on_key_rotation(); return;
-      case Phase::kScrape: on_scrape(); return;
-    }
-  }
-
-  void on_scrape() {
-    if (cfg_.obs.slo != nullptr) {
-      cfg_.obs.slo->tick(now_, static_cast<double>(concurrency_));
-    }
-    if (cfg_.obs.timeseries != nullptr) {
-      cfg_.obs.timeseries->record("load.concurrent", now_,
-                                  static_cast<double>(concurrency_));
-      cfg_.obs.timeseries->scrape(*result_.registry, now_);
-    }
-    schedule(now_ + cfg_.obs.scrape_interval, 0, Phase::kScrape);
-  }
-
-  /// Depth of a delivery path, weighted by level population: a full
-  /// `fanout`-ary tree holds fanout^d peers at depth d, so deep levels
-  /// dominate. Draws from the rotation stream only.
-  std::size_t sample_depth(std::size_t levels, std::size_t fanout) {
-    double total = 0, weight = 1;
-    for (std::size_t d = 1; d <= levels; ++d) {
-      weight *= static_cast<double>(fanout);
-      total += weight;
-    }
-    double x = key_rng_.uniform_real() * total;
-    weight = 1;
-    for (std::size_t d = 1; d <= levels; ++d) {
-      weight *= static_cast<double>(fanout);
-      if (x < weight) return d;
-      x -= weight;
-    }
-    return levels;
-  }
-
-  void on_key_rotation() {
-    const KeyRotationModel& kr = cfg_.key_rotation;
-    const std::uint64_t serial = rotation_counter_++;
-    rotations_issued_->inc();
-    const double population = std::max(1.0, static_cast<double>(concurrency_));
-    std::size_t levels = 1;
-    double capacity = static_cast<double>(kr.fanout);
-    while (capacity < population && levels < 24) {
-      capacity *= static_cast<double>(kr.fanout);
-      ++levels;
-    }
-    const bool traced = tracer_ != nullptr &&
-                        cfg_.obs.trace_rotation_every > 0 &&
-                        serial % cfg_.obs.trace_rotation_every == 0;
-    obs::SpanId root = 0;
-    if (traced) {
-      root = tracer_->begin_span("server", "KEY_ROTATION", 0, now_);
-      tracer_->tag(root, "serial", std::to_string(serial & 0xff));
-      tracer_->tag(root, "levels", std::to_string(levels));
-    }
-    util::SimTime max_lag = 0;
-    for (std::size_t i = 0; i < kr.sampled_peers; ++i) {
-      const std::size_t depth = sample_depth(levels, kr.fanout);
-      util::SimTime lag = 0;
-      for (std::size_t hop = 0; hop < depth; ++hop) {
-        lag += cfg_.peer_net.sample_rtt(key_rng_) / 2 + kr.relay_cost;
-      }
-      key_lag_->record(lag);
-      epochs_delivered_->inc();
-      // The key activates announce_lead after the announcement; a peer
-      // whose delivery path is longer than that holds a stale epoch.
-      const util::SimTime staleness = lag - kr.announce_lead;
-      if (staleness > key_staleness_->value()) key_staleness_->set(staleness);
-      max_lag = std::max(max_lag, lag);
-      if (traced) {
-        const obs::SpanId deliver = tracer_->begin_span(
-            "p2p", "deliver key", 1000000 + i, now_, root);
-        tracer_->tag(deliver, "depth", std::to_string(depth));
-        tracer_->end_span(deliver, now_ + lag, true);
-      }
-    }
-    if (traced) tracer_->end_span(root, now_ + max_lag, true);
-    schedule(now_ + kr.interval, 0, Phase::kKeyRotation);
-  }
-
-  void on_arrival(const Event& ev) {
-    // Chain the next background arrival (flash-crowd arrivals are
-    // pre-scheduled one-shots and do not chain).
-    if (ev.session == 1) {
-      const util::SimTime next = arrivals_.next(now_, rng_);
-      if (next < horizon_) schedule(next, 1, Phase::kArrival);
-    }
-
-    std::uint32_t s;
-    if (!free_list_.empty()) {
-      s = free_list_.back();
-      free_list_.pop_back();
-      pool_[s] = Session{};
-    } else {
-      s = static_cast<std::uint32_t>(pool_.size());
-      pool_.emplace_back();
-    }
-    Session& session = pool_[s];
-    session.active = true;
-    const std::uint64_t session_index = session_counter_++;
-    session.traced = tracer_ != nullptr && cfg_.obs.trace_session_every > 0 &&
-                     session_index % cfg_.obs.trace_session_every == 0;
-    session.end_time = now_ + cfg_.session.sample_duration(rng_);
-    ++result_.sessions;
-    change_concurrency(+1);
-    start_round(s, ProtocolRound::kLogin1, Phase::kLogin1Arrive, cfg_.manager_net);
-  }
-
-  void on_login_complete(std::uint32_t s) {
-    Session& session = pool_[s];
-    record(s, ProtocolRound::kLogin2, now_ - session.round_start);
-    session.ut_expiry = now_ + cfg_.user_ticket_lifetime;
-    if (session.relogging_in) {
-      session.relogging_in = false;
-      ++result_.ut_renewals;
-      go_watch(s);
-      return;
-    }
-    // Fresh login: tune to the first channel.
-    session.renewing_ct = false;
-    start_round(s, ProtocolRound::kSwitch1, Phase::kSwitch1Arrive, cfg_.manager_net);
-  }
-
-  void on_switch_complete(std::uint32_t s) {
-    Session& session = pool_[s];
-    record(s, ProtocolRound::kSwitch2, now_ - session.round_start);
-    session.ct_expiry = std::min(now_ + cfg_.channel_ticket_lifetime, session.ut_expiry);
-    if (session.renewing_ct) {
-      session.renewing_ct = false;
-      ++result_.ct_renewals;
-      go_watch(s);
-      return;
-    }
-    session.join_attempts = 0;
-    start_round(s, ProtocolRound::kJoin, Phase::kJoinArrive, cfg_.peer_net);
-  }
-
-  void on_join_arrive(std::uint32_t s) {
-    Session& session = pool_[s];
-    // The sampled peer refuses with probability coupled (weakly) to load —
-    // the busier the system, the more saturated parents appear in peer
-    // lists. A refusal costs one more peer round trip.
-    const double load = static_cast<double>(concurrency_) / cfg_.peak_concurrent;
-    const double p_reject =
-        std::min(0.9, cfg_.join_base_reject + cfg_.join_load_sensitivity * load);
-    if (rng_.chance(p_reject) &&
-        static_cast<std::size_t>(session.join_attempts) + 1 < cfg_.max_join_attempts) {
-      ++session.join_attempts;
-      ++result_.join_retries;
-      const util::SimTime retry_rtt = cfg_.peer_net.sample_rtt(rng_);
-      if (session.round_span != 0) {
-        const obs::SpanId hop = tracer_->begin_span(
-            "net", "hop join-retry", s + 1, now_, session.round_span);
-        tracer_->tag(hop, "attempt", std::to_string(session.join_attempts));
-        tracer_->end_span(hop, now_ + retry_rtt, false);
-        tracer_->event(session.round_span, now_, "join-refused");
-      }
-      schedule(now_ + retry_rtt, s, Phase::kJoinArrive);
-      return;
-    }
-    // Accepted: peer-side processing (ticket verify + RSA-encrypt session
-    // key), then the response travels back.
-    const util::SimTime svc = service_time(ProtocolRound::kJoin);
-    if (session.round_span != 0) {
-      // Pseudo-actor 4 = the accepting peer.
-      const obs::SpanId serve = tracer_->begin_span("server", "serve", 4,
-                                                    now_, session.round_span);
-      tracer_->end_span(serve, now_ + svc, true);
-      const obs::SpanId hop = tracer_->begin_span(
-          "net", "hop response", s + 1, now_ + svc, session.round_span);
-      tracer_->end_span(hop, now_ + svc + session.rtt_half, true);
-    }
-    schedule(now_ + svc + session.rtt_half, s, Phase::kJoinResp);
-  }
-
-  void on_join_complete(std::uint32_t s) {
-    Session& session = pool_[s];
-    record(s, ProtocolRound::kJoin, now_ - session.round_start);
-    if (!session.joined_once) {
-      session.joined_once = true;
-    } else {
-      ++result_.channel_switches;
-    }
-    session.next_switch = now_ + cfg_.session.sample_switch_gap(rng_);
-    go_watch(s);
-  }
-
-  /// Schedule the next thing that happens to a watching session.
-  void go_watch(std::uint32_t s) {
-    Session& session = pool_[s];
-    const util::SimTime due = next_due(session);
-    schedule(std::max(due, now_ + 1), s, Phase::kAction);
-  }
-
-  util::SimTime next_due(const Session& session) const {
-    const util::SimTime ct_renew = session.ct_expiry - util::kMinute;
-    const util::SimTime ut_renew = session.ut_expiry - 2 * util::kMinute;
-    return std::min({session.end_time, session.next_switch, ct_renew, ut_renew});
-  }
-
-  void on_action(std::uint32_t s) {
-    Session& session = pool_[s];
-    if (!session.active) return;
-
-    if (now_ >= session.end_time) {
-      session.active = false;
-      change_concurrency(-1);
-      free_list_.push_back(s);
-      return;
-    }
-    const util::SimTime ct_renew = session.ct_expiry - util::kMinute;
-    const util::SimTime ut_renew = session.ut_expiry - 2 * util::kMinute;
-
-    if (now_ >= ut_renew) {
-      session.relogging_in = true;
-      start_round(s, ProtocolRound::kLogin1, Phase::kLogin1Arrive, cfg_.manager_net);
-      return;
-    }
-    if (now_ >= session.next_switch) {
-      // Voluntary channel switch: fresh SWITCH + JOIN.
-      session.renewing_ct = false;
-      start_round(s, ProtocolRound::kSwitch1, Phase::kSwitch1Arrive, cfg_.manager_net);
-      return;
-    }
-    if (now_ >= ct_renew) {
-      session.renewing_ct = true;
-      start_round(s, ProtocolRound::kSwitch1, Phase::kSwitch1Arrive, cfg_.manager_net);
-      return;
-    }
-    // Spurious wakeup (state advanced since scheduling): re-arm.
-    go_watch(s);
-  }
-
-  const MacroSimConfig& cfg_;
-  crypto::SecureRandom rng_;
-  crypto::SecureRandom key_rng_;
-  obs::Tracer* tracer_;
-  workload::ArrivalProcess arrivals_;
-  QueueStation um_;
-  QueueStation cm_;
-  util::SimTime horizon_;
-  util::SimTime now_ = 0;
-
-  std::priority_queue<Event, std::vector<Event>, LaterEvent> queue_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t arrival_seq_ = 0;
-  std::vector<Session> pool_;
-  std::vector<std::uint32_t> free_list_;
-
-  std::int64_t concurrency_ = 0;
-  util::SimTime last_change_ = 0;
-  std::vector<double> concurrency_integral_;
-
-  MacroSimResult result_;
-  /// Cached pointers into result_.registry (see record()).
-  std::array<std::vector<obs::LatencyHistogram*>, kNumRounds> hist_hourly_;
-  std::array<obs::LatencyHistogram*, kNumRounds> hist_peak_ = {};
-  std::array<obs::LatencyHistogram*, kNumRounds> hist_offpeak_ = {};
-  std::array<obs::LatencyHistogram*, kNumRounds> hist_all_ = {};
-
-  std::uint64_t session_counter_ = 0;
-  std::uint64_t rotation_counter_ = 0;
-  obs::Counter* rotations_issued_ = nullptr;
-  obs::Counter* epochs_delivered_ = nullptr;
-  obs::LatencyHistogram* key_lag_ = nullptr;
-  obs::Gauge* key_staleness_ = nullptr;
-};
-
-}  // namespace
+  return *this;
+}
 
 MacroSimResult run_macro_sim(const MacroSimConfig& config) {
-  return Engine(config).run();
+  return MacroEngine(config).run();
 }
 
 }  // namespace p2pdrm::sim

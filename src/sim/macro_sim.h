@@ -156,6 +156,28 @@ struct MacroSimConfig {
 
   MacroObsConfig obs;
   KeyRotationModel key_rotation;
+
+  /// --- sharded engine ---
+  /// Number of event-engine partitions. Channels are dealt to shards in
+  /// snake order over Zipf rank; each shard runs its own event queue, RNG
+  /// stream, and manager-farm slice. Output depends on `shards` but NEVER
+  /// on `threads`: same (seed, shards) gives byte-identical results at any
+  /// thread count. 1 = the classic single-partition engine.
+  std::size_t shards = 1;
+  /// Worker threads driving the shards (clamped to `shards`; 0 = one per
+  /// hardware core).
+  std::size_t threads = 1;
+  /// Barrier cadence: shards synchronize (concurrency exchange, key
+  /// rotation, scrapes, SLO feed) at fixed multiples of this interval.
+  util::SimTime shard_sync_interval = util::kMinute;
+
+  /// Every constraint violation in this config, as "field: why" strings;
+  /// empty means the config is runnable.
+  std::vector<std::string> validate() const;
+  /// The single validated entry point: returns a copy of the config or
+  /// throws std::invalid_argument listing every violation. run_macro_sim
+  /// and the SimRun bench harness both go through here.
+  MacroSimConfig validated() const;
 };
 
 struct RoundTrace {
@@ -200,6 +222,11 @@ struct MacroSimResult {
   double peak_observed_concurrency = 0;
   double um_utilization = 0;
   double cm_utilization = 0;
+  /// Total simulation events dispatched (shard event loops + coordinator
+  /// barrier work) — the numerator of the bench's events/sec figure.
+  std::uint64_t events = 0;
+  std::size_t shards_used = 1;
+  std::size_t threads_used = 1;
 
   const RoundTrace& round(ProtocolRound r) const {
     return rounds[static_cast<std::size_t>(r)];

@@ -1,0 +1,47 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace p2pdrm::util {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (align == 0) align = 1;
+
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      std::byte* base = chunk_begin(active_);
+      auto addr = reinterpret_cast<std::uintptr_t>(base + offset_);
+      const std::size_t pad = (align - addr % align) % align;
+      if (offset_ + pad + bytes <= chunks_[active_].size) {
+        void* out = base + offset_ + pad;
+        offset_ += pad + bytes;
+        bytes_allocated_ += bytes;
+        return out;
+      }
+      // Exhausted (or, for an oversized request, too small): advance. The
+      // remainder is wasted until the next reset — the classic bump
+      // trade-off.
+      ++active_;
+      offset_ = 0;
+      continue;
+    }
+    // Out of chunks: grow. Oversized requests get a chunk of their own
+    // size, which later cycles simply reuse as a large chunk.
+    Chunk fresh;
+    fresh.size = std::max(chunk_bytes_, bytes + align);
+    fresh.data = std::make_unique<std::byte[]>(fresh.size);
+    bytes_reserved_ += fresh.size;
+    chunks_.push_back(std::move(fresh));
+    active_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void Arena::reset() {
+  active_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace p2pdrm::util

@@ -1,0 +1,152 @@
+// Chunked bump allocator for the simulation hot path.
+//
+// The sharded macro-sim allocates tens of millions of short-lived records
+// per simulated day — session slots, buffered observability samples, staged
+// flash-crowd arrivals. Routing them through the general-purpose heap costs
+// a malloc/free pair each plus fragmentation across shard threads; an arena
+// turns the whole class into pointer bumps, and reset() recycles every
+// chunk at a window barrier without returning memory to the OS.
+//
+// Properties the engine relies on:
+//   - allocations are never individually freed (trivially destructible
+//     payloads only — enforced at compile time by make_array);
+//   - pointers stay valid until reset(), and chunks never move, so
+//     ArenaVector hands out stable references while growing;
+//   - reset() keeps the high-water chunk set, so a steady-state window
+//     allocates from warm memory with zero system calls;
+//   - the arena is single-owner: one shard, one arena, no locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace p2pdrm::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw aligned allocation. `align` must be a power of two. Requests
+  /// larger than the chunk size get a dedicated chunk.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed array of default-initialized Ts. T must be trivially
+  /// destructible: the arena never runs destructors.
+  template <typename T>
+  T* make_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never destroys; T must be trivially destructible");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return p;
+  }
+
+  /// Rewind to empty, keeping every chunk for reuse. All outstanding
+  /// pointers become dangling.
+  void reset();
+
+  /// Total bytes handed out since the last reset (excludes alignment pad).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes of chunk capacity currently held.
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::byte* chunk_begin(std::size_t i) { return chunks_[i].data.get(); }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_bytes_;
+  std::size_t active_ = 0;   // chunk currently being bumped
+  std::size_t offset_ = 0;   // bump position within the active chunk
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// Growable sequence backed by an Arena: segmented storage (64-element
+/// first segment, doubling after), so push_back never moves an element —
+/// references and indices stay stable for the container's lifetime, which
+/// is what lets the macro-sim keep session records addressable while the
+/// pool grows past a million entries. clear() forgets the elements but the
+/// memory is only reclaimed by the arena's reset().
+template <typename T>
+class ArenaVector {
+ public:
+  static constexpr std::size_t kFirstSegment = 64;
+  static constexpr std::size_t kMaxSegments = 26;  // 64 << 25 ≈ 2.1e9 total
+
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& push_back(const T& value) {
+    T* slot = next_slot();
+    *slot = value;
+    return *slot;
+  }
+  T& emplace_back() {
+    T* slot = next_slot();
+    *slot = T();
+    return *slot;
+  }
+
+  T& operator[](std::size_t i) { return *locate(i); }
+  const T& operator[](std::size_t i) const { return *locate(i); }
+
+  /// Forget all elements. Storage is reclaimed by the arena's reset(), so
+  /// only call this when the arena is reset too (or leak-by-design).
+  void clear() {
+    size_ = 0;
+    segments_used_ = 0;
+  }
+
+ private:
+  static std::size_t segment_of(std::size_t i, std::size_t* offset) {
+    // Segment k spans [64*(2^k - 1), 64*(2^(k+1) - 1)).
+    const std::size_t n = i / kFirstSegment + 1;
+    std::size_t k = 0;
+    while ((std::size_t{2} << k) <= n) ++k;  // k = floor(log2(n))
+    *offset = i - kFirstSegment * ((std::size_t{1} << k) - 1);
+    return k;
+  }
+
+  T* locate(std::size_t i) const {
+    std::size_t offset = 0;
+    const std::size_t seg = segment_of(i, &offset);
+    return segments_[seg] + offset;
+  }
+
+  T* next_slot() {
+    std::size_t offset = 0;
+    const std::size_t seg = segment_of(size_, &offset);
+    if (offset == 0 && seg >= segments_used_) {
+      segments_[seg] = arena_->make_array<T>(kFirstSegment << seg);
+      segments_used_ = seg + 1;
+    }
+    ++size_;
+    return segments_[seg] + offset;
+  }
+
+  Arena* arena_;
+  T* segments_[kMaxSegments] = {};
+  std::size_t segments_used_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace p2pdrm::util

@@ -1,0 +1,22 @@
+#include "util/rng.h"
+
+namespace p2pdrm::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t split_seed(std::uint64_t master, std::uint64_t lane) {
+  // Two dependent steps: the first whitens the lane, the second mixes it
+  // into the master. A single xor of two splitmix outputs would make
+  // split_seed(m, a) ^ split_seed(m, b) independent of m.
+  std::uint64_t state = lane;
+  std::uint64_t mixed_lane = splitmix64(state);
+  state = master ^ mixed_lane;
+  return splitmix64(state);
+}
+
+}  // namespace p2pdrm::util

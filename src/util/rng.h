@@ -1,0 +1,43 @@
+// Deterministic seed splitting for parallel simulation.
+//
+// The sharded macro-sim gives every shard (and every auxiliary stream: the
+// key-rotation pipeline, each flash crowd, each reservoir) its own
+// crypto::SecureRandom, seeded by mixing the master seed with a fixed lane
+// number. Splitting by *value* — never by drawing from a parent generator —
+// is what keeps a run's output independent of shard execution order and
+// thread count: lane seeds depend only on (master_seed, lane), so shard 3
+// draws the same stream whether it runs first, last, or concurrently with
+// shard 0.
+//
+// The mixer is SplitMix64 (Steele, Lea & Flood, OOPSLA'14), applied twice so
+// that adjacent lanes land far apart even for adjacent master seeds. The
+// downstream generator is the ChaCha20 DRBG, so lane correlation would need
+// a ChaCha key-schedule weakness to matter; the double mix just keeps the
+// 64-bit seeds themselves well separated.
+#pragma once
+
+#include <cstdint>
+
+namespace p2pdrm::util {
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic lane seed: mixes `master` and `lane` into an independent
+/// 64-bit seed. Pure function — same (master, lane) always gives the same
+/// seed, regardless of call order.
+std::uint64_t split_seed(std::uint64_t master, std::uint64_t lane);
+
+/// Fixed lane tags for the macro-sim's named streams, so the mapping is
+/// auditable in one place (shard s uses lane::kShard + s, etc.). Lanes are
+/// spaced 2^40 apart; every sub-encoding stays below 2^40, so two distinct
+/// streams can never land on the same lane value.
+namespace lane {
+constexpr std::uint64_t kShard = 1ull << 40;        // + shard index
+constexpr std::uint64_t kFlashCrowd = 2ull << 40;   // + crowd index
+constexpr std::uint64_t kReservoir = 3ull << 40;    // + reservoir tag
+constexpr std::uint64_t kKeyRotation = 4ull << 40;  // coordinator stream
+constexpr std::uint64_t kMerge = 5ull << 40;        // + merge tag
+}  // namespace lane
+
+}  // namespace p2pdrm::util

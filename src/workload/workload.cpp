@@ -96,6 +96,72 @@ double ZipfChannels::probability(std::size_t index) const {
   return index == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
 }
 
+ChannelPartition::ChannelPartition(std::size_t num_channels, double exponent,
+                                   std::size_t shards) {
+  if (num_channels == 0) throw std::invalid_argument("ChannelPartition: empty");
+  if (shards == 0) throw std::invalid_argument("ChannelPartition: zero shards");
+
+  std::vector<double> prob(num_channels);
+  double total = 0;
+  for (std::size_t i = 0; i < num_channels; ++i) {
+    prob[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    total += prob[i];
+  }
+  for (double& p : prob) p /= total;
+
+  shard_of_.resize(num_channels);
+  shares_.assign(shards, 0.0);
+  members_.resize(shards);
+  cdf_.resize(shards);
+  for (std::size_t rank = 0; rank < num_channels; ++rank) {
+    // Snake deal over popularity rank: pass k runs forward when k is even,
+    // backward when odd, so the heavy head channels spread across shards.
+    const std::size_t pass = rank / shards;
+    const std::size_t pos = rank % shards;
+    const std::size_t shard = (pass % 2 == 0) ? pos : shards - 1 - pos;
+    shard_of_[rank] = shard;
+    shares_[shard] += prob[rank];
+    members_[shard].push_back(rank);
+    cdf_[shard].push_back(shares_[shard]);
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (shares_[s] <= 0.0) continue;
+    for (double& v : cdf_[s]) v /= shares_[s];
+  }
+}
+
+std::size_t ChannelPartition::shard_of(std::size_t channel) const {
+  if (channel >= shard_of_.size()) {
+    throw std::out_of_range("ChannelPartition: channel");
+  }
+  return shard_of_[channel];
+}
+
+double ChannelPartition::share(std::size_t shard) const {
+  if (shard >= shares_.size()) throw std::out_of_range("ChannelPartition: shard");
+  return shares_[shard];
+}
+
+const std::vector<std::size_t>& ChannelPartition::members(
+    std::size_t shard) const {
+  if (shard >= members_.size()) {
+    throw std::out_of_range("ChannelPartition: shard");
+  }
+  return members_[shard];
+}
+
+std::size_t ChannelPartition::sample(std::size_t shard,
+                                     crypto::SecureRandom& rng) const {
+  if (shard >= cdf_.size()) throw std::out_of_range("ChannelPartition: shard");
+  const auto& cdf = cdf_[shard];
+  if (cdf.empty()) throw std::logic_error("ChannelPartition: empty shard");
+  const double u = rng.uniform_real();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const std::size_t idx = std::min(
+      static_cast<std::size_t>(std::distance(cdf.begin(), it)), cdf.size() - 1);
+  return members_[shard][idx];
+}
+
 std::vector<util::SimTime> FlashCrowd::arrivals(crypto::SecureRandom& rng) const {
   std::vector<util::SimTime> out;
   out.reserve(extra_sessions);

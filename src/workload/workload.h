@@ -77,6 +77,38 @@ class ZipfChannels {
   std::vector<double> cdf_;
 };
 
+/// Deterministic channel→shard partition for the sharded macro-sim.
+///
+/// Channels are dealt to shards in snake order over popularity rank
+/// (0,1,..,S-1,S-1,..,1,0,...), which keeps the Zipf mass per shard within
+/// a few percent of 1/S even at exponent 1. Each shard's conditional
+/// sampling CDF is precomputed once here — per-draw cost is one uniform
+/// and a binary search, never a fresh CDF build — so a shard samples its
+/// own channels exactly as if it had thinned the global Zipf stream.
+class ChannelPartition {
+ public:
+  ChannelPartition(std::size_t num_channels, double exponent,
+                   std::size_t shards);
+
+  std::size_t num_channels() const { return shard_of_.size(); }
+  std::size_t shards() const { return members_.size(); }
+
+  std::size_t shard_of(std::size_t channel) const;
+  /// Fraction of the global Zipf mass owned by `shard` (sums to 1).
+  double share(std::size_t shard) const;
+  /// Channels owned by `shard`, ascending popularity rank.
+  const std::vector<std::size_t>& members(std::size_t shard) const;
+  /// Sample a channel owned by `shard` from the Zipf distribution
+  /// conditioned on that shard (throws if the shard owns no channels).
+  std::size_t sample(std::size_t shard, crypto::SecureRandom& rng) const;
+
+ private:
+  std::vector<std::size_t> shard_of_;            // channel -> shard
+  std::vector<double> shares_;                   // shard -> global mass
+  std::vector<std::vector<std::size_t>> members_;  // shard -> channels
+  std::vector<std::vector<double>> cdf_;         // shard -> conditional CDF
+};
+
 /// A flash crowd: `extra_sessions` arrivals injected over `ramp` starting
 /// at `start` (live-event start times produce exactly this shape, §I).
 struct FlashCrowd {
