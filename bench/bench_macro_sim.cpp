@@ -83,6 +83,9 @@ struct RunStats {
   double events_per_second;
   std::uint64_t digest;
   std::uint64_t rss_kb;
+  // Wall-clock/imbalance telemetry; reported per run but never digested —
+  // the digest covers only thread-count-invariant outputs.
+  sim::MacroRuntimeStats runtime;
 };
 
 }  // namespace
@@ -126,6 +129,8 @@ int main(int argc, char** argv) {
     s.events_per_second = wall > 0 ? static_cast<double>(result.events) / wall : 0;
     s.digest = result_digest(result);
     s.rss_kb = peak_rss_kb();
+    s.runtime = result.runtime;
+    if (t == thread_counts.back()) run.maybe_write_prom(*result.registry);
     stats.push_back(s);
     std::printf("%-8zu %14llu %10.2fs %14.0f %9lluMB %18llx\n", t,
                 static_cast<unsigned long long>(s.events), s.wall_seconds,
@@ -163,12 +168,15 @@ int main(int argc, char** argv) {
     j.kv("events_per_second", s.events_per_second);
     j.kv("peak_rss_kb", s.rss_kb);
     j.kv("digest", digest);
+    j.key("runtime");
+    bench::SimRun::write_runtime_json(j, s.runtime);
     j.end_object();
   }
   j.end_array();
   j.kv("byte_identical", identical);
   j.kv("speedup", speedup);
   j.end_object();
+  run.set_runtime(stats.back().runtime);
   run.finish_artifact();
 
   return identical ? 0 : 1;

@@ -76,6 +76,8 @@ int main(int argc, char** argv) {
   }
   j.end_object();
   j.end_object();
+  run.set_runtime(result.runtime);
+  run.maybe_write_prom(*result.registry);
   run.finish_artifact();
   return 0;
 }

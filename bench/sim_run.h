@@ -14,6 +14,8 @@
 //        --out=PATH     artifact path (default BENCH_<name>.json)
 //        --trace-out=PATH       Chrome-trace export (env P2PDRM_TRACE_OUT)
 //        --timeseries-out=PATH  metrics CSV export  (env P2PDRM_TS_OUT)
+//        --prom-out=PATH        Prometheus exposition snapshot of the final
+//                               registry (env P2PDRM_PROM_OUT)
 //      Benches may read additional bench-specific flags through the same
 //      accessors.
 //
@@ -30,7 +32,10 @@
 //      `begin_artifact()` writes the envelope up to and including the
 //      "results" key; the bench then writes exactly one JSON value (object
 //      or array) through `json()`; `finish_artifact()` stamps the
-//      wall-clock and writes the file.
+//      wall-clock and writes the file. A bench that ran the macro-sim may
+//      call `set_runtime(result.runtime)` before finish_artifact() to add a
+//      "runtime" object (shard event counts, barrier-wait and imbalance
+//      telemetry) to the envelope.
 #pragma once
 
 #include <chrono>
@@ -119,6 +124,17 @@ class SimRun {
   std::string timeseries_out() const {
     return str_flag("timeseries-out", env_or_empty("P2PDRM_TS_OUT"));
   }
+  std::string prom_out() const {
+    return str_flag("prom-out", env_or_empty("P2PDRM_PROM_OUT"));
+  }
+
+  /// Dump a Prometheus exposition snapshot of `registry` to --prom-out /
+  /// P2PDRM_PROM_OUT. No-op when neither is set.
+  void maybe_write_prom(const obs::Registry& registry) const {
+    const std::string path = prom_out();
+    if (path.empty()) return;
+    write_file(path, obs::registry_to_prometheus(registry));
+  }
 
   JsonWriter& json() { return json_; }
 
@@ -148,9 +164,43 @@ class SimRun {
     json_.key("results");
   }
 
+  /// Record macro-sim runtime telemetry for the artifact envelope; emitted
+  /// as a top-level "runtime" object by finish_artifact(). The event-count
+  /// fields are deterministic; the *_seconds fields are wall-clock and must
+  /// never feed a reproducibility digest.
+  void set_runtime(const sim::MacroRuntimeStats& runtime) {
+    runtime_ = runtime;
+    have_runtime_ = true;
+  }
+
+  /// Serialize one MacroRuntimeStats as a JSON object value. Shared by the
+  /// envelope and by benches that emit per-run runtime blocks.
+  static void write_runtime_json(JsonWriter& j,
+                                 const sim::MacroRuntimeStats& rt) {
+    j.begin_object();
+    j.key("shard_events").begin_array();
+    for (const std::uint64_t e : rt.shard_events) j.value(e);
+    j.end_array();
+    j.kv("windows", rt.windows);
+    j.kv("imbalance_mean", rt.imbalance_mean);
+    j.kv("imbalance_max", rt.imbalance_max);
+    j.kv("window_wall_seconds", rt.window_wall_seconds);
+    j.kv("coordinator_wall_seconds", rt.coordinator_wall_seconds);
+    j.kv("barrier_wait_seconds", rt.barrier_wait_seconds);
+    j.kv("barrier_wait_fraction", rt.barrier_wait_fraction);
+    j.key("worker_busy_seconds").begin_array();
+    for (const double b : rt.worker_busy_seconds) j.value(b);
+    j.end_array();
+    j.end_object();
+  }
+
   /// Close the envelope (the bench must have completed its "results" value),
   /// stamp the wall clock, and write the artifact file.
   void finish_artifact() {
+    if (have_runtime_) {
+      json_.key("runtime");
+      write_runtime_json(json_, runtime_);
+    }
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - started_;
     json_.kv("wall_seconds", wall.count());
@@ -187,6 +237,8 @@ class SimRun {
   std::string name_;
   std::vector<Flag> flags_;
   JsonWriter json_;
+  sim::MacroRuntimeStats runtime_;
+  bool have_runtime_ = false;
   std::chrono::steady_clock::time_point started_;
 };
 

@@ -31,6 +31,9 @@
 #include "analysis/stats.h"
 #include "bench_common.h"
 #include "net/deployment.h"
+#include "obs/flight_recorder.h"
+#include "obs/runtime.h"
+#include "transport/thread_transport.h"
 
 using namespace p2pdrm;
 
@@ -69,6 +72,15 @@ int run_thread(int argc, char** argv) {
   bench::print_header("Validation — real stack, threaded transport (" +
                       std::to_string(drivers) + " driver threads, " +
                       std::to_string(sessions) + " sessions)");
+
+  // Post-mortem + profiling hooks, both opt-in via environment: the flight
+  // recorder dumps structured event rings if the live stack crashes, the
+  // profiler writes collapsed stacks + a Chrome trace at exit.
+  if (obs::FlightRecorder::global().arm_from_env()) {
+    std::printf("# flight recorder armed -> %s\n",
+                obs::FlightRecorder::global().dump_path());
+  }
+  const std::string profile_out = obs::Profiler::enable_global_from_env();
 
   net::DeploymentConfig cfg;
   cfg.seed = 99;
@@ -151,6 +163,16 @@ int run_thread(int argc, char** argv) {
   // only safe to read once the transport is quiescent.
   d.transport().shutdown();
 
+  // Event-loop telemetry: with the loops joined, every executed task has
+  // exactly one scheduling-latency sample (histogram count == tasks).
+  std::vector<obs::LoopStats> loop_stats;
+  obs::LatencyHistogram sched;
+  if (const auto* threaded =
+          dynamic_cast<const transport::ThreadTransport*>(&d.transport())) {
+    loop_stats = threaded->loop_stats();
+    sched = threaded->sched_latency();
+  }
+
   std::array<std::vector<double>, 5> lat;
   std::uint64_t rounds_ok = 0, rounds_failed = 0, retransmits = 0;
   for (const std::unique_ptr<net::AsyncClient>& c : clients) {
@@ -185,6 +207,24 @@ int run_thread(int argc, char** argv) {
                 analysis::quantile(lat[r], 0.99));
   }
 
+  if (!loop_stats.empty()) {
+    std::printf("\n%-8s %10s %10s %10s %6s %10s %10s\n", "loop", "tasks",
+                "busy(ms)", "idle(ms)", "util", "ready_pk", "timer_pk");
+    for (std::size_t i = 0; i < loop_stats.size(); ++i) {
+      const obs::LoopStats& ls = loop_stats[i];
+      std::printf("%-8zu %10llu %10.1f %10.1f %5.0f%% %10lld %10lld\n", i,
+                  static_cast<unsigned long long>(ls.tasks),
+                  static_cast<double>(ls.busy_us) / 1000.0,
+                  static_cast<double>(ls.idle_us) / 1000.0,
+                  ls.utilization() * 100.0,
+                  static_cast<long long>(ls.ready_peak),
+                  static_cast<long long>(ls.timer_peak));
+    }
+    std::printf("sched latency: p50 %.0fus p95 %.0fus p99 %.0fus (%llu samples)\n",
+                sched.p50(), sched.p95(), sched.p99(),
+                static_cast<unsigned long long>(sched.count()));
+  }
+
   bench::JsonWriter j;
   j.begin_object()
       .kv("bench", "validation_real_stack")
@@ -199,6 +239,28 @@ int run_thread(int argc, char** argv) {
       .kv("retransmits", retransmits)
       .kv("wall_seconds", wall_s)
       .kv("requests_per_second", rps);
+  j.key("loops").begin_array();
+  for (std::size_t i = 0; i < loop_stats.size(); ++i) {
+    const obs::LoopStats& ls = loop_stats[i];
+    j.begin_object()
+        .kv("loop", static_cast<std::uint64_t>(i))
+        .kv("tasks", ls.tasks)
+        .kv("timers_fired", ls.timers_fired)
+        .kv("busy_us", ls.busy_us)
+        .kv("idle_us", ls.idle_us)
+        .kv("utilization", ls.utilization())
+        .kv("ready_peak", ls.ready_peak)
+        .kv("timer_peak", ls.timer_peak)
+        .end_object();
+  }
+  j.end_array();
+  j.key("sched_latency_us")
+      .begin_object()
+      .kv("count", sched.count())
+      .kv("p50", sched.p50())
+      .kv("p95", sched.p95())
+      .kv("p99", sched.p99())
+      .end_object();
   j.key("rounds").begin_array();
   for (std::size_t r = 0; r < 5; ++r) {
     j.begin_object()
@@ -211,6 +273,15 @@ int run_thread(int argc, char** argv) {
   }
   j.end_array().end_object();
   bench::write_file(out, j.str());
+
+  if (!profile_out.empty()) {
+    obs::Profiler& prof = obs::Profiler::global();
+    prof.disable();
+    obs::write_text_file(profile_out, prof.collapsed());
+    obs::write_text_file(profile_out + ".trace.json", prof.chrome_trace());
+    std::printf("# profiler output written to %s (+.trace.json)\n",
+                profile_out.c_str());
+  }
 
   if (protocol_errors.load() != 0) {
     std::fprintf(stderr, "FAIL: %llu protocol errors on the live stack\n",

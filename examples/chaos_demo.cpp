@@ -17,6 +17,12 @@
 //                               # keeps SWITCH/renewal p99 within 2x the
 //                               # unloaded baseline, and returns to
 //                               # SLO-passing steady state after the drain
+//   ./chaos_demo --crash-test   # arm the flight recorder, drive one real
+//                               # session on the threaded transport, then
+//                               # abort() on an event loop; the process must
+//                               # die leaving a parseable post-mortem dump
+//                               # (P2PDRM_FLIGHT_OUT, default
+//                               # flight_crash.json) — the CI crash gate
 //   ./chaos_demo --crash-recovery
 //                               # durable farm state vs crash-at-worst-moment
 //                               # schedules (torn journal tails, wiped media,
@@ -47,17 +53,20 @@
 // Channel Manager clock, and throws a churn storm at the overlay — all
 // deterministic, all survivable with client resilience on.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <future>
 #include <sstream>
+#include <thread>
 
 #include "analysis/critical_path.h"
 #include "fault/fault_engine.h"
 #include "fault/report.h"
 #include "net/deployment.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 
@@ -620,6 +629,15 @@ std::future<core::DrmError> post_switch(net::Deployment& d, net::AsyncClient& c)
 int run_live_chaos() {
   std::printf("=== live chaos: packet faults on the threaded transport ===\n");
 
+  // Post-mortem safety net for the live run: if anything in the storm
+  // crashes the process, the recorder's signal handler leaves per-thread
+  // event rings behind. Opt-in via P2PDRM_FLIGHT_OUT; a clean run writes
+  // nothing (CI asserts exactly that under TSan).
+  if (obs::FlightRecorder::global().arm_from_env()) {
+    std::printf("flight recorder armed -> %s\n",
+                obs::FlightRecorder::global().dump_path());
+  }
+
   net::DeploymentConfig cfg;
   cfg.seed = 42;
   cfg.transport = net::TransportKind::kThread;
@@ -724,6 +742,45 @@ int run_live_chaos() {
   return ok ? 0 : 1;
 }
 
+/// Deliberate crash on the live transport: arm the flight recorder, drive
+/// one real session so the rings hold genuine breadcrumbs (net.send, timer
+/// fires), then abort() inside a posted task on an event loop. The signal
+/// handler must leave a parseable dump behind — CI runs this expecting a
+/// nonzero exit and validates the dump's JSON. Returns only on failure.
+int run_crash_test() {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (!recorder.arm_from_env()) recorder.arm("flight_crash.json");
+  std::printf("=== crash test: flight recorder armed -> %s ===\n",
+              recorder.dump_path());
+
+  net::DeploymentConfig cfg;
+  cfg.seed = 7;
+  cfg.transport = net::TransportKind::kThread;
+  cfg.transport_threads = 2;
+  cfg.default_link.latency.floor = 1 * util::kMillisecond;
+  cfg.default_link.latency.median = 3 * util::kMillisecond;
+  cfg.default_link.latency.sigma = 0.3;
+  cfg.default_link.loss = 0.0;
+  net::Deployment d(cfg);
+  const geo::RegionId region = d.geo().region_at(0);
+  d.add_regional_channel(kChannel, "crash", region);
+  d.start_channel_server(kChannel);
+  d.add_user("crash@example.com", "pw");
+  net::AsyncClient& c = d.add_client("crash@example.com", "pw", region);
+  if (post_join(d, c, false).get() != core::DrmError::kOk) {
+    std::fprintf(stderr, "crash test: provisioning session failed\n");
+    return 1;
+  }
+
+  d.network().post(c.config().node, 0, [] {
+    obs::FlightRecorder::global().record("crash.test", 0, 0, "deliberate");
+    std::abort();  // the handler dumps the rings, then re-raises
+  });
+  std::this_thread::sleep_for(std::chrono::seconds(10));
+  std::fprintf(stderr, "crash test FAILED: posted abort never fired\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -737,6 +794,8 @@ int main(int argc, char** argv) {
       return run_flash_crowd();
     } else if (arg == "--crash-recovery") {
       return run_crash_recovery();
+    } else if (arg == "--crash-test") {
+      return run_crash_test();
     } else if (arg.rfind("--transport=", 0) == 0) {
       const std::string transport = arg.substr(std::string("--transport=").size());
       if (transport == "thread") return run_live_chaos();

@@ -24,6 +24,7 @@
 
 #include "client/testbed.h"
 #include "net/deployment.h"
+#include "obs/flight_recorder.h"
 
 using namespace p2pdrm;
 
@@ -38,6 +39,13 @@ constexpr util::ChannelId kChannel = 1;
 int run_live(std::size_t viewers) {
   std::printf("flash crowd (threaded transport): %zu viewers stampeding\n",
               viewers);
+
+  // Crash post-mortem opt-in (P2PDRM_FLIGHT_OUT): a clean stampede writes
+  // no dump; a crash leaves the per-thread event rings behind.
+  if (obs::FlightRecorder::global().arm_from_env()) {
+    std::printf("flight recorder armed -> %s\n",
+                obs::FlightRecorder::global().dump_path());
+  }
 
   net::DeploymentConfig cfg;
   cfg.seed = 23;

@@ -341,6 +341,15 @@ void Deployment::schedule_scrape() {
     const util::SimTime t = now();
     if (slo_ != nullptr) slo_->tick(t, static_cast<double>(live));
     if (timeseries_ != nullptr) {
+      // On the live backend, fold the event-loop telemetry into the same
+      // registry the scrape reads — loop utilization and scheduling
+      // latency land in the time series next to the protocol metrics.
+      // (export_into is idempotent, and the loop locks it takes are free
+      // here: this task runs with its own loop's lock released.)
+      if (auto* threaded =
+              dynamic_cast<transport::ThreadTransport*>(transport_.get())) {
+        threaded->export_into(registry_);
+      }
       timeseries_->record("load.clients", t, static_cast<double>(live));
       timeseries_->scrape(registry_, t);
     }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
 #include "transport/sim_transport.h"
 
 namespace p2pdrm::net {
@@ -152,6 +153,9 @@ util::SimTime Network::local_time(util::NodeId id) const {
 void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   sent_.fetch_add(1, std::memory_order_relaxed);
   if (m_sent_ != nullptr) m_sent_->inc();
+  // Post-mortem breadcrumb; a single relaxed load when the recorder is
+  // disarmed (the default).
+  obs::FlightRecorder::global().record("net.send", from, to);
 
   util::NetAddr from_addr;
   util::NetAddr to_addr;
@@ -186,6 +190,7 @@ void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   if (combined.drop) {
     dropped_injected_.fetch_add(1, std::memory_order_relaxed);
     if (m_dropped_injected_ != nullptr) m_dropped_injected_->inc();
+    obs::FlightRecorder::global().record("net.drop", from, to, "injected");
     notify_fate(chain, ctx, PacketFate::kInterceptorDropped,
                 combined.extra_delay);
     return;
@@ -209,6 +214,7 @@ void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   if (link_dropped) {
     dropped_link_.fetch_add(1, std::memory_order_relaxed);
     if (m_dropped_link_ != nullptr) m_dropped_link_->inc();
+    obs::FlightRecorder::global().record("net.drop", from, to, "link");
     notify_fate(chain, ctx, PacketFate::kLinkDropped, combined.extra_delay);
     return;
   }
@@ -232,6 +238,8 @@ void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
     if (node == nullptr) {
       dropped_no_dest_.fetch_add(1, std::memory_order_relaxed);
       if (m_dropped_no_dest_ != nullptr) m_dropped_no_dest_->inc();
+      obs::FlightRecorder::global().record("net.drop", packet.from, packet.to,
+                                           "no_destination");
       notify_fate(arrival_chain, arrival, PacketFate::kNoDestination, delay);
       return;
     }

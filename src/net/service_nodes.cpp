@@ -1,5 +1,7 @@
 #include "net/service_nodes.h"
 
+#include "obs/flight_recorder.h"
+
 namespace p2pdrm::net {
 
 namespace {
@@ -73,7 +75,7 @@ void admit_or_shed(ServiceQueue* queue, obs::Registry* registry,
   const ServiceQueue::Decision d =
       queue->admit(now, service, sheddable_kind(env.kind));
   if (registry != nullptr) {
-    registry->gauge("server.queue.depth." + std::to_string(self))
+    registry->gauge("server.queue.depth", std::to_string(self))
         .set(static_cast<std::int64_t>(queue->depth(now)));
   }
   if (!d.accepted) {
@@ -81,6 +83,9 @@ void admit_or_shed(ServiceQueue* queue, obs::Registry* registry,
       registry->counter("server.shed", std::string(to_string(env.kind))).inc();
       registry->counter("server.busy_sent").inc();
     }
+    obs::FlightRecorder::global().record("server.shed", self,
+                                         static_cast<std::uint64_t>(d.depth),
+                                         std::string(to_string(env.kind)).c_str());
     if (tracer != nullptr) {
       const obs::SpanId parent = tracer->bound_request(packet.from, env.request_id);
       const obs::SpanId span = tracer->begin_span(

@@ -182,10 +182,19 @@ void split_family(const std::string& name, std::string* metric,
   }
 }
 
+/// One HELP + TYPE pair per family, emitted before its first sample. HELP
+/// carries the registry's original dotted name, so a scrape consumer can
+/// map the sanitized Prometheus name back to the source metric.
 void append_type_line(std::string& out, const std::string& metric,
-                      const char* type, std::string* last_typed) {
+                      const std::string& original, const char* type,
+                      std::string* last_typed) {
   if (metric == *last_typed) return;
   *last_typed = metric;
+  out += "# HELP ";
+  out += metric;
+  out += ' ';
+  out += original;
+  out += '\n';
   out += "# TYPE ";
   out += metric;
   out += ' ';
@@ -231,21 +240,23 @@ std::string registry_to_prometheus(const Registry& registry) {
   std::string metric, label, last_typed;
   for (const auto& [name, counter] : registry.counters()) {
     split_family(name, &metric, &label);
+    const std::string original = metric;
     metric = prom_name(metric);
-    append_type_line(out, metric, "counter", &last_typed);
+    append_type_line(out, metric, original, "counter", &last_typed);
     std::snprintf(value, sizeof(value), "%" PRIu64, counter.value());
     append_sample(out, metric, label.empty() ? "" : "label", label, value);
   }
   for (const auto& [name, gauge] : registry.gauges()) {
     split_family(name, &metric, &label);
+    const std::string original = metric;
     metric = prom_name(metric);
-    append_type_line(out, metric, "gauge", &last_typed);
+    append_type_line(out, metric, original, "gauge", &last_typed);
     std::snprintf(value, sizeof(value), "%" PRId64, gauge.value());
     append_sample(out, metric, label.empty() ? "" : "label", label, value);
   }
   for (const auto& [name, h] : registry.histograms()) {
     metric = prom_name(name);
-    append_type_line(out, metric, "summary", &last_typed);
+    append_type_line(out, metric, name, "summary", &last_typed);
     const double quantiles[3] = {h.p50(), h.p95(), h.p99()};
     const char* q_labels[3] = {"0.5", "0.95", "0.99"};
     for (int i = 0; i < 3; ++i) {

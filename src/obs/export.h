@@ -34,8 +34,11 @@ std::string histogram_buckets_to_csv(const std::string& name,
 /// Prometheus text exposition format (version 0.0.4). Dots and dashes in
 /// metric names become underscores; a registry family "fam{label}" renders
 /// as `fam{label="..."}` with the label value escaped; histograms render
-/// as summaries (`{quantile="0.5"}`, `_sum`, `_count`). Iteration follows
-/// the registry's name order, so output is byte-stable.
+/// as summaries (`{quantile="0.5"}`, `_sum`, `_count`). Every family gets
+/// one `# HELP` line (carrying the original dotted name, so consumers can
+/// map sanitized names back) and one `# TYPE` line before its first
+/// sample. Iteration follows the registry's name order, so output is
+/// byte-stable.
 std::string registry_to_prometheus(const Registry& registry);
 
 /// JSON string escaping (exposed for the exporters' tests).

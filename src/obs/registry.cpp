@@ -45,6 +45,10 @@ Gauge& Registry::gauge(const std::string& name) {
   return gauges_[name];
 }
 
+Gauge& Registry::gauge(const std::string& family, const std::string& label) {
+  return gauge(family + "{" + label + "}");
+}
+
 LatencyHistogram& Registry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   return histograms_[name];

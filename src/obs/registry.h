@@ -88,6 +88,9 @@ class Registry {
   /// Labelled member of a counter family, stored as "family{label}".
   Counter& counter(const std::string& family, const std::string& label);
   Gauge& gauge(const std::string& name);
+  /// Labelled member of a gauge family, stored as "family{label}" — the
+  /// shape per-instance dimensions use ("server.queue.depth{3}").
+  Gauge& gauge(const std::string& family, const std::string& label);
   LatencyHistogram& histogram(const std::string& name);
 
   /// Read-only lookups: nullptr when the metric was never created.

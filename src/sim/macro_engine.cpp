@@ -1,10 +1,14 @@
 #include "sim/macro_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "obs/runtime.h"
 #include "sim/macro_shard.h"
 #include "util/rng.h"
 
@@ -18,7 +22,7 @@ namespace p2pdrm::sim {
 class MacroEngine::Pool {
  public:
   Pool(std::vector<std::unique_ptr<MacroShard>>& shards, std::size_t threads)
-      : shards_(shards) {
+      : shards_(shards), busy_seconds_(threads, 0.0) {
     workers_.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       workers_.emplace_back([this, t] { worker_main(t); });
@@ -51,8 +55,20 @@ class MacroEngine::Pool {
     }
   }
 
+  /// Per-worker wall time spent inside run_window calls (read between
+  /// windows or after the last one — workers are parked then).
+  std::vector<double> busy_seconds() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return busy_seconds_;
+  }
+
  private:
   void worker_main(std::size_t tid) {
+    {
+      char label[32];
+      std::snprintf(label, sizeof(label), "macro-worker-%zu", tid);
+      obs::Profiler::global().attach_thread(label);
+    }
     std::uint64_t seen = 0;
     for (;;) {
       util::SimTime end = 0;
@@ -63,7 +79,9 @@ class MacroEngine::Pool {
         seen = generation_;
         end = window_end_;
       }
+      const auto t0 = std::chrono::steady_clock::now();
       try {
+        obs::Profiler::Scope scope(obs::Profiler::global(), "macro.run_window");
         for (std::size_t s = tid; s < shards_.size(); s += workers_.size()) {
           shards_[s]->run_window(end);
         }
@@ -71,8 +89,11 @@ class MacroEngine::Pool {
         std::lock_guard<std::mutex> lk(mu_);
         if (!error_) error_ = std::current_exception();
       }
+      const std::chrono::duration<double> busy =
+          std::chrono::steady_clock::now() - t0;
       {
         std::lock_guard<std::mutex> lk(mu_);
+        busy_seconds_[tid] += busy.count();
         ++done_;
       }
       done_cv_.notify_one();
@@ -81,13 +102,14 @@ class MacroEngine::Pool {
 
   std::vector<std::unique_ptr<MacroShard>>& shards_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable start_cv_, done_cv_;
   std::uint64_t generation_ = 0;
   std::size_t done_ = 0;
   util::SimTime window_end_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;
+  std::vector<double> busy_seconds_;
 };
 
 MacroEngine::MacroEngine(const MacroSimConfig& config)
@@ -114,7 +136,7 @@ MacroEngine::MacroEngine(const MacroSimConfig& config)
   if (cfg_.key_rotation.enabled) {
     rotations_issued_ = &coord_registry_.counter("macro.key.rotations_issued");
     epochs_delivered_ = &coord_registry_.counter("macro.key.epochs_delivered");
-    key_lag_ = &coord_registry_.histogram("macro.key.delivery_lag");
+    key_lag_ = &coord_registry_.histogram("macro.key.delivery_lag_us");
     key_staleness_ = &coord_registry_.gauge("macro.key.max_staleness_us");
     next_rotation_ = cfg_.key_rotation.interval;
   }
@@ -136,17 +158,67 @@ void MacroEngine::run_windows() {
   std::unique_ptr<Pool> pool;
   if (threads_used_ > 1) pool = std::make_unique<Pool>(shards_, threads_used_);
 
+  // Per-shard event counters (the deterministic side of the runtime
+  // telemetry): delta-incremented at every barrier, so the final value is
+  // exactly the shard's lifetime event count.
+  std::vector<obs::Counter*> shard_event_counters;
+  shard_event_counters.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shard_event_counters.push_back(
+        &coord_registry_.counter("macro.shard.events", std::to_string(s)));
+  }
+  obs::Gauge& imbalance_gauge =
+      coord_registry_.gauge("macro.shard.imbalance_max_permille");
+  std::vector<std::uint64_t> events_prev(shards_.size(), 0);
+  double imbalance_sum = 0;
+  std::uint64_t imbalance_windows = 0;
+
   util::SimTime t = 0;
   std::int64_t total = 0;  // global concurrency as of the last barrier
   while (t < horizon_) {
     const util::SimTime t_next =
         std::min<util::SimTime>(t + cfg_.shard_sync_interval, horizon_);
+    const auto w0 = std::chrono::steady_clock::now();
     if (pool) {
       pool->run_window(t_next);
     } else {
+      obs::Profiler::Scope scope(obs::Profiler::global(), "macro.run_window");
       for (auto& shard : shards_) shard->run_window(t_next);
     }
-    coordinate(t, t_next, static_cast<double>(total));
+    const auto w1 = std::chrono::steady_clock::now();
+    runtime_.window_wall_seconds +=
+        std::chrono::duration<double>(w1 - w0).count();
+    ++runtime_.windows;
+
+    // Load imbalance over this window: max/mean of the per-shard event
+    // deltas. A pure function of (config, seed, shards) — thread-safe to
+    // put in the digested registry.
+    std::uint64_t window_total = 0, window_max = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::uint64_t events = shards_[s]->events();
+      const std::uint64_t delta = events - events_prev[s];
+      events_prev[s] = events;
+      shard_event_counters[s]->inc(delta);
+      window_total += delta;
+      window_max = std::max(window_max, delta);
+    }
+    if (window_total > 0) {
+      const double mean = static_cast<double>(window_total) /
+                          static_cast<double>(shards_.size());
+      const double imbalance = static_cast<double>(window_max) / mean;
+      imbalance_sum += imbalance;
+      ++imbalance_windows;
+      runtime_.imbalance_max = std::max(runtime_.imbalance_max, imbalance);
+      imbalance_gauge.set_max(std::llround(imbalance * 1000.0));
+    }
+
+    {
+      obs::Profiler::Scope scope(obs::Profiler::global(), "macro.coordinate");
+      coordinate(t, t_next, static_cast<double>(total));
+    }
+    runtime_.coordinator_wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - w1)
+            .count();
 
     std::int64_t new_total = 0;
     for (auto& shard : shards_) new_total += shard->concurrency();
@@ -156,6 +228,27 @@ void MacroEngine::run_windows() {
     barrier_peak_ = std::max(barrier_peak_, static_cast<double>(new_total));
     total = new_total;
     t = t_next;
+  }
+
+  if (imbalance_windows > 0) {
+    runtime_.imbalance_mean =
+        imbalance_sum / static_cast<double>(imbalance_windows);
+  }
+  if (pool) {
+    runtime_.worker_busy_seconds = pool->busy_seconds();
+    double busy_total = 0;
+    for (const double b : runtime_.worker_busy_seconds) busy_total += b;
+    const double capacity = static_cast<double>(threads_used_) *
+                            runtime_.window_wall_seconds;
+    runtime_.barrier_wait_seconds = std::max(0.0, capacity - busy_total);
+    if (capacity > 0) {
+      runtime_.barrier_wait_fraction =
+          runtime_.barrier_wait_seconds / capacity;
+    }
+  } else {
+    // Single-threaded fan-out: the caller is the only worker and never
+    // waits at a barrier.
+    runtime_.worker_busy_seconds = {runtime_.window_wall_seconds};
   }
 }
 
@@ -296,6 +389,9 @@ MacroSimResult MacroEngine::merge_results() {
   MacroSimResult result;
   result.shards_used = cfg_.shards;
   result.threads_used = threads_used_;
+  runtime_.shard_events.clear();
+  for (auto& shard : shards_) runtime_.shard_events.push_back(shard->events());
+  result.runtime = runtime_;
 
   // Metrics: shard registries in index order, then the coordinator's.
   result.registry = std::make_shared<obs::Registry>();

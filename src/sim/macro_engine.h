@@ -74,6 +74,9 @@ class MacroEngine {
   std::uint64_t rotation_counter_ = 0;
   std::uint64_t coordinator_events_ = 0;
   double barrier_peak_ = 0;
+  /// Wall-clock/imbalance telemetry accumulated by run_windows (see
+  /// MacroRuntimeStats); copied into the result by merge_results.
+  MacroRuntimeStats runtime_;
 };
 
 }  // namespace p2pdrm::sim

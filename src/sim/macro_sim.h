@@ -198,6 +198,36 @@ std::string hourly_histogram_name(ProtocolRound r, std::size_t hour);
 std::string split_histogram_name(ProtocolRound r, bool peak);
 std::string round_histogram_name(ProtocolRound r);
 
+/// Engine runtime telemetry: where the sharded run spent its wall-clock
+/// and how evenly the load spread across shards. The event-count fields
+/// (shard_events, windows, imbalance_*) are pure functions of
+/// (config, seed, shards) — identical at any thread count — while the
+/// *_seconds fields are wall-clock measurements and must stay OUT of any
+/// byte-identity digest.
+struct MacroRuntimeStats {
+  /// Events processed per shard over the whole run, shard-index order.
+  std::vector<std::uint64_t> shard_events;
+  /// Sync windows (barriers) executed.
+  std::uint64_t windows = 0;
+  /// Load imbalance = max/mean events per shard within one sync window,
+  /// averaged over windows with any events, and the worst single window.
+  /// 1.0 is perfect balance; S (the shard count) is one shard doing
+  /// everything.
+  double imbalance_mean = 1.0;
+  double imbalance_max = 1.0;
+  /// Wall time inside shard fan-out (includes barrier wait) and inside the
+  /// coordinator's barrier work.
+  double window_wall_seconds = 0;
+  double coordinator_wall_seconds = 0;
+  /// Worker-thread wall time lost waiting at barriers:
+  /// threads * window_wall - sum(worker busy). 0 for single-threaded runs.
+  double barrier_wait_seconds = 0;
+  /// barrier_wait / (threads * window_wall); 0 when nothing was measured.
+  double barrier_wait_fraction = 0;
+  /// Per-worker busy seconds inside run_window calls, worker-index order.
+  std::vector<double> worker_busy_seconds;
+};
+
 struct MacroSimResult {
   std::array<RoundTrace, kNumRounds> rounds;
   /// Bucketed latency histograms for every round (hourly + peak/off-peak +
@@ -227,6 +257,9 @@ struct MacroSimResult {
   std::uint64_t events = 0;
   std::size_t shards_used = 1;
   std::size_t threads_used = 1;
+  /// Engine wall-clock/load-balance telemetry (see MacroRuntimeStats for
+  /// which fields are deterministic).
+  MacroRuntimeStats runtime;
 
   const RoundTrace& round(ProtocolRound r) const {
     return rounds[static_cast<std::size_t>(r)];

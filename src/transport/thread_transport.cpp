@@ -1,6 +1,10 @@
 #include "transport/thread_transport.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
 
 namespace p2pdrm::transport {
 
@@ -24,7 +28,7 @@ ThreadTransport::ThreadTransport(Config config)
   }
   for (std::size_t i = 0; i < n; ++i) {
     Loop* loop = loops_[i].get();
-    loop->thread = std::thread([this, loop] { run_loop(*loop); });
+    loop->thread = std::thread([this, loop, i] { run_loop(*loop, i); });
   }
 }
 
@@ -49,42 +53,66 @@ void ThreadTransport::post(std::size_t group, util::SimTime delay, Task task) {
       return;
     }
     if (delay <= 0) {
-      loop.ready.push_back(std::move(task));
+      loop.ready.push_back(Ready{std::move(task), now()});
+      loop.ready_peak = std::max(loop.ready_peak, loop.ready.size());
     } else {
       loop.timers.push_back(Timer{now() + delay, loop.next_seq++, std::move(task)});
       std::push_heap(loop.timers.begin(), loop.timers.end(), TimerLater{});
+      loop.timer_peak = std::max(loop.timer_peak, loop.timers.size());
     }
   }
   loop.cv.notify_one();
 }
 
-void ThreadTransport::run_loop(Loop& loop) {
+void ThreadTransport::run_loop(Loop& loop, std::size_t index) {
+  char label[24];
+  std::snprintf(label, sizeof(label), "loop-%zu", index);
+  obs::Profiler::global().attach_thread(label);
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  flight.attach_thread(label);
+
   std::unique_lock<std::mutex> lk(loop.mu);
   for (;;) {
     // Promote due timers into the ready queue (FIFO by due time, then seq).
     const util::SimTime t = now();
     while (!loop.timers.empty() && loop.timers.front().when <= t) {
       std::pop_heap(loop.timers.begin(), loop.timers.end(), TimerLater{});
-      loop.ready.push_back(std::move(loop.timers.back().task));
+      Timer& fired = loop.timers.back();
+      flight.record("loop.timer_fire", index, fired.seq);
+      loop.ready.push_back(Ready{std::move(fired.task), fired.when});
       loop.timers.pop_back();
+      ++loop.timers_fired;
+      loop.ready_peak = std::max(loop.ready_peak, loop.ready.size());
     }
     if (!loop.ready.empty()) {
-      Task task = std::move(loop.ready.front());
+      Ready item = std::move(loop.ready.front());
       loop.ready.pop_front();
       lk.unlock();
-      task();
-      task = nullptr;  // destroy captures outside the lock
+      const util::SimTime t0 = now();
+      loop.sched_latency.record(std::max<util::SimTime>(0, t0 - item.due));
+      {
+        obs::Profiler::Scope scope(obs::Profiler::global(), "transport.task");
+        item.task();
+      }
+      item.task = nullptr;  // destroy captures outside the lock
+      const util::SimTime t1 = now();
       lk.lock();
       ++loop.executed;
+      loop.busy_us += t1 - t0;
       continue;
     }
-    if (loop.stopping) return;  // ready drained; undue timers are discarded
+    if (loop.stopping) {  // ready drained; undue timers are discarded
+      flight.record("loop.stop", index, loop.executed);
+      return;
+    }
+    const util::SimTime w0 = now();
     if (loop.timers.empty()) {
       loop.cv.wait(lk);
     } else {
       loop.cv.wait_until(
           lk, start_ + std::chrono::microseconds(loop.timers.front().when));
     }
+    loop.idle_us += now() - w0;
   }
 }
 
@@ -116,6 +144,37 @@ std::uint64_t ThreadTransport::tasks_executed() const {
     total += loop->executed;
   }
   return total;
+}
+
+std::vector<obs::LoopStats> ThreadTransport::loop_stats() const {
+  std::vector<obs::LoopStats> out;
+  out.reserve(loops_.size());
+  for (const std::unique_ptr<Loop>& loop : loops_) {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    obs::LoopStats ls;
+    ls.tasks = loop->executed;
+    ls.timers_fired = loop->timers_fired;
+    ls.busy_us = loop->busy_us;
+    ls.idle_us = loop->idle_us;
+    ls.ready_peak = static_cast<std::int64_t>(loop->ready_peak);
+    ls.timer_peak = static_cast<std::int64_t>(loop->timer_peak);
+    out.push_back(ls);
+  }
+  return out;
+}
+
+obs::LatencyHistogram ThreadTransport::sched_latency() const {
+  obs::LatencyHistogram merged;
+  for (const std::unique_ptr<Loop>& loop : loops_) {
+    merged.merge(loop->sched_latency);
+  }
+  return merged;
+}
+
+void ThreadTransport::export_into(obs::Registry& registry,
+                                  const std::string& prefix) const {
+  const obs::LatencyHistogram merged = sched_latency();
+  obs::export_loop_stats(registry, prefix, loop_stats(), &merged);
 }
 
 }  // namespace p2pdrm::transport

@@ -6,6 +6,19 @@
 // due timers into the ready queue and runs tasks one at a time, which is
 // what gives node state its loop confinement (see transport.h).
 //
+// Telemetry: each loop keeps lifetime counters — tasks executed, timers
+// fired, busy/idle wall time, ready-deque and timer-heap depth high-water
+// marks — plus a post-to-run scheduling-latency histogram (dequeue time
+// minus the moment the task became eligible: post time for immediate
+// tasks, due time for timers). Every executed task contributes exactly one
+// latency sample, including tasks drained during shutdown, so the
+// histogram count equals tasks_executed() once the loops have joined.
+// loop_stats()/sched_latency() snapshot these under the loop locks;
+// export_into() publishes them into an obs::Registry in the
+// "transport.loop.*" / "transport.sched_latency_us" families (idempotent,
+// so a periodic scrape tick can call it repeatedly). Loop threads register
+// with the global Profiler and FlightRecorder as "loop-<n>".
+//
 // Shutdown is graceful: each loop finishes the tasks already in its ready
 // queue, discards undue timers, and joins. Tasks posted after shutdown
 // began are counted, not run — a send dropped at teardown looks exactly
@@ -22,7 +35,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/runtime.h"
 #include "transport/transport.h"
+
+namespace p2pdrm::obs {
+class Registry;
+}
 
 namespace p2pdrm::transport {
 
@@ -55,6 +74,18 @@ class ThreadTransport final : public Transport {
   /// Tasks refused because shutdown had already begun.
   std::uint64_t tasks_dropped() const { return dropped_.load(); }
 
+  /// Per-loop telemetry snapshot, index order (exact after shutdown; a
+  /// consistent-per-loop lower bound while running).
+  std::vector<obs::LoopStats> loop_stats() const;
+  /// Post-to-run scheduling latency, merged across loops. After shutdown
+  /// its count equals tasks_executed(): one sample per executed task, none
+  /// lost in the drain.
+  obs::LatencyHistogram sched_latency() const;
+  /// Publish loop stats + scheduling latency into `registry` under
+  /// `prefix` (see obs::export_loop_stats). Idempotent; scrape-tick safe.
+  void export_into(obs::Registry& registry,
+                   const std::string& prefix = "transport") const;
+
  private:
   struct Timer {
     util::SimTime when = 0;
@@ -68,18 +99,31 @@ class ThreadTransport final : public Transport {
       return a.seq > b.seq;
     }
   };
+  /// A ready task plus the moment it became eligible to run (post time,
+  /// or the timer's due time) — the baseline for scheduling latency.
+  struct Ready {
+    Task task;
+    util::SimTime due = 0;
+  };
   struct Loop {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Task> ready;     // MPSC: many posters, one loop thread
+    std::deque<Ready> ready;    // MPSC: many posters, one loop thread
     std::vector<Timer> timers;  // heap via TimerLater
     std::uint64_t next_seq = 0;
     std::uint64_t executed = 0;
+    std::uint64_t timers_fired = 0;
+    std::int64_t busy_us = 0;
+    std::int64_t idle_us = 0;
+    std::size_t ready_peak = 0;
+    std::size_t timer_peak = 0;
     bool stopping = false;
+    /// Own mutex (see histogram.h), recorded outside loop.mu.
+    obs::LatencyHistogram sched_latency;
     std::thread thread;
   };
 
-  void run_loop(Loop& loop);
+  void run_loop(Loop& loop, std::size_t index);
 
   std::chrono::steady_clock::time_point start_;
   std::vector<std::unique_ptr<Loop>> loops_;

@@ -150,7 +150,7 @@ TEST(MacroObsTest, KeyRotationEpochFormsFanoutSpanTree) {
   const obs::Counter* delivered =
       result.registry->find_counter("macro.key.epochs_delivered");
   const obs::LatencyHistogram* lag =
-      result.registry->find_histogram("macro.key.delivery_lag");
+      result.registry->find_histogram("macro.key.delivery_lag_us");
   ASSERT_NE(issued, nullptr);
   ASSERT_NE(delivered, nullptr);
   ASSERT_NE(lag, nullptr);

@@ -9,6 +9,7 @@
 
 #include "obs/export.h"
 #include "obs/registry.h"
+#include "obs/runtime.h"
 #include "obs/trace.h"
 
 namespace p2pdrm::obs {
@@ -296,6 +297,122 @@ TEST(ExportTest, ChromeTraceShape) {
   EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instant event
   EXPECT_NE(out.find("\"dur\":10"), std::string::npos);
   EXPECT_EQ(out.rfind("]}\n"), out.size() - 3);
+}
+
+TEST(ExportTest, PrometheusSanitizesNamesAndEmitsHelpType) {
+  Registry reg;
+  reg.counter("net.packets.sent").inc(5);
+  reg.counter("ops", "access-denied").inc(2);
+  reg.counter("ops", "ok").inc(3);
+  reg.gauge("load.concurrent").set(42);
+  reg.histogram("transport.sched_latency_us").record(100);
+
+  const std::string out = registry_to_prometheus(reg);
+
+  // Dots become underscores in sample lines; the dotted original survives
+  // only inside HELP comments.
+  EXPECT_NE(out.find("net_packets_sent 5"), std::string::npos);
+  EXPECT_NE(out.find("load_concurrent 42"), std::string::npos);
+  EXPECT_EQ(out.find("\nnet.packets"), std::string::npos);
+
+  // Family labels ride as a Prometheus label, not in the name.
+  EXPECT_NE(out.find("ops{label=\"access-denied\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("ops{label=\"ok\"} 3"), std::string::npos);
+
+  // HELP maps the sanitized name back to the dotted original; TYPE follows.
+  EXPECT_NE(out.find("# HELP net_packets_sent net.packets.sent\n"
+                     "# TYPE net_packets_sent counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE load_concurrent gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("# HELP transport_sched_latency_us "
+                     "transport.sched_latency_us\n"
+                     "# TYPE transport_sched_latency_us summary\n"),
+            std::string::npos);
+
+  // One HELP/TYPE pair per family even with several samples.
+  const std::string ops_type = "# TYPE ops counter";
+  const std::size_t first = out.find(ops_type);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find(ops_type, first + 1), std::string::npos);
+
+  // Summaries expose quantiles plus _sum/_count.
+  EXPECT_NE(out.find("{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(out.find("transport_sched_latency_us_count 1"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEveryLineIsExposable) {
+  Registry reg;
+  reg.counter("a.total").inc();
+  reg.gauge("b.depth", "7").set(1);
+  reg.histogram("c.lat_us").record(5);
+  const std::string out = registry_to_prometheus(reg);
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // "<name>[{label}] <value>": the name part is strictly
+    // [a-zA-Z_:][a-zA-Z0-9_:]*.
+    const std::size_t stop = line.find_first_of("{ ");
+    ASSERT_NE(stop, std::string::npos) << line;
+    for (std::size_t i = 0; i < stop; ++i) {
+      const char c = line[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok && !(i == 0 && c >= '0' && c <= '9')) << line;
+    }
+  }
+}
+
+// --- the repo-wide metric name inventory ---
+
+// Every metric name any subsystem registers, as documented in DESIGN.md §7.
+// New metrics must be added here and must pass the naming convention —
+// this is the tripwire against drift (unit-less quantities, instance
+// indices embedded in names, capitalized subsystems).
+TEST(NamingTest, InventoryObeysTheConvention) {
+  const char* kNames[] = {
+      // net
+      "net.packets.sent", "net.packets.delivered",
+      "net.packets.dropped.injected", "net.packets.dropped.link",
+      "net.packets.dropped.no_destination",
+      // store
+      "store.replication.rounds", "store.replication.interval_us",
+      "store.lost_records", "store.audit.max_loss_window_us",
+      "store.recovery.count", "store.recovery.time_us",
+      "store.recovery.full_transfers", "store.recovery.antientropy_ops",
+      "store.recovery.replayed", "store.replay.corrupt",
+      "store.replay.corrupt_bytes", "store.snapshots.taken",
+      // keys
+      "keys.rotations_issued", "keys.epochs_delivered",
+      "keys.max_staleness_us", "keys.delivery_margin_us",
+      // ops / server / client
+      "ops.total", "ops{ok}", "ops{access-denied}", "ops{timeout}",
+      "server.drops{malformed}", "server.shed{login1-req}", "server.busy_sent",
+      "server.queue.depth{0}", "client.round.LOGIN1", "client.round.JOIN",
+      "client.breaker.fast_fail", "client.retry_budget.exhausted",
+      "client.busy.received", "client.busy.deferred",
+      // tracker
+      "tracker.announcements", "tracker.load_updates", "tracker.unregisters",
+      "tracker.evictions", "tracker.samples", "tracker.peers",
+      // macro-sim
+      "macro.key.rotations_issued", "macro.key.epochs_delivered",
+      "macro.key.delivery_lag_us", "macro.key.max_staleness_us",
+      "macro.round.LOGIN1", "macro.round.SWITCH2.hour042",
+      "macro.round.JOIN.peak", "macro.round.JOIN.offpeak",
+      "macro.shard.events{0}", "macro.shard.imbalance_max_permille",
+      // load + transport runtime
+      "load.concurrent", "load.clients", "transport.loop.tasks{0}",
+      "transport.loop.timers_fired{1}", "transport.loop.busy_us{0}",
+      "transport.loop.idle_us{0}", "transport.loop.ready_peak{0}",
+      "transport.loop.timer_peak{0}", "transport.loop.utilization_permille{0}",
+      "transport.sched_latency_us",
+  };
+  for (const char* name : kNames) {
+    EXPECT_TRUE(metric_name_ok(name)) << name;
+  }
 }
 
 TEST(ExportTest, HistogramCsv) {

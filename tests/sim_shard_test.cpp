@@ -68,6 +68,31 @@ void expect_identical(const MacroSimResult& a, const MacroSimResult& b,
   ASSERT_NE(a.registry, nullptr);
   ASSERT_NE(b.registry, nullptr);
   EXPECT_EQ(a.registry->to_string(), b.registry->to_string()) << label;
+  // Event-count runtime telemetry is deterministic (the wall-clock fields
+  // deliberately are not and stay out of every digest).
+  EXPECT_EQ(a.runtime.shard_events, b.runtime.shard_events) << label;
+  EXPECT_EQ(a.runtime.windows, b.runtime.windows) << label;
+}
+
+TEST(ShardedEngineTest, RuntimeStatsDescribeTheRun) {
+  MacroSimConfig cfg = sharded_config();
+  cfg.threads = 2;
+  const MacroSimResult r = run_macro_sim(cfg);
+  ASSERT_EQ(r.runtime.shard_events.size(), cfg.shards);
+  std::uint64_t shard_total = 0;
+  for (const std::uint64_t e : r.runtime.shard_events) shard_total += e;
+  EXPECT_GT(shard_total, 0u);
+  EXPECT_LE(shard_total, r.events);  // coordinator events are not shard work
+  EXPECT_GT(r.runtime.windows, 0u);
+  // Imbalance is max-over-mean per window: >= 1 by construction, and the
+  // worst window bounds the average.
+  EXPECT_GE(r.runtime.imbalance_mean, 1.0);
+  EXPECT_GE(r.runtime.imbalance_max, r.runtime.imbalance_mean);
+  EXPECT_EQ(r.runtime.worker_busy_seconds.size(), r.threads_used);
+  EXPECT_GE(r.runtime.window_wall_seconds, 0.0);
+  EXPECT_GE(r.runtime.barrier_wait_seconds, 0.0);
+  EXPECT_GE(r.runtime.barrier_wait_fraction, 0.0);
+  EXPECT_LE(r.runtime.barrier_wait_fraction, 1.0);
 }
 
 TEST(ShardedEngineTest, SameSeedByteIdenticalAcrossThreadCounts) {

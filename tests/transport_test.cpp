@@ -6,6 +6,7 @@
 // contract (DESIGN.md §10) — run them under P2PDRM_SANITIZE=thread.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "net/deployment.h"
 #include "net/network.h"
 #include "obs/registry.h"
+#include "obs/runtime.h"
 #include "obs/trace.h"
 #include "services/metrics.h"
 #include "transport/sim_transport.h"
@@ -123,6 +125,115 @@ TEST(ThreadTransportTest, ConcurrentPostersAllGroupsAllExecute) {
   tt.shutdown();
   EXPECT_EQ(tt.tasks_executed(), static_cast<std::uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(tt.tasks_dropped(), 0u);
+}
+
+TEST(ThreadTransportTest, TelemetryUnderSustainedLoad) {
+  transport::ThreadTransport tt({2});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&tt, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Mix immediate tasks with short timers so both queues see depth.
+        tt.post(static_cast<std::size_t>(t + i) % 2, (i % 4) * kMillisecond,
+                [] {});
+      }
+    });
+  }
+  for (std::thread& t : posters) t.join();
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  ASSERT_TRUE(eventually([&] { return tt.tasks_executed() == kTotal; }));
+  tt.shutdown();
+
+  const std::vector<obs::LoopStats> stats = tt.loop_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t tasks = 0, timers = 0;
+  std::int64_t ready_peak = 0, timer_peak = 0;
+  for (const obs::LoopStats& ls : stats) {
+    tasks += ls.tasks;
+    timers += ls.timers_fired;
+    ready_peak = std::max(ready_peak, ls.ready_peak);
+    timer_peak = std::max(timer_peak, ls.timer_peak);
+    // Both loops ran: they accumulated wall time and a utilization in
+    // [0, 1].
+    EXPECT_GT(ls.busy_us + ls.idle_us, 0);
+    EXPECT_GE(ls.utilization(), 0.0);
+    EXPECT_LE(ls.utilization(), 1.0);
+  }
+  EXPECT_EQ(tasks, kTotal);
+  // 3 of every 4 posts were timers; every one of them was promoted.
+  EXPECT_EQ(timers, kTotal / 4 * 3);
+  EXPECT_GE(ready_peak, 1);
+  EXPECT_GE(timer_peak, 1);
+
+  // No lost samples: exactly one scheduling-latency record per executed
+  // task, none from the discarded ones, and monotone percentiles.
+  const obs::LatencyHistogram sched = tt.sched_latency();
+  EXPECT_EQ(sched.count(), tt.tasks_executed());
+  EXPECT_LE(sched.p50(), sched.p95());
+  EXPECT_LE(sched.p95(), sched.p99());
+}
+
+TEST(ThreadTransportTest, TimerHeapHighWaterTracksPending) {
+  transport::ThreadTransport tt({1});
+  constexpr int kTimers = 20;
+  // A wide undue window: all 20 posts (microseconds of work, even under
+  // TSan) land in the heap before the first timer comes due.
+  for (int i = 0; i < kTimers; ++i) {
+    tt.post(0, 250 * kMillisecond, [] {});
+  }
+  ASSERT_TRUE(eventually([&] { return tt.tasks_executed() == kTimers; }));
+  tt.shutdown();
+  const std::vector<obs::LoopStats> stats = tt.loop_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  // All were posted before any came due, so the heap held every one.
+  EXPECT_EQ(stats[0].timer_peak, kTimers);
+  EXPECT_EQ(stats[0].timers_fired, static_cast<std::uint64_t>(kTimers));
+}
+
+TEST(ThreadTransportTest, ShutdownDrainsDueTasksIntoTheHistogram) {
+  transport::ThreadTransport tt({1});
+  std::atomic<int> ran{0};
+  tt.post(0, 0, [&] {
+    ran.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  // Posted while the loop is busy: already due by shutdown, so it must be
+  // drained (run), and its latency sample must not be lost.
+  tt.post(0, 0, [&] { ran.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  tt.shutdown();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(tt.tasks_executed(), 2u);
+  EXPECT_EQ(tt.sched_latency().count(), 2u);
+}
+
+TEST(ThreadTransportTest, ExportIntoRegistryIsScrapeSafe) {
+  transport::ThreadTransport tt({2});
+  for (int i = 0; i < 10; ++i) tt.post(i % 2, 0, [] {});
+  ASSERT_TRUE(eventually([&] { return tt.tasks_executed() == 10; }));
+  tt.shutdown();
+
+  obs::Registry reg;
+  tt.export_into(reg);
+  tt.export_into(reg);  // a second scrape must not double-count
+
+  const obs::Counter* t0 = reg.find_counter("transport.loop.tasks{0}");
+  const obs::Counter* t1 = reg.find_counter("transport.loop.tasks{1}");
+  ASSERT_NE(t0, nullptr);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t0->value() + t1->value(), 10u);
+  const obs::LatencyHistogram* sched =
+      reg.find_histogram("transport.sched_latency_us");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->count(), 10u);
+  for (const auto& [name, c] : reg.counters()) {
+    EXPECT_TRUE(obs::metric_name_ok(name)) << name;
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    EXPECT_TRUE(obs::metric_name_ok(name)) << name;
+  }
 }
 
 TEST(SimTransportTest, DelegatesToTheSimulation) {
