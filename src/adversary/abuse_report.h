@@ -1,0 +1,80 @@
+// AbuseReport: the survival-suite verdict for one adversarial run — every
+// attack the AdversaryEngine launched, how each defense answered, and the
+// three gates CI holds the system to: zero successful forgeries, zero dual
+// sessions, bounded collateral damage to honest clients. Serializes to the
+// p2pdrm.abuse.v1 JSON envelope (same artifact discipline as the bench
+// BENCH_*.json files): on the sim backend the same (seed, plan) pair
+// produces byte-identical documents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adversary/adversary_engine.h"
+
+namespace p2pdrm::adversary {
+
+struct AbuseReport {
+  // --- run identity ------------------------------------------------------
+  std::uint64_t seed = 0;
+  std::string transport;  // "sim" | "thread"
+
+  // --- forgery / replay probes -------------------------------------------
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_accepted = 0;  // gate: must be 0
+  std::uint64_t probes_rejected = 0;
+  std::uint64_t probes_timed_out = 0;
+  std::vector<ProbeOutcome> probes;
+
+  // --- wire fuzzing ------------------------------------------------------
+  std::uint64_t fuzz_mutations = 0;    // packets this engine corrupted
+  std::uint64_t packets_mutated = 0;   // network-wide Verdict::replace count
+  std::uint64_t malformed_drops = 0;   // server.drops{malformed}
+
+  // --- rogue overlay peers -----------------------------------------------
+  std::uint64_t rogue_peers = 0;
+  std::uint64_t rogue_joins_granted = 0;   // honest joins they poisoned
+  std::uint64_t rogue_keys_withheld = 0;
+
+  // --- Sybil flood ---------------------------------------------------------
+  std::uint64_t sybil_attempted = 0;
+  std::uint64_t sybil_admitted = 0;
+  std::uint64_t tracker_rejected_rate = 0;
+  std::uint64_t tracker_rejected_capacity = 0;
+
+  // --- credential-sharing ring ---------------------------------------------
+  std::uint64_t ring_members = 0;
+  std::uint64_t ring_logins_ok = 0;
+  std::uint64_t ring_switches_ok = 0;
+  std::uint64_t ring_renewals_ok = 0;       // survivors; gate: ≤ rings
+  std::uint64_t ring_renewals_refused = 0;  // evictions
+  std::vector<std::string> ring_outcomes;
+  /// ViewingLog audit entries across all partitions — the journal the
+  /// single-session rule adjudicates from.
+  std::uint64_t viewing_entries = 0;
+
+  // --- collateral damage to honest clients ---------------------------------
+  std::uint64_t honest_clients = 0;      // deployment clients outside the ring
+  std::uint64_t honest_with_ticket = 0;  // still holding a Channel Ticket
+  std::uint64_t honest_content_decrypted = 0;
+  std::uint64_t honest_timeout_exhaustions = 0;
+
+  // --- gates ---------------------------------------------------------------
+  bool gate_no_forgery = false;
+  bool gate_single_session = false;
+  bool gate_bounded_collateral = false;
+  bool pass() const {
+    return gate_no_forgery && gate_single_session && gate_bounded_collateral;
+  }
+
+  /// Snapshot everything from a finished run. Read only after the transport
+  /// has quiesced on a live backend.
+  static AbuseReport collect(net::Deployment& deployment,
+                             const AdversaryEngine& engine, std::uint64_t seed);
+
+  /// The p2pdrm.abuse.v1 document (trailing newline, byte-stable field
+  /// order).
+  std::string to_json() const;
+};
+
+}  // namespace p2pdrm::adversary

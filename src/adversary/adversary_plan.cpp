@@ -1,0 +1,249 @@
+#include "adversary/adversary_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pdrm::adversary {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("AdversaryPlan: " + what);
+}
+
+double parse_double(std::string_view s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(s), &used);
+    if (used != s.size()) bad("trailing junk in " + what + ": '" + std::string(s) + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad("malformed " + what + ": '" + std::string(s) + "'");
+  } catch (const std::out_of_range&) {
+    bad("out-of-range " + what + ": '" + std::string(s) + "'");
+  }
+}
+
+std::uint64_t parse_uint(std::string_view s, const std::string& what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    bad("malformed " + what + ": '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+/// Byte-stable rendering of the fuzz rate (ostream double formatting is
+/// locale/width dependent; the plan must round-trip byte-identically).
+std::string format_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(AttackKind k) {
+  switch (k) {
+    case AttackKind::kReplayProbe: return "replay-probe";
+    case AttackKind::kFuzz: return "fuzz";
+    case AttackKind::kRoguePeer: return "rogue-peer";
+    case AttackKind::kSybilFlood: return "sybil";
+    case AttackKind::kCredShare: return "cred-share";
+  }
+  return "?";
+}
+
+std::string_view to_string(RogueMode m) {
+  return m == RogueMode::kGarbageKeys ? "garbage" : "withhold";
+}
+
+std::string AdversaryEvent::to_string() const {
+  std::ostringstream out;
+  out << fault::format_duration(at) << " " << adversary::to_string(kind);
+  switch (kind) {
+    case AttackKind::kReplayProbe:
+      out << " " << email << " " << password << " " << channel;
+      break;
+    case AttackKind::kFuzz:
+      out << " " << fault::format_duration(duration) << " " << format_rate(rate)
+          << " " << scope.to_string();
+      break;
+    case AttackKind::kRoguePeer:
+      out << " " << channel << " " << count << " " << adversary::to_string(mode);
+      break;
+    case AttackKind::kSybilFlood:
+      out << " " << channel << " " << count << " " << scope.to_string() << " "
+          << sources;
+      break;
+    case AttackKind::kCredShare:
+      out << " " << email << " " << password << " " << channel << " " << count
+          << " " << fault::format_duration(duration);
+      break;
+  }
+  return out.str();
+}
+
+AdversaryPlan& AdversaryPlan::push(AdversaryEvent ev) {
+  // Stable insert keeps the vector time-sorted while same-time events
+  // preserve plan order (determinism hinges on this).
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), ev.at,
+      [](util::SimTime at, const AdversaryEvent& e) { return at < e.at; });
+  events_.insert(pos, std::move(ev));
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::replay_probe(util::SimTime at, std::string email,
+                                           std::string password,
+                                           util::ChannelId channel) {
+  AdversaryEvent ev;
+  ev.at = at;
+  ev.kind = AttackKind::kReplayProbe;
+  ev.email = std::move(email);
+  ev.password = std::move(password);
+  ev.channel = channel;
+  return push(std::move(ev));
+}
+
+AdversaryPlan& AdversaryPlan::fuzz(util::SimTime at, util::SimTime duration,
+                                   fault::AddrBlock scope, double rate) {
+  if (rate < 0.0 || rate > 1.0) bad("fuzz rate outside [0, 1]");
+  AdversaryEvent ev;
+  ev.at = at;
+  ev.kind = AttackKind::kFuzz;
+  ev.duration = duration;
+  ev.scope = scope;
+  ev.rate = rate;
+  return push(std::move(ev));
+}
+
+AdversaryPlan& AdversaryPlan::rogue_peer(util::SimTime at, util::ChannelId channel,
+                                         std::size_t count, RogueMode mode) {
+  AdversaryEvent ev;
+  ev.at = at;
+  ev.kind = AttackKind::kRoguePeer;
+  ev.channel = channel;
+  ev.count = count;
+  ev.mode = mode;
+  return push(std::move(ev));
+}
+
+AdversaryPlan& AdversaryPlan::sybil_flood(util::SimTime at, util::ChannelId channel,
+                                          std::size_t count, fault::AddrBlock block,
+                                          std::size_t sources) {
+  if (sources == 0) bad("sybil flood needs at least one source address");
+  AdversaryEvent ev;
+  ev.at = at;
+  ev.kind = AttackKind::kSybilFlood;
+  ev.channel = channel;
+  ev.count = count;
+  ev.scope = block;
+  ev.sources = sources;
+  return push(std::move(ev));
+}
+
+AdversaryPlan& AdversaryPlan::cred_share(util::SimTime at, std::string email,
+                                         std::string password,
+                                         util::ChannelId channel, std::size_t count,
+                                         util::SimTime renew_after) {
+  if (count == 0) bad("cred-share ring needs at least one member");
+  AdversaryEvent ev;
+  ev.at = at;
+  ev.kind = AttackKind::kCredShare;
+  ev.email = std::move(email);
+  ev.password = std::move(password);
+  ev.channel = channel;
+  ev.count = count;
+  ev.duration = renew_after;
+  return push(std::move(ev));
+}
+
+AdversaryPlan AdversaryPlan::parse(std::string_view text) {
+  AdversaryPlan plan;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string_view> tok;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      std::size_t j = i;
+      while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+      if (j > i) tok.push_back(line.substr(i, j - i));
+      i = j;
+    }
+    if (tok.empty()) continue;
+
+    try {
+      if (tok.size() < 2) bad("expected '<time> <verb> ...'");
+      const util::SimTime at = fault::parse_duration(tok[0]);
+      const std::string_view verb = tok[1];
+      const auto want = [&](std::size_t n) {
+        if (tok.size() != 2 + n) {
+          bad("verb '" + std::string(verb) + "' takes " + std::to_string(n) +
+              " argument(s)");
+        }
+      };
+      if (verb == "replay-probe") {
+        want(3);
+        plan.replay_probe(at, std::string(tok[2]), std::string(tok[3]),
+                          static_cast<util::ChannelId>(parse_uint(tok[4], "channel")));
+      } else if (verb == "fuzz") {
+        want(3);
+        plan.fuzz(at, fault::parse_duration(tok[2]),
+                  fault::AddrBlock::parse(tok[4]), parse_double(tok[3], "fuzz rate"));
+      } else if (verb == "rogue-peer") {
+        want(3);
+        const std::string_view mode = tok[4];
+        if (mode != "garbage" && mode != "withhold") {
+          bad("unknown rogue mode '" + std::string(mode) + "' (want garbage|withhold)");
+        }
+        plan.rogue_peer(at, static_cast<util::ChannelId>(parse_uint(tok[2], "channel")),
+                        parse_uint(tok[3], "count"),
+                        mode == "garbage" ? RogueMode::kGarbageKeys
+                                          : RogueMode::kWithholdKeys);
+      } else if (verb == "sybil") {
+        want(4);
+        plan.sybil_flood(at,
+                         static_cast<util::ChannelId>(parse_uint(tok[2], "channel")),
+                         parse_uint(tok[3], "count"), fault::AddrBlock::parse(tok[4]),
+                         parse_uint(tok[5], "sources"));
+      } else if (verb == "cred-share") {
+        want(5);
+        plan.cred_share(at, std::string(tok[2]), std::string(tok[3]),
+                        static_cast<util::ChannelId>(parse_uint(tok[4], "channel")),
+                        parse_uint(tok[5], "count"), fault::parse_duration(tok[6]));
+      } else {
+        bad("unknown verb '" + std::string(verb) + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string(e.what()) + " (line " +
+                                  std::to_string(line_no) + ")");
+    }
+  }
+  return plan;
+}
+
+std::string AdversaryPlan::to_string() const {
+  std::string out;
+  for (const AdversaryEvent& ev : events_) {
+    out += ev.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace p2pdrm::adversary

@@ -1,0 +1,109 @@
+// Adversary plan: a deterministic schedule of typed attacks to launch
+// against a running Deployment — the hostile mirror of fault::FaultPlan.
+// Built programmatically (fluent builder) or parsed from the same
+// line-based text format so attack scenarios can live in files:
+//
+//   # time  verb          args...
+//   1m      replay-probe  victim@abuse.example pw-victim 1
+//   2m      fuzz          30s 0.05 10.254.0.0/16
+//   3m      rogue-peer    1 2 garbage          # channel count mode
+//   4m      sybil         1 64 10.66.0.0/16 4  # channel count block sources
+//   5m      cred-share    shared@abuse.example pw-shared 1 3 8m
+//
+// Times are durations since the simulation epoch, in fault-plan syntax
+// ("500ms", "90s", "10m", "2h", or bare microseconds). Blank lines and #
+// comments are ignored. The plan itself does nothing —
+// adversary::AdversaryEngine turns it into scheduled attack actors.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace p2pdrm::adversary {
+
+enum class AttackKind : std::uint8_t {
+  kReplayProbe,  // capture a victim's tickets; mutate and re-present them
+                 // across all five protocol rounds
+  kFuzz,         // truncate/bit-flip live wire traffic inside a scope
+  kRoguePeer,    // malicious overlay parents: bogus join grants, withheld keys
+  kSybilFlood,   // bogus peer identities hammered at the tracker
+  kCredShare,    // one account, many concurrent sessions (sharing ring)
+};
+
+std::string_view to_string(AttackKind k);
+
+/// How a rogue peer misbehaves once children attach to it.
+enum class RogueMode : std::uint8_t {
+  kGarbageKeys,   // grants joins with undecryptable key material
+  kWithholdKeys,  // swallows every rotated-key blob instead of forwarding
+};
+
+std::string_view to_string(RogueMode m);
+
+struct AdversaryEvent {
+  util::SimTime at = 0;
+  AttackKind kind = AttackKind::kReplayProbe;
+  std::string email;               // replay-probe victim / cred-share account
+  std::string password;
+  util::ChannelId channel = 0;
+  std::size_t count = 0;           // sybil identities / rogue peers / ring size
+  std::size_t sources = 0;         // sybil: distinct source addresses used
+  fault::AddrBlock scope;          // fuzz blast radius / sybil source block
+  double rate = 0.0;               // fuzz mutation probability per packet
+  util::SimTime duration = 0;      // fuzz window / cred-share renewal delay
+  RogueMode mode = RogueMode::kGarbageKeys;
+
+  /// One schedule line, parseable back by AdversaryPlan::parse.
+  std::string to_string() const;
+};
+
+class AdversaryPlan {
+ public:
+  /// Provision a victim account, let it view `channel`, then capture,
+  /// mutate, and re-present its tickets across LOGIN1/LOGIN2/SWITCH1/
+  /// SWITCH2/JOIN from an attacker address.
+  AdversaryPlan& replay_probe(util::SimTime at, std::string email,
+                              std::string password, util::ChannelId channel);
+  /// Truncate or bit-flip each packet touching `scope` with probability
+  /// `rate` for `duration` (seeded; the never-silent drop counters must
+  /// account for every mutation).
+  AdversaryPlan& fuzz(util::SimTime at, util::SimTime duration,
+                      fault::AddrBlock scope, double rate);
+  /// Insert `count` malicious parents into `channel`'s overlay.
+  AdversaryPlan& rogue_peer(util::SimTime at, util::ChannelId channel,
+                            std::size_t count,
+                            RogueMode mode = RogueMode::kGarbageKeys);
+  /// Register `count` bogus identities against the tracker from `sources`
+  /// distinct addresses inside `block`.
+  AdversaryPlan& sybil_flood(util::SimTime at, util::ChannelId channel,
+                             std::size_t count, fault::AddrBlock block,
+                             std::size_t sources = 1);
+  /// Drive `count` concurrent sessions on one account from different
+  /// regions; every member renews `renew_after` later (the single-session
+  /// rule must leave at most one survivor).
+  AdversaryPlan& cred_share(util::SimTime at, std::string email,
+                            std::string password, util::ChannelId channel,
+                            std::size_t count, util::SimTime renew_after);
+
+  /// Events sorted by time (stable: same-time events keep insertion order).
+  const std::vector<AdversaryEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Parse the text schedule format. Throws std::invalid_argument with a
+  /// line number on malformed input.
+  static AdversaryPlan parse(std::string_view text);
+  /// Render as the text schedule format (parse round-trips).
+  std::string to_string() const;
+
+ private:
+  AdversaryPlan& push(AdversaryEvent ev);
+  std::vector<AdversaryEvent> events_;
+};
+
+}  // namespace p2pdrm::adversary

@@ -1,0 +1,107 @@
+// Attacker actors: raw network nodes the AdversaryEngine drives.
+//
+// AttackClient is a protocol-less prober — it speaks raw envelopes so it
+// can send deliberately malformed, mutated, or replayed requests that the
+// honest client stack could never produce. RoguePeer is a malicious overlay
+// parent: it answers joins with key material the child can never use
+// (or swallows rotated keys instead of forwarding them) while looking like
+// the best parent candidate the tracker has.
+//
+// Thread safety: on a live transport, on_packet runs on the actor's group
+// loop while the engine calls send()/probe helpers from the control loop —
+// all actor state sits behind a mutex or is atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "crypto/chacha20.h"
+#include "net/envelope.h"
+#include "net/network.h"
+
+namespace p2pdrm::adversary {
+
+/// Raw-envelope request/response node. Replies are matched by request id;
+/// a handler fires exactly once — with the response envelope, or with
+/// nullptr when the timeout expires first (count it as a rejection: the
+/// service dropped the probe on the floor, which is a defense outcome too).
+class AttackClient final : public net::Node {
+ public:
+  using Handler = std::function<void(const net::Envelope*)>;
+
+  AttackClient(net::Network& network, util::NodeId node, util::NetAddr addr);
+  ~AttackClient() override;
+
+  AttackClient(const AttackClient&) = delete;
+  AttackClient& operator=(const AttackClient&) = delete;
+
+  /// Send `payload` as a fresh envelope; `on_reply` fires on this node's
+  /// loop with the response or nullptr after `timeout`.
+  void send(util::NodeId to, net::MsgKind kind, util::Bytes payload,
+            util::SimTime timeout, Handler on_reply);
+  /// Re-present captured wire bytes verbatim (a replay). The embedded
+  /// request id is extracted so the victim's response still routes to
+  /// `on_reply`; undecodable captures fire the handler immediately with
+  /// nullptr.
+  void replay(util::NodeId to, const util::Bytes& wire, util::SimTime timeout,
+              Handler on_reply);
+
+  void on_packet(const net::Packet& packet) override;
+
+  util::NodeId node() const { return node_; }
+  util::NetAddr addr() const { return addr_; }
+
+ private:
+  void expect(std::uint64_t request_id, util::SimTime timeout, Handler on_reply);
+
+  net::Network& network_;
+  const util::NodeId node_;
+  const util::NetAddr addr_;
+
+  std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Handler> pending_;
+};
+
+/// How a rogue peer misbehaves is adversary_plan.h's RogueMode; the actor
+/// itself only needs the two behaviours.
+class RoguePeer final : public net::Node {
+ public:
+  RoguePeer(net::Network& network, util::NodeId node, util::NetAddr addr,
+            bool withhold_keys, crypto::SecureRandom rng);
+  ~RoguePeer() override;
+
+  RoguePeer(const RoguePeer&) = delete;
+  RoguePeer& operator=(const RoguePeer&) = delete;
+
+  void on_packet(const net::Packet& packet) override;
+
+  util::NodeId node() const { return node_; }
+  util::NetAddr addr() const { return addr_; }
+
+  /// Joins this peer granted with unusable key material.
+  std::uint64_t joins_captured() const {
+    return joins_captured_.load(std::memory_order_relaxed);
+  }
+  /// Rotated-key blobs swallowed instead of forwarded.
+  std::uint64_t keys_withheld() const {
+    return keys_withheld_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  net::Network& network_;
+  const util::NodeId node_;
+  const util::NetAddr addr_;
+  const bool withhold_keys_;
+
+  std::mutex mu_;  // guards rng_
+  crypto::SecureRandom rng_;
+
+  std::atomic<std::uint64_t> joins_captured_{0};
+  std::atomic<std::uint64_t> keys_withheld_{0};
+};
+
+}  // namespace p2pdrm::adversary

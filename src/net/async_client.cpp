@@ -607,6 +607,12 @@ void AsyncClient::do_login(Callback done) {
 void AsyncClient::start_login1(Callback done) {
   const auto um_node = network_.node_at(redirect_->user_manager.addr);
   if (!um_node) {
+    // The cached redirect points at nothing — stale, or poisoned by a
+    // corrupted-but-decodable RedirectResponse (wire fuzzing provokes
+    // exactly this). Drop it so the next login re-resolves instead of
+    // failing locally forever; run_resilient already resets it on
+    // failover, this heals the plain-client path too.
+    redirect_.reset();
     done(DrmError::kWrongDomain);
     return;
   }
@@ -627,6 +633,9 @@ void AsyncClient::start_login1(Callback done) {
           return;
         }
         if (resp1.error != DrmError::kOk) {
+          // A wrong-domain refusal means the redirect steered us to a User
+          // Manager that does not own this account: re-resolve next login.
+          if (resp1.error == DrmError::kWrongDomain) redirect_.reset();
           done(resp1.error);
           return;
         }
@@ -761,6 +770,15 @@ void AsyncClient::do_switch_channel(util::ChannelId channel, Callback done) {
   }
   const auto cm_node = manager_node(partition_of(channel));
   if (!cm_node) {
+    // The cached channel list cannot route this switch — stale, or poisoned
+    // by a corrupted-but-decodable listing response (wire fuzzing provokes
+    // exactly this). Drop the cache so the next login refetches instead of
+    // looping on the same bad list; the resilient recovery path already
+    // clears these, this heals the plain-client path too. The redirect goes
+    // with them: a poisoned CPM address silently skips the list refetch.
+    redirect_.reset();
+    channels_.clear();
+    partitions_.clear();
     done(DrmError::kWrongPartition);
     return;
   }
@@ -987,6 +1005,9 @@ void AsyncClient::do_renew_channel_ticket(Callback done) {
   const util::ChannelId channel = channel_ticket_->ticket.channel_id;
   const auto cm_node = manager_node(partition_of(channel));
   if (!cm_node) {
+    redirect_.reset();  // same cache-poisoning escape as do_switch_channel
+    channels_.clear();
+    partitions_.clear();
     done(DrmError::kWrongPartition);
     return;
   }

@@ -55,6 +55,7 @@ Deployment::Deployment(DeploymentConfig config)
       [um0](const core::AttributeSet& list) { um0->update_channel_attributes(list); });
 
   tracker_ = std::make_unique<p2p::Tracker>(rng_.fork());
+  tracker_->set_limits(config_.tracker_limits);
   tracker_->bind_registry(&registry_);
 
   // Attach the backend to well-known addresses on the network.

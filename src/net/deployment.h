@@ -87,6 +87,10 @@ struct DeploymentConfig {
   /// When > 0, a minute-by-minute sweep evicts tracker entries not heard
   /// from in this long (defense against ungraceful peer churn).
   util::SimTime tracker_stale_age = 0;
+  /// Tracker admission limits (per-channel cap + per-source registration
+  /// rate). Zero values keep the historical unbounded behaviour; abuse
+  /// scenarios set these so Sybil floods degrade gracefully.
+  p2p::Tracker::Limits tracker_limits;
   /// Forwarded to every client config: operation-level failover and
   /// automatic re-login/re-join (see AsyncClient::Config::resilience).
   bool client_resilience = false;

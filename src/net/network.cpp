@@ -108,7 +108,7 @@ std::vector<SendInterceptor*> Network::interceptors() const {
 void Network::bind_registry(obs::Registry* registry) {
   if (registry == nullptr) {
     m_sent_ = m_dropped_injected_ = m_dropped_link_ = m_dropped_no_dest_ =
-        m_delivered_ = nullptr;
+        m_delivered_ = m_mutated_ = nullptr;
     return;
   }
   m_sent_ = &registry->counter("net.packets.sent");
@@ -117,6 +117,7 @@ void Network::bind_registry(obs::Registry* registry) {
   m_dropped_no_dest_ =
       &registry->counter("net.packets.dropped.no_destination");
   m_delivered_ = &registry->counter("net.packets.delivered");
+  m_mutated_ = &registry->counter("net.packets.mutated");
   // Catch the registry up with counts accumulated before binding.
   m_sent_->inc(packets_sent() - m_sent_->value());
   m_dropped_injected_->inc(packets_dropped_injected() -
@@ -125,6 +126,7 @@ void Network::bind_registry(obs::Registry* registry) {
   m_dropped_no_dest_->inc(packets_dropped_no_destination() -
                           m_dropped_no_dest_->value());
   m_delivered_->inc(packets_delivered() - m_delivered_->value());
+  m_mutated_->inc(packets_mutated() - m_mutated_->value());
 }
 
 void Network::notify_fate(const std::shared_ptr<const Chain>& chain,
@@ -183,9 +185,20 @@ void Network::send(util::NodeId from, util::NodeId to, util::Bytes data) {
   const std::shared_ptr<const Chain> chain = chain_snapshot();
   SendInterceptor::Verdict combined;
   for (SendInterceptor* interceptor : *chain) {
-    const SendInterceptor::Verdict v = interceptor->on_send(ctx);
+    SendInterceptor::Verdict v = interceptor->on_send(ctx);
     combined.drop = combined.drop || v.drop;
     combined.extra_delay += v.extra_delay;
+    if (v.replace) {
+      // In-flight payload rewrite (the adversary fuzzer's corruption seam):
+      // interceptors later in the chain and the receiver see the mutated
+      // bytes. The original payload is gone, as it would be on a real wire.
+      data = std::move(*v.replace);
+      ctx.data = &data;
+      ctx.bytes = data.size();
+      mutated_.fetch_add(1, std::memory_order_relaxed);
+      if (m_mutated_ != nullptr) m_mutated_->inc();
+      obs::FlightRecorder::global().record("net.mutate", from, to);
+    }
   }
   if (combined.drop) {
     dropped_injected_.fetch_add(1, std::memory_order_relaxed);

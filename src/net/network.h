@@ -95,6 +95,12 @@ class SendInterceptor {
   struct Verdict {
     bool drop = false;
     util::SimTime extra_delay = 0;  // added to the sampled one-way delay
+    // When set, the packet's payload is replaced before it continues down
+    // the chain and onto the wire — the corruption seam the adversary
+    // fuzzer uses to truncate/bit-flip live traffic. Later interceptors
+    // (and the receiver) see the mutated bytes; counted as
+    // net.packets.mutated.
+    std::optional<util::Bytes> replace;
   };
 
   virtual ~SendInterceptor() = default;
@@ -210,6 +216,10 @@ class Network {
   std::uint64_t packets_dropped_no_destination() const {
     return dropped_no_dest_.load(std::memory_order_relaxed);
   }
+  /// Packets whose payload an interceptor rewrote in flight (Verdict::replace).
+  std::uint64_t packets_mutated() const {
+    return mutated_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Binding {
@@ -255,6 +265,7 @@ class Network {
   std::atomic<std::uint64_t> dropped_link_{0};
   std::atomic<std::uint64_t> dropped_no_dest_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> mutated_{0};
 
   // Registry mirrors (null until bind_registry). Counters are atomic, so
   // bumping through these pointers is thread-safe; the pointers themselves
@@ -264,6 +275,7 @@ class Network {
   obs::Counter* m_dropped_link_ = nullptr;
   obs::Counter* m_dropped_no_dest_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_mutated_ = nullptr;
 };
 
 }  // namespace p2pdrm::net

@@ -6,11 +6,16 @@ namespace p2pdrm::p2p {
 
 Tracker::Tracker(crypto::SecureRandom rng) : rng_(std::move(rng)) {}
 
+void Tracker::set_limits(Limits limits) {
+  std::lock_guard<std::mutex> lk(mu_);
+  limits_ = limits;
+}
+
 void Tracker::bind_registry(obs::Registry* registry) {
   std::lock_guard<std::mutex> lk(mu_);
   if (registry == nullptr) {
     m_announcements_ = m_load_updates_ = m_unregisters_ = m_evictions_ =
-        m_samples_ = nullptr;
+        m_samples_ = m_rejected_rate_ = m_rejected_capacity_ = nullptr;
     m_peers_ = nullptr;
     return;
   }
@@ -19,20 +24,51 @@ void Tracker::bind_registry(obs::Registry* registry) {
   m_unregisters_ = &registry->counter("tracker.unregisters");
   m_evictions_ = &registry->counter("tracker.evictions");
   m_samples_ = &registry->counter("tracker.samples");
+  m_rejected_rate_ = &registry->counter("tracker.rejected.rate");
+  m_rejected_capacity_ = &registry->counter("tracker.rejected.capacity");
+  m_rejected_rate_->inc(rejected_rate_ - m_rejected_rate_->value());
+  m_rejected_capacity_->inc(rejected_capacity_ - m_rejected_capacity_->value());
   m_peers_ = &registry->gauge("tracker.peers");
   std::size_t peers = 0;
   for (const auto& [channel, members] : channels_) peers += members.size();
   m_peers_->set(static_cast<std::int64_t>(peers));
 }
 
-void Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
+bool Tracker::register_peer(util::ChannelId channel, core::PeerInfo info,
                             std::size_t capacity, util::SimTime now) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& members = channels_[channel];
   const bool fresh = !members.contains(info.node);
+  if (fresh) {
+    // Admission limits apply to new identities only; a keep-alive from a
+    // known peer must never be throttled or the overlay would shed healthy
+    // parents under attack.
+    if (limits_.max_peers_per_channel > 0 &&
+        members.size() >= limits_.max_peers_per_channel) {
+      ++rejected_capacity_;
+      if (m_rejected_capacity_ != nullptr) m_rejected_capacity_->inc();
+      if (members.empty()) channels_.erase(channel);
+      return false;
+    }
+    if (limits_.registration_burst > 0 && limits_.registration_window > 0) {
+      SourceWindow& win = source_windows_[info.addr.ip];
+      if (now >= win.start + limits_.registration_window) {
+        win.start = now;
+        win.count = 0;
+      }
+      if (win.count >= limits_.registration_burst) {
+        ++rejected_rate_;
+        if (m_rejected_rate_ != nullptr) m_rejected_rate_->inc();
+        if (members.empty()) channels_.erase(channel);
+        return false;
+      }
+      ++win.count;
+    }
+  }
   members[info.node] = PeerState{info, capacity, 0, now};
   if (m_announcements_ != nullptr) m_announcements_->inc();
   if (fresh && m_peers_ != nullptr) m_peers_->add(1);
+  return true;
 }
 
 void Tracker::update_load(util::ChannelId channel, util::NodeId node,
@@ -89,6 +125,11 @@ std::vector<core::PeerInfo> Tracker::sample_peers(util::ChannelId channel,
 
 std::size_t Tracker::evict_stale(util::SimTime cutoff) {
   std::lock_guard<std::mutex> lk(mu_);
+  // Rate-limit windows age out with the same cutoff, so a Sybil storm does
+  // not leave the source table growing without bound after it ends.
+  std::erase_if(source_windows_, [this, cutoff](const auto& entry) {
+    return entry.second.start + limits_.registration_window < cutoff;
+  });
   std::size_t evicted = 0;
   for (auto ch_it = channels_.begin(); ch_it != channels_.end();) {
     evicted += std::erase_if(ch_it->second, [cutoff](const auto& entry) {
@@ -101,6 +142,16 @@ std::size_t Tracker::evict_stale(util::SimTime cutoff) {
     if (m_peers_ != nullptr) m_peers_->add(-static_cast<std::int64_t>(evicted));
   }
   return evicted;
+}
+
+std::uint64_t Tracker::rejected_rate() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_rate_;
+}
+
+std::uint64_t Tracker::rejected_capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_capacity_;
 }
 
 std::size_t Tracker::peer_count(util::ChannelId channel) const {

@@ -26,11 +26,29 @@ namespace p2pdrm::p2p {
 
 class Tracker : public services::PeerDirectory {
  public:
+  /// Admission limits — the Sybil-flood defense. Zero values disable a
+  /// limit, which is the historical (unbounded) behaviour. Re-announcing an
+  /// already-known peer is a keep-alive and is never limited; the limits
+  /// only apply to *new* identities.
+  struct Limits {
+    /// Hard cap on distinct peers per channel (0 = unbounded).
+    std::size_t max_peers_per_channel = 0;
+    /// At most `registration_burst` new identities per source address per
+    /// `registration_window` (both must be > 0 to take effect). A flood
+    /// from one source is throttled; distinct honest sources are not.
+    std::size_t registration_burst = 0;
+    util::SimTime registration_window = 0;
+  };
+
   explicit Tracker(crypto::SecureRandom rng);
 
+  void set_limits(Limits limits);
+
   /// Announce a peer carrying `channel` with the given child capacity.
-  /// `now` stamps the peer's liveness (see evict_stale).
-  void register_peer(util::ChannelId channel, core::PeerInfo info, std::size_t capacity,
+  /// `now` stamps the peer's liveness (see evict_stale). Returns false when
+  /// an admission limit rejected the registration (counted under
+  /// tracker.rejected.*); keep-alives of known peers always succeed.
+  bool register_peer(util::ChannelId channel, core::PeerInfo info, std::size_t capacity,
                      util::SimTime now = 0);
   /// Update a peer's current load (child count); doubles as a keep-alive.
   void update_load(util::ChannelId channel, util::NodeId node, std::size_t children,
@@ -56,6 +74,10 @@ class Tracker : public services::PeerDirectory {
   /// Fraction of total capacity currently used on a channel (0 if empty).
   double utilization(util::ChannelId channel) const;
 
+  /// Registrations rejected by the per-source rate limit / channel cap.
+  std::uint64_t rejected_rate() const;
+  std::uint64_t rejected_capacity() const;
+
   /// Mirror directory activity into `registry` (tracker.* counters; the
   /// live membership size as a gauge). Pass nullptr to stop.
   void bind_registry(obs::Registry* registry);
@@ -68,8 +90,18 @@ class Tracker : public services::PeerDirectory {
     util::SimTime last_seen = 0;
   };
 
+  /// Rolling per-source admission window (see Limits::registration_burst).
+  struct SourceWindow {
+    util::SimTime start = 0;
+    std::size_t count = 0;
+  };
+
   mutable std::mutex mu_;
   std::map<util::ChannelId, std::map<util::NodeId, PeerState>> channels_;
+  Limits limits_;
+  std::map<std::uint32_t, SourceWindow> source_windows_;
+  std::uint64_t rejected_rate_ = 0;
+  std::uint64_t rejected_capacity_ = 0;
   crypto::SecureRandom rng_;
 
   // Registry mirrors (null until bind_registry).
@@ -78,6 +110,8 @@ class Tracker : public services::PeerDirectory {
   obs::Counter* m_unregisters_ = nullptr;
   obs::Counter* m_evictions_ = nullptr;
   obs::Counter* m_samples_ = nullptr;
+  obs::Counter* m_rejected_rate_ = nullptr;
+  obs::Counter* m_rejected_capacity_ = nullptr;
   obs::Gauge* m_peers_ = nullptr;
 };
 

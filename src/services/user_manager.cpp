@@ -1,6 +1,7 @@
 #include "services/user_manager.h"
 
 #include "core/auth.h"
+#include "crypto/hmac.h"
 
 namespace p2pdrm::services {
 
@@ -58,9 +59,24 @@ core::Login1Response UserManager::do_login1(const core::Login1Request& req,
     return resp;
   }
   const auto user_it = dir_->users.find(req.email);
-  if (user_it == dir_->users.end() || user_it->second.account.suspended) {
-    resp.error = DrmError::kUnknownUser;
-    return resp;
+  const bool known =
+      user_it != dir_->users.end() && !user_it->second.account.suspended;
+  // Anti-oracle: an unknown (or suspended) account gets a decoy response
+  // that is shape-identical to a real one — same error code, same rng draw
+  // order, same field sizes — built under a deterministic decoy shp derived
+  // from the farm secret. Without the account's password nobody can decrypt
+  // the payload either way, so a forgery probe learns nothing about whether
+  // the email exists. The probe only fails later, at LOGIN2, with the same
+  // kChallengeInvalid / kBadCredentials envelope a wrong password earns.
+  crypto::Sha256Digest shp;
+  if (known) {
+    shp = user_it->second.account.shp;
+  } else {
+    util::Bytes label;
+    const std::string_view tag = "p2pdrm-decoy-shp";
+    label.insert(label.end(), tag.begin(), tag.end());
+    label.insert(label.end(), req.email.begin(), req.email.end());
+    shp = crypto::hmac_sha256(domain_->farm_secret, label);
   }
   const auto bin_it = domain_->reference_binaries.find(req.client_version);
   if (bin_it == domain_->reference_binaries.end()) {
@@ -85,8 +101,7 @@ core::Login1Response UserManager::do_login1(const core::Login1Request& req,
   payload.raw(nonce);
   params.encode(payload);
   payload.i64(now);
-  resp.encrypted_params =
-      core::encrypt_with_shp(user_it->second.account.shp, payload.data(), rng_);
+  resp.encrypted_params = core::encrypt_with_shp(shp, payload.data(), rng_);
 
   // The challenge MAC commits to the nonce, but the nonce itself is NOT in
   // the clear part of the response — the client recovers it by decrypting
@@ -111,11 +126,12 @@ core::Login2Response UserManager::do_login2(const core::Login2Request& req,
     resp.error = DrmError::kVersionTooOld;
     return resp;
   }
-  const auto user_it = dir_->users.find(req.email);
-  if (user_it == dir_->users.end() || user_it->second.account.suspended) {
-    resp.error = DrmError::kUnknownUser;
-    return resp;
-  }
+  // NOTE: no account lookup here — see the LOGIN1 decoy. An unknown email
+  // fails the challenge check below exactly like a wrong password does
+  // (the prober could not decrypt the decoy nonce), and the residual
+  // lookup at ticket-issuance time answers with the same kBadCredentials
+  // envelope a bad proof signature earns. Neither branch oracles account
+  // existence.
 
   // Challenge echo: authentic, fresh, and bound to this email/key/params.
   // The MAC covers the nonce the server minted; the client could only have
@@ -148,6 +164,17 @@ core::Login2Response UserManager::do_login2(const core::Login2Request& req,
       core::compute_attestation_checksum(bin_it->second, req.params);
   if (!util::constant_time_equal(expected, req.checksum)) {
     resp.error = DrmError::kAttestationFailed;
+    return resp;
+  }
+
+  // Residual lookup at issuance time only. Unreachable for an unknown
+  // account in practice (the challenge above can't be satisfied without
+  // decrypting the decoy payload), but if it is ever reached it answers
+  // with the same envelope — and after the same MAC + signature work — as
+  // a bad proof signature, so it is not an existence oracle.
+  const auto user_it = dir_->users.find(req.email);
+  if (user_it == dir_->users.end() || user_it->second.account.suspended) {
+    resp.error = DrmError::kBadCredentials;
     return resp;
   }
 

@@ -9,6 +9,7 @@
 
 #include "core/content.h"
 #include "core/messages.h"
+#include "net/deployment.h"
 #include "core/secure_channel.h"
 #include "core/ticket.h"
 #include "crypto/chacha20.h"
@@ -82,6 +83,11 @@ std::vector<Decoder> all_decoders() {
       {"UserRecord", [](util::BytesView b) { services::decode_user_record(b); }},
       {"UserDirectory",
        [](util::BytesView b) { services::decode_user_directory(b); }},
+      {"ContentKey",
+       [](util::BytesView b) {
+         util::WireReader r(b);
+         core::ContentKey::decode(r);
+       }},
   };
 }
 
@@ -355,6 +361,170 @@ TEST(FuzzDecodeTest, ViewingEntryRoundTripAfterFuzzDecode) {
   }
 }
 
+/// One valid encoding per wire envelope payload, paired with its decoder.
+/// Default-constructed messages encode to legal (if boring) wire images;
+/// the corpus tests below truncate and bit-flip each one.
+struct CorpusEntry {
+  const char* name;
+  Bytes valid;
+  std::function<void(util::BytesView)> decode;
+};
+
+std::vector<CorpusEntry> envelope_corpus() {
+  std::vector<CorpusEntry> corpus;
+  const auto add = [&corpus](const char* name, Bytes valid,
+                             std::function<void(util::BytesView)> decode) {
+    corpus.push_back({name, std::move(valid), std::move(decode)});
+  };
+  add("RedirectRequest", services::RedirectRequest{"a@b.c"}.encode(),
+      [](util::BytesView b) { services::RedirectRequest::decode(b); });
+  add("RedirectResponse", services::RedirectResponse{}.encode(),
+      [](util::BytesView b) { services::RedirectResponse::decode(b); });
+  add("Login1Request", core::Login1Request{}.encode(),
+      [](util::BytesView b) { core::Login1Request::decode(b); });
+  add("Login1Response", core::Login1Response{}.encode(),
+      [](util::BytesView b) { core::Login1Response::decode(b); });
+  add("Login2Request", core::Login2Request{}.encode(),
+      [](util::BytesView b) { core::Login2Request::decode(b); });
+  add("Login2Response", core::Login2Response{}.encode(),
+      [](util::BytesView b) { core::Login2Response::decode(b); });
+  add("ChannelListRequest", core::ChannelListRequest{}.encode(),
+      [](util::BytesView b) { core::ChannelListRequest::decode(b); });
+  add("ChannelListResponse", core::ChannelListResponse{}.encode(),
+      [](util::BytesView b) { core::ChannelListResponse::decode(b); });
+  add("Switch1Request", core::Switch1Request{}.encode(),
+      [](util::BytesView b) { core::Switch1Request::decode(b); });
+  add("Switch1Response", core::Switch1Response{}.encode(),
+      [](util::BytesView b) { core::Switch1Response::decode(b); });
+  add("Switch2Request", core::Switch2Request{}.encode(),
+      [](util::BytesView b) { core::Switch2Request::decode(b); });
+  add("Switch2Response", core::Switch2Response{}.encode(),
+      [](util::BytesView b) { core::Switch2Response::decode(b); });
+  add("JoinRequest", core::JoinRequest{}.encode(),
+      [](util::BytesView b) { core::JoinRequest::decode(b); });
+  add("JoinResponse", core::JoinResponse{}.encode(),
+      [](util::BytesView b) { core::JoinResponse::decode(b); });
+  // Renewal presentation carries a SignedChannelTicket on the wire.
+  {
+    crypto::SecureRandom rng(0xc0de);
+    const crypto::RsaKeyPair keys = crypto::generate_rsa_keypair(rng, 512);
+    core::ChannelTicket t;
+    t.user_in = 3;
+    t.channel_id = 1;
+    t.expiry_time = 500;
+    add("SignedChannelTicket(renewal)",
+        core::SignedChannelTicket::sign(t, keys.priv).encode(),
+        [](util::BytesView b) { core::SignedChannelTicket::decode(b); });
+  }
+  add("ContentPacket", core::ContentPacket{}.encode(),
+      [](util::BytesView b) { core::ContentPacket::decode(b); });
+  add("BusyPayload", net::BusyPayload{}.encode(),
+      [](util::BytesView b) { net::BusyPayload::decode(b); });
+  add("SecureHello", core::SecureHello{}.encode(),
+      [](util::BytesView b) { core::SecureHello::decode(b); });
+  add("Snapshot", store::Snapshot{}.encode(),
+      [](util::BytesView b) { store::Snapshot::decode(b); });
+  {
+    store::ReplicatedOp op;
+    op.origin = 1;
+    op.origin_seq = 1;  // decode rejects zero seq
+    op.payload = util::bytes_of("gossip payload");
+    add("ReplicatedOp", op.encode(),
+        [](util::BytesView b) { store::ReplicatedOp::decode(b); });
+  }
+  {
+    services::ViewingLog::Entry e;
+    e.user_in = 9;
+    e.channel = 2;
+    e.time = 77;
+    add("ViewingEntry", services::encode_viewing_entry(e),
+        [](util::BytesView b) { services::decode_viewing_entry(b); });
+  }
+  return corpus;
+}
+
+TEST(FuzzDecodeTest, CorpusEveryEnvelopeDecodesItsOwnEncoding) {
+  for (const CorpusEntry& entry : envelope_corpus()) {
+    EXPECT_NO_THROW(entry.decode(entry.valid)) << entry.name;
+  }
+}
+
+TEST(FuzzDecodeTest, CorpusEveryEnvelopeTruncationGraceful) {
+  // Every prefix of every valid envelope payload: succeed or WireError.
+  for (const CorpusEntry& entry : envelope_corpus()) {
+    const Decoder decoder{entry.name, entry.decode};
+    for (std::size_t len = 0; len < entry.valid.size(); ++len) {
+      expect_graceful(decoder, Bytes(entry.valid.begin(),
+                                     entry.valid.begin() +
+                                         static_cast<std::ptrdiff_t>(len)));
+    }
+  }
+}
+
+TEST(FuzzDecodeTest, CorpusEveryEnvelopeBitFlipsGraceful) {
+  // Seeded single- and multi-bit corruption of every valid envelope payload.
+  crypto::SecureRandom rng(0xb17f11b);
+  for (const CorpusEntry& entry : envelope_corpus()) {
+    if (entry.valid.empty()) continue;
+    const Decoder decoder{entry.name, entry.decode};
+    for (int iter = 0; iter < 150; ++iter) {
+      Bytes mutated = entry.valid;
+      const int flips = 1 + static_cast<int>(rng.uniform(4));
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.uniform(mutated.size()));
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+      }
+      expect_graceful(decoder, mutated);
+    }
+  }
+}
+
+TEST(FuzzDecodeTest, EnvelopeFramingNeverThrows) {
+  // The outer envelope reports failure by value (optional), never by
+  // exception: random bytes, truncations, and bit-flips of a valid frame.
+  crypto::SecureRandom rng(0xe27);
+  net::Envelope env;
+  env.kind = net::MsgKind::kLogin1Request;
+  env.request_id = 77;
+  env.payload = rng.bytes(40);
+  const Bytes wire = env.encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_NO_THROW((void)net::Envelope::decode({wire.data(), len}));
+  }
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes mutated = wire;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform(8));
+    EXPECT_NO_THROW((void)net::Envelope::decode(mutated));
+  }
+  for (int iter = 0; iter < 300; ++iter) {
+    EXPECT_NO_THROW((void)net::Envelope::decode(rng.bytes(rng.uniform(128))));
+  }
+}
+
+TEST(FuzzDecodeTest, KeyBlobUnwrapNeverThrows) {
+  // The key-distribution blob (kKeyBlob) reports failure by value: random
+  // bytes and corrupted valid wraps yield nullopt, never an exception.
+  crypto::SecureRandom rng(0x5e55);
+  const core::SessionKey session = core::generate_session_key(rng);
+  const core::ContentKey key = core::generate_content_key(rng, 1, 100);
+  const Bytes valid = core::wrap_content_key(key, session, 0);
+  ASSERT_TRUE(core::unwrap_content_key(valid, session).has_value());
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_NO_THROW(
+        (void)core::unwrap_content_key({valid.data(), len}, session));
+  }
+  for (int iter = 0; iter < 300; ++iter) {
+    Bytes mutated = valid;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform(8));
+    EXPECT_NO_THROW((void)core::unwrap_content_key(mutated, session));
+    EXPECT_NO_THROW(
+        (void)core::unwrap_content_key(rng.bytes(rng.uniform(96)), session));
+  }
+}
+
 TEST(FuzzDecodeTest, RoundTripAfterSuccessfulFuzzDecode) {
   // Any random buffer a decoder accepts must re-encode/decode stably (no
   // "parses but corrupts" states). Checked for ContentPacket, whose inputs
@@ -372,6 +542,64 @@ TEST(FuzzDecodeTest, RoundTripAfterSuccessfulFuzzDecode) {
   }
   // With a 4-byte length prefix most random buffers fail; some must pass.
   (void)accepted;
+}
+
+// ---------------------------------------------------------------------------
+// Deployment-level contract: a malformed payload that reaches a service node
+// is rejected AND counted — the "server.drops{malformed}" counter is how
+// operators (and the abuse gate) see fuzzing pressure.
+
+class NullSink final : public net::Node {
+ public:
+  void on_packet(const net::Packet&) override {}
+};
+
+TEST(FuzzDecodeTest, MalformedServiceRequestsAreCountedAndDropped) {
+  net::DeploymentConfig cfg;
+  cfg.seed = 99;
+  cfg.default_link.latency.floor = 1 * util::kMillisecond;
+  cfg.default_link.latency.median = 2 * util::kMillisecond;
+  cfg.processing.light = 100;
+  cfg.processing.heavy = 200;
+  net::Deployment d(cfg);
+  d.add_user("alice@example.com", "pw");
+  d.add_regional_channel(1, "news", d.geo().region_at(0));
+  d.start_channel_server(1);
+
+  NullSink sink;
+  const util::NodeId attacker = 900;
+  d.network().attach(attacker, util::parse_netaddr("10.9.9.9"), &sink);
+
+  // An empty payload fails every request decoder (all have length-prefixed
+  // fields), so each send below must land in the malformed bucket.
+  const auto send_malformed = [&](util::NodeId to, net::MsgKind kind) {
+    net::Envelope env;
+    env.kind = kind;
+    env.request_id = 1;
+    d.network().send(attacker, to, env.encode());
+  };
+  int sent = 0;
+  const auto probe = [&](util::NodeId to, net::MsgKind kind) {
+    if (!d.network().attached(to)) return;
+    send_malformed(to, kind);
+    ++sent;
+  };
+  probe(net::Deployment::kRedirectionNode, net::MsgKind::kRedirectRequest);
+  probe(net::Deployment::kUserManagerNode, net::MsgKind::kLogin1Request);
+  probe(net::Deployment::kUserManagerNode, net::MsgKind::kLogin2Request);
+  probe(net::Deployment::kChannelPolicyNode, net::MsgKind::kChannelListRequest);
+  for (util::NodeId cm = net::Deployment::kChannelManagerBase;
+       cm < net::Deployment::kChannelManagerBase + 8; ++cm) {
+    probe(cm, net::MsgKind::kSwitch1Request);
+    probe(cm, net::MsgKind::kSwitch2Request);
+  }
+  ASSERT_GE(sent, 4);
+
+  d.run_for(1 * util::kSecond);
+  const obs::Counter* drops = d.registry().find_counter("server.drops{malformed}");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_EQ(drops->value(), static_cast<std::uint64_t>(sent));
+  d.network().detach(attacker);
 }
 
 }  // namespace

@@ -469,5 +469,88 @@ TEST(TrackerTest, ChurnStormSamplingConsistency) {
   EXPECT_DOUBLE_EQ(tracker.utilization(1), expected);
 }
 
+// --- Tracker admission limits (the Sybil-flood defense) ---
+
+TEST(TrackerTest, PerSourceRateLimitThrottlesSybilFlood) {
+  crypto::SecureRandom rng(11);
+  Tracker tracker(std::move(rng));
+  Tracker::Limits limits;
+  limits.registration_burst = 3;
+  limits.registration_window = kMinute;
+  tracker.set_limits(limits);
+
+  // One source address mints many bogus identities inside one window.
+  const util::NetAddr sybil{0x0bad0001};
+  std::size_t accepted = 0;
+  for (util::NodeId n = 1000; n < 1020; ++n) {
+    if (tracker.register_peer(1, {n, sybil}, 4, 10)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 3u);
+  EXPECT_EQ(tracker.peer_count(1), 3u);
+  EXPECT_EQ(tracker.rejected_rate(), 17u);
+
+  // Honest peers at distinct addresses are untouched by the flood.
+  EXPECT_TRUE(tracker.register_peer(1, {10, util::NetAddr{0x0a00000a}}, 4, 10));
+  EXPECT_TRUE(tracker.register_peer(1, {11, util::NetAddr{0x0a00000b}}, 4, 10));
+
+  // Keep-alives of admitted peers are never rate limited.
+  EXPECT_TRUE(tracker.register_peer(1, {1000, sybil}, 4, 20));
+
+  // A new window admits a fresh burst.
+  EXPECT_TRUE(tracker.register_peer(1, {2000, sybil}, 4, 10 + kMinute));
+}
+
+TEST(TrackerTest, PerChannelCapBoundsPeerTable) {
+  crypto::SecureRandom rng(12);
+  Tracker tracker(std::move(rng));
+  Tracker::Limits limits;
+  limits.max_peers_per_channel = 5;
+  tracker.set_limits(limits);
+
+  std::size_t accepted = 0;
+  for (util::NodeId n = 0; n < 50; ++n) {
+    if (tracker.register_peer(1, {n, util::NetAddr{0x0a000000u + n}}, 4, 0)) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 5u);
+  EXPECT_EQ(tracker.peer_count(1), 5u);
+  EXPECT_EQ(tracker.rejected_capacity(), 45u);
+
+  // Known peers still refresh, and eviction frees capacity for newcomers.
+  EXPECT_TRUE(tracker.register_peer(1, {0, util::NetAddr{0x0a000000u}}, 4, 0));
+  tracker.unregister_peer(1, 0);
+  EXPECT_TRUE(tracker.register_peer(1, {60, util::NetAddr{0x0a00003cu}}, 4, 0));
+}
+
+TEST(TrackerTest, LimitsDefaultOffKeepsLegacyBehaviour) {
+  crypto::SecureRandom rng(13);
+  Tracker tracker(std::move(rng));
+  for (util::NodeId n = 0; n < 100; ++n) {
+    EXPECT_TRUE(tracker.register_peer(1, {n, util::NetAddr{0x0bad0001}}, 4, 0));
+  }
+  EXPECT_EQ(tracker.peer_count(1), 100u);
+  EXPECT_EQ(tracker.rejected_rate(), 0u);
+  EXPECT_EQ(tracker.rejected_capacity(), 0u);
+}
+
+TEST(TrackerTest, StaleSweepAgesOutSourceWindows) {
+  // The rate-limit bookkeeping itself must not become the unbounded table:
+  // windows older than the sweep cutoff are pruned, and afterwards the
+  // source can register again.
+  crypto::SecureRandom rng(14);
+  Tracker tracker(std::move(rng));
+  Tracker::Limits limits;
+  limits.registration_burst = 1;
+  limits.registration_window = kMinute;
+  tracker.set_limits(limits);
+
+  const util::NetAddr source{0x0bad0002};
+  EXPECT_TRUE(tracker.register_peer(1, {1, source}, 4, 0));
+  EXPECT_FALSE(tracker.register_peer(1, {2, source}, 4, 10));
+  tracker.evict_stale(5 * kMinute);  // prunes the source window too
+  EXPECT_TRUE(tracker.register_peer(1, {3, source}, 4, 6 * kMinute));
+}
+
 }  // namespace
 }  // namespace p2pdrm::p2p

@@ -148,18 +148,65 @@ TEST_F(UserManagerTest, ExpiredSubscriptionOmitted) {
   EXPECT_EQ(resp.ticket->ticket.attributes.find(core::kAttrSubscription), nullptr);
 }
 
-TEST_F(UserManagerTest, UnknownUserRejected) {
+TEST_F(UserManagerTest, UnknownUserGetsUndecryptableDecoy) {
+  // Anti-oracle: an unknown email earns a decoy LOGIN1 that is
+  // shape-identical to a real one (kOk, encrypted payload, challenge) but
+  // can never be decrypted or completed — the manager path never admits
+  // whether the account exists.
   const core::Login1Response r1 =
       um_->handle_login1(login1_request("bob@example.com"), addr_, 0);
-  EXPECT_EQ(r1.error, DrmError::kUnknownUser);
+  EXPECT_EQ(r1.error, DrmError::kOk);
+  EXPECT_FALSE(r1.encrypted_params.empty());
+  EXPECT_FALSE(open_login1(r1, "password1").has_value());
+  EXPECT_FALSE(open_login1(r1, "bobs-own-password").has_value());
 }
 
-TEST_F(UserManagerTest, SuspendedUserRejected) {
+TEST_F(UserManagerTest, SuspendedUserCannotLogIn) {
   accounts_->set_suspended("alice@example.com", true);
-  EXPECT_EQ(um_->handle_login1(login1_request(), addr_, 0).error,
-            DrmError::kUnknownUser);
+  // The decoy swallows the suspension too: LOGIN1 looks normal but even the
+  // account's real password no longer opens it, so login can't complete.
+  const core::Login1Response r1 = um_->handle_login1(login1_request(), addr_, 0);
+  EXPECT_EQ(r1.error, DrmError::kOk);
+  EXPECT_FALSE(open_login1(r1, "password1").has_value());
   accounts_->set_suspended("alice@example.com", false);
-  EXPECT_EQ(um_->handle_login1(login1_request(), addr_, 0).error, DrmError::kOk);
+  EXPECT_EQ(do_login(0).error, DrmError::kOk);
+}
+
+TEST_F(UserManagerTest, NoAccountExistenceOracleOnLoginPath) {
+  // Pin the constant shape end to end: probing LOGIN1 with a real vs a
+  // bogus email yields the same error, the same field sizes, and the same
+  // downstream failure envelope when the prober pushes a forged LOGIN2.
+  const core::Login1Response real =
+      um_->handle_login1(login1_request("alice@example.com"), addr_, 0);
+  const core::Login1Response fake =
+      um_->handle_login1(login1_request("bob@example.com"), addr_, 0);
+  EXPECT_EQ(real.error, fake.error);
+  EXPECT_EQ(real.encrypted_params.size(), fake.encrypted_params.size());
+  EXPECT_EQ(real.challenge.mac.size(), fake.challenge.mac.size());
+  EXPECT_EQ(real.challenge.nonce.size(), fake.challenge.nonce.size());
+
+  // Forged LOGIN2 (guessed nonce, since neither payload opens without the
+  // password): both probes earn kChallengeInvalid — indistinguishable.
+  const auto probe = [&](const std::string& email,
+                         const core::Login1Response& r1) {
+    Login1Output guessed;
+    guessed.nonce = rng_.bytes(core::kNonceSize);
+    guessed.challenge = r1.challenge;
+    guessed.challenge.nonce = guessed.nonce;
+    core::Login2Request req = login2_request(guessed, binary_, client_keys_);
+    req.email = email;
+    return um_->handle_login2(req, addr_, 10).error;
+  };
+  EXPECT_EQ(probe("alice@example.com", real), DrmError::kChallengeInvalid);
+  EXPECT_EQ(probe("bob@example.com", fake), DrmError::kChallengeInvalid);
+
+  // Deterministic decoy: the same bogus email probed twice keeps the same
+  // shape (no per-probe entropy an attacker could average over), while the
+  // encrypted payload itself still differs per response nonce.
+  const core::Login1Response fake2 =
+      um_->handle_login1(login1_request("bob@example.com"), addr_, 0);
+  EXPECT_EQ(fake2.error, DrmError::kOk);
+  EXPECT_EQ(fake2.encrypted_params.size(), fake.encrypted_params.size());
 }
 
 TEST_F(UserManagerTest, OldClientVersionRejected) {
